@@ -1,0 +1,338 @@
+//! Clustering-feature (CF) vectors — the additive micro-cluster sketch
+//! shared by CluStream, DenStream, and ClusTree.
+//!
+//! A CF vector summarizes a set of records as `(CF2x, CF1x, CF2t, CF1t, w)`:
+//! the per-dimension squared and linear sums of the points, the squared and
+//! linear sums of the timestamps, and the (possibly decayed) weight. All
+//! components are additive, which is what lets local updates run on detached
+//! copies and merge back (paper §II-A, §VI).
+
+use serde::{Deserialize, Serialize};
+
+use diststream_core::{Sketch, WeightedPoint};
+use diststream_types::{Point, Record, Timestamp};
+
+/// An additive, decayable clustering-feature vector.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::CfVector;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let a = Record::new(0, Point::from(vec![1.0, 0.0]), Timestamp::ZERO);
+/// let b = Record::new(1, Point::from(vec![3.0, 0.0]), Timestamp::from_secs(1.0));
+/// let mut cf = CfVector::from_record(&a);
+/// cf.insert(&b, 1.0); // no decay
+/// assert_eq!(cf.centroid().as_slice(), &[2.0, 0.0]);
+/// assert_eq!(cf.weight(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfVector {
+    /// Per-dimension squared sum `Σ w·x²`.
+    cf2x: Point,
+    /// Per-dimension linear sum `Σ w·x`.
+    cf1x: Point,
+    /// Squared timestamp sum `Σ w·t²`.
+    cf2t: f64,
+    /// Linear timestamp sum `Σ w·t`.
+    cf1t: f64,
+    /// Decayed weight `Σ w` (= record count when no decay).
+    weight: f64,
+    /// Creation time of the micro-cluster.
+    created_at: Timestamp,
+    /// Time of the last insert/decay.
+    updated_at: Timestamp,
+}
+
+impl CfVector {
+    /// Creates a CF vector holding exactly one record with unit weight.
+    pub fn from_record(record: &Record) -> Self {
+        let t = record.timestamp.secs();
+        CfVector {
+            cf2x: record.point.squared(),
+            cf1x: record.point.clone(),
+            cf2t: t * t,
+            cf1t: t,
+            weight: 1.0,
+            created_at: record.timestamp,
+            updated_at: record.timestamp,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.cf1x.dims()
+    }
+
+    /// The decayed weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Creation timestamp.
+    pub fn created_at(&self) -> Timestamp {
+        self.created_at
+    }
+
+    /// Timestamp of the last insert or decay.
+    pub fn updated_at(&self) -> Timestamp {
+        self.updated_at
+    }
+
+    /// Mean of the absorbed timestamps, in seconds.
+    pub fn mean_time(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.cf1t / self.weight
+        } else {
+            self.updated_at.secs()
+        }
+    }
+
+    /// Standard deviation of the absorbed timestamps, in seconds.
+    pub fn std_time(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let mean = self.cf1t / self.weight;
+        (self.cf2t / self.weight - mean * mean).max(0.0).sqrt()
+    }
+
+    /// CluStream's relevance stamp: `μ_t + z·σ_t`, an estimate of the
+    /// arrival time of the cluster's most recent records.
+    pub fn relevance_stamp(&self, z: f64) -> f64 {
+        self.mean_time() + z * self.std_time()
+    }
+
+    /// The centroid `CF1x / w`.
+    pub fn centroid(&self) -> Point {
+        if self.weight > 0.0 {
+            self.cf1x.scaled(1.0 / self.weight)
+        } else {
+            self.cf1x.clone()
+        }
+    }
+
+    /// RMS deviation of absorbed points from the centroid — the
+    /// micro-cluster "radius" used for maximum-boundary checks.
+    ///
+    /// Returns 0.0 for a singleton.
+    pub fn rms_radius(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let mut var_sum = 0.0;
+        for (s2, s1) in self.cf2x.iter().zip(self.cf1x.iter()) {
+            let mean = s1 / self.weight;
+            var_sum += (s2 / self.weight - mean * mean).max(0.0);
+        }
+        var_sum.sqrt() // sqrt of the summed per-dimension variances
+    }
+
+    /// The radius the sketch would have after absorbing `point` with unit
+    /// weight and no decay — DenStream's tentative-insertion check.
+    pub fn radius_with(&self, point: &Point) -> f64 {
+        let w = self.weight + 1.0;
+        let mut var_sum = 0.0;
+        for i in 0..point.dims() {
+            let s2 = self.cf2x[i] + point[i] * point[i];
+            let s1 = self.cf1x[i] + point[i];
+            let mean = s1 / w;
+            var_sum += (s2 / w - mean * mean).max(0.0);
+        }
+        var_sum.sqrt()
+    }
+
+    /// Applies decay factor `lambda` to every additive component and stamps
+    /// the sketch as updated at `now`.
+    pub fn decay(&mut self, lambda: f64, now: Timestamp) {
+        debug_assert!((0.0..=1.0).contains(&lambda));
+        self.cf2x.scale_in_place(lambda);
+        self.cf1x.scale_in_place(lambda);
+        self.cf2t *= lambda;
+        self.cf1t *= lambda;
+        self.weight *= lambda;
+        self.updated_at = now;
+    }
+
+    /// Inserts a record: decays the sketch by `lambda` (computed by the
+    /// caller from the record's arrival interval) then adds the record's
+    /// increment `Δx = (x², x, t², t, 1)`.
+    pub fn insert(&mut self, record: &Record, lambda: f64) {
+        self.decay(lambda, record.timestamp.max(self.updated_at));
+        let t = record.timestamp.secs();
+        self.cf2x.add_in_place(&record.point.squared());
+        self.cf1x.add_in_place(&record.point);
+        self.cf2t += t * t;
+        self.cf1t += t;
+        self.weight += 1.0;
+    }
+
+    /// Adds another CF vector using the additivity property. The creation
+    /// time becomes the earlier of the two; the update time the later.
+    pub fn add(&mut self, other: &CfVector) {
+        self.cf2x.add_in_place(&other.cf2x);
+        self.cf1x.add_in_place(&other.cf1x);
+        self.cf2t += other.cf2t;
+        self.cf1t += other.cf1t;
+        self.weight += other.weight;
+        self.created_at = self.created_at.min(other.created_at);
+        self.updated_at = self.updated_at.max(other.updated_at);
+    }
+
+    /// Exports centroid + weight for the offline phase.
+    pub fn to_weighted_point(&self) -> WeightedPoint {
+        WeightedPoint {
+            point: self.centroid(),
+            weight: self.weight,
+        }
+    }
+}
+
+impl Sketch for CfVector {
+    fn centroid(&self) -> Point {
+        CfVector::centroid(self)
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.add(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(id: u64, coords: Vec<f64>, t: f64) -> Record {
+        Record::new(id, Point::from(coords), Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn singleton_statistics() {
+        let cf = CfVector::from_record(&rec(0, vec![2.0, 4.0], 3.0));
+        assert_eq!(cf.weight(), 1.0);
+        assert_eq!(cf.centroid().as_slice(), &[2.0, 4.0]);
+        assert_eq!(cf.rms_radius(), 0.0);
+        assert_eq!(cf.mean_time(), 3.0);
+        assert_eq!(cf.std_time(), 0.0);
+        assert_eq!(cf.created_at(), Timestamp::from_secs(3.0));
+    }
+
+    #[test]
+    fn insert_updates_all_components() {
+        let mut cf = CfVector::from_record(&rec(0, vec![0.0], 0.0));
+        cf.insert(&rec(1, vec![4.0], 2.0), 1.0);
+        assert_eq!(cf.weight(), 2.0);
+        assert_eq!(cf.centroid().as_slice(), &[2.0]);
+        assert_eq!(cf.mean_time(), 1.0);
+        assert_eq!(cf.std_time(), 1.0);
+        // Radius: points at 0 and 4, centroid 2 → rms deviation 2.
+        assert!((cf.rms_radius() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_scales_weight_but_not_centroid() {
+        let mut cf = CfVector::from_record(&rec(0, vec![3.0, 1.0], 0.0));
+        cf.insert(&rec(1, vec![5.0, 3.0], 0.0), 1.0);
+        let before = cf.centroid();
+        cf.decay(0.5, Timestamp::from_secs(1.0));
+        assert_eq!(cf.weight(), 1.0);
+        assert_eq!(cf.centroid(), before);
+        assert_eq!(cf.updated_at(), Timestamp::from_secs(1.0));
+    }
+
+    #[test]
+    fn radius_with_matches_actual_insert() {
+        let mut cf = CfVector::from_record(&rec(0, vec![0.0, 0.0], 0.0));
+        cf.insert(&rec(1, vec![2.0, 0.0], 0.0), 1.0);
+        let predicted = cf.radius_with(&Point::from(vec![4.0, 0.0]));
+        cf.insert(&rec(2, vec![4.0, 0.0], 0.0), 1.0);
+        assert!((predicted - cf.rms_radius()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_is_component_wise() {
+        let mut a = CfVector::from_record(&rec(0, vec![1.0], 0.0));
+        let b = CfVector::from_record(&rec(1, vec![3.0], 5.0));
+        a.add(&b);
+        assert_eq!(a.weight(), 2.0);
+        assert_eq!(a.centroid().as_slice(), &[2.0]);
+        assert_eq!(a.created_at(), Timestamp::ZERO);
+        assert_eq!(a.updated_at(), Timestamp::from_secs(5.0));
+    }
+
+    #[test]
+    fn relevance_stamp_grows_with_recency() {
+        let mut old = CfVector::from_record(&rec(0, vec![0.0], 0.0));
+        old.insert(&rec(1, vec![0.0], 1.0), 1.0);
+        let mut fresh = CfVector::from_record(&rec(2, vec![0.0], 10.0));
+        fresh.insert(&rec(3, vec![0.0], 11.0), 1.0);
+        assert!(fresh.relevance_stamp(1.0) > old.relevance_stamp(1.0));
+    }
+
+    #[test]
+    fn weighted_point_export() {
+        let cf = CfVector::from_record(&rec(0, vec![7.0], 0.0));
+        let wp = cf.to_weighted_point();
+        assert_eq!(wp.point.as_slice(), &[7.0]);
+        assert_eq!(wp.weight, 1.0);
+    }
+
+    #[test]
+    fn sketch_trait_merge_delegates_to_add() {
+        let mut a = CfVector::from_record(&rec(0, vec![0.0], 0.0));
+        let b = CfVector::from_record(&rec(1, vec![2.0], 0.0));
+        Sketch::merge(&mut a, &b);
+        assert_eq!(Sketch::centroid(&a).as_slice(), &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_additivity_order_independent(
+            xs in prop::collection::vec(-100.0_f64..100.0, 2..20),
+        ) {
+            // Building one CF from all records equals merging two halves.
+            let records: Vec<Record> = xs.iter().enumerate()
+                .map(|(i, &x)| rec(i as u64, vec![x], i as f64))
+                .collect();
+            let mid = records.len() / 2;
+            let mut whole = CfVector::from_record(&records[0]);
+            for r in &records[1..] {
+                whole.insert(r, 1.0);
+            }
+            let mut left = CfVector::from_record(&records[0]);
+            for r in &records[1..mid.max(1)] {
+                left.insert(r, 1.0);
+            }
+            if mid >= 1 && mid < records.len() {
+                let mut right = CfVector::from_record(&records[mid]);
+                for r in &records[mid + 1..] {
+                    right.insert(r, 1.0);
+                }
+                left.add(&right);
+            }
+            prop_assert!((left.weight() - whole.weight()).abs() < 1e-9);
+            let (lc, wc) = (left.centroid(), whole.centroid());
+            for (a, b) in lc.iter().zip(wc.iter()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_radius_nonnegative(
+            xs in prop::collection::vec(-50.0_f64..50.0, 1..15),
+        ) {
+            let mut cf = CfVector::from_record(&rec(0, vec![xs[0]], 0.0));
+            for (i, &x) in xs.iter().enumerate().skip(1) {
+                cf.insert(&rec(i as u64, vec![x], i as f64), 0.95);
+            }
+            prop_assert!(cf.rms_radius() >= 0.0);
+            prop_assert!(cf.weight() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! CluStream (Aggarwal et al., VLDB 2003) on the DistStream APIs.
+//!
+//! CluStream keeps a fixed budget of `q` CF micro-clusters (the paper sets
+//! `q` to ten times the number of real clusters). Records are absorbed by
+//! the closest micro-cluster when they fall inside its maximum boundary
+//! (a factor times the cluster's RMS radius); otherwise they found a new
+//! micro-cluster, and the budget is restored by deleting the least-recent
+//! micro-cluster (relevance stamp below a recency threshold) or, failing
+//! that, merging the two closest micro-clusters. CluStream's sketch is not
+//! decayed (`λ = 1`); aging is handled entirely by relevance-based deletion.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use diststream_core::{
+    Assignment, MicroClusterId, StreamClustering, WeightedPoint,
+};
+use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
+
+use crate::cf::CfVector;
+use crate::offline::{kmeans, KmeansParams};
+
+/// Tuning parameters for [`CluStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CluStreamParams {
+    /// Micro-cluster budget `q` (paper default: 10 × the real cluster count).
+    pub max_micro_clusters: usize,
+    /// Maximum-boundary factor `t`: a record joins a micro-cluster when its
+    /// distance to the centroid is within `t ×` the RMS radius.
+    pub boundary_factor: f64,
+    /// Relevance horizon `δ` in virtual seconds: a micro-cluster whose
+    /// relevance stamp is older than `now − δ` may be deleted.
+    pub horizon_secs: f64,
+    /// Quantile multiplier `z` in the relevance stamp `μ_t + z·σ_t`.
+    pub relevance_z: f64,
+    /// Centroid distance below which two newly created outlier
+    /// micro-clusters are pre-merged (§V-C).
+    pub premerge_distance: f64,
+    /// Seed for the k-means initialization.
+    pub seed: u64,
+}
+
+impl Default for CluStreamParams {
+    fn default() -> Self {
+        CluStreamParams {
+            max_micro_clusters: 100,
+            boundary_factor: 2.0,
+            horizon_secs: 100.0,
+            relevance_z: 1.0,
+            premerge_distance: 1.0,
+            seed: 0xC105,
+        }
+    }
+}
+
+/// The CluStream micro-cluster model: an id-keyed CF set under a capacity
+/// budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CluStreamModel {
+    mcs: BTreeMap<MicroClusterId, CfVector>,
+    next_id: MicroClusterId,
+}
+
+impl CluStreamModel {
+    /// Number of live micro-clusters.
+    pub fn len(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// Whether the model holds no micro-clusters.
+    pub fn is_empty(&self) -> bool {
+        self.mcs.is_empty()
+    }
+
+    /// Iterates over `(id, micro-cluster)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MicroClusterId, &CfVector)> {
+        self.mcs.iter()
+    }
+
+    fn insert_new(&mut self, cf: CfVector) -> MicroClusterId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.mcs.insert(id, cf);
+        id
+    }
+
+    /// Distance from `point` to the nearest micro-cluster other than
+    /// `exclude` (used as a singleton's maximum boundary).
+    fn nearest_other_distance(&self, point: &Point, exclude: MicroClusterId) -> f64 {
+        self.mcs
+            .iter()
+            .filter(|(id, _)| **id != exclude)
+            .map(|(_, cf)| cf.centroid().distance(point))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+}
+
+/// CluStream implemented through the four DistStream APIs.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::{CluStream, CluStreamParams};
+/// use diststream_core::StreamClustering;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = CluStream::new(CluStreamParams { max_micro_clusters: 4, ..Default::default() });
+/// let init: Vec<Record> = (0..20)
+///     .map(|i| Record::new(i, Point::from(vec![(i % 4) as f64 * 5.0]), Timestamp::from_secs(i as f64)))
+///     .collect();
+/// let model = algo.init(&init)?;
+/// assert!(model.len() <= 4);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CluStream {
+    params: CluStreamParams,
+}
+
+impl CluStream {
+    /// Creates CluStream with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_micro_clusters` is zero or `boundary_factor` is not
+    /// positive.
+    pub fn new(params: CluStreamParams) -> Self {
+        assert!(
+            params.max_micro_clusters > 0,
+            "micro-cluster budget must be at least 1"
+        );
+        assert!(
+            params.boundary_factor > 0.0,
+            "boundary factor must be positive"
+        );
+        CluStream { params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &CluStreamParams {
+        &self.params
+    }
+
+    /// The maximum boundary of micro-cluster `id`: `t ×` RMS radius for a
+    /// multi-record cluster, or the distance to the closest other
+    /// micro-cluster for a singleton (the original CluStream heuristic).
+    fn max_boundary(&self, model: &CluStreamModel, id: MicroClusterId, cf: &CfVector) -> f64 {
+        let rms = cf.rms_radius();
+        if cf.weight() > 1.0 && rms > 0.0 {
+            self.params.boundary_factor * rms
+        } else {
+            model.nearest_other_distance(&cf.centroid(), id)
+        }
+    }
+
+    /// Restores the capacity budget after inserting new micro-clusters.
+    ///
+    /// Deletion of below-horizon micro-clusters is handled first (cheap);
+    /// remaining overage is resolved by repeatedly merging the closest pair.
+    /// Centroids are cached across merge iterations so a burst of new
+    /// micro-clusters costs `O(overage · n · d)` rather than
+    /// `O(overage · n² · d)`.
+    fn enforce_capacity(&self, model: &mut CluStreamModel, now: Timestamp) {
+        let recency_threshold = now.secs() - self.params.horizon_secs;
+        // Phase 1: delete least-recent micro-clusters past the horizon.
+        while model.len() > self.params.max_micro_clusters {
+            let oldest = model
+                .mcs
+                .iter()
+                .map(|(id, cf)| (*id, cf.relevance_stamp(self.params.relevance_z)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match oldest {
+                Some((id, stamp)) if stamp < recency_threshold => {
+                    model.mcs.remove(&id);
+                }
+                _ => break,
+            }
+        }
+        if model.len() <= self.params.max_micro_clusters {
+            return;
+        }
+        // Phase 2: merge closest pairs over cached centroids, so each merge
+        // costs one O(n²·d) pair scan without recomputing CF centroids.
+        let mut items: Vec<(MicroClusterId, Point, f64)> = model
+            .mcs
+            .iter()
+            .map(|(id, cf)| (*id, cf.centroid(), cf.weight()))
+            .collect();
+        while items.len() > self.params.max_micro_clusters {
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for i in 0..items.len() {
+                for j in (i + 1)..items.len() {
+                    let d = items[i].1.squared_distance(&items[j].1);
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, _) = best;
+            let (fold_id, _, _) = items.swap_remove(j);
+            let folded = model.mcs.remove(&fold_id).expect("pair ids exist");
+            let keep_id = items[i].0;
+            let keep = model.mcs.get_mut(&keep_id).expect("pair ids exist");
+            keep.add(&folded);
+            items[i].1 = keep.centroid();
+            items[i].2 = keep.weight();
+        }
+    }
+}
+
+impl StreamClustering for CluStream {
+    type Model = CluStreamModel;
+    type Sketch = CfVector;
+
+    fn name(&self) -> &str {
+        "clustream"
+    }
+
+    fn init(&self, records: &[Record]) -> Result<CluStreamModel> {
+        if records.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        // Batch k-means into q seed clusters (paper §II-B), then summarize
+        // each seed cluster as a CF vector.
+        let points: Vec<WeightedPoint> = records
+            .iter()
+            .map(|r| WeightedPoint {
+                point: r.point.clone(),
+                weight: 1.0,
+            })
+            .collect();
+        let mut km = KmeansParams::new(self.params.max_micro_clusters);
+        km.seed = self.params.seed;
+        let clusters = kmeans(&points, km);
+
+        let mut model = CluStreamModel::default();
+        let mut cf_by_cluster: BTreeMap<usize, CfVector> = BTreeMap::new();
+        for (record, assigned) in records.iter().zip(clusters.assignment.iter()) {
+            let c = assigned.expect("k-means assigns every point");
+            match cf_by_cluster.get_mut(&c) {
+                Some(cf) => cf.insert(record, 1.0),
+                None => {
+                    cf_by_cluster.insert(c, CfVector::from_record(record));
+                }
+            }
+        }
+        for (_, cf) in cf_by_cluster {
+            model.insert_new(cf);
+        }
+        Ok(model)
+    }
+
+    fn assign(&self, model: &CluStreamModel, record: &Record) -> Assignment {
+        let closest = model
+            .mcs
+            .iter()
+            .map(|(id, cf)| (*id, cf.centroid().distance(&record.point)))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        match closest {
+            Some((id, dist)) => {
+                let boundary = self.max_boundary(model, id, &model.mcs[&id]);
+                if dist <= boundary {
+                    Assignment::Existing(id)
+                } else {
+                    Assignment::New(record.id)
+                }
+            }
+            None => Assignment::New(record.id),
+        }
+    }
+
+    fn sketch_of(&self, model: &CluStreamModel, id: MicroClusterId) -> CfVector {
+        model.mcs[&id].clone()
+    }
+
+    fn create(&self, record: &Record) -> CfVector {
+        CfVector::from_record(record)
+    }
+
+    fn update(&self, sketch: &mut CfVector, record: &Record) {
+        // CluStream does not decay: λ = 1 (paper §VI).
+        sketch.insert(record, 1.0);
+    }
+
+    fn can_premerge(&self, a: &CfVector, b: &CfVector) -> bool {
+        a.centroid().distance(&b.centroid()) <= self.params.premerge_distance
+    }
+
+    fn apply_global(
+        &self,
+        model: &mut CluStreamModel,
+        updated: Vec<(MicroClusterId, CfVector)>,
+        created: Vec<CfVector>,
+        now: Timestamp,
+    ) {
+        for (id, cf) in updated {
+            model.mcs.insert(id, cf);
+        }
+        // New micro-clusters are placed one at a time, restoring the budget
+        // after each insertion — deletion and merging are irreversible, so
+        // the order in which new micro-clusters arrive here decides which
+        // old ones die (§IV-C2). The framework hands `created` in
+        // creation-time order (order-aware) or shuffled (unordered).
+        for cf in created {
+            model.insert_new(cf);
+            self.enforce_capacity(model, now);
+        }
+        self.enforce_capacity(model, now);
+    }
+
+    fn snapshot(&self, model: &CluStreamModel) -> Vec<WeightedPoint> {
+        model.mcs.values().map(CfVector::to_weighted_point).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x, 0.0]), Timestamp::from_secs(t))
+    }
+
+    fn algo(q: usize) -> CluStream {
+        CluStream::new(CluStreamParams {
+            max_micro_clusters: q,
+            horizon_secs: 10.0,
+            ..Default::default()
+        })
+    }
+
+    fn seeded_model(algo: &CluStream) -> CluStreamModel {
+        // Two well-populated micro-clusters near x = 0 and x = 10.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(rec(i, (i % 2) as f64 * 10.0 + (i as f64) * 0.01, i as f64 * 0.1));
+        }
+        algo.init(&records).unwrap()
+    }
+
+    #[test]
+    fn init_respects_budget() {
+        let algo = algo(3);
+        let records: Vec<Record> = (0..50).map(|i| rec(i, (i % 10) as f64 * 3.0, i as f64)).collect();
+        let model = algo.init(&records).unwrap();
+        assert!(model.len() <= 3);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn init_empty_errors() {
+        assert!(algo(3).init(&[]).is_err());
+    }
+
+    #[test]
+    fn assign_absorbs_within_boundary() {
+        let algo = algo(10);
+        let model = seeded_model(&algo);
+        let near = rec(100, 0.02, 2.0);
+        assert!(matches!(algo.assign(&model, &near), Assignment::Existing(_)));
+        let far = rec(101, 50.0, 2.0);
+        assert_eq!(algo.assign(&model, &far), Assignment::New(101));
+    }
+
+    #[test]
+    fn capacity_enforced_by_merge_or_delete() {
+        let algo = algo(2);
+        let mut model = seeded_model(&algo);
+        // Insert new micro-clusters far away, at a recent time.
+        let created = vec![
+            CfVector::from_record(&rec(200, 100.0, 5.0)),
+            CfVector::from_record(&rec(201, 200.0, 5.0)),
+        ];
+        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(5.0));
+        assert!(model.len() <= 2);
+    }
+
+    #[test]
+    fn old_micro_clusters_deleted_before_merging() {
+        let algo = algo(2);
+        // Two clusters built at t≈0, then new arrivals at t=1000 (way past
+        // the 10s horizon): the old ones should be deleted, keeping the new.
+        let mut model = seeded_model(&algo);
+        let fresh_a = CfVector::from_record(&rec(300, 100.0, 1000.0));
+        let fresh_b = CfVector::from_record(&rec(301, 200.0, 1000.0));
+        algo.apply_global(
+            &mut model,
+            vec![],
+            vec![fresh_a, fresh_b],
+            Timestamp::from_secs(1000.0),
+        );
+        assert_eq!(model.len(), 2);
+        let centroids: Vec<f64> = model.iter().map(|(_, cf)| cf.centroid()[0]).collect();
+        assert!(centroids.contains(&100.0));
+        assert!(centroids.contains(&200.0));
+    }
+
+    #[test]
+    fn update_does_not_decay() {
+        let algo = algo(10);
+        let mut cf = algo.create(&rec(0, 1.0, 0.0));
+        algo.update(&mut cf, &rec(1, 3.0, 100.0));
+        assert_eq!(cf.weight(), 2.0);
+        assert_eq!(cf.centroid()[0], 2.0);
+    }
+
+    #[test]
+    fn premerge_uses_distance_threshold() {
+        let algo = algo(10);
+        let a = algo.create(&rec(0, 0.0, 0.0));
+        let near = algo.create(&rec(1, 0.5, 0.0));
+        let far = algo.create(&rec(2, 5.0, 0.0));
+        assert!(algo.can_premerge(&a, &near));
+        assert!(!algo.can_premerge(&a, &far));
+    }
+
+    #[test]
+    fn snapshot_matches_model_size() {
+        let algo = algo(10);
+        let model = seeded_model(&algo);
+        assert_eq!(algo.snapshot(&model).len(), model.len());
+    }
+
+    #[test]
+    fn singleton_boundary_is_nearest_other_distance() {
+        let algo = algo(10);
+        let mut model = CluStreamModel::default();
+        model.insert_new(CfVector::from_record(&rec(0, 0.0, 0.0)));
+        model.insert_new(CfVector::from_record(&rec(1, 10.0, 0.0)));
+        // Point at 4.0: distance to singleton at 0 is 4, boundary = distance
+        // to the other micro-cluster = 10 → absorbed.
+        let r = rec(2, 4.0, 1.0);
+        assert!(matches!(algo.assign(&model, &r), Assignment::Existing(0)));
+    }
+}

@@ -1,0 +1,467 @@
+//! DenStream (Cao et al., SDM 2006) on the DistStream APIs.
+//!
+//! DenStream maintains exponentially decayed micro-clusters in two roles:
+//! *potential* micro-clusters (weight ≥ β_p·μ) that feed the offline DBSCAN
+//! phase, and *outlier* micro-clusters buffering possible new clusters.
+//! A record joins the nearest micro-cluster if the tentative insertion keeps
+//! the radius within `ε`; otherwise it founds a new outlier micro-cluster.
+//! Every `T_p` seconds, light potential micro-clusters and stale outlier
+//! micro-clusters are pruned.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
+use diststream_types::{DistStreamError, Record, Result, Timestamp};
+
+use crate::cf::CfVector;
+
+/// Tuning parameters for [`DenStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenStreamParams {
+    /// Decay base `β` (> 1): weights decay as `β^{-Δt}`. The paper sets
+    /// `β = 2^{0.25} ≈ 1.19`.
+    pub beta: f64,
+    /// Radius threshold `ε`: the maximum micro-cluster radius.
+    pub eps: f64,
+    /// Core weight threshold `μ` (paper default 10).
+    pub mu: f64,
+    /// Potential factor `β_p ∈ (0, 1]`: a micro-cluster is *potential* when
+    /// its weight reaches `β_p·μ`.
+    pub potential_factor: f64,
+}
+
+impl Default for DenStreamParams {
+    fn default() -> Self {
+        DenStreamParams {
+            beta: 2f64.powf(0.25),
+            eps: 1.0,
+            mu: 10.0,
+            potential_factor: 0.2,
+        }
+    }
+}
+
+impl DenStreamParams {
+    /// The pruning period `T_p = ⌈log_β(β_p·μ / (β_p·μ − 1))⌉` from the
+    /// DenStream paper: the minimal time for a potential micro-cluster that
+    /// stops receiving records to fall below the potential threshold.
+    pub fn prune_period_secs(&self) -> f64 {
+        let bm = self.potential_factor * self.mu;
+        if bm <= 1.0 {
+            return 1.0;
+        }
+        ((bm / (bm - 1.0)).ln() / self.beta.ln()).ceil().max(1.0)
+    }
+}
+
+/// One DenStream micro-cluster: a decayed CF vector plus its role.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenStreamMc {
+    /// The decayed CF sketch.
+    pub cf: CfVector,
+    /// `true` for potential micro-clusters, `false` for outlier buffers.
+    pub potential: bool,
+}
+
+/// The DenStream model: decayed micro-clusters in potential/outlier roles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DenStreamModel {
+    mcs: BTreeMap<MicroClusterId, DenStreamMc>,
+    next_id: MicroClusterId,
+    last_prune_secs: f64,
+}
+
+impl DenStreamModel {
+    /// Total number of micro-clusters (both roles).
+    pub fn len(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// Whether the model holds no micro-clusters.
+    pub fn is_empty(&self) -> bool {
+        self.mcs.is_empty()
+    }
+
+    /// Number of potential micro-clusters.
+    pub fn potential_count(&self) -> usize {
+        self.mcs.values().filter(|m| m.potential).count()
+    }
+
+    /// Number of outlier micro-clusters.
+    pub fn outlier_count(&self) -> usize {
+        self.len() - self.potential_count()
+    }
+
+    /// Iterates over `(id, micro-cluster)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MicroClusterId, &DenStreamMc)> {
+        self.mcs.iter()
+    }
+
+    fn insert_new(&mut self, mc: DenStreamMc) -> MicroClusterId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.mcs.insert(id, mc);
+        id
+    }
+}
+
+/// DenStream implemented through the four DistStream APIs.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::{DenStream, DenStreamParams};
+/// use diststream_core::StreamClustering;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = DenStream::new(DenStreamParams::default());
+/// let init: Vec<Record> = (0..30)
+///     .map(|i| Record::new(i, Point::from(vec![(i % 2) as f64 * 8.0]), Timestamp::from_secs(i as f64 * 0.1)))
+///     .collect();
+/// let model = algo.init(&init)?;
+/// assert!(model.potential_count() >= 1);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenStream {
+    params: DenStreamParams,
+}
+
+impl DenStream {
+    /// Creates DenStream with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta ≤ 1`, `eps ≤ 0`, `mu ≤ 0`, or `potential_factor`
+    /// is outside `(0, 1]`.
+    pub fn new(params: DenStreamParams) -> Self {
+        assert!(params.beta > 1.0, "decay base must exceed 1");
+        assert!(params.eps > 0.0, "radius threshold must be positive");
+        assert!(params.mu > 0.0, "core weight threshold must be positive");
+        assert!(
+            params.potential_factor > 0.0 && params.potential_factor <= 1.0,
+            "potential factor must be in (0, 1]"
+        );
+        DenStream { params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &DenStreamParams {
+        &self.params
+    }
+
+    fn lambda(&self, dt: f64) -> f64 {
+        self.params.beta.powf(-dt)
+    }
+
+    fn potential_threshold(&self) -> f64 {
+        self.params.potential_factor * self.params.mu
+    }
+
+    /// DenStream's outlier lower-weight bound `ξ(t, t_0)`: the minimum
+    /// weight an outlier micro-cluster created at `t_0` must have
+    /// accumulated by `t` to still be on track to become potential.
+    fn outlier_bound(&self, now_secs: f64, created_secs: f64) -> f64 {
+        let tp = self.params.prune_period_secs();
+        let num = self.lambda(now_secs - created_secs + tp) - 1.0;
+        let den = self.lambda(tp) - 1.0;
+        if den == 0.0 {
+            1.0
+        } else {
+            num / den
+        }
+    }
+
+    fn prune(&self, model: &mut DenStreamModel, now: Timestamp) {
+        let threshold = self.potential_threshold();
+        let now_secs = now.secs();
+        model.mcs.retain(|_, mc| {
+            if mc.potential {
+                mc.cf.weight() >= threshold
+            } else {
+                mc.cf.weight() >= self.outlier_bound(now_secs, mc.cf.created_at().secs())
+            }
+        });
+        model.last_prune_secs = now_secs;
+    }
+}
+
+impl StreamClustering for DenStream {
+    type Model = DenStreamModel;
+    type Sketch = CfVector;
+
+    fn name(&self) -> &str {
+        "denstream"
+    }
+
+    fn init(&self, records: &[Record]) -> Result<DenStreamModel> {
+        if records.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        // Sequentially absorb the initial records (the DenStream paper runs
+        // DBSCAN on the first points; incremental absorption with the same
+        // ε bound produces the equivalent micro-cluster seeding).
+        let mut model = DenStreamModel::default();
+        for record in records {
+            match self.assign(&model, record) {
+                Assignment::Existing(id) => {
+                    let mc = model.mcs.get_mut(&id).expect("assigned id exists");
+                    let dt = record.timestamp.saturating_since(mc.cf.updated_at());
+                    let lambda = self.lambda(dt);
+                    mc.cf.insert(record, lambda);
+                }
+                Assignment::New(_) => {
+                    model.insert_new(DenStreamMc {
+                        cf: CfVector::from_record(record),
+                        potential: false,
+                    });
+                }
+            }
+        }
+        // Promote heavy seeds.
+        let threshold = self.potential_threshold();
+        for mc in model.mcs.values_mut() {
+            if mc.cf.weight() >= threshold {
+                mc.potential = true;
+            }
+        }
+        Ok(model)
+    }
+
+    fn assign(&self, model: &DenStreamModel, record: &Record) -> Assignment {
+        // Try the nearest potential micro-cluster first, then the nearest
+        // outlier micro-cluster; accept whichever keeps the radius within ε.
+        for want_potential in [true, false] {
+            let candidate = model
+                .mcs
+                .iter()
+                .filter(|(_, mc)| mc.potential == want_potential)
+                .map(|(id, mc)| (*id, mc.cf.centroid().squared_distance(&record.point)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((id, _)) = candidate {
+                if model.mcs[&id].cf.radius_with(&record.point) <= self.params.eps {
+                    return Assignment::Existing(id);
+                }
+            }
+        }
+        Assignment::New(record.id)
+    }
+
+    fn sketch_of(&self, model: &DenStreamModel, id: MicroClusterId) -> CfVector {
+        model.mcs[&id].cf.clone()
+    }
+
+    fn create(&self, record: &Record) -> CfVector {
+        CfVector::from_record(record)
+    }
+
+    fn update(&self, sketch: &mut CfVector, record: &Record) {
+        let dt = record.timestamp.saturating_since(sketch.updated_at());
+        let lambda = self.lambda(dt);
+        sketch.insert(record, lambda);
+    }
+
+    fn can_premerge(&self, a: &CfVector, b: &CfVector) -> bool {
+        a.centroid().distance(&b.centroid()) <= self.params.eps
+    }
+
+    fn apply_global(
+        &self,
+        model: &mut DenStreamModel,
+        updated: Vec<(MicroClusterId, CfVector)>,
+        created: Vec<CfVector>,
+        now: Timestamp,
+    ) {
+        for (id, cf) in updated {
+            if let Some(mc) = model.mcs.get_mut(&id) {
+                mc.cf = cf;
+            }
+        }
+        for cf in created {
+            model.insert_new(DenStreamMc {
+                cf,
+                potential: false,
+            });
+        }
+        // Role transitions on the stored (lazily decayed) weights.
+        let threshold = self.potential_threshold();
+        for mc in model.mcs.values_mut() {
+            mc.potential = mc.cf.weight() >= threshold;
+        }
+        // Periodic maintenance: untouched micro-clusters are decayed lazily,
+        // only at prune boundaries — decaying the whole model on every call
+        // would make the one-record-at-a-time baseline O(n·d) per record,
+        // which real DenStream implementations avoid the same way.
+        if now.secs() - model.last_prune_secs >= self.params.prune_period_secs() {
+            for mc in model.mcs.values_mut() {
+                let dt = now.saturating_since(mc.cf.updated_at());
+                if dt > 0.0 {
+                    mc.cf.decay(self.lambda(dt), now);
+                }
+            }
+            for mc in model.mcs.values_mut() {
+                mc.potential = mc.cf.weight() >= threshold;
+            }
+            self.prune(model, now);
+        }
+    }
+
+    fn snapshot(&self, model: &DenStreamModel) -> Vec<WeightedPoint> {
+        let potentials: Vec<WeightedPoint> = model
+            .mcs
+            .values()
+            .filter(|mc| mc.potential)
+            .map(|mc| mc.cf.to_weighted_point())
+            .collect();
+        if potentials.is_empty() {
+            // Fall back to everything rather than an empty offline input.
+            model
+                .mcs
+                .values()
+                .map(|mc| mc.cf.to_weighted_point())
+                .collect()
+        } else {
+            potentials
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::Point;
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    fn algo() -> DenStream {
+        DenStream::new(DenStreamParams::default())
+    }
+
+    #[test]
+    fn prune_period_matches_denstream_formula() {
+        let p = DenStreamParams::default();
+        // β_p·μ = 2 → T_p = ⌈log_β 2⌉ = ⌈4⌉ for β = 2^0.25; floating-point
+        // noise in powf/ln may push the pre-ceil value a hair above 4.
+        let tp = p.prune_period_secs();
+        assert!((4.0..=5.0).contains(&tp), "T_p = {tp}");
+    }
+
+    #[test]
+    fn init_promotes_heavy_clusters() {
+        let algo = algo();
+        // 30 records at the same spot, same time: weight 30 ≥ 2.
+        let records: Vec<Record> = (0..30).map(|i| rec(i, 0.0, 0.0)).collect();
+        let model = algo.init(&records).unwrap();
+        assert_eq!(model.potential_count(), 1);
+        assert_eq!(model.outlier_count(), 0);
+    }
+
+    #[test]
+    fn assign_prefers_potential_micro_clusters() {
+        let algo = algo();
+        let mut model = DenStreamModel::default();
+        // A potential cluster at 0 and an outlier cluster slightly closer to
+        // the probe point: the potential one is tried first and accepted.
+        let mut heavy = CfVector::from_record(&rec(0, 0.0, 0.0));
+        for i in 1..20 {
+            heavy.insert(&rec(i, 0.0, 0.0), 1.0);
+        }
+        let p_id = model.insert_new(DenStreamMc {
+            cf: heavy,
+            potential: true,
+        });
+        model.insert_new(DenStreamMc {
+            cf: CfVector::from_record(&rec(20, 0.4, 0.0)),
+            potential: false,
+        });
+        let probe = rec(21, 0.3, 1.0);
+        assert_eq!(algo.assign(&model, &probe), Assignment::Existing(p_id));
+    }
+
+    #[test]
+    fn assign_rejects_radius_violations() {
+        let algo = algo();
+        let mut model = DenStreamModel::default();
+        model.insert_new(DenStreamMc {
+            cf: CfVector::from_record(&rec(0, 0.0, 0.0)),
+            potential: true,
+        });
+        // Tentative radius after inserting x=10 is 5 > ε=1 → outlier.
+        assert_eq!(algo.assign(&model, &rec(1, 10.0, 1.0)), Assignment::New(1));
+    }
+
+    #[test]
+    fn update_decays_by_arrival_interval() {
+        let algo = algo();
+        let mut cf = algo.create(&rec(0, 1.0, 0.0));
+        algo.update(&mut cf, &rec(1, 1.0, 4.0));
+        // After 4s at β = 2^0.25: λ = 2^{-1} = 0.5 → weight 1×0.5 + 1 = 1.5.
+        assert!((cf.weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_update_promotes_and_demotes() {
+        let algo = algo();
+        let mut model = DenStreamModel::default();
+        let id = model.insert_new(DenStreamMc {
+            cf: CfVector::from_record(&rec(0, 0.0, 0.0)),
+            potential: false,
+        });
+        // Updated sketch got heavy → promoted.
+        let mut heavy = CfVector::from_record(&rec(0, 0.0, 0.0));
+        for i in 1..5 {
+            heavy.insert(&rec(i, 0.0, 0.0), 1.0);
+        }
+        algo.apply_global(&mut model, vec![(id, heavy)], vec![], Timestamp::ZERO);
+        assert_eq!(model.potential_count(), 1);
+        // Long silence decays it below threshold → demoted/pruned.
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(50.0));
+        assert_eq!(model.potential_count(), 0);
+    }
+
+    #[test]
+    fn stale_outliers_pruned() {
+        let algo = algo();
+        let mut model = DenStreamModel::default();
+        model.insert_new(DenStreamMc {
+            cf: CfVector::from_record(&rec(0, 0.0, 0.0)),
+            potential: false,
+        });
+        // Far beyond T_p with weight ~0 → pruned by the ξ bound.
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn snapshot_prefers_potentials() {
+        let algo = algo();
+        let records: Vec<Record> = (0..40)
+            .map(|i| rec(i, if i < 30 { 0.0 } else { 50.0 + i as f64 * 3.0 }, 0.0))
+            .collect();
+        let model = algo.init(&records).unwrap();
+        assert!(model.potential_count() >= 1);
+        assert_eq!(algo.snapshot(&model).len(), model.potential_count());
+    }
+
+    #[test]
+    fn fresh_outliers_survive_pruning() {
+        let algo = algo();
+        let mut model = DenStreamModel::default();
+        let created = vec![CfVector::from_record(&rec(0, 0.0, 10.0))];
+        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(10.0));
+        assert_eq!(model.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay base")]
+    fn rejects_non_decaying_beta() {
+        let _ = DenStream::new(DenStreamParams {
+            beta: 1.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,195 @@
+//! Weighted DBSCAN over micro-cluster centroids.
+
+use diststream_core::WeightedPoint;
+
+use super::{weighted_mean, MacroClusters};
+
+/// Parameters for weighted DBSCAN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighborhood radius `ε`.
+    pub eps: f64,
+    /// Minimum summed weight of an ε-neighborhood (including the point
+    /// itself) for a core point — the weighted analog of `minPts`.
+    pub min_weight: f64,
+}
+
+/// Density-based macro-clustering of micro-clusters.
+///
+/// DenStream's offline phase treats potential micro-clusters "with high
+/// temporal localities as density-connected micro-clusters and groups them
+/// together to find arbitrary shapes of clusters". Micro-cluster weights
+/// stand in for point counts: a centroid is *core* when the summed weight
+/// within `eps` reaches `min_weight`; clusters grow by expanding from core
+/// points; non-core, non-reachable points become noise (`None`).
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::offline::{dbscan, DbscanParams};
+/// use diststream_core::WeightedPoint;
+/// use diststream_types::Point;
+///
+/// let pts: Vec<WeightedPoint> = [0.0, 0.5, 1.0, 50.0]
+///     .iter()
+///     .map(|&x| WeightedPoint { point: Point::from(vec![x]), weight: 2.0 })
+///     .collect();
+/// let clusters = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 4.0 });
+/// assert_eq!(clusters.len(), 1);           // one dense chain
+/// assert_eq!(clusters.assignment[3], None); // the distant point is noise
+/// ```
+pub fn dbscan(points: &[WeightedPoint], params: DbscanParams) -> MacroClusters {
+    let n = points.len();
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let eps2 = params.eps * params.eps;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| points[i].point.squared_distance(&points[j].point) <= eps2)
+            .collect()
+    };
+    let neighborhood_weight =
+        |idx: &[usize]| -> f64 { idx.iter().map(|&j| points[j].weight).sum() };
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let seed_neighbors = neighbors(start);
+        if neighborhood_weight(&seed_neighbors) < params.min_weight {
+            continue; // Not a core point (may later be claimed as a border).
+        }
+        let cluster_id = clusters.len();
+        let mut members = Vec::new();
+        let mut queue = std::collections::VecDeque::from(seed_neighbors);
+        assignment[start] = Some(cluster_id);
+        members.push(start);
+        while let Some(j) = queue.pop_front() {
+            if assignment[j].is_none() {
+                assignment[j] = Some(cluster_id);
+                members.push(j);
+            }
+            if !visited[j] {
+                visited[j] = true;
+                let nb = neighbors(j);
+                if neighborhood_weight(&nb) >= params.min_weight {
+                    queue.extend(nb);
+                }
+            }
+        }
+        clusters.push(members);
+    }
+
+    let centroids = clusters
+        .iter()
+        .map(|members| weighted_mean(points, members).expect("clusters are non-empty"))
+        .collect();
+    MacroClusters {
+        centroids,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::Point;
+    use proptest::prelude::*;
+
+    fn wp(x: f64, y: f64, w: f64) -> WeightedPoint {
+        WeightedPoint {
+            point: Point::from(vec![x, y]),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = dbscan(&[], DbscanParams { eps: 1.0, min_weight: 1.0 });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn finds_arbitrary_shapes() {
+        // An L-shaped chain is one cluster even though its endpoints are far
+        // apart — the property DenStream's offline phase relies on.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(wp(i as f64, 0.0, 2.0));
+        }
+        for i in 1..10 {
+            pts.push(wp(9.0, i as f64, 2.0));
+        }
+        let out = dbscan(&pts, DbscanParams { eps: 1.1, min_weight: 4.0 });
+        assert_eq!(out.len(), 1);
+        assert!(out.assignment.iter().all(|a| a == &Some(0)));
+    }
+
+    #[test]
+    fn separates_distant_groups_and_noise() {
+        let pts = vec![
+            wp(0.0, 0.0, 3.0),
+            wp(0.5, 0.0, 3.0),
+            wp(10.0, 0.0, 3.0),
+            wp(10.5, 0.0, 3.0),
+            wp(100.0, 0.0, 1.0), // lonely light point → noise
+        ];
+        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 5.0 });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.assignment[0], out.assignment[1]);
+        assert_eq!(out.assignment[2], out.assignment[3]);
+        assert_ne!(out.assignment[0], out.assignment[2]);
+        assert_eq!(out.assignment[4], None);
+    }
+
+    #[test]
+    fn weight_threshold_respects_weights() {
+        // Two points each of weight 10 form a core neighborhood even though
+        // there are only two of them.
+        let pts = vec![wp(0.0, 0.0, 10.0), wp(0.5, 0.0, 10.0)];
+        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 15.0 });
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn border_points_join_but_do_not_expand() {
+        // Light border point adjacent to a heavy core joins the cluster; a
+        // point outside every core neighborhood stays noise.
+        let pts = vec![
+            wp(0.0, 0.0, 12.0),
+            wp(0.9, 0.0, 1.0), // border (its own hood holds the core, so it is core too)
+            wp(2.5, 0.0, 1.0), // out of reach of both → noise
+        ];
+        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 12.0 });
+        assert_eq!(out.assignment[0], Some(0));
+        assert_eq!(out.assignment[1], Some(0));
+        assert_eq!(out.assignment[2], None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_assignments_in_range(
+            xs in prop::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 0..40),
+        ) {
+            let pts: Vec<WeightedPoint> = xs.iter().map(|&(x, y)| wp(x, y, 1.0)).collect();
+            let out = dbscan(&pts, DbscanParams { eps: 5.0, min_weight: 2.0 });
+            for a in out.assignment.iter().flatten() {
+                prop_assert!(*a < out.len());
+            }
+        }
+
+        #[test]
+        fn prop_every_cluster_nonempty(
+            xs in prop::collection::vec((-50.0_f64..50.0, -50.0_f64..50.0), 0..40),
+        ) {
+            let pts: Vec<WeightedPoint> = xs.iter().map(|&(x, y)| wp(x, y, 1.0)).collect();
+            let out = dbscan(&pts, DbscanParams { eps: 5.0, min_weight: 2.0 });
+            for c in 0..out.len() {
+                prop_assert!(out.assignment.iter().any(|a| a == &Some(c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! D-Stream's native offline phase: grouping *adjacent* dense grids.
+//!
+//! The paper: D-Stream "groups the adjacent grids with high `T_i` and large
+//! `N_i` as macro-clusters" (§II-A). Unlike DBSCAN over centroids, the
+//! native grouping uses grid-cell adjacency — two cells are neighbors when
+//! their coordinate vectors differ by at most one step in exactly one
+//! dimension.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use diststream_core::{Sketch, WeightedPoint};
+
+use super::{weighted_mean, MacroClusters};
+use crate::dstream::DStreamModel;
+
+/// Groups a D-Stream model's dense grids into macro-clusters by cell
+/// adjacency.
+///
+/// Grids with density below `min_density` are noise (`None`); the remaining
+/// grids form connected components under the one-step-in-one-dimension
+/// neighbor relation. Returns assignments in the model's iteration order
+/// (ascending cell id) with each macro-cluster's weighted centroid.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::offline::adjacent_grid_clusters;
+/// use diststream_algorithms::{DStream, DStreamParams};
+/// use diststream_core::StreamClustering;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = DStream::new(DStreamParams::default());
+/// // Two dense grid runs: cells {0,1} and a distant cell {10}.
+/// let records: Vec<Record> = [0.5, 1.5, 0.6, 1.6, 10.5, 10.6]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &x)| Record::new(i as u64, Point::from(vec![x]), Timestamp::ZERO))
+///     .collect();
+/// let model = algo.init(&records)?;
+/// let macros = adjacent_grid_clusters(&model, 1.0);
+/// assert_eq!(macros.len(), 2);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+pub fn adjacent_grid_clusters(model: &DStreamModel, min_density: f64) -> MacroClusters {
+    let grids: Vec<(&Vec<i64>, WeightedPoint)> = model
+        .iter()
+        .map(|(_, g)| {
+            (
+                &g.coords,
+                WeightedPoint {
+                    point: Sketch::centroid(g),
+                    weight: g.density,
+                },
+            )
+        })
+        .collect();
+    let points: Vec<WeightedPoint> = grids.iter().map(|(_, wp)| wp.clone()).collect();
+
+    // Index dense cells by coordinates for adjacency lookups.
+    let dense: BTreeMap<&Vec<i64>, usize> = grids
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, wp))| wp.weight >= min_density)
+        .map(|(i, (coords, _))| (*coords, i))
+        .collect();
+
+    let mut assignment: Vec<Option<usize>> = vec![None; grids.len()];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for (&coords, &start) in &dense {
+        if assignment[start].is_some() {
+            continue;
+        }
+        let cluster_id = clusters.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([(coords.clone(), start)]);
+        assignment[start] = Some(cluster_id);
+        while let Some((cell, idx)) = queue.pop_front() {
+            members.push(idx);
+            // Visit the 2·d axis neighbors.
+            for dim in 0..cell.len() {
+                for step in [-1i64, 1] {
+                    let mut neighbor = cell.clone();
+                    neighbor[dim] += step;
+                    if let Some(&j) = dense.get(&neighbor) {
+                        if assignment[j].is_none() {
+                            assignment[j] = Some(cluster_id);
+                            queue.push_back((neighbor, j));
+                        }
+                    }
+                }
+            }
+        }
+        clusters.push(members);
+    }
+
+    let centroids = clusters
+        .iter()
+        .map(|members| weighted_mean(&points, members).expect("clusters are non-empty"))
+        .collect();
+    MacroClusters {
+        centroids,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dstream::{DStream, DStreamParams};
+    use diststream_core::StreamClustering;
+    use diststream_types::{Point, Record, Timestamp};
+
+    fn model_of(xs: &[(f64, f64)]) -> DStreamModel {
+        let a = DStream::new(DStreamParams::default());
+        let records: Vec<Record> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                Record::new(i as u64, Point::from(vec![x, y]), Timestamp::ZERO)
+            })
+            .collect();
+        a.init(&records).unwrap()
+    }
+
+    #[test]
+    fn l_shaped_chain_is_one_cluster() {
+        // Cells (0,0)-(1,0)-(2,0)-(2,1)-(2,2): connected through shared axes.
+        let model = model_of(&[
+            (0.5, 0.5),
+            (1.5, 0.5),
+            (2.5, 0.5),
+            (2.5, 1.5),
+            (2.5, 2.5),
+        ]);
+        let macros = adjacent_grid_clusters(&model, 0.5);
+        assert_eq!(macros.len(), 1);
+        assert!(macros.assignment.iter().all(|x| x == &Some(0)));
+    }
+
+    #[test]
+    fn diagonal_cells_are_not_adjacent() {
+        // (0,0) and (1,1) touch only at a corner → two clusters.
+        let model = model_of(&[(0.5, 0.5), (1.5, 1.5)]);
+        let macros = adjacent_grid_clusters(&model, 0.5);
+        assert_eq!(macros.len(), 2);
+    }
+
+    #[test]
+    fn sparse_grids_are_noise() {
+        let model = model_of(&[(0.5, 0.5), (0.6, 0.6), (5.5, 5.5)]);
+        // Cell (0,0) has density 2, cell (5,5) density 1 < threshold.
+        let macros = adjacent_grid_clusters(&model, 1.5);
+        assert_eq!(macros.len(), 1);
+        assert_eq!(macros.assignment.iter().filter(|x| x.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn empty_model_is_empty() {
+        let macros = adjacent_grid_clusters(&DStreamModel::default(), 1.0);
+        assert!(macros.is_empty());
+    }
+
+    #[test]
+    fn centroids_are_data_means_not_cell_centers() {
+        let model = model_of(&[(0.2, 0.2), (0.4, 0.4)]);
+        let macros = adjacent_grid_clusters(&model, 0.5);
+        assert_eq!(macros.len(), 1);
+        let c = &macros.centroids[0];
+        assert!((c[0] - 0.3).abs() < 1e-12);
+        assert!((c[1] - 0.3).abs() < 1e-12);
+    }
+}

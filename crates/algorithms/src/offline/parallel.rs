@@ -1,0 +1,228 @@
+//! Distributed offline phase: data-parallel weighted k-means on the engine.
+//!
+//! The paper parallelizes only the online phase, noting that the offline
+//! phase "can be efficiently parallelized using existing batch-mode
+//! implementations such as distributed K-means" (§III). This module is that
+//! implementation: Lloyd's assignment step fans out over the engine's task
+//! slots (each task assigns a partition of points and emits partial weighted
+//! sums per centroid), the driver reduces the partials into new centroids,
+//! and the result matches the sequential [`kmeans`]: identical seeding and
+//! assignment rule, with centroids equal up to floating-point summation
+//! order (partial sums reduce task-by-task instead of index-by-index).
+//!
+//! [`kmeans`]: super::kmeans
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diststream_core::WeightedPoint;
+use diststream_engine::{RoundRobinPartitioner, StreamingContext};
+use diststream_types::{Point, Result};
+
+use super::kmeans::{nearest_centroid, plus_plus_seeds};
+use super::{KmeansParams, MacroClusters};
+
+/// Data-parallel weighted k-means over the engine's task slots.
+///
+/// Produces the same clustering as the sequential [`kmeans`] for the same
+/// parameters — identical assignments on non-degenerate inputs, centroids
+/// equal up to floating-point summation order — and is itself
+/// deterministic at every parallelism degree.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics in thread mode).
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::offline::{kmeans, parallel_kmeans, KmeansParams};
+/// use diststream_core::WeightedPoint;
+/// use diststream_engine::{ExecutionMode, StreamingContext};
+/// use diststream_types::Point;
+///
+/// let points: Vec<WeightedPoint> = (0..40)
+///     .map(|i| WeightedPoint {
+///         point: Point::from(vec![(i % 4) as f64 * 10.0 + (i / 4) as f64 * 0.01]),
+///         weight: 1.0,
+///     })
+///     .collect();
+/// let ctx = StreamingContext::new(4, ExecutionMode::Simulated)?;
+/// let params = KmeansParams::new(4);
+/// let parallel = parallel_kmeans(&ctx, &points, params)?;
+/// assert_eq!(parallel.assignment, kmeans(&points, params).assignment);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+///
+/// [`kmeans`]: super::kmeans
+pub fn parallel_kmeans(
+    ctx: &StreamingContext,
+    points: &[WeightedPoint],
+    params: KmeansParams,
+) -> Result<MacroClusters> {
+    if points.is_empty() || params.k == 0 {
+        return Ok(MacroClusters {
+            centroids: Vec::new(),
+            assignment: vec![None; points.len()],
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut centroids = plus_plus_seeds(points, params.k, &mut rng);
+    let dims = points[0].point.dims();
+
+    // Distribute point *indices* round-robin once; the partitioning is
+    // stable across iterations so partial sums reduce deterministically.
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let partitions = RoundRobinPartitioner.split(indices, ctx.parallelism());
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..params.max_iters {
+        // Parallel assignment step: each task assigns its partition and
+        // accumulates per-centroid weighted sums.
+        type TaskOut = (Vec<(usize, usize)>, Vec<(Point, f64)>);
+        let centroids_ref = &centroids;
+        let (outputs, _metrics) =
+            ctx.run_tasks(partitions.clone(), |_task, idxs: Vec<usize>| -> TaskOut {
+                let mut assigned = Vec::with_capacity(idxs.len());
+                let mut partial: Vec<(Point, f64)> = centroids_ref
+                    .iter()
+                    .map(|_| (Point::zeros(dims), 0.0))
+                    .collect();
+                for i in idxs {
+                    let wp = &points[i];
+                    let c = nearest_centroid(centroids_ref, &wp.point);
+                    assigned.push((i, c));
+                    partial[c].0.add_in_place(&wp.point.scaled(wp.weight));
+                    partial[c].1 += wp.weight;
+                }
+                (assigned, partial)
+            })?;
+
+        // Driver-side reduction in task order (deterministic).
+        let mut changed = false;
+        let mut sums: Vec<(Point, f64)> = centroids
+            .iter()
+            .map(|_| (Point::zeros(dims), 0.0))
+            .collect();
+        for (assigned, partial) in outputs {
+            for (i, c) in assigned {
+                if assignment[i] != c {
+                    assignment[i] = c;
+                    changed = true;
+                }
+            }
+            for (c, (sum, w)) in partial.into_iter().enumerate() {
+                sums[c].0.add_in_place(&sum);
+                sums[c].1 += w;
+            }
+        }
+        for (c, (sum, w)) in sums.into_iter().enumerate() {
+            if w > 0.0 {
+                centroids[c] = sum.scaled(1.0 / w);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Compact empty clusters, exactly like the sequential implementation.
+    let mut used: Vec<usize> = assignment.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap: std::collections::HashMap<usize, usize> = used
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    Ok(MacroClusters {
+        centroids: used.iter().map(|&c| centroids[c].clone()).collect(),
+        assignment: assignment.into_iter().map(|c| Some(remap[&c])).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::kmeans;
+    use diststream_engine::ExecutionMode;
+    use proptest::prelude::*;
+
+    fn wp(x: f64, w: f64) -> WeightedPoint {
+        WeightedPoint {
+            point: Point::from(vec![x]),
+            weight: w,
+        }
+    }
+
+    fn ctx(p: usize) -> StreamingContext {
+        StreamingContext::new(p, ExecutionMode::Simulated).unwrap()
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = parallel_kmeans(&ctx(2), &[], KmeansParams::new(3)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    fn close(a: &MacroClusters, b: &MacroClusters) -> bool {
+        a.len() == b.len()
+            && a.centroids.iter().zip(b.centroids.iter()).all(|(x, y)| {
+                x.iter()
+                    .zip(y.iter())
+                    .all(|(u, v)| (u - v).abs() <= 1e-9 * u.abs().max(v.abs()).max(1.0))
+            })
+    }
+
+    #[test]
+    fn matches_sequential_clustering() {
+        let points: Vec<WeightedPoint> = (0..100)
+            .map(|i| wp((i % 9) as f64 * 2.5 + (i as f64) * 0.001, 1.0 + (i % 3) as f64))
+            .collect();
+        let params = KmeansParams::new(5);
+        let sequential = kmeans(&points, params);
+        for p in [1, 2, 4, 8] {
+            let parallel = parallel_kmeans(&ctx(p), &points, params).unwrap();
+            assert_eq!(
+                parallel.assignment, sequential.assignment,
+                "assignments diverged at parallelism {p}"
+            );
+            assert!(close(&parallel, &sequential), "centroids diverged at p={p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let points: Vec<WeightedPoint> = (0..60).map(|i| wp((i % 5) as f64 * 3.0, 1.0)).collect();
+        let params = KmeansParams::new(5);
+        let a = parallel_kmeans(&ctx(3), &points, params).unwrap();
+        let b = parallel_kmeans(&ctx(3), &points, params).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_in_thread_mode() {
+        let points: Vec<WeightedPoint> = (0..50).map(|i| wp((i % 4) as f64 * 7.0, 1.0)).collect();
+        let params = KmeansParams::new(4);
+        let threads = StreamingContext::new(4, ExecutionMode::Threads).unwrap();
+        let out = parallel_kmeans(&threads, &points, params).unwrap();
+        assert_eq!(out.assignment, kmeans(&points, params).assignment);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_parallel_matches_sequential_shape(
+            xs in prop::collection::vec(-100.0_f64..100.0, 2..60),
+            k in 1usize..5,
+            p in 1usize..5,
+        ) {
+            let points: Vec<WeightedPoint> = xs.iter().map(|&x| wp(x, 1.0)).collect();
+            let params = KmeansParams::new(k);
+            let parallel = parallel_kmeans(&ctx(p), &points, params).unwrap();
+            let sequential = kmeans(&points, params);
+            prop_assert_eq!(parallel.assignment.len(), sequential.assignment.len());
+            prop_assert!(close(&parallel, &sequential));
+        }
+    }
+}

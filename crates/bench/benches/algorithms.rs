@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the four algorithms' per-record hot path
+//! (assignment / closest-micro-cluster search), quantifying the paper's
+//! §VII-E observation that grid mapping (D-Stream) and tree descent
+//! (ClusTree) beat the linear centroid scans of CluStream and DenStream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use diststream_bench::{Bundle, DatasetKind};
+use diststream_core::StreamClustering;
+
+fn bench_assignment_paths(c: &mut Criterion) {
+    let bundle = Bundle::new(DatasetKind::Kdd99, 12_000, 42);
+    let records = bundle.quality_records();
+    let init = bundle.init_records();
+    let probes: Vec<_> = records[init..init + 200].to_vec();
+
+    let mut group = c.benchmark_group("assign-per-record");
+    group.sample_size(30);
+
+    {
+        let algo = bundle.clustream();
+        let model = algo.init(&records[..init]).expect("init");
+        group.bench_function("clustream (linear scan)", |b| {
+            b.iter(|| {
+                for r in &probes {
+                    std::hint::black_box(algo.assign(&model, r));
+                }
+            })
+        });
+    }
+    {
+        let algo = bundle.denstream();
+        let model = algo.init(&records[..init]).expect("init");
+        group.bench_function("denstream (linear scan, two roles)", |b| {
+            b.iter(|| {
+                for r in &probes {
+                    std::hint::black_box(algo.assign(&model, r));
+                }
+            })
+        });
+    }
+    {
+        let algo = bundle.dstream();
+        let model = algo.init(&records[..init]).expect("init");
+        group.bench_function("dstream (grid mapping)", |b| {
+            b.iter(|| {
+                for r in &probes {
+                    std::hint::black_box(algo.assign(&model, r));
+                }
+            })
+        });
+    }
+    {
+        let algo = bundle.clustree();
+        let model = algo.init(&records[..init]).expect("init");
+        group.bench_function("clustree (tree descent)", |b| {
+            b.iter(|| {
+                for r in &probes {
+                    std::hint::black_box(algo.assign(&model, r));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // The local-update fold itself.
+    let mut group = c.benchmark_group("local-fold-per-record");
+    group.sample_size(30);
+    {
+        let algo = bundle.denstream();
+        let model = algo.init(&records[..init]).expect("init");
+        let (id, _) = model.iter().next().expect("non-empty model");
+        let sketch = algo.sketch_of(&model, *id);
+        group.bench_function("denstream decayed CF insert", |b| {
+            b.iter(|| {
+                let mut s = sketch.clone();
+                for r in &probes {
+                    algo.update(&mut s, r);
+                }
+                std::hint::black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment_paths);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the evaluation machinery: CMM scoring and
+//! the offline phase (weighted k-means++ and DBSCAN over a snapshot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use diststream_algorithms::offline::{dbscan, kmeans, DbscanParams, KmeansParams};
+use diststream_bench::{Bundle, DatasetKind};
+use diststream_core::{DistStreamJob, StreamClustering};
+use diststream_engine::{ExecutionMode, StreamingContext, VecSource};
+use diststream_quality::{cmm, nearest_assignment_bounded, CmmParams};
+use diststream_types::ClusteringConfig;
+
+fn bench_quality(c: &mut Criterion) {
+    let bundle = Bundle::new(DatasetKind::CoverType, 10_000, 42);
+    let algo = bundle.clustream();
+    let records = bundle.quality_records();
+    let ctx = StreamingContext::new(2, ExecutionMode::Simulated).expect("context");
+    let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+        .init_records(bundle.init_records())
+        .run_to_end(VecSource::new(records.clone()))
+        .expect("job");
+    let snapshot = algo.snapshot(&result.model);
+    let now = records.last().expect("records").timestamp + 1.0;
+
+    let mut group = c.benchmark_group("offline-phase");
+    group.sample_size(30);
+    group.bench_function("weighted k-means++ (k=7)", |b| {
+        b.iter(|| std::hint::black_box(kmeans(&snapshot, KmeansParams::new(7))))
+    });
+    group.bench_function("weighted DBSCAN", |b| {
+        b.iter(|| {
+            std::hint::black_box(dbscan(
+                &snapshot,
+                DbscanParams {
+                    eps: bundle.distance_scale,
+                    min_weight: 5.0,
+                },
+            ))
+        })
+    });
+    group.finish();
+
+    let macros = kmeans(&snapshot, KmeansParams::new(7));
+    let window = &records[records.len().saturating_sub(1000)..];
+    let assignment = nearest_assignment_bounded(window, &macros.centroids, bundle.coverage_bound());
+
+    let mut group = c.benchmark_group("cmm");
+    group.sample_size(20);
+    group.bench_function("cmm horizon=1000", |b| {
+        b.iter(|| std::hint::black_box(cmm(window, &assignment, now, &CmmParams::default())))
+    });
+    group.bench_function("nearest_assignment_bounded", |b| {
+        b.iter(|| {
+            std::hint::black_box(nearest_assignment_bounded(
+                window,
+                &macros.centroids,
+                bundle.coverage_bound(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

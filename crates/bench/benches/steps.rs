@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the three mini-batch steps: assignment
+//! (record-based parallel), local update (model-based parallel), and the
+//! driver-side global update with and without pre-merge.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use diststream_bench::{Bundle, DatasetKind};
+use diststream_core::{
+    assign_records, global_update, local_update, StreamClustering, UpdateOrdering,
+};
+use diststream_engine::{Broadcast, ExecutionMode, MiniBatcher, StreamingContext, VecSource};
+
+fn bench_steps(c: &mut Criterion) {
+    let bundle = Bundle::new(DatasetKind::Kdd99, 12_000, 42);
+    let algo = bundle.clustream();
+    let records = bundle.quality_records();
+    let init = bundle.init_records();
+    let model = algo.init(&records[..init]).expect("init");
+    let ctx = StreamingContext::new(4, ExecutionMode::Simulated).expect("context");
+
+    // One representative mini-batch (10 virtual seconds).
+    let batch = MiniBatcher::new(VecSource::new(records[init..].to_vec()), 10.0)
+        .next()
+        .expect("at least one batch");
+    let bcast = Broadcast::new(model.clone());
+
+    let mut group = c.benchmark_group("steps");
+    group.sample_size(20);
+
+    group.bench_function("assignment (record-based)", |b| {
+        b.iter_batched(
+            || batch.records.clone(),
+            |records| assign_records(&ctx, &algo, &bcast, records).expect("assign"),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let assignment = assign_records(&ctx, &algo, &bcast, batch.records.clone()).expect("assign");
+    group.bench_function("local update (model-based, ordered)", |b| {
+        b.iter_batched(
+            || assignment.pairs.clone(),
+            |pairs| {
+                local_update(
+                    &ctx,
+                    &algo,
+                    &bcast,
+                    pairs,
+                    UpdateOrdering::OrderAware,
+                    batch.window_start,
+                    7,
+                )
+                .expect("local")
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for premerge in [true, false] {
+        let label = if premerge {
+            "global update (pre-merge on)"
+        } else {
+            "global update (pre-merge off)"
+        };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let local = local_update(
+                        &ctx,
+                        &algo,
+                        &bcast,
+                        assignment.pairs.clone(),
+                        UpdateOrdering::OrderAware,
+                        batch.window_start,
+                        7,
+                    )
+                    .expect("local");
+                    (model.clone(), local)
+                },
+                |(mut m, local)| {
+                    global_update(
+                        &algo,
+                        &mut m,
+                        local,
+                        batch.window_end,
+                        UpdateOrdering::OrderAware,
+                        premerge,
+                        7,
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The §IV-D bound computation, for completeness.
+    c.bench_function("max_batch_secs", |b| {
+        let cfg = diststream_types::ClusteringConfig::default();
+        b.iter(|| std::hint::black_box(cfg.max_batch_secs()))
+    });
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

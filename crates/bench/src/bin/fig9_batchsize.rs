@@ -1,0 +1,58 @@
+//! **Figure 9** — throughput vs batch size (1 s–30 s) at fixed p = 32 for
+//! DistStream-CluStream and DistStream-DenStream on the `large-*` datasets.
+//!
+//! Paper finding: throughput first rises with batch size (larger tasks
+//! amortize per-batch scheduling/network overheads) and drops again at very
+//! large batches.
+
+use diststream_bench::{
+    fmt_f64, print_table, run_throughput, throughput_context, Bundle, Cli, DatasetKind,
+    ExecutorKind, Table,
+};
+use diststream_core::StreamClustering;
+
+const BATCH_SIZES: [f64; 6] = [1.0, 5.0, 10.0, 15.0, 20.0, 30.0];
+const PARALLELISM: usize = 32;
+const ROUNDS: usize = 10;
+
+fn sweep<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, algorithm: &str) {
+    let ctx = throughput_context(bundle, PARALLELISM).expect("p=32");
+    let mut best = (0.0_f64, 0.0_f64);
+    let mut rows = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let out = run_throughput(algo, bundle, &ctx, ExecutorKind::OrderAware, batch, ROUNDS)
+            .expect("throughput run");
+        if out.records_per_sec > best.1 {
+            best = (batch, out.records_per_sec);
+        }
+        rows.push((batch, out.records_per_sec));
+    }
+    for (batch, rps) in rows {
+        table.row([
+            format!("large-{}", bundle.kind.name()),
+            algorithm.to_string(),
+            fmt_f64(batch, 0),
+            format!("{rps:.0}"),
+            if batch == best.0 { "<- best" } else { "" }.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Figure 9 — throughput vs batch size at p = {PARALLELISM}");
+
+    let mut table = Table::new(["dataset", "algorithm", "batch (s)", "records/s", ""]);
+    for kind in DatasetKind::ALL {
+        let records = cli.records_for(20_000, kind.full_records());
+        let bundle = Bundle::new(kind, records, cli.seed);
+        let clustream = bundle.clustream();
+        sweep(&mut table, &clustream, &bundle, "CluStream");
+        let denstream = bundle.denstream();
+        sweep(&mut table, &denstream, &bundle, "DenStream");
+    }
+    print_table(
+        "Paper: throughput rises with batch size, then drops at very large batches (e.g. 30s on large-CoverType)",
+        &table,
+    );
+}

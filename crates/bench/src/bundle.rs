@@ -1,0 +1,216 @@
+//! Dataset bundles: a dataset analog plus dataset-tuned algorithm
+//! parameters, arrival rates, and evaluation bounds.
+
+use diststream_algorithms::{
+    CluStream, CluStreamParams, ClusTree, ClusTreeParams, DStream, DStreamParams, DenStream,
+    DenStreamParams,
+};
+use diststream_datasets::{
+    covertype_like, kdd98_like, kdd99_like, Dataset, COVERTYPE_RECORDS, KDD98_RECORDS,
+    KDD99_RECORDS,
+};
+use diststream_types::Record;
+
+/// The three evaluation datasets of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// KDD-99 network-intrusion analog (dynamic).
+    Kdd99,
+    /// CoverType forest-mapping analog (moderately changing).
+    CoverType,
+    /// KDD-98 donation analog (stable, high-dimensional).
+    Kdd98,
+}
+
+impl DatasetKind {
+    /// All three datasets in the paper's order.
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Kdd99,
+        DatasetKind::CoverType,
+        DatasetKind::Kdd98,
+    ];
+
+    /// Dataset name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Kdd99 => "KDD-99",
+            DatasetKind::CoverType => "CoverType",
+            DatasetKind::Kdd98 => "KDD-98",
+        }
+    }
+
+    /// Record count of the real dataset (Table I).
+    pub fn full_records(self) -> usize {
+        match self {
+            DatasetKind::Kdd99 => KDD99_RECORDS,
+            DatasetKind::CoverType => COVERTYPE_RECORDS,
+            DatasetKind::Kdd98 => KDD98_RECORDS,
+        }
+    }
+
+    /// Ground-truth cluster count (Table I).
+    pub fn clusters(self) -> usize {
+        match self {
+            DatasetKind::Kdd99 => 23,
+            DatasetKind::CoverType => 7,
+            DatasetKind::Kdd98 => 5,
+        }
+    }
+
+    /// The paper's quality-run streaming rate: 1K records/s (§VII-B1).
+    pub fn quality_rate(self) -> f64 {
+        1000.0
+    }
+
+    /// The paper's maximum stable Kafka rate for the stress tests:
+    /// 100K/s on the low-dimensional datasets, 10K/s on KDD-98 (§VII-C1).
+    pub fn stress_rate(self) -> f64 {
+        match self {
+            DatasetKind::Kdd98 => 10_000.0,
+            _ => 100_000.0,
+        }
+    }
+}
+
+/// A generated dataset plus everything the experiments need to drive it.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// Which Table-I dataset this is.
+    pub kind: DatasetKind,
+    /// The generated analog.
+    pub dataset: Dataset,
+    /// Fraction of the real dataset's records generated (`1.0` = full).
+    pub scale: f64,
+    /// The dataset's intra-cluster distance scale (drives ε/radii).
+    pub distance_scale: f64,
+}
+
+impl Bundle {
+    /// Generates a bundle with `records` records.
+    ///
+    /// Rates are scaled by `records / full_records` so the virtual stream
+    /// *duration* — and therefore decay/batch dynamics — matches the paper
+    /// regardless of scale.
+    pub fn new(kind: DatasetKind, records: usize, seed: u64) -> Bundle {
+        let dataset = match kind {
+            DatasetKind::Kdd99 => kdd99_like(records, seed),
+            DatasetKind::CoverType => covertype_like(records, seed),
+            DatasetKind::Kdd98 => kdd98_like(records, seed),
+        };
+        let distance_scale = dataset.mean_intra_distance();
+        Bundle {
+            kind,
+            dataset,
+            scale: records as f64 / kind.full_records() as f64,
+            distance_scale,
+        }
+    }
+
+    /// Number of generated records.
+    pub fn records(&self) -> usize {
+        self.dataset.points.len()
+    }
+
+    /// Records stamped at the (scaled) quality rate of 1K records/s.
+    pub fn quality_records(&self) -> Vec<Record> {
+        self.dataset.to_records(self.kind.quality_rate() * self.scale)
+    }
+
+    /// Records stamped at the (scaled) stress rate.
+    pub fn stress_records(&self) -> Vec<Record> {
+        self.dataset.to_records(self.kind.stress_rate() * self.scale)
+    }
+
+    /// Initialization prefix size: 2% of the stream, at least 200 records.
+    pub fn init_records(&self) -> usize {
+        (self.records() / 50).max(200).min(self.records())
+    }
+
+    /// Coverage bound for quality evaluation: records farther than this
+    /// from every macro-centroid count as missed.
+    pub fn coverage_bound(&self) -> f64 {
+        1.5 * self.distance_scale
+    }
+
+    /// CluStream tuned for this dataset: q = 10 × real clusters (§VII
+    /// intro), boundary factor 2.
+    pub fn clustream(&self) -> CluStream {
+        CluStream::new(CluStreamParams {
+            max_micro_clusters: 10 * self.kind.clusters(),
+            boundary_factor: 2.0,
+            horizon_secs: 100.0,
+            relevance_z: 1.0,
+            // Tuned to the clump granularity of the dataset analogs: a
+            // micro-cluster summarizes one sub-clump (~scale/3 radius).
+            premerge_distance: 0.5 * self.distance_scale,
+            seed: 0xC105,
+        })
+    }
+
+    /// DenStream tuned for this dataset: β = 2^0.25, μ = 10 (§VII intro).
+    pub fn denstream(&self) -> DenStream {
+        DenStream::new(DenStreamParams {
+            // ε at clump granularity: a micro-cluster covers one sub-clump.
+            eps: 0.5 * self.distance_scale,
+            ..Default::default()
+        })
+    }
+
+    /// D-Stream tuned for this dataset: a 6-dimensional projected grid with
+    /// cells sized to the intra-cluster scale.
+    pub fn dstream(&self) -> DStream {
+        let grid_dims = 6usize;
+        let dims = self.dataset.points.first().map_or(1, |p| p.point.dims());
+        // Per-dimension spread of one cluster, widened so a cluster lands
+        // in a handful of cells along each gridded axis.
+        let per_dim = self.distance_scale / (dims as f64).sqrt();
+        DStream::new(DStreamParams {
+            cell_width: 3.0 * per_dim,
+            grid_dims,
+            expected_cells: 500,
+            ..Default::default()
+        })
+    }
+
+    /// ClusTree tuned for this dataset.
+    pub fn clustree(&self) -> ClusTree {
+        ClusTree::new(ClusTreeParams {
+            max_micro_clusters: 10 * self.kind.clusters(),
+            boundary_factor: 2.0,
+            singleton_radius: 0.5 * self.distance_scale,
+            premerge_distance: 0.5 * self.distance_scale,
+            ..Default::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_scales_rates_with_records() {
+        let b = Bundle::new(DatasetKind::Kdd99, KDD99_RECORDS / 10, 1);
+        assert!((b.scale - 0.1).abs() < 1e-6);
+        let recs = b.quality_records();
+        // Duration stays the paper's ~494s regardless of scale.
+        let duration = recs.last().unwrap().timestamp.secs();
+        assert!((duration - 494.0).abs() < 5.0, "duration {duration}");
+    }
+
+    #[test]
+    fn stress_rate_depends_on_dimensionality() {
+        assert_eq!(DatasetKind::Kdd98.stress_rate(), 10_000.0);
+        assert_eq!(DatasetKind::Kdd99.stress_rate(), 100_000.0);
+    }
+
+    #[test]
+    fn tuned_algorithms_construct() {
+        let b = Bundle::new(DatasetKind::CoverType, 5000, 2);
+        assert_eq!(b.clustream().params().max_micro_clusters, 70);
+        assert!(b.denstream().params().eps > 0.0);
+        assert!(b.dstream().params().cell_width > 0.0);
+        assert_eq!(b.clustree().params().max_micro_clusters, 70);
+        assert!(b.init_records() >= 200);
+    }
+}

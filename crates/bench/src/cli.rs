@@ -1,0 +1,100 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+/// Options common to every experiment binary.
+///
+/// ```text
+/// --records N   base records per dataset (default varies per experiment)
+/// --seed S      dataset generation seed (default 42)
+/// --full        run at the real datasets' full record counts
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Records per dataset, if overridden.
+    pub records: Option<usize>,
+    /// Generation seed.
+    pub seed: u64,
+    /// Run at full Table-I record counts.
+    pub full: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Cli {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli {
+            records: None,
+            seed: 42,
+            full: false,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--records" => {
+                    cli.records = iter.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        cli.seed = v;
+                    }
+                }
+                "--full" => cli.full = true,
+                _ => {}
+            }
+        }
+        cli
+    }
+
+    /// The record count to use for a dataset given this experiment's
+    /// default scale.
+    pub fn records_for(&self, default: usize, full_records: usize) -> usize {
+        if self.full {
+            full_records
+        } else {
+            self.records.unwrap_or(default)
+        }
+    }
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli::from_args(std::iter::empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]);
+        assert_eq!(cli.records, None);
+        assert_eq!(cli.seed, 42);
+        assert!(!cli.full);
+        assert_eq!(cli.records_for(1000, 9999), 1000);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = parse(&["--records", "5000", "--seed", "7", "--full"]);
+        assert_eq!(cli.records, Some(5000));
+        assert_eq!(cli.seed, 7);
+        assert!(cli.full);
+        // --full wins over --records.
+        assert_eq!(cli.records_for(1000, 9999), 9999);
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let cli = parse(&["--whatever", "--records", "10"]);
+        assert_eq!(cli.records, Some(10));
+    }
+}

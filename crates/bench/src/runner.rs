@@ -1,0 +1,357 @@
+//! Generic quality and throughput runners used by all experiment binaries.
+
+use diststream_algorithms::offline::{kmeans, KmeansParams};
+use diststream_core::{
+    DistStreamJob, SequentialExecutor, StreamClustering, UpdateOrdering, WeightedPoint,
+};
+use diststream_engine::{
+    ExecutionMode, RepeatSource, SimCostModel, StreamingContext, ThroughputMeter, VecSource,
+};
+use diststream_quality::{cmm, nearest_assignment_bounded, CmmParams};
+use diststream_types::{ClusteringConfig, Record, Result, Timestamp};
+
+use crate::bundle::Bundle;
+
+/// Which executor drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// DistStream's order-aware mini-batch executor.
+    OrderAware,
+    /// The unordered mini-batch baseline.
+    Unordered,
+}
+
+impl ExecutorKind {
+    /// The corresponding core-crate ordering flag.
+    pub fn ordering(self) -> UpdateOrdering {
+        match self {
+            ExecutorKind::OrderAware => UpdateOrdering::OrderAware,
+            ExecutorKind::Unordered => UpdateOrdering::Unordered,
+        }
+    }
+
+    /// Label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutorKind::OrderAware => "DistStream",
+            ExecutorKind::Unordered => "unordered",
+        }
+    }
+}
+
+/// Result of a quality run: the CMM trajectory and fault statistics.
+#[derive(Debug, Clone)]
+pub struct QualityOutcome {
+    /// `(virtual stream seconds, CMM)` at every batch end.
+    pub series: Vec<(f64, f64)>,
+    /// Mean CMM over the stream.
+    pub avg_cmm: f64,
+    /// Total missed records across evaluations.
+    pub missed: usize,
+    /// Total misplaced records across evaluations.
+    pub misplaced: usize,
+    /// Records the online phase labelled outliers.
+    pub outlier_records: usize,
+    /// Outlier micro-clusters created (before pre-merge).
+    pub created_micro_clusters: usize,
+    /// Outlier micro-clusters remaining after pre-merge.
+    pub created_after_premerge: usize,
+    /// Throughput metrics of the run.
+    pub meter: ThroughputMeter,
+}
+
+impl QualityOutcome {
+    fn from_series(series: Vec<(f64, f64)>) -> QualityOutcome {
+        let avg_cmm = if series.is_empty() {
+            1.0
+        } else {
+            series.iter().map(|(_, c)| c).sum::<f64>() / series.len() as f64
+        };
+        QualityOutcome {
+            series,
+            avg_cmm,
+            missed: 0,
+            misplaced: 0,
+            outlier_records: 0,
+            created_micro_clusters: 0,
+            created_after_premerge: 0,
+            meter: ThroughputMeter::new(),
+        }
+    }
+}
+
+fn evaluate(
+    bundle: &Bundle,
+    records: &[Record],
+    processed: usize,
+    snapshot: &[WeightedPoint],
+    now: Timestamp,
+) -> diststream_quality::CmmBreakdown {
+    let macros = kmeans(snapshot, KmeansParams::new(bundle.kind.clusters()));
+    let params = CmmParams::default();
+    let upto = processed.min(records.len());
+    let start = upto.saturating_sub(params.horizon);
+    let window = &records[start..upto];
+    let assignment = nearest_assignment_bounded(window, &macros.centroids, bundle.coverage_bound());
+    cmm(window, &assignment, now, &params)
+}
+
+/// Runs a DistStream (or unordered-baseline) quality experiment: stream at
+/// the quality rate, evaluate CMM at the end of every batch using the
+/// offline phase, exactly as §VII-B1 prescribes.
+///
+/// # Errors
+///
+/// Propagates engine failures and empty-stream errors.
+pub fn run_quality<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    ctx: &StreamingContext,
+    kind: ExecutorKind,
+    batch_secs: f64,
+    premerge: bool,
+) -> Result<QualityOutcome> {
+    let records = bundle.quality_records();
+    let config = ClusteringConfig::builder().batch_secs(batch_secs).build()?;
+    let mut processed = bundle.init_records();
+    let mut series = Vec::new();
+    let mut missed = 0;
+    let mut misplaced = 0;
+    let mut outliers = 0;
+    let mut created = 0;
+    let mut premerged = 0;
+
+    let mut job = DistStreamJob::new(algo, ctx, config);
+    // Pre-merge is a DistStream contribution (§V-C); the unordered baseline
+    // does not have it, which is also why it handles more outlier
+    // micro-clusters in the global update (§VII-C2).
+    job.init_records(bundle.init_records())
+        .ordering(kind.ordering())
+        .premerge(premerge && kind == ExecutorKind::OrderAware);
+    let result = job.run(VecSource::new(records.clone()), |report| {
+        processed += report.outcome.metrics.records;
+        outliers += report.outcome.outlier_records;
+        created += report.outcome.created_micro_clusters;
+        premerged += report.outcome.created_after_premerge;
+        let snapshot = algo.snapshot(report.model);
+        let out = evaluate(bundle, &records, processed, &snapshot, report.window_end);
+        missed += out.missed;
+        misplaced += out.misplaced;
+        series.push((report.window_end.secs(), out.cmm));
+    })?;
+
+    let mut outcome = QualityOutcome::from_series(series);
+    outcome.missed = missed;
+    outcome.misplaced = misplaced;
+    outcome.outlier_records = outliers;
+    outcome.created_micro_clusters = created;
+    outcome.created_after_premerge = premerged;
+    outcome.meter = result.meter;
+    Ok(outcome)
+}
+
+/// Runs the one-record-at-a-time (MOA analog) quality experiment, with CMM
+/// evaluated at the same virtual-time interval as the mini-batch runs.
+///
+/// # Errors
+///
+/// Returns an error if the stream is empty.
+pub fn run_sequential_quality<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    batch_secs: f64,
+) -> Result<QualityOutcome> {
+    let records = bundle.quality_records();
+    let init = bundle.init_records();
+    if records.is_empty() {
+        return Err(diststream_types::DistStreamError::EmptyStream);
+    }
+    let mut model = algo.init(&records[..init.min(records.len())])?;
+    let exec = SequentialExecutor::new(algo);
+
+    let mut series = Vec::new();
+    let mut missed = 0;
+    let mut misplaced = 0;
+    let mut next_eval = records
+        .get(init)
+        .map_or(Timestamp::ZERO, |r| r.timestamp + batch_secs);
+    for (i, record) in records.iter().enumerate().skip(init) {
+        exec.process_record(&mut model, record);
+        if record.timestamp >= next_eval || i == records.len() - 1 {
+            let snapshot = algo.snapshot(&model);
+            let out = evaluate(bundle, &records, i + 1, &snapshot, record.timestamp);
+            missed += out.missed;
+            misplaced += out.misplaced;
+            series.push((record.timestamp.secs(), out.cmm));
+            next_eval = record.timestamp + batch_secs;
+        }
+    }
+    let mut outcome = QualityOutcome::from_series(series);
+    outcome.missed = missed;
+    outcome.misplaced = misplaced;
+    Ok(outcome)
+}
+
+/// Result of a throughput run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputOutcome {
+    /// Records processed (post-initialization).
+    pub records: usize,
+    /// Total (simulated or measured) processing seconds.
+    pub secs: f64,
+    /// Average throughput in records per second.
+    pub records_per_sec: f64,
+    /// Per-record latency in microseconds.
+    pub micros_per_record: f64,
+    /// Driver-side global-update latency per record, in microseconds.
+    pub global_micros_per_record: f64,
+    /// Fraction of tasks that were stragglers.
+    pub straggler_fraction: f64,
+}
+
+impl From<&ThroughputMeter> for ThroughputOutcome {
+    fn from(meter: &ThroughputMeter) -> Self {
+        ThroughputOutcome {
+            records: meter.records(),
+            secs: meter.secs(),
+            records_per_sec: meter.records_per_sec(),
+            micros_per_record: meter.micros_per_record(),
+            global_micros_per_record: meter.global_micros_per_record(),
+            straggler_fraction: meter.straggler_fraction(),
+        }
+    }
+}
+
+/// Builds the simulated-cluster context for throughput runs at parallelism
+/// `p`, with the fixed scheduling/broadcast costs scaled by the bundle's
+/// workload scale so the overhead-to-compute ratio matches a full-size
+/// deployment (see [`SimCostModel::workload_scale`]).
+pub fn throughput_context(bundle: &Bundle, p: usize) -> Result<StreamingContext> {
+    let cost = SimCostModel {
+        workload_scale: bundle.scale.min(1.0),
+        ..SimCostModel::default()
+    };
+    StreamingContext::with_cost_model(p, ExecutionMode::Simulated, cost)
+}
+
+/// Runs a stress-rate throughput experiment on the simulated cluster:
+/// `rounds` replays of the bundle's stream (the `large-*` datasets are ten
+/// replays, §VII-A) through the mini-batch executor at parallelism
+/// `ctx.parallelism()`.
+///
+/// # Errors
+///
+/// Propagates engine failures and empty-stream errors.
+pub fn run_throughput<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    ctx: &StreamingContext,
+    kind: ExecutorKind,
+    batch_secs: f64,
+    rounds: usize,
+) -> Result<ThroughputOutcome> {
+    let base = bundle.stress_records();
+    let config = ClusteringConfig::builder().batch_secs(batch_secs).build()?;
+    let mut job = DistStreamJob::new(algo, ctx, config);
+    job.init_records(bundle.init_records())
+        .ordering(kind.ordering())
+        .premerge(kind == ExecutorKind::OrderAware);
+    let result = job.run_to_end(RepeatSource::new(base, rounds))?;
+    Ok(ThroughputOutcome::from(&result.meter))
+}
+
+/// Runs the one-record-at-a-time throughput baseline (wall-clock measured).
+///
+/// # Errors
+///
+/// Returns an error if the stream is empty.
+pub fn run_sequential_throughput<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    rounds: usize,
+) -> Result<ThroughputOutcome> {
+    let base = bundle.stress_records();
+    let init = bundle.init_records().min(base.len());
+    if base.is_empty() {
+        return Err(diststream_types::DistStreamError::EmptyStream);
+    }
+    let mut model = algo.init(&base[..init])?;
+    let exec = SequentialExecutor::new(algo);
+    let mut source = RepeatSource::new(base, rounds);
+    // Skip the initialization prefix to match the mini-batch runs.
+    for _ in 0..init {
+        let _ = diststream_engine::RecordSource::next_record(&mut source);
+    }
+    let summary = exec.process_stream(&mut model, source)?;
+    Ok(ThroughputOutcome {
+        records: summary.records,
+        secs: summary.secs,
+        records_per_sec: summary.records_per_sec(),
+        micros_per_record: if summary.records > 0 {
+            summary.secs * 1e6 / summary.records as f64
+        } else {
+            0.0
+        },
+        global_micros_per_record: 0.0,
+        straggler_fraction: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::DatasetKind;
+    use diststream_engine::ExecutionMode;
+
+    fn small_bundle() -> Bundle {
+        Bundle::new(DatasetKind::CoverType, 4000, 3)
+    }
+
+    #[test]
+    fn quality_runner_produces_series() {
+        let bundle = small_bundle();
+        let algo = bundle.clustream();
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let out = run_quality(
+            &algo,
+            &bundle,
+            &ctx,
+            ExecutorKind::OrderAware,
+            10.0,
+            true,
+        )
+        .unwrap();
+        assert!(!out.series.is_empty());
+        assert!(out.avg_cmm > 0.0 && out.avg_cmm <= 1.0);
+        assert!(out.meter.records() > 0);
+    }
+
+    #[test]
+    fn sequential_quality_runner_produces_series() {
+        let bundle = small_bundle();
+        let algo = bundle.clustream();
+        let out = run_sequential_quality(&algo, &bundle, 10.0).unwrap();
+        assert!(!out.series.is_empty());
+        assert!(out.avg_cmm > 0.0 && out.avg_cmm <= 1.0);
+    }
+
+    #[test]
+    fn throughput_runner_counts_all_rounds() {
+        let bundle = small_bundle();
+        let algo = bundle.denstream();
+        let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+        let out =
+            run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, 10.0, 2).unwrap();
+        assert_eq!(out.records, 2 * bundle.records() - bundle.init_records());
+        assert!(out.records_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sequential_throughput_runner_runs() {
+        let bundle = small_bundle();
+        let algo = bundle.clustream();
+        let out = run_sequential_throughput(&algo, &bundle, 1).unwrap();
+        assert_eq!(out.records, bundle.records() - bundle.init_records());
+        assert!(out.micros_per_record > 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Adaptive batch sizing — the paper's §VII-D3 future work.
+//!
+//! §VII-D3 shows throughput first rising with batch size (larger tasks
+//! amortize scheduling and network overheads) and then falling at very
+//! large batches, and closes with: "Currently, we configure batch size
+//! statically based on a user-defined threshold (Section IV-D) but will
+//! explore adaptive batch sizing approaches in future work."
+//!
+//! [`AdaptiveBatchSizer`] is that approach: a hill-climbing controller that
+//! observes each batch's achieved throughput and nudges the next window
+//! width in the direction that improved it, clamped to the §IV-D quality
+//! bound `log_β(1/α)` so adaptivity never sacrifices clustering quality.
+
+use diststream_types::ClusteringConfig;
+
+/// Hill-climbing batch-size controller.
+///
+/// After every batch, call [`AdaptiveBatchSizer::observe`] with the batch's
+/// record count and processing seconds; the controller compares the
+/// throughput against the previous batch and keeps moving the window in the
+/// same direction while throughput improves, reversing (with a damped step)
+/// when it degrades.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::AdaptiveBatchSizer;
+/// use diststream_types::ClusteringConfig;
+///
+/// let config = ClusteringConfig::default();
+/// let mut sizer = AdaptiveBatchSizer::new(&config, 1.0);
+/// assert_eq!(sizer.batch_secs(), config.batch_secs());
+/// // A faster batch keeps the controller moving in the same direction.
+/// let grown = sizer.observe(10_000, 1.0);
+/// assert!(grown > config.batch_secs());
+/// # let _ = grown;
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveBatchSizer {
+    current_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+    step_secs: f64,
+    direction: f64,
+    last_throughput: Option<f64>,
+}
+
+impl AdaptiveBatchSizer {
+    /// Damping applied to the step when the climb reverses direction.
+    const DAMPING: f64 = 0.5;
+    /// Step growth while the climb keeps improving.
+    const GROWTH: f64 = 1.2;
+
+    /// Creates a controller starting at `config.batch_secs()`, bounded
+    /// below by `min_secs` and above by the §IV-D quality bound
+    /// `config.max_batch_secs()` (or 10× the start for undecayed configs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_secs` is not strictly positive or exceeds the start.
+    pub fn new(config: &ClusteringConfig, min_secs: f64) -> Self {
+        let start = config.batch_secs();
+        assert!(
+            min_secs > 0.0 && min_secs <= start,
+            "minimum batch window must be positive and at most the start width"
+        );
+        let bound = config.max_batch_secs();
+        let max_secs = if bound.is_finite() {
+            bound.max(start)
+        } else {
+            start * 10.0
+        };
+        AdaptiveBatchSizer {
+            current_secs: start,
+            min_secs,
+            max_secs,
+            step_secs: start * 0.25,
+            direction: 1.0,
+            last_throughput: None,
+        }
+    }
+
+    /// The window width to use for the next batch.
+    pub fn batch_secs(&self) -> f64 {
+        self.current_secs
+    }
+
+    /// The upper bound the controller will never exceed (§IV-D).
+    pub fn max_secs(&self) -> f64 {
+        self.max_secs
+    }
+
+    /// Feeds one batch's outcome into the controller and returns the next
+    /// window width.
+    ///
+    /// Batches with no records or no elapsed time leave the width unchanged.
+    pub fn observe(&mut self, records: usize, secs: f64) -> f64 {
+        if records == 0 || secs <= 0.0 {
+            return self.current_secs;
+        }
+        let throughput = records as f64 / secs;
+        if let Some(previous) = self.last_throughput {
+            if throughput >= previous {
+                // Keep climbing, slightly faster.
+                self.step_secs *= Self::GROWTH;
+            } else {
+                // Overshot: reverse with a damped step.
+                self.direction = -self.direction;
+                self.step_secs *= Self::DAMPING;
+            }
+        }
+        self.last_throughput = Some(throughput);
+        self.current_secs = (self.current_secs + self.direction * self.step_secs)
+            .clamp(self.min_secs, self.max_secs);
+        self.current_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(batch: f64) -> ClusteringConfig {
+        ClusteringConfig::builder()
+            .batch_secs(batch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn starts_at_configured_width() {
+        let sizer = AdaptiveBatchSizer::new(&config(10.0), 1.0);
+        assert_eq!(sizer.batch_secs(), 10.0);
+    }
+
+    #[test]
+    fn never_exceeds_quality_bound() {
+        let cfg = config(10.0);
+        let bound = cfg.max_batch_secs();
+        let mut sizer = AdaptiveBatchSizer::new(&cfg, 1.0);
+        // Monotonically "improving" throughput pushes the width up forever.
+        for i in 0..100 {
+            sizer.observe(1000, 1.0 / (i + 1) as f64);
+        }
+        assert!(sizer.batch_secs() <= bound + 1e-9);
+        assert_eq!(sizer.max_secs(), bound);
+    }
+
+    #[test]
+    fn never_falls_below_minimum() {
+        let mut sizer = AdaptiveBatchSizer::new(&config(10.0), 2.0);
+        // Alternate good/terrible so the controller keeps reversing; the
+        // width must stay within bounds throughout.
+        for i in 0..200 {
+            let secs = if i % 2 == 0 { 0.1 } else { 100.0 };
+            let width = sizer.observe(1000, secs);
+            assert!(width >= 2.0 - 1e-9, "width {width} below minimum");
+        }
+    }
+
+    #[test]
+    fn climbs_toward_a_throughput_peak() {
+        // Synthetic response surface peaking at 20 s: throughput drops with
+        // distance from the peak.
+        let respond = |w: f64| -> f64 { 1000.0 - (w - 20.0).abs() * 30.0 };
+        let mut sizer = AdaptiveBatchSizer::new(&config(10.0), 1.0);
+        let mut width = sizer.batch_secs();
+        for _ in 0..60 {
+            let throughput = respond(width).max(10.0);
+            width = sizer.observe((throughput * width) as usize, width);
+        }
+        assert!(
+            (width - 20.0).abs() < 6.0,
+            "hill climb ended far from the peak: {width}"
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let mut sizer = AdaptiveBatchSizer::new(&config(10.0), 1.0);
+        assert_eq!(sizer.observe(0, 1.0), 10.0);
+        assert_eq!(sizer.observe(100, 0.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum batch window")]
+    fn rejects_bad_minimum() {
+        let _ = AdaptiveBatchSizer::new(&config(10.0), 20.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Step 1 — finding the closest micro-cluster with record-based parallelism
+//! (paper §V-A).
+
+use diststream_engine::{Broadcast, RoundRobinPartitioner, StepMetrics, StreamingContext};
+use diststream_types::{Record, Result};
+
+use crate::api::{Assignment, StreamClustering};
+
+/// Output of the assignment step: every record of the batch paired with its
+/// step-1 decision, in arrival order, plus the step's timing and the bytes
+/// broadcast to tasks.
+#[derive(Debug)]
+pub struct AssignmentOutcome {
+    /// `(record, assignment)` pairs in arrival order.
+    pub pairs: Vec<(Record, Assignment)>,
+    /// Step timing (record-based parallel tasks).
+    pub metrics: StepMetrics,
+    /// Serialized bytes of one copy of the broadcast model.
+    pub model_bytes: u64,
+}
+
+/// Runs step 1: broadcasts the stale model `Q_t` to every task, splits the
+/// batch's records round-robin across `p` tasks, and computes each record's
+/// closest micro-cluster (or outlier decision) in parallel.
+///
+/// Round-robin partitioning preserves relative record order inside every
+/// task, and the outputs are interleaved back so `pairs` is in arrival
+/// order — the property the order-aware local update depends on.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+pub fn assign_records<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    records: Vec<Record>,
+) -> Result<AssignmentOutcome> {
+    let partitions = RoundRobinPartitioner.split(records, ctx.parallelism());
+    let (outputs, metrics) = ctx.run_tasks(partitions, |_task, recs: Vec<Record>| {
+        let model = model.handle();
+        recs.into_iter()
+            .map(|r| {
+                let a = algo.assign(&model, &r);
+                (r, a)
+            })
+            .collect::<Vec<_>>()
+    })?;
+    let pairs = RoundRobinPartitioner.interleave(outputs);
+    Ok(AssignmentOutcome {
+        pairs,
+        metrics,
+        model_bytes: model.payload_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::ExecutionMode;
+    use diststream_types::{Point, Timestamp};
+
+    fn rec(id: u64, x: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(id as f64))
+    }
+
+    fn setup() -> (NaiveClustering, <NaiveClustering as StreamClustering>::Model) {
+        let algo = NaiveClustering::new(1.0);
+        // Two micro-clusters at x = 0 and x = 10.
+        let model = algo.init(&[rec(0, 0.0), rec(1, 10.0)]).unwrap();
+        (algo, model)
+    }
+
+    #[test]
+    fn assignments_match_sequential_reference() {
+        let (algo, model) = setup();
+        let records: Vec<Record> = (2..42).map(|i| rec(i, (i % 11) as f64)).collect();
+        let expected: Vec<Assignment> =
+            records.iter().map(|r| algo.assign(&model, r)).collect();
+
+        for p in [1, 3, 8] {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let bcast = Broadcast::new(model.clone());
+            let out = assign_records(&ctx, &algo, &bcast, records.clone()).unwrap();
+            let got: Vec<Assignment> = out.pairs.iter().map(|(_, a)| *a).collect();
+            assert_eq!(got, expected, "parallelism {p} changed assignments");
+        }
+    }
+
+    #[test]
+    fn pairs_keep_arrival_order() {
+        let (algo, model) = setup();
+        let records: Vec<Record> = (2..30).map(|i| rec(i, 0.1)).collect();
+        let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+        let bcast = Broadcast::new(model.clone());
+        let out = assign_records(&ctx, &algo, &bcast, records).unwrap();
+        let ids: Vec<u64> = out.pairs.iter().map(|(r, _)| r.id).collect();
+        assert_eq!(ids, (2..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (algo, model) = setup();
+        let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+        let bcast = Broadcast::new(model.clone());
+        let out = assign_records(&ctx, &algo, &bcast, Vec::new()).unwrap();
+        assert!(out.pairs.is_empty());
+        assert!(out.model_bytes > 0);
+    }
+
+    #[test]
+    fn close_records_assigned_outliers_marked() {
+        let (algo, model) = setup();
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let bcast = Broadcast::new(model.clone());
+        let records = vec![rec(2, 0.5), rec(3, 5.0), rec(4, 9.8)];
+        let out = assign_records(&ctx, &algo, &bcast, records).unwrap();
+        assert!(matches!(out.pairs[0].1, Assignment::Existing(_)));
+        assert!(matches!(out.pairs[1].1, Assignment::New(_)));
+        assert!(matches!(out.pairs[2].1, Assignment::Existing(_)));
+    }
+}

@@ -1,0 +1,68 @@
+//! DistStream framework core: the order-aware mini-batch update model.
+//!
+//! This crate is the primary contribution of *DistStream: An Order-Aware
+//! Distributed Framework for Online-Offline Stream Clustering Algorithms*
+//! (ICDCS 2020), implemented on the `diststream-engine` runtime:
+//!
+//! - [`StreamClustering`] — the four developer APIs (micro-cluster
+//!   representation, distance computation, local update, global update) that
+//!   any online-offline algorithm implements to get parallelized.
+//! - [`DistStreamExecutor`] — the order-aware mini-batch executor: per batch
+//!   it broadcasts the stale model, assigns records with record-based
+//!   parallelism (§V-A), locally updates chosen micro-clusters with
+//!   model-based parallelism and per-group arrival-order folds (§V-B), and
+//!   runs the ordered, pre-merged global update on the driver (§V-C).
+//! - [`UpdateOrdering::Unordered`] — the unordered mini-batch baseline the
+//!   paper compares against.
+//! - [`SequentialExecutor`] — the one-record-at-a-time baseline (MOA
+//!   analog) with the strict sequential feedback loop.
+//! - [`DistStreamJob`] — end-to-end wiring from a record source through
+//!   initialization, mini-batching, and per-batch reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use diststream_core::reference::NaiveClustering;
+//! use diststream_core::DistStreamJob;
+//! use diststream_engine::{ExecutionMode, StreamingContext, VecSource};
+//! use diststream_types::{ClusteringConfig, Point, Record, Timestamp};
+//!
+//! let algo = NaiveClustering::new(1.0);
+//! let ctx = StreamingContext::new(4, ExecutionMode::Simulated)?;
+//! let stream: Vec<Record> = (0..500)
+//!     .map(|i| {
+//!         let x = (i % 5) as f64 * 4.0;
+//!         Record::new(i, Point::from(vec![x]), Timestamp::from_secs(i as f64 * 0.05))
+//!     })
+//!     .collect();
+//! let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+//!     .init_records(20)
+//!     .run_to_end(VecSource::new(stream))?;
+//! assert!(result.meter.records() > 0);
+//! # Ok::<(), diststream_types::DistStreamError>(())
+//! ```
+
+mod adaptive;
+mod api;
+mod assignment;
+mod global;
+mod local;
+mod parallel;
+mod pipeline;
+mod pipelined;
+mod recovery;
+pub mod reference;
+mod sequential;
+
+pub use adaptive::AdaptiveBatchSizer;
+pub use api::{
+    Assignment, MicroClusterId, Sketch, StreamClustering, UpdateOrdering, WeightedPoint,
+};
+pub use assignment::{assign_records, AssignmentOutcome};
+pub use global::{global_update, GlobalOutcome};
+pub use local::{local_update, CreatedSketch, LocalOutcome, UpdatedSketch};
+pub use parallel::{BatchOutcome, DistStreamExecutor};
+pub use pipelined::PipelinedExecutor;
+pub use recovery::{Checkpoint, CheckpointingDriver};
+pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
+pub use sequential::{SequentialExecutor, SequentialSummary};

@@ -1,0 +1,331 @@
+//! Step 2 — local update with model-based parallelism (paper §V-B).
+//!
+//! The assignment step's `(record, assignment)` pairs are grouped by
+//! micro-cluster key (`groupByKey`), the groups are distributed across `p`
+//! tasks, and each task folds its groups' records into detached sketches.
+//! In order-aware mode every group is first sorted by arrival key — "each
+//! task first sorts the absorbed records of each micro-cluster based on the
+//! timestamps to enforce the update order" — and then folded one record at
+//! a time. The unordered baseline shuffles each group with a seeded RNG
+//! instead.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use diststream_engine::{
+    fnv1a_hash, group_by_key, serialized_size, Broadcast, StepMetrics, StreamingContext,
+};
+use diststream_types::{Record, RecordId, Result, Timestamp};
+
+use crate::api::{Assignment, MicroClusterId, StreamClustering, UpdateOrdering};
+
+/// A micro-cluster that existed in `Q_t` and absorbed records this batch.
+#[derive(Debug, Clone)]
+pub struct UpdatedSketch<S> {
+    /// Id of the micro-cluster within the model.
+    pub id: MicroClusterId,
+    /// The sketch after folding the batch's records.
+    pub sketch: S,
+    /// Arrival key of the last record folded (global-update ordering tag).
+    pub last_arrival: (Timestamp, RecordId),
+    /// Number of records absorbed.
+    pub absorbed: usize,
+}
+
+/// A micro-cluster newly created for outlier records this batch.
+#[derive(Debug, Clone)]
+pub struct CreatedSketch<S> {
+    /// The freshly created sketch.
+    pub sketch: S,
+    /// Arrival key of the record that created it (global-update ordering
+    /// tag — the paper orders new micro-clusters by creation time).
+    pub first_arrival: (Timestamp, RecordId),
+    /// Number of records absorbed (≥ 1).
+    pub absorbed: usize,
+}
+
+/// Output of the local update step.
+#[derive(Debug)]
+pub struct LocalOutcome<S> {
+    /// Existing micro-clusters updated by this batch.
+    pub updated: Vec<UpdatedSketch<S>>,
+    /// New micro-clusters created by this batch (before pre-merge).
+    pub created: Vec<CreatedSketch<S>>,
+    /// Step timing (model-based parallel tasks).
+    pub metrics: StepMetrics,
+    /// Estimated bytes moved by the shuffle.
+    pub shuffle_bytes: u64,
+}
+
+// Group keys: (0, micro-cluster id) for existing, (1, coalescing key) for new.
+const KIND_EXISTING: u64 = 0;
+const KIND_NEW: u64 = 1;
+
+fn group_key(assignment: Assignment) -> (u64, u64) {
+    match assignment {
+        Assignment::Existing(id) => (KIND_EXISTING, id),
+        Assignment::New(key) => (KIND_NEW, key),
+    }
+}
+
+/// Runs step 2: groups records by their chosen micro-cluster, distributes
+/// the groups across tasks, and folds each group into a detached sketch in
+/// the configured [`UpdateOrdering`].
+///
+/// In [`UpdateOrdering::Unordered`] the baseline "does not distinguish the
+/// data arrival orders" (paper §I): each group is folded in a seeded-shuffle
+/// order **and** every record's timestamp is collapsed to `window_start`, so
+/// no within-batch recency information reaches the sketches. `shuffle_seed`
+/// drives the shuffles (combined with each group's key, so results are
+/// deterministic for a given seed, independent of parallelism).
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+pub fn local_update<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    pairs: Vec<(Record, Assignment)>,
+    ordering: UpdateOrdering,
+    window_start: Timestamp,
+    shuffle_seed: u64,
+) -> Result<LocalOutcome<A::Sketch>> {
+    let record_bytes = pairs
+        .first()
+        .map_or(0, |(r, _)| serialized_size(r) + 16);
+    let shuffle_bytes = record_bytes * pairs.len() as u64;
+
+    let keyed: Vec<((u64, u64), Record)> = pairs
+        .into_iter()
+        .map(|(r, a)| (group_key(a), r))
+        .collect();
+    let partitions = group_by_key(keyed, ctx.parallelism());
+
+    type TaskOut<S> = (Vec<UpdatedSketch<S>>, Vec<CreatedSketch<S>>);
+    let (outputs, metrics) = ctx.run_tasks(
+        partitions,
+        |_task, groups: Vec<((u64, u64), Vec<Record>)>| -> TaskOut<A::Sketch> {
+            let model = model.handle();
+            let mut updated = Vec::new();
+            let mut created = Vec::new();
+            for ((kind, key), mut records) in groups {
+                match ordering {
+                    UpdateOrdering::OrderAware => {
+                        records.sort_by_key(Record::arrival_key);
+                    }
+                    UpdateOrdering::Unordered => {
+                        let seed = shuffle_seed
+                            ^ fnv1a_hash(&kind.to_le_bytes())
+                            ^ fnv1a_hash(&key.to_le_bytes());
+                        records.shuffle(&mut StdRng::seed_from_u64(seed));
+                        // Collapse arrival times: the unordered baseline
+                        // treats the whole batch as one unordered bag.
+                        for r in &mut records {
+                            r.timestamp = window_start;
+                        }
+                    }
+                }
+                let first_arrival = records
+                    .iter()
+                    .map(Record::arrival_key)
+                    .min()
+                    .expect("groups are non-empty");
+                let last_arrival = records
+                    .iter()
+                    .map(Record::arrival_key)
+                    .max()
+                    .expect("groups are non-empty");
+                let absorbed = records.len();
+                if kind == KIND_EXISTING {
+                    let mut sketch = algo.sketch_of(&model, key);
+                    for r in &records {
+                        algo.update(&mut sketch, r);
+                    }
+                    updated.push(UpdatedSketch {
+                        id: key,
+                        sketch,
+                        last_arrival,
+                        absorbed,
+                    });
+                } else {
+                    let mut iter = records.iter();
+                    let seed_record = iter.next().expect("groups are non-empty");
+                    let mut sketch = algo.create(seed_record);
+                    for r in iter {
+                        algo.update(&mut sketch, r);
+                    }
+                    created.push(CreatedSketch {
+                        sketch,
+                        first_arrival,
+                        absorbed,
+                    });
+                }
+            }
+            (updated, created)
+        },
+    )?;
+
+    let mut updated = Vec::new();
+    let mut created = Vec::new();
+    for (u, c) in outputs {
+        updated.extend(u);
+        created.extend(c);
+    }
+    Ok(LocalOutcome {
+        updated,
+        created,
+        metrics,
+        shuffle_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Sketch;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::ExecutionMode;
+    use diststream_types::Point;
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    fn run_local(
+        p: usize,
+        ordering: UpdateOrdering,
+        pairs: Vec<(Record, Assignment)>,
+    ) -> LocalOutcome<crate::reference::NaiveSketch> {
+        let algo = NaiveClustering::new(1.0);
+        let model = algo.init(&[rec(0, 0.0, 0.0), rec(1, 10.0, 0.0)]).unwrap();
+        let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+        let bcast = Broadcast::new(model);
+        local_update(&ctx, &algo, &bcast, pairs, ordering, Timestamp::ZERO, 7).unwrap()
+    }
+
+    #[test]
+    fn groups_fold_in_arrival_order() {
+        // Records arrive shuffled within the batch pair list; order-aware
+        // local update must still fold them by arrival key.
+        let pairs = vec![
+            (rec(4, 0.4, 4.0), Assignment::Existing(0)),
+            (rec(2, 0.2, 2.0), Assignment::Existing(0)),
+            (rec(3, 0.3, 3.0), Assignment::Existing(0)),
+        ];
+        let out = run_local(2, UpdateOrdering::OrderAware, pairs);
+        assert_eq!(out.updated.len(), 1);
+        let u = &out.updated[0];
+        assert_eq!(u.absorbed, 3);
+        assert_eq!(u.last_arrival, (Timestamp::from_secs(4.0), 4));
+        // Reference fold: decay-then-add in order 2, 3, 4.
+        let algo = NaiveClustering::new(1.0);
+        let model = algo.init(&[rec(0, 0.0, 0.0), rec(1, 10.0, 0.0)]).unwrap();
+        let mut expected = algo.sketch_of(&model, 0);
+        for r in [rec(2, 0.2, 2.0), rec(3, 0.3, 3.0), rec(4, 0.4, 4.0)] {
+            algo.update(&mut expected, &r);
+        }
+        assert_eq!(u.sketch, expected);
+    }
+
+    #[test]
+    fn result_independent_of_parallelism() {
+        let pairs: Vec<(Record, Assignment)> = (2..50)
+            .map(|i| {
+                let a = if i % 7 == 0 {
+                    Assignment::New(i)
+                } else {
+                    Assignment::Existing(i % 2)
+                };
+                (rec(i, (i % 10) as f64 / 10.0, i as f64), a)
+            })
+            .collect();
+        let baseline = run_local(1, UpdateOrdering::OrderAware, pairs.clone());
+        for p in [2, 4, 8] {
+            let out = run_local(p, UpdateOrdering::OrderAware, pairs.clone());
+            let mut base_updated: Vec<_> = baseline
+                .updated
+                .iter()
+                .map(|u| (u.id, u.sketch.clone()))
+                .collect();
+            let mut got_updated: Vec<_> =
+                out.updated.iter().map(|u| (u.id, u.sketch.clone())).collect();
+            base_updated.sort_by_key(|(id, _)| *id);
+            got_updated.sort_by_key(|(id, _)| *id);
+            assert_eq!(base_updated, got_updated, "parallelism {p}");
+            let mut base_created: Vec<_> =
+                baseline.created.iter().map(|c| c.first_arrival).collect();
+            let mut got_created: Vec<_> = out.created.iter().map(|c| c.first_arrival).collect();
+            base_created.sort();
+            got_created.sort();
+            assert_eq!(base_created, got_created, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn outliers_with_same_key_coalesce() {
+        let pairs = vec![
+            (rec(2, 5.0, 2.0), Assignment::New(42)),
+            (rec(3, 5.1, 3.0), Assignment::New(42)),
+            (rec(4, 7.0, 4.0), Assignment::New(99)),
+        ];
+        let out = run_local(3, UpdateOrdering::OrderAware, pairs);
+        assert_eq!(out.created.len(), 2);
+        let big = out.created.iter().find(|c| c.absorbed == 2).unwrap();
+        assert_eq!(big.first_arrival, (Timestamp::from_secs(2.0), 2));
+    }
+
+    #[test]
+    fn unordered_mode_folds_differently() {
+        // A group whose fold result is order-sensitive (decay between
+        // records): ordered and unordered outputs should differ for some
+        // seed. Records are spaced 1s apart so decay matters.
+        let pairs: Vec<(Record, Assignment)> = (0..8)
+            .map(|i| (rec(i + 2, i as f64, i as f64), Assignment::Existing(0)))
+            .collect();
+        let ordered = run_local(1, UpdateOrdering::OrderAware, pairs.clone());
+        let unordered = run_local(1, UpdateOrdering::Unordered, pairs);
+        assert_ne!(ordered.updated[0].sketch, unordered.updated[0].sketch);
+    }
+
+    #[test]
+    fn unordered_mode_is_seed_deterministic() {
+        let pairs: Vec<(Record, Assignment)> = (0..8)
+            .map(|i| (rec(i + 2, i as f64, i as f64), Assignment::Existing(0)))
+            .collect();
+        let a = run_local(2, UpdateOrdering::Unordered, pairs.clone());
+        let b = run_local(2, UpdateOrdering::Unordered, pairs);
+        assert_eq!(a.updated[0].sketch, b.updated[0].sketch);
+    }
+
+    #[test]
+    fn empty_pairs_produce_empty_outcome() {
+        let out = run_local(2, UpdateOrdering::OrderAware, Vec::new());
+        assert!(out.updated.is_empty());
+        assert!(out.created.is_empty());
+        assert_eq!(out.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn shuffle_bytes_scale_with_records() {
+        let pairs: Vec<(Record, Assignment)> = (0..10)
+            .map(|i| (rec(i + 2, 0.0, i as f64), Assignment::Existing(0)))
+            .collect();
+        let out = run_local(1, UpdateOrdering::OrderAware, pairs);
+        assert!(out.shuffle_bytes > 0);
+        assert_eq!(out.shuffle_bytes % 10, 0);
+    }
+
+    #[test]
+    fn created_weight_accumulates() {
+        let pairs = vec![
+            (rec(2, 5.0, 2.0), Assignment::New(1)),
+            (rec(3, 5.0, 2.0), Assignment::New(1)),
+        ];
+        let out = run_local(1, UpdateOrdering::OrderAware, pairs);
+        assert_eq!(out.created.len(), 1);
+        assert!((out.created[0].sketch.weight() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,309 @@
+//! The order-aware mini-batch executor: one batch-by-batch feedback loop
+//! iteration = broadcast → assign → local update → global update.
+
+use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_types::Result;
+
+use crate::api::{Assignment, StreamClustering, UpdateOrdering};
+use crate::assignment::assign_records;
+use crate::global::global_update;
+use crate::local::local_update;
+
+/// Per-batch statistics reported by [`DistStreamExecutor::process_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Timing and data-movement metrics for the batch.
+    pub metrics: BatchMetrics,
+    /// Records assigned to existing micro-clusters.
+    pub assigned_existing: usize,
+    /// Records labelled outliers by the assignment step.
+    pub outlier_records: usize,
+    /// Outlier micro-clusters produced by the local step.
+    pub created_micro_clusters: usize,
+    /// Outlier micro-clusters remaining after pre-merge.
+    pub created_after_premerge: usize,
+}
+
+/// Executes the order-aware (or unordered-baseline) mini-batch update model
+/// on a [`StreamingContext`].
+///
+/// One executor drives one model through the stream:
+///
+/// ```text
+/// for each mini-batch B:
+///     broadcast Q_t to all tasks
+///     step 1: record-based parallel assignment of B against Q_t
+///     step 2: model-based parallel local update (ordered folds)
+///     step 3: driver-side global update (ordered, pre-merged) → Q_{t+1}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::reference::NaiveClustering;
+/// use diststream_core::{DistStreamExecutor, StreamClustering, UpdateOrdering};
+/// use diststream_engine::{ExecutionMode, MiniBatch, StreamingContext};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = NaiveClustering::new(1.0);
+/// let ctx = StreamingContext::new(4, ExecutionMode::Simulated)?;
+/// let exec = DistStreamExecutor::new(&algo, &ctx);
+/// let mut model = algo.init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])?;
+/// let batch = MiniBatch {
+///     index: 0,
+///     window_start: Timestamp::ZERO,
+///     window_end: Timestamp::from_secs(10.0),
+///     records: vec![Record::new(1, Point::from(vec![0.3]), Timestamp::from_secs(1.0))],
+/// };
+/// let outcome = exec.process_batch(&mut model, batch)?;
+/// assert_eq!(outcome.assigned_existing, 1);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct DistStreamExecutor<'a, A: StreamClustering> {
+    algo: &'a A,
+    ctx: &'a StreamingContext,
+    ordering: UpdateOrdering,
+    premerge: bool,
+    base_seed: u64,
+}
+
+impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
+    /// Creates an order-aware executor with pre-merge enabled (the paper's
+    /// configuration).
+    pub fn new(algo: &'a A, ctx: &'a StreamingContext) -> Self {
+        DistStreamExecutor {
+            algo,
+            ctx,
+            ordering: UpdateOrdering::OrderAware,
+            premerge: true,
+            base_seed: 0x0B5E55ED,
+        }
+    }
+
+    /// Selects order-aware or unordered-baseline execution.
+    pub fn ordering(&mut self, ordering: UpdateOrdering) -> &mut Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Enables or disables the pre-merge optimization (§V-C).
+    pub fn premerge(&mut self, premerge: bool) -> &mut Self {
+        self.premerge = premerge;
+        self
+    }
+
+    /// Sets the base seed for the unordered baseline's shuffles.
+    pub fn shuffle_seed(&mut self, seed: u64) -> &mut Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The algorithm driven by this executor.
+    pub fn algorithm(&self) -> &A {
+        self.algo
+    }
+
+    /// Processes one mini-batch, advancing `model` from `Q_t` to `Q_{t+1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures (task panics) as
+    /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+    pub fn process_batch(&self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+        let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let records = batch.len();
+        let window_start = batch.window_start;
+
+        // Broadcast the stale model Q_t once per feedback-loop iteration.
+        let bcast = Broadcast::new(model.clone());
+        let model_bytes = bcast.payload_bytes();
+
+        // Step 1: record-based parallel assignment.
+        let assignment = assign_records(self.ctx, self.algo, &bcast, batch.records)?;
+        let assigned_existing = assignment
+            .pairs
+            .iter()
+            .filter(|(_, a)| matches!(a, Assignment::Existing(_)))
+            .count();
+        let outlier_records = records - assigned_existing;
+
+        // Step 2: model-based parallel local update.
+        let local = local_update(
+            self.ctx,
+            self.algo,
+            &bcast,
+            assignment.pairs,
+            self.ordering,
+            window_start,
+            batch_seed,
+        )?;
+        let local_metrics = local.metrics.clone();
+        let shuffle_bytes = local.shuffle_bytes;
+
+        // Step 3: global update on the driver.
+        let global = global_update(
+            self.algo,
+            model,
+            local,
+            batch.window_end,
+            self.ordering,
+            self.premerge,
+            batch_seed,
+        );
+
+        let overhead_secs = self.ctx.batch_overhead_secs()
+            + self.ctx.broadcast_secs(model_bytes)
+            + self.ctx.shuffle_secs(shuffle_bytes)
+            + self.ctx.collect_secs(global.collect_bytes);
+
+        Ok(BatchOutcome {
+            metrics: BatchMetrics {
+                batch_index: batch.index,
+                records,
+                assignment: assignment.metrics,
+                local: local_metrics,
+                global_secs: global.global_secs,
+                overhead_secs,
+                broadcast_bytes: model_bytes * self.ctx.parallelism() as u64,
+                shuffle_bytes,
+                async_overlap: false,
+            },
+            assigned_existing,
+            outlier_records,
+            created_micro_clusters: global.created_before_premerge,
+            created_after_premerge: global.created_after_premerge,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::ExecutionMode;
+    use diststream_types::{Point, Record, Timestamp};
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    fn batch(index: usize, records: Vec<Record>) -> MiniBatch {
+        let window_end = records
+            .last()
+            .map_or(Timestamp::ZERO, |r| r.timestamp + 1.0);
+        MiniBatch {
+            index,
+            window_start: Timestamp::ZERO,
+            window_end,
+            records,
+        }
+    }
+
+    #[test]
+    fn batch_advances_model() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let outcome = exec
+            .process_batch(
+                &mut model,
+                batch(0, vec![rec(1, 0.2, 1.0), rec(2, 9.0, 2.0)]),
+            )
+            .unwrap();
+        assert_eq!(outcome.assigned_existing, 1);
+        assert_eq!(outcome.outlier_records, 1);
+        assert_eq!(model.len(), 2);
+        assert_eq!(outcome.metrics.records, 2);
+        assert!(outcome.metrics.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn model_identical_across_parallelism_degrees() {
+        let algo = NaiveClustering::new(1.0);
+        let records: Vec<Record> = (1..200)
+            .map(|i| rec(i, (i % 17) as f64 * 0.7, i as f64 * 0.1))
+            .collect();
+        let run = |p: usize| {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let exec = DistStreamExecutor::new(&algo, &ctx);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            // Two batches of 100.
+            exec.process_batch(&mut model, batch(0, records[..100].to_vec()))
+                .unwrap();
+            exec.process_batch(&mut model, batch(1, records[100..].to_vec()))
+                .unwrap();
+            model
+        };
+        let m1 = run(1);
+        for p in [2, 4, 8, 32] {
+            assert_eq!(run(p), m1, "model diverged at parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn thread_and_simulated_modes_agree_on_model() {
+        let algo = NaiveClustering::new(1.0);
+        let records: Vec<Record> = (1..100)
+            .map(|i| rec(i, (i % 13) as f64 * 0.9, i as f64 * 0.05))
+            .collect();
+        let run = |mode: ExecutionMode| {
+            let ctx = StreamingContext::new(4, mode).unwrap();
+            let exec = DistStreamExecutor::new(&algo, &ctx);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            exec.process_batch(&mut model, batch(0, records.clone()))
+                .unwrap();
+            model
+        };
+        assert_eq!(run(ExecutionMode::Threads), run(ExecutionMode::Simulated));
+    }
+
+    #[test]
+    fn unordered_differs_from_ordered() {
+        let algo = NaiveClustering::new(2.0);
+        // Time-spaced records in one micro-cluster make decay order matter.
+        let records: Vec<Record> = (1..40).map(|i| rec(i, 0.5, i as f64)).collect();
+        let run = |ordering: UpdateOrdering| {
+            let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+            let mut exec = DistStreamExecutor::new(&algo, &ctx);
+            exec.ordering(ordering);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            exec.process_batch(&mut model, batch(0, records.clone()))
+                .unwrap();
+            model
+        };
+        assert_ne!(
+            run(UpdateOrdering::OrderAware),
+            run(UpdateOrdering::Unordered)
+        );
+    }
+
+    #[test]
+    fn premerge_reduces_created_micro_clusters() {
+        let algo = NaiveClustering::new(1.0);
+        // A burst of outliers clustered near x = 50.
+        let records: Vec<Record> = (1..20)
+            .map(|i| rec(i, 50.0 + (i % 5) as f64 * 0.1, i as f64 * 0.01))
+            .collect();
+        let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let outcome = exec
+            .process_batch(&mut model, batch(0, records))
+            .unwrap();
+        assert_eq!(outcome.created_micro_clusters, 19);
+        assert_eq!(outcome.created_after_premerge, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_noop_for_assignments() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let outcome = exec.process_batch(&mut model, batch(0, vec![])).unwrap();
+        assert_eq!(outcome.assigned_existing, 0);
+        assert_eq!(outcome.outlier_records, 0);
+    }
+}

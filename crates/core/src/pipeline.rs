@@ -1,0 +1,323 @@
+//! High-level job wiring: source → initialization → mini-batcher →
+//! executor → per-batch reports.
+
+use diststream_engine::{MiniBatcher, RecordSource, StreamingContext, ThroughputMeter};
+use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
+
+use crate::api::{StreamClustering, UpdateOrdering};
+use crate::parallel::{BatchOutcome, DistStreamExecutor};
+
+/// Everything a per-batch observer gets to see: the batch outcome plus the
+/// post-update model (e.g. for offline clustering and quality evaluation at
+/// batch ends, as the paper's CMM methodology does).
+#[derive(Debug)]
+pub struct BatchReport<'m, M> {
+    /// Index of the completed batch.
+    pub batch_index: usize,
+    /// Virtual end of the batch window.
+    pub window_end: Timestamp,
+    /// The model after the batch's global update (`Q_{t+1}`).
+    pub model: &'m M,
+    /// Executor statistics for the batch.
+    pub outcome: &'m BatchOutcome,
+}
+
+/// Result of a completed streaming job.
+#[derive(Debug, Clone)]
+pub struct RunResult<M> {
+    /// The final micro-cluster model.
+    pub model: M,
+    /// Aggregated throughput/straggler metrics over all batches.
+    pub meter: ThroughputMeter,
+}
+
+/// Builder-style wiring of a full DistStream job.
+///
+/// A job owns the paper's end-to-end flow: take `init_records` records off
+/// the stream and initialize the model with batch clustering, then process
+/// the remainder in `config.batch_secs()`-wide mini-batches through a
+/// [`DistStreamExecutor`].
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::reference::NaiveClustering;
+/// use diststream_core::DistStreamJob;
+/// use diststream_engine::{ExecutionMode, StreamingContext, VecSource};
+/// use diststream_types::{ClusteringConfig, Point, Record, Timestamp};
+///
+/// let algo = NaiveClustering::new(1.0);
+/// let ctx = StreamingContext::new(2, ExecutionMode::Simulated)?;
+/// let records: Vec<Record> = (0..100)
+///     .map(|i| Record::new(i, Point::from(vec![(i % 3) as f64 * 5.0]), Timestamp::from_secs(i as f64 * 0.1)))
+///     .collect();
+/// let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+///     .init_records(10)
+///     .run(VecSource::new(records), |_report| {})?;
+/// assert_eq!(result.meter.records(), 90);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct DistStreamJob<'a, A: StreamClustering> {
+    algo: &'a A,
+    ctx: &'a StreamingContext,
+    config: ClusteringConfig,
+    init_records: usize,
+    ordering: UpdateOrdering,
+    premerge: bool,
+}
+
+impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
+    /// Creates a job with the paper defaults: order-aware updates, pre-merge
+    /// enabled, 100 initialization records.
+    pub fn new(algo: &'a A, ctx: &'a StreamingContext, config: ClusteringConfig) -> Self {
+        DistStreamJob {
+            algo,
+            ctx,
+            config,
+            init_records: 100,
+            ordering: UpdateOrdering::OrderAware,
+            premerge: true,
+        }
+    }
+
+    /// Number of leading records consumed for model initialization.
+    pub fn init_records(&mut self, count: usize) -> &mut Self {
+        self.init_records = count;
+        self
+    }
+
+    /// Selects order-aware or unordered-baseline execution.
+    pub fn ordering(&mut self, ordering: UpdateOrdering) -> &mut Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Enables or disables the pre-merge optimization.
+    pub fn premerge(&mut self, premerge: bool) -> &mut Self {
+        self.premerge = premerge;
+        self
+    }
+
+    /// Runs the job to stream exhaustion, invoking `on_batch` after every
+    /// global update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::EmptyStream`] if the source yields fewer
+    /// records than `init_records` requires (at least one), and propagates
+    /// engine failures.
+    pub fn run<S, F>(&self, mut source: S, mut on_batch: F) -> Result<RunResult<A::Model>>
+    where
+        S: RecordSource,
+        F: FnMut(BatchReport<'_, A::Model>),
+    {
+        let mut init = Vec::with_capacity(self.init_records.max(1));
+        while init.len() < self.init_records.max(1) {
+            match source.next_record() {
+                Some(r) => init.push(r),
+                None => break,
+            }
+        }
+        if init.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        let mut model = self.algo.init(&init)?;
+
+        let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
+        exec.ordering(self.ordering).premerge(self.premerge);
+
+        let mut meter = ThroughputMeter::new();
+        let batcher = MiniBatcher::new(&mut source, self.config.batch_secs());
+        for batch in batcher {
+            let batch_index = batch.index;
+            let window_end = batch.window_end;
+            let outcome = exec.process_batch(&mut model, batch)?;
+            meter.observe(&outcome.metrics);
+            on_batch(BatchReport {
+                batch_index,
+                window_end,
+                model: &model,
+                outcome: &outcome,
+            });
+        }
+        Ok(RunResult { model, meter })
+    }
+
+    /// Convenience: runs the job ignoring per-batch reports.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistStreamJob::run`].
+    pub fn run_to_end<S: RecordSource>(&self, source: S) -> Result<RunResult<A::Model>> {
+        self.run(source, |_| {})
+    }
+
+    /// Runs the job with an adaptive batch-size controller (§VII-D3 future
+    /// work): after every batch the controller observes the achieved
+    /// throughput and retunes the next window width within the §IV-D
+    /// quality bound.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistStreamJob::run`].
+    pub fn run_adaptive<S, F>(
+        &self,
+        mut source: S,
+        sizer: &mut crate::adaptive::AdaptiveBatchSizer,
+        mut on_batch: F,
+    ) -> Result<RunResult<A::Model>>
+    where
+        S: RecordSource,
+        F: FnMut(BatchReport<'_, A::Model>),
+    {
+        let mut init = Vec::with_capacity(self.init_records.max(1));
+        while init.len() < self.init_records.max(1) {
+            match source.next_record() {
+                Some(r) => init.push(r),
+                None => break,
+            }
+        }
+        if init.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        let mut model = self.algo.init(&init)?;
+
+        let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
+        exec.ordering(self.ordering).premerge(self.premerge);
+
+        let mut meter = ThroughputMeter::new();
+        let mut batcher = MiniBatcher::new(&mut source, sizer.batch_secs());
+        while let Some(batch) = batcher.next() {
+            let batch_index = batch.index;
+            let window_end = batch.window_end;
+            let outcome = exec.process_batch(&mut model, batch)?;
+            meter.observe(&outcome.metrics);
+            let next = sizer.observe(outcome.metrics.records, outcome.metrics.total_secs());
+            batcher.set_batch_secs(next);
+            on_batch(BatchReport {
+                batch_index,
+                window_end,
+                model: &model,
+                outcome: &outcome,
+            });
+        }
+        Ok(RunResult { model, meter })
+    }
+}
+
+/// Consumes `count` records from a source into a vector (initialization
+/// helper, exposed for harnesses that split a stream manually).
+pub fn take_records<S: RecordSource>(source: &mut S, count: usize) -> Vec<Record> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        match source.next_record() {
+            Some(r) => out.push(r),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::{ExecutionMode, VecSource};
+    use diststream_types::Point;
+
+    fn recs(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    i,
+                    Point::from(vec![(i % 4) as f64 * 6.0]),
+                    Timestamp::from_secs(i as f64 * 0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn job_processes_all_post_init_records() {
+        let algo = NaiveClustering::new(1.5);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let mut reported = 0;
+        let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .init_records(8)
+            .run(VecSource::new(recs(100)), |report| {
+                reported += 1;
+                assert!(!report.model.is_empty());
+            })
+            .unwrap();
+        assert_eq!(result.meter.records(), 92);
+        assert_eq!(result.meter.batches(), reported);
+        assert!(reported >= 4); // 46s of stream at 10s windows.
+    }
+
+    #[test]
+    fn empty_source_errors() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let err = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .run_to_end(VecSource::new(Vec::new()))
+            .unwrap_err();
+        assert_eq!(err, DistStreamError::EmptyStream);
+    }
+
+    #[test]
+    fn source_shorter_than_init_still_initializes() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .init_records(1000)
+            .run_to_end(VecSource::new(recs(10)))
+            .unwrap();
+        // All records consumed by init; no batches.
+        assert_eq!(result.meter.batches(), 0);
+        assert!(!result.model.is_empty());
+    }
+
+    #[test]
+    fn take_records_stops_at_exhaustion() {
+        let mut src = VecSource::new(recs(3));
+        assert_eq!(take_records(&mut src, 10).len(), 3);
+        assert!(take_records(&mut src, 10).is_empty());
+    }
+
+    #[test]
+    fn adaptive_run_processes_everything_within_bounds() {
+        let algo = NaiveClustering::new(1.5);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let config = ClusteringConfig::default();
+        let mut sizer = crate::adaptive::AdaptiveBatchSizer::new(&config, 1.0);
+        let max = sizer.max_secs();
+        let mut windows = Vec::new();
+        let result = DistStreamJob::new(&algo, &ctx, config)
+            .init_records(8)
+            .run_adaptive(VecSource::new(recs(300)), &mut sizer, |report| {
+                windows.push(report.window_end.secs());
+            })
+            .unwrap();
+        assert_eq!(result.meter.records(), 292);
+        assert!(windows.len() >= 2);
+        assert!(sizer.batch_secs() <= max + 1e-9);
+        assert!(sizer.batch_secs() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn job_results_independent_of_parallelism() {
+        let algo = NaiveClustering::new(1.5);
+        let run = |p: usize| {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+                .init_records(8)
+                .run_to_end(VecSource::new(recs(200)))
+                .unwrap()
+                .model
+        };
+        let baseline = run(1);
+        assert_eq!(run(4), baseline);
+        assert_eq!(run(16), baseline);
+    }
+}

@@ -1,0 +1,328 @@
+//! The asynchronous update protocol — the paper's §VII-D2 future work.
+//!
+//! §VII-D2 identifies the synchronous protocol's two scalability
+//! bottlenecks: the single-node global update (latency constant in `p`) and
+//! straggler-prolonged barriers, and closes with "The potential
+//! optimization is to design new asynchronous update protocol."
+//!
+//! [`PipelinedExecutor`] is that protocol: batch `B`'s parallel steps run
+//! against a model that is one global update *stale* (they do not wait for
+//! batch `B−1`'s global update to finish), while the driver applies batch
+//! `B−1`'s global update concurrently. The driver-side work therefore hides
+//! behind the parallel steps — the batch critical path becomes
+//! `max(parallel steps, previous global update)` instead of their sum —
+//! trading one extra batch of model staleness for throughput. The
+//! order-aware mechanism is unchanged: records still fold in arrival order
+//! and micro-clusters still apply in creation order, just one batch later.
+
+use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_types::{Result, Timestamp};
+
+use crate::api::{Assignment, StreamClustering, UpdateOrdering};
+use crate::assignment::assign_records;
+use crate::global::global_update;
+use crate::local::{local_update, LocalOutcome};
+use crate::parallel::BatchOutcome;
+
+struct PendingGlobal<S> {
+    local: LocalOutcome<S>,
+    window_end: Timestamp,
+    seed: u64,
+}
+
+impl<A: StreamClustering> std::fmt::Debug for PipelinedExecutor<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedExecutor")
+            .field("ordering", &self.ordering)
+            .field("premerge", &self.premerge)
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
+}
+
+/// Mini-batch executor running the asynchronous update protocol.
+///
+/// Call [`PipelinedExecutor::process_batch`] per batch and
+/// [`PipelinedExecutor::flush`] once at stream end to apply the last
+/// pending global update.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::reference::NaiveClustering;
+/// use diststream_core::{PipelinedExecutor, StreamClustering};
+/// use diststream_engine::{ExecutionMode, MiniBatch, StreamingContext};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = NaiveClustering::new(1.0);
+/// let ctx = StreamingContext::new(4, ExecutionMode::Simulated)?;
+/// let mut exec = PipelinedExecutor::new(&algo, &ctx);
+/// let mut model = algo.init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])?;
+/// let batch = MiniBatch {
+///     index: 0,
+///     window_start: Timestamp::ZERO,
+///     window_end: Timestamp::from_secs(1.5),
+///     records: vec![Record::new(1, Point::from(vec![0.2]), Timestamp::from_secs(1.0))],
+/// };
+/// exec.process_batch(&mut model, batch)?;
+/// exec.flush(&mut model); // apply the last pending global update
+/// assert_eq!(model.len(), 1);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+pub struct PipelinedExecutor<'a, A: StreamClustering> {
+    algo: &'a A,
+    ctx: &'a StreamingContext,
+    ordering: UpdateOrdering,
+    premerge: bool,
+    base_seed: u64,
+    pending: Option<PendingGlobal<A::Sketch>>,
+}
+
+impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
+    /// Creates an asynchronous executor (order-aware, pre-merge enabled).
+    pub fn new(algo: &'a A, ctx: &'a StreamingContext) -> Self {
+        PipelinedExecutor {
+            algo,
+            ctx,
+            ordering: UpdateOrdering::OrderAware,
+            premerge: true,
+            base_seed: 0x0B5E55ED,
+            pending: None,
+        }
+    }
+
+    /// Selects order-aware or unordered execution.
+    pub fn ordering(&mut self, ordering: UpdateOrdering) -> &mut Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Enables or disables the pre-merge optimization.
+    pub fn premerge(&mut self, premerge: bool) -> &mut Self {
+        self.premerge = premerge;
+        self
+    }
+
+    /// Processes one mini-batch asynchronously: runs the parallel steps
+    /// against the current (one-update-stale) model while applying the
+    /// *previous* batch's global update, then queues this batch's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures (task panics) as
+    /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+    pub fn process_batch(&mut self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+        let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let records = batch.len();
+        let window_start = batch.window_start;
+        let window_end = batch.window_end;
+
+        // Snapshot the stale model for the parallel steps *before* applying
+        // the pending global update — that is the asynchrony.
+        let bcast = Broadcast::new(model.clone());
+        let model_bytes = bcast.payload_bytes();
+
+        // Driver side (conceptually concurrent): apply batch B−1's global
+        // update to the authoritative model.
+        let applied_global_secs = match self.pending.take() {
+            Some(pending) => {
+                let outcome = global_update(
+                    self.algo,
+                    model,
+                    pending.local,
+                    pending.window_end,
+                    self.ordering,
+                    self.premerge,
+                    pending.seed,
+                );
+                outcome.global_secs
+            }
+            None => 0.0,
+        };
+
+        // Parallel side: steps 1 and 2 against the stale snapshot.
+        let assignment = assign_records(self.ctx, self.algo, &bcast, batch.records)?;
+        let assigned_existing = assignment
+            .pairs
+            .iter()
+            .filter(|(_, a)| matches!(a, Assignment::Existing(_)))
+            .count();
+        let outlier_records = records - assigned_existing;
+        let local = local_update(
+            self.ctx,
+            self.algo,
+            &bcast,
+            assignment.pairs,
+            self.ordering,
+            window_start,
+            batch_seed,
+        )?;
+        let local_metrics = local.metrics.clone();
+        let shuffle_bytes = local.shuffle_bytes;
+        let created = local.created.len();
+
+        let overhead_secs = self.ctx.batch_overhead_secs()
+            + self.ctx.broadcast_secs(model_bytes)
+            + self.ctx.shuffle_secs(shuffle_bytes);
+
+        // Queue this batch's outcome for the next iteration's driver side.
+        self.pending = Some(PendingGlobal {
+            local,
+            window_end,
+            seed: batch_seed,
+        });
+
+        Ok(BatchOutcome {
+            metrics: BatchMetrics {
+                batch_index: batch.index,
+                records,
+                assignment: assignment.metrics,
+                local: local_metrics,
+                global_secs: applied_global_secs,
+                overhead_secs,
+                broadcast_bytes: model_bytes * self.ctx.parallelism() as u64,
+                shuffle_bytes,
+                async_overlap: true,
+            },
+            assigned_existing,
+            outlier_records,
+            created_micro_clusters: created,
+            created_after_premerge: created,
+        })
+    }
+
+    /// Applies the last pending global update (call at stream end).
+    /// Returns the measured driver seconds, or 0.0 if nothing was pending.
+    pub fn flush(&mut self, model: &mut A::Model) -> f64 {
+        match self.pending.take() {
+            Some(pending) => {
+                global_update(
+                    self.algo,
+                    model,
+                    pending.local,
+                    pending.window_end,
+                    self.ordering,
+                    self.premerge,
+                    pending.seed,
+                )
+                .global_secs
+            }
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::DistStreamExecutor;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::ExecutionMode;
+    use diststream_types::{Point, Record};
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    fn batch(index: usize, records: Vec<Record>) -> MiniBatch {
+        let window_end = records
+            .last()
+            .map_or(Timestamp::ZERO, |r| r.timestamp + 1.0);
+        MiniBatch {
+            index,
+            window_start: records.first().map_or(Timestamp::ZERO, |r| r.timestamp),
+            window_end,
+            records,
+        }
+    }
+
+    fn stream(n: u64) -> Vec<Record> {
+        (1..n)
+            .map(|i| rec(i, (i % 9) as f64 * 0.8, i as f64 * 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn pending_update_applies_on_next_batch_and_flush() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let mut exec = PipelinedExecutor::new(&algo, &ctx);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let before = model.clone();
+
+        // Batch 0's outcome is queued, not applied.
+        exec.process_batch(&mut model, batch(0, vec![rec(1, 0.2, 1.0)]))
+            .unwrap();
+        assert_eq!(model, before, "async executor applied the update early");
+
+        // Batch 1 applies batch 0's global update.
+        exec.process_batch(&mut model, batch(1, vec![rec(2, 0.3, 2.0)]))
+            .unwrap();
+        assert_ne!(model, before);
+
+        // Flush applies the final pending update.
+        let snapshot = model.clone();
+        exec.flush(&mut model);
+        assert_ne!(model, snapshot);
+        assert_eq!(exec.flush(&mut model), 0.0, "second flush is a no-op");
+    }
+
+    #[test]
+    fn async_model_matches_sync_after_flush_on_two_batches() {
+        // With exactly two batches, async ends up applying the same two
+        // global updates with the same inputs as sync (staleness only
+        // affects batches assigned against a yet-older model — batch 1 here
+        // is assigned against Q0 in both cases).
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let recs = stream(40);
+        let (a, b) = recs.split_at(20);
+
+        let mut sync_model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let sync = DistStreamExecutor::new(&algo, &ctx);
+        sync.process_batch(&mut sync_model, batch(0, a.to_vec())).unwrap();
+
+        let mut async_model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let mut pipelined = PipelinedExecutor::new(&algo, &ctx);
+        pipelined
+            .process_batch(&mut async_model, batch(0, a.to_vec()))
+            .unwrap();
+        pipelined.flush(&mut async_model);
+        assert_eq!(async_model, sync_model);
+        let _ = b;
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let algo = NaiveClustering::new(1.0);
+        let recs = stream(200);
+        let run = |p: usize| {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let mut exec = PipelinedExecutor::new(&algo, &ctx);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            for (i, chunk) in recs.chunks(50).enumerate() {
+                exec.process_batch(&mut model, batch(i, chunk.to_vec()))
+                    .unwrap();
+            }
+            exec.flush(&mut model);
+            model
+        };
+        let base = run(1);
+        assert_eq!(run(4), base);
+        assert_eq!(run(16), base);
+    }
+
+    #[test]
+    fn metrics_report_overlap() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let mut exec = PipelinedExecutor::new(&algo, &ctx);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let out = exec
+            .process_batch(&mut model, batch(0, vec![rec(1, 0.5, 1.0)]))
+            .unwrap();
+        assert!(out.metrics.async_overlap);
+        // First batch has no pending global update to apply.
+        assert_eq!(out.metrics.global_secs, 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Checkpoint-based fault tolerance — the Spark parallel-recovery role.
+//!
+//! The paper inherits fault tolerance from its substrate: "DistStream
+//! leverages Spark Streaming's parallel recovery mechanism" (§VI). Our
+//! substrate is this workspace, so the mechanism lives here: the driver
+//! checkpoints the micro-cluster model every `interval` batches (serialized
+//! with the engine's binary codec, exactly what would be written to stable
+//! storage), and recovery restores the last checkpoint and *replays* the
+//! batches after it. Because the executors are deterministic, replaying
+//! reproduces the pre-failure model bit for bit — verified by tests.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use diststream_engine::{decode, encode, MiniBatch};
+use diststream_types::{DistStreamError, Result};
+
+use crate::api::StreamClustering;
+use crate::parallel::{BatchOutcome, DistStreamExecutor};
+
+/// A serialized model checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Index of the last batch folded into the checkpointed model.
+    pub batch_index: usize,
+    /// The codec-encoded model bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the checkpoint payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Drives a [`DistStreamExecutor`] with periodic model checkpoints and a
+/// bounded replay log, supporting crash recovery.
+///
+/// The write-ahead contract: a batch is appended to the replay log *before*
+/// it is processed, and the log is truncated when a newer checkpoint lands.
+/// [`CheckpointingDriver::recover`] rebuilds the model from the last
+/// checkpoint plus the logged batches — identical to the lost state because
+/// every executor step is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::reference::NaiveClustering;
+/// use diststream_core::{CheckpointingDriver, StreamClustering};
+/// use diststream_engine::{ExecutionMode, MiniBatch, StreamingContext};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = NaiveClustering::new(1.0);
+/// let ctx = StreamingContext::new(2, ExecutionMode::Simulated)?;
+/// let model = algo.init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])?;
+/// let mut driver = CheckpointingDriver::new(&algo, &ctx, model, 2);
+/// let batch = MiniBatch {
+///     index: 0,
+///     window_start: Timestamp::ZERO,
+///     window_end: Timestamp::from_secs(1.0),
+///     records: vec![Record::new(1, Point::from(vec![0.3]), Timestamp::from_secs(0.5))],
+/// };
+/// driver.process_batch(batch)?;
+/// let recovered = driver.recover()?; // what a restarted driver would rebuild
+/// assert_eq!(&recovered, driver.model());
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct CheckpointingDriver<'a, A: StreamClustering> {
+    exec: DistStreamExecutor<'a, A>,
+    algo: &'a A,
+    ctx: &'a diststream_engine::StreamingContext,
+    model: A::Model,
+    interval: usize,
+    since_checkpoint: usize,
+    checkpoint: Checkpoint,
+    replay_log: Vec<MiniBatch>,
+}
+
+impl<'a, A> CheckpointingDriver<'a, A>
+where
+    A: StreamClustering,
+    A::Model: Serialize + DeserializeOwned + PartialEq,
+{
+    /// Creates a driver checkpointing every `interval` batches (≥ 1). The
+    /// initial model is checkpointed immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(
+        algo: &'a A,
+        ctx: &'a diststream_engine::StreamingContext,
+        model: A::Model,
+        interval: usize,
+    ) -> Self {
+        assert!(interval > 0, "checkpoint interval must be at least 1");
+        let checkpoint = Checkpoint {
+            batch_index: 0,
+            bytes: encode(&model),
+        };
+        CheckpointingDriver {
+            exec: DistStreamExecutor::new(algo, ctx),
+            algo,
+            ctx,
+            model,
+            interval,
+            since_checkpoint: 0,
+            checkpoint,
+            replay_log: Vec::new(),
+        }
+    }
+
+    /// The current (authoritative) model.
+    pub fn model(&self) -> &A::Model {
+        &self.model
+    }
+
+    /// The most recent checkpoint.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
+
+    /// Number of batches currently in the replay log.
+    pub fn replay_log_len(&self) -> usize {
+        self.replay_log.len()
+    }
+
+    /// Processes one batch under the write-ahead contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures; the failed batch stays in the replay log
+    /// so [`CheckpointingDriver::recover`] retries it.
+    pub fn process_batch(&mut self, batch: MiniBatch) -> Result<BatchOutcome> {
+        // Write-ahead: log the batch before touching the model.
+        self.replay_log.push(batch.clone());
+        let outcome = self.exec.process_batch(&mut self.model, batch)?;
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.interval {
+            self.take_checkpoint(outcome.metrics.batch_index);
+        }
+        Ok(outcome)
+    }
+
+    /// Forces a checkpoint of the current model and truncates the log.
+    pub fn take_checkpoint(&mut self, batch_index: usize) {
+        self.checkpoint = Checkpoint {
+            batch_index,
+            bytes: encode(&self.model),
+        };
+        self.replay_log.clear();
+        self.since_checkpoint = 0;
+    }
+
+    /// Simulates driver recovery: decodes the last checkpoint and replays
+    /// the logged batches on a fresh executor, returning the rebuilt model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::Engine`] if the checkpoint fails to
+    /// decode, and propagates replay failures.
+    pub fn recover(&self) -> Result<A::Model> {
+        let mut model: A::Model = decode(&self.checkpoint.bytes).map_err(|e| {
+            DistStreamError::Engine(format!("checkpoint corrupt: {e}"))
+        })?;
+        let exec = DistStreamExecutor::new(self.algo, self.ctx);
+        for batch in &self.replay_log {
+            exec.process_batch(&mut model, batch.clone())?;
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::NaiveClustering;
+    use diststream_engine::{ExecutionMode, StreamingContext};
+    use diststream_types::{Point, Record, Timestamp};
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    fn batch(index: usize, records: Vec<Record>) -> MiniBatch {
+        let window_end = records
+            .last()
+            .map_or(Timestamp::ZERO, |r| r.timestamp + 0.5);
+        MiniBatch {
+            index,
+            window_start: records.first().map_or(Timestamp::ZERO, |r| r.timestamp),
+            window_end,
+            records,
+        }
+    }
+
+    fn driver<'a>(
+        algo: &'a NaiveClustering,
+        ctx: &'a StreamingContext,
+        interval: usize,
+    ) -> CheckpointingDriver<'a, NaiveClustering> {
+        let model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        CheckpointingDriver::new(algo, ctx, model, interval)
+    }
+
+    #[test]
+    fn recovery_matches_live_model_between_checkpoints() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let mut d = driver(&algo, &ctx, 3);
+        for i in 0..7 {
+            let records = (0..10)
+                .map(|j| rec(1 + i * 10 + j, (j % 4) as f64 * 3.0, i as f64 + j as f64 * 0.05))
+                .collect();
+            d.process_batch(batch(i as usize, records)).unwrap();
+            // Recovery must reproduce the live model at every point.
+            assert_eq!(&d.recover().unwrap(), d.model(), "diverged after batch {i}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncates_replay_log() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let mut d = driver(&algo, &ctx, 2);
+        d.process_batch(batch(0, vec![rec(1, 0.1, 0.5)])).unwrap();
+        assert_eq!(d.replay_log_len(), 1);
+        d.process_batch(batch(1, vec![rec(2, 0.2, 1.0)])).unwrap();
+        // Interval 2 reached: checkpoint taken, log cleared.
+        assert_eq!(d.replay_log_len(), 0);
+        assert_eq!(d.checkpoint().batch_index, 1);
+        assert!(!d.checkpoint().is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_detected() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let mut d = driver(&algo, &ctx, 10);
+        d.checkpoint.bytes.truncate(d.checkpoint.bytes.len() / 2);
+        assert!(matches!(d.recover(), Err(DistStreamError::Engine(_))));
+    }
+
+    #[test]
+    fn forced_checkpoint_round_trips_model() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let mut d = driver(&algo, &ctx, 100);
+        d.process_batch(batch(0, vec![rec(1, 5.0, 0.5)])).unwrap();
+        d.take_checkpoint(0);
+        assert_eq!(&d.recover().unwrap(), d.model());
+        assert_eq!(d.replay_log_len(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! A minimal reference algorithm used in documentation, tests, and as a
+//! template for implementing the four APIs.
+//!
+//! `NaiveClustering` is deliberately simple: micro-clusters are decayed
+//! centroid sketches with a fixed radius boundary, outliers open new
+//! micro-clusters, weights decay exponentially, and the global update
+//! deletes sketches whose weight falls below a threshold. It exhibits every
+//! behaviour the framework's executors must handle (decay, creation,
+//! deletion, merging, order sensitivity) in a few dozen lines — production
+//! algorithms live in the `diststream-algorithms` crate.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
+
+use crate::api::{Assignment, MicroClusterId, Sketch, StreamClustering, WeightedPoint};
+
+/// Decay base used by the reference algorithm (`λ = 2^{-Δt}`).
+const BETA: f64 = 2.0;
+/// Sketches lighter than this are deleted at global update.
+const MIN_WEIGHT: f64 = 0.01;
+
+/// Micro-cluster sketch of [`NaiveClustering`]: a decayed weighted centroid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveSketch {
+    /// Decayed linear sum of absorbed points.
+    pub sum: Point,
+    /// Decayed weight.
+    pub weight: f64,
+    /// Last time the sketch absorbed a record or was decayed.
+    pub updated_at: Timestamp,
+}
+
+impl NaiveSketch {
+    fn decay_to(&mut self, now: Timestamp) {
+        let dt = now.saturating_since(self.updated_at);
+        if dt > 0.0 {
+            let lambda = BETA.powf(-dt);
+            self.sum.scale_in_place(lambda);
+            self.weight *= lambda;
+            self.updated_at = now;
+        }
+    }
+}
+
+impl Sketch for NaiveSketch {
+    fn centroid(&self) -> Point {
+        if self.weight > 0.0 {
+            self.sum.scaled(1.0 / self.weight)
+        } else {
+            self.sum.clone()
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn merge(&mut self, other: &Self) {
+        // Bring both sketches to the same time before adding.
+        let now = self.updated_at.max(other.updated_at);
+        self.decay_to(now);
+        let mut o = other.clone();
+        o.decay_to(now);
+        self.sum.add_in_place(&o.sum);
+        self.weight += o.weight;
+    }
+}
+
+/// Model of [`NaiveClustering`]: an id-keyed set of sketches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NaiveModel {
+    sketches: BTreeMap<MicroClusterId, NaiveSketch>,
+    next_id: MicroClusterId,
+}
+
+impl NaiveModel {
+    /// Number of live micro-clusters.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Whether the model holds no micro-clusters.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Iterates over `(id, sketch)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MicroClusterId, &NaiveSketch)> {
+        self.sketches.iter()
+    }
+}
+
+/// The minimal reference implementation of [`StreamClustering`].
+///
+/// # Examples
+///
+/// ```
+/// use diststream_core::reference::NaiveClustering;
+/// use diststream_core::{Assignment, StreamClustering};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let algo = NaiveClustering::new(1.0);
+/// let init = vec![Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)];
+/// let model = algo.init(&init)?;
+/// let near = Record::new(1, Point::from(vec![0.5]), Timestamp::from_secs(1.0));
+/// assert!(matches!(algo.assign(&model, &near), Assignment::Existing(_)));
+/// let far = Record::new(2, Point::from(vec![9.0]), Timestamp::from_secs(2.0));
+/// assert!(matches!(algo.assign(&model, &far), Assignment::New(_)));
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveClustering {
+    radius: f64,
+    premerge_radius: f64,
+}
+
+impl NaiveClustering {
+    /// Creates the reference algorithm with a fixed micro-cluster radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    pub fn new(radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        NaiveClustering {
+            radius,
+            premerge_radius: radius,
+        }
+    }
+}
+
+impl StreamClustering for NaiveClustering {
+    type Model = NaiveModel;
+    type Sketch = NaiveSketch;
+
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn init(&self, records: &[Record]) -> Result<NaiveModel> {
+        if records.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        let mut model = NaiveModel::default();
+        for r in records {
+            match self.assign(&model, r) {
+                Assignment::Existing(id) => {
+                    let mut sketch = self.sketch_of(&model, id);
+                    self.update(&mut sketch, r);
+                    model.sketches.insert(id, sketch);
+                }
+                Assignment::New(_) => {
+                    let id = model.next_id;
+                    model.next_id += 1;
+                    model.sketches.insert(id, self.create(r));
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    fn assign(&self, model: &NaiveModel, record: &Record) -> Assignment {
+        let closest = model
+            .sketches
+            .iter()
+            .map(|(id, s)| (*id, s.centroid().distance(&record.point)))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        match closest {
+            Some((id, d)) if d <= self.radius => Assignment::Existing(id),
+            _ => Assignment::New(record.id),
+        }
+    }
+
+    fn sketch_of(&self, model: &NaiveModel, id: MicroClusterId) -> NaiveSketch {
+        model.sketches[&id].clone()
+    }
+
+    fn create(&self, record: &Record) -> NaiveSketch {
+        NaiveSketch {
+            sum: record.point.clone(),
+            weight: 1.0,
+            updated_at: record.timestamp,
+        }
+    }
+
+    fn update(&self, sketch: &mut NaiveSketch, record: &Record) {
+        sketch.decay_to(record.timestamp);
+        sketch.sum.add_in_place(&record.point);
+        sketch.weight += 1.0;
+    }
+
+    fn can_premerge(&self, a: &NaiveSketch, b: &NaiveSketch) -> bool {
+        a.centroid().distance(&b.centroid()) <= self.premerge_radius
+    }
+
+    fn apply_global(
+        &self,
+        model: &mut NaiveModel,
+        updated: Vec<(MicroClusterId, NaiveSketch)>,
+        created: Vec<NaiveSketch>,
+        now: Timestamp,
+    ) {
+        for (id, sketch) in updated {
+            model.sketches.insert(id, sketch);
+        }
+        for sketch in created {
+            let id = model.next_id;
+            model.next_id += 1;
+            model.sketches.insert(id, sketch);
+        }
+        for sketch in model.sketches.values_mut() {
+            sketch.decay_to(now);
+        }
+        model.sketches.retain(|_, s| s.weight >= MIN_WEIGHT);
+    }
+
+    fn snapshot(&self, model: &NaiveModel) -> Vec<WeightedPoint> {
+        model
+            .sketches
+            .values()
+            .map(|s| WeightedPoint {
+                point: s.centroid(),
+                weight: s.weight,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, x: f64, t: f64) -> Record {
+        Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn init_requires_records() {
+        assert!(matches!(
+            NaiveClustering::new(1.0).init(&[]),
+            Err(DistStreamError::EmptyStream)
+        ));
+    }
+
+    #[test]
+    fn init_separates_far_records() {
+        let algo = NaiveClustering::new(1.0);
+        let model = algo.init(&[rec(0, 0.0, 0.0), rec(1, 5.0, 1.0)]).unwrap();
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn update_decays_before_adding() {
+        let algo = NaiveClustering::new(1.0);
+        let mut s = algo.create(&rec(0, 4.0, 0.0));
+        // One second later, old mass is halved (beta = 2).
+        algo.update(&mut s, &rec(1, 1.0, 1.0));
+        assert!((s.weight - 1.5).abs() < 1e-12);
+        assert!((s.sum.as_slice()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_order_changes_result() {
+        // The §IV-C1 theoretical point: folding the same two records in
+        // opposite orders yields different sketches.
+        let algo = NaiveClustering::new(1.0);
+        let a = rec(0, 1.0, 0.0);
+        let b = rec(1, 2.0, 1.0);
+        let mut ordered = algo.create(&a);
+        algo.update(&mut ordered, &b);
+        let mut reversed = algo.create(&b);
+        // Reverse order: record a arrives "late"; saturating decay treats it
+        // as contemporaneous, so no decay is applied to b's mass.
+        algo.update(&mut reversed, &a);
+        assert_ne!(ordered, reversed);
+        // The recent record's share of the sketch is larger in arrival order.
+        let impact_ordered = 2.0 / ordered.sum.as_slice()[0];
+        let impact_reversed = 2.0 / reversed.sum.as_slice()[0];
+        assert!(impact_ordered >= impact_reversed);
+    }
+
+    #[test]
+    fn global_update_deletes_stale_sketches() {
+        let algo = NaiveClustering::new(1.0);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn global_update_inserts_created() {
+        let algo = NaiveClustering::new(1.0);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+        let created = algo.create(&rec(1, 9.0, 0.5));
+        algo.apply_global(&mut model, vec![], vec![created], Timestamp::from_secs(0.5));
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn merge_aligns_time_first() {
+        let algo = NaiveClustering::new(1.0);
+        let old = algo.create(&rec(0, 4.0, 0.0));
+        let mut new = algo.create(&rec(1, 1.0, 1.0));
+        new.merge(&old);
+        // Old sketch decayed to half before merging.
+        assert!((new.weight - 1.5).abs() < 1e-12);
+        assert!((new.sum.as_slice()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_exports_centroids() {
+        let algo = NaiveClustering::new(1.0);
+        let model = algo.init(&[rec(0, 2.0, 0.0), rec(1, 8.0, 0.0)]).unwrap();
+        let snap = algo.snapshot(&model);
+        assert_eq!(snap.len(), 2);
+        let mut xs: Vec<f64> = snap.iter().map(|wp| wp.point.as_slice()[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert_eq!(xs, vec![2.0, 8.0]);
+    }
+}

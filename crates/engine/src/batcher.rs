@@ -1,0 +1,250 @@
+//! Mini-batch division of a record stream by virtual-time windows.
+
+use diststream_types::{Record, Timestamp};
+
+use crate::source::RecordSource;
+
+/// One mini-batch: all records whose timestamps fall in
+/// `[window_start, window_end)`.
+///
+/// Batches are produced in stream order; records inside a batch keep their
+/// arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniBatch {
+    /// Zero-based batch index.
+    pub index: usize,
+    /// Inclusive window start (virtual time).
+    pub window_start: Timestamp,
+    /// Exclusive window end (virtual time).
+    pub window_end: Timestamp,
+    /// Records in arrival order.
+    pub records: Vec<Record>,
+}
+
+impl MiniBatch {
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the window contained no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Cuts a [`RecordSource`] into fixed-width virtual-time mini-batches — the
+/// Spark Streaming batch-interval equivalent.
+///
+/// Windows are aligned to multiples of `batch_secs` starting at the first
+/// record's timestamp. Empty windows (no records in an interval) are
+/// *skipped*, matching a replayed-stream harness where the producer never
+/// idles.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{MiniBatcher, VecSource};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let recs: Vec<Record> = (0..6)
+///     .map(|i| Record::new(i, Point::zeros(1), Timestamp::from_secs(i as f64)))
+///     .collect();
+/// let mut batches = MiniBatcher::new(VecSource::new(recs), 2.0);
+/// let first = batches.next().unwrap();
+/// assert_eq!(first.len(), 2); // t = 0, 1
+/// let second = batches.next().unwrap();
+/// assert_eq!(second.len(), 2); // t = 2, 3
+/// ```
+#[derive(Debug)]
+pub struct MiniBatcher<S> {
+    source: S,
+    batch_secs: f64,
+    origin: Option<Timestamp>,
+    pending: Option<Record>,
+    next_index: usize,
+    exhausted: bool,
+}
+
+impl<S: RecordSource> MiniBatcher<S> {
+    /// Creates a batcher with the given window width in virtual seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_secs` is not strictly positive and finite.
+    pub fn new(source: S, batch_secs: f64) -> Self {
+        assert!(
+            batch_secs > 0.0 && batch_secs.is_finite(),
+            "batch window must be positive and finite, got {batch_secs}"
+        );
+        MiniBatcher {
+            source,
+            batch_secs,
+            origin: None,
+            pending: None,
+            next_index: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The configured window width in virtual seconds.
+    pub fn batch_secs(&self) -> f64 {
+        self.batch_secs
+    }
+
+    /// Changes the window width, taking effect from the next batch.
+    ///
+    /// Window alignment restarts at the next record so adaptive batch-sizing
+    /// controllers (the paper's §VII-D3 future work) can retune between
+    /// batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_secs` is not strictly positive and finite.
+    pub fn set_batch_secs(&mut self, batch_secs: f64) {
+        assert!(
+            batch_secs > 0.0 && batch_secs.is_finite(),
+            "batch window must be positive and finite, got {batch_secs}"
+        );
+        self.batch_secs = batch_secs;
+        // Re-anchor the window origin at the next record.
+        self.origin = None;
+    }
+
+    fn window_of(&self, t: Timestamp, origin: Timestamp) -> u64 {
+        let elapsed = t.saturating_since(origin);
+        (elapsed / self.batch_secs) as u64
+    }
+}
+
+impl<S: RecordSource> Iterator for MiniBatcher<S> {
+    type Item = MiniBatch;
+
+    fn next(&mut self) -> Option<MiniBatch> {
+        if self.exhausted && self.pending.is_none() {
+            return None;
+        }
+        let first = match self.pending.take().or_else(|| self.source.next_record()) {
+            Some(r) => r,
+            None => {
+                self.exhausted = true;
+                return None;
+            }
+        };
+        let origin = *self.origin.get_or_insert(first.timestamp);
+        let window = self.window_of(first.timestamp, origin);
+        let window_start = origin + window as f64 * self.batch_secs;
+        let window_end = window_start + self.batch_secs;
+
+        let mut records = Vec::with_capacity(self.source.len_hint().map_or(16, |n| {
+            // Rough pre-size: assume uniform density across remaining stream.
+            (n / 8).clamp(16, 1 << 20)
+        }));
+        records.push(first);
+        loop {
+            match self.source.next_record() {
+                Some(r) if self.window_of(r.timestamp, origin) == window => records.push(r),
+                Some(r) => {
+                    self.pending = Some(r);
+                    break;
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(MiniBatch {
+            index,
+            window_start,
+            window_end,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use diststream_types::Point;
+
+    fn rec(id: u64, t: f64) -> Record {
+        Record::new(id, Point::zeros(1), Timestamp::from_secs(t))
+    }
+
+    fn batch_all(records: Vec<Record>, window: f64) -> Vec<MiniBatch> {
+        MiniBatcher::new(VecSource::new(records), window).collect()
+    }
+
+    #[test]
+    fn empty_source_yields_no_batches() {
+        assert!(batch_all(Vec::new(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn splits_on_window_boundaries() {
+        let recs = vec![rec(0, 0.0), rec(1, 0.5), rec(2, 1.0), rec(3, 2.5)];
+        let batches = batch_all(recs, 1.0);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[1].len(), 1);
+        assert_eq!(batches[2].len(), 1);
+        assert_eq!(batches[0].index, 0);
+        assert_eq!(batches[2].index, 2);
+    }
+
+    #[test]
+    fn windows_are_aligned_to_first_record() {
+        let recs = vec![rec(0, 10.0), rec(1, 10.9), rec(2, 11.0)];
+        let batches = batch_all(recs, 1.0);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].window_start.secs(), 10.0);
+        assert_eq!(batches[0].window_end.secs(), 11.0);
+        assert_eq!(batches[1].window_start.secs(), 11.0);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        // Gap between t=0 and t=10 spans several empty 2s windows.
+        let recs = vec![rec(0, 0.0), rec(1, 10.0)];
+        let batches = batch_all(recs, 2.0);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].window_start.secs(), 10.0);
+        // Indexes stay consecutive even when windows were skipped.
+        assert_eq!(batches[1].index, 1);
+    }
+
+    #[test]
+    fn all_records_preserved_in_order() {
+        let recs: Vec<Record> = (0..100).map(|i| rec(i, i as f64 * 0.3)).collect();
+        let batches = batch_all(recs.clone(), 2.5);
+        let flattened: Vec<Record> = batches.into_iter().flat_map(|b| b.records).collect();
+        assert_eq!(flattened, recs);
+    }
+
+    #[test]
+    fn single_batch_when_window_spans_everything() {
+        let recs: Vec<Record> = (0..10).map(|i| rec(i, i as f64)).collect();
+        let batches = batch_all(recs, 1000.0);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch window must be positive")]
+    fn rejects_zero_window() {
+        let _ = MiniBatcher::new(VecSource::new(Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn boundary_record_goes_to_next_window() {
+        // A record exactly at the window end belongs to the next batch
+        // (windows are half-open [start, end)).
+        let recs = vec![rec(0, 0.0), rec(1, 1.0)];
+        let batches = batch_all(recs, 1.0);
+        assert_eq!(batches.len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Broadcast variables — shipping the micro-cluster model to every task.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use crate::sizeof::serialized_size;
+
+/// A read-only value shared with every task of a step, like Spark's
+/// broadcast variables.
+///
+/// At the start of each batch-by-batch feedback loop, DistStream broadcasts
+/// "the entire micro-cluster set `Q_t` to each task" (§V-A). In-process the
+/// share is an [`Arc`] clone; the *cost* of the broadcast — `p` copies of
+/// the serialized value over the network — is captured once at construction
+/// as [`Broadcast::payload_bytes`] and charged by the simulated network
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::Broadcast;
+///
+/// let model = Broadcast::new(vec![1.0f64; 100]);
+/// assert_eq!(model.payload_bytes(), 8 + 800);
+/// assert_eq!(model.len(), 100); // Deref to the inner value
+/// ```
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    payload_bytes: u64,
+}
+
+impl<T: Serialize> Broadcast<T> {
+    /// Wraps `value` for sharing, recording its serialized size.
+    pub fn new(value: T) -> Self {
+        let payload_bytes = serialized_size(&value);
+        Broadcast {
+            value: Arc::new(value),
+            payload_bytes,
+        }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// Serialized size of the broadcast payload, in bytes (one copy).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// A shared handle for moving into a task closure.
+    pub fn handle(&self) -> Arc<T> {
+        Arc::clone(&self.value)
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+            payload_bytes: self.payload_bytes,
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Broadcast<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broadcast")
+            .field("payload_bytes", &self.payload_bytes)
+            .field("value", &*self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_size_recorded() {
+        let b = Broadcast::new(7u64);
+        assert_eq!(b.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let b = Broadcast::new(vec![1, 2, 3]);
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.handle(), &c.handle()));
+        assert_eq!(c.payload_bytes(), b.payload_bytes());
+    }
+
+    #[test]
+    fn deref_reaches_inner() {
+        let b = Broadcast::new(String::from("model"));
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn handle_moves_into_threads() {
+        let b = Broadcast::new(vec![1u64, 2, 3]);
+        let h = b.handle();
+        let sum: u64 = std::thread::spawn(move || h.iter().sum()).join().unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = Broadcast::new(1u8);
+        assert!(format!("{b:?}").contains("payload_bytes"));
+    }
+}

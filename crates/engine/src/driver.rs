@@ -1,0 +1,297 @@
+//! The streaming driver: execution modes and the per-step task runner.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+use diststream_types::Result;
+
+use crate::metrics::StepMetrics;
+use crate::netcost::SimCostModel;
+use crate::pool::TaskPool;
+
+/// How a step's tasks are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Run tasks on a real OS-thread pool sized to the parallelism degree.
+    /// Step latency is measured wall-clock. Use on hosts with enough cores
+    /// and in tests of the concurrent code paths.
+    Threads,
+    /// Run tasks serially, timing each, and *simulate* the cluster:
+    /// step latency is the barrier makespan of the measured task times over
+    /// `p` slots under [`SimCostModel`] (scheduling overheads, network
+    /// charges, straggler injection). Use for performance experiments on
+    /// hosts with fewer cores than the modelled cluster.
+    Simulated,
+}
+
+/// The per-batch execution context — DistStream's window onto the cluster.
+///
+/// A `StreamingContext` owns the parallelism degree, the execution mode, and
+/// (in simulated mode) the cost model and its seeded RNG. The framework
+/// calls [`StreamingContext::run_tasks`] once per parallel step and charges
+/// data movement through [`StreamingContext::network_secs`].
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{ExecutionMode, StreamingContext};
+///
+/// let ctx = StreamingContext::new(8, ExecutionMode::Simulated)?;
+/// let (outs, step) = ctx.run_tasks(vec![10u64, 20, 30], |_idx, x| x + 1)?;
+/// assert_eq!(outs, vec![11, 21, 31]);
+/// assert_eq!(step.task_count(), 3);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamingContext {
+    parallelism: usize,
+    mode: ExecutionMode,
+    pool: TaskPool,
+    cost: SimCostModel,
+    rng: Mutex<StdRng>,
+}
+
+impl StreamingContext {
+    /// Default RNG seed for straggler injection.
+    pub const DEFAULT_SEED: u64 = 0xD157_57E0;
+
+    /// Creates a context with `parallelism` task slots and the default
+    /// cost model (simulated mode only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::InvalidConfig`] if `parallelism` is zero.
+    ///
+    /// [`DistStreamError::InvalidConfig`]: diststream_types::DistStreamError::InvalidConfig
+    pub fn new(parallelism: usize, mode: ExecutionMode) -> Result<Self> {
+        Self::with_cost_model(parallelism, mode, SimCostModel::default())
+    }
+
+    /// Creates a context with an explicit cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::InvalidConfig`] if `parallelism` is zero.
+    ///
+    /// [`DistStreamError::InvalidConfig`]: diststream_types::DistStreamError::InvalidConfig
+    pub fn with_cost_model(
+        parallelism: usize,
+        mode: ExecutionMode,
+        cost: SimCostModel,
+    ) -> Result<Self> {
+        if parallelism == 0 {
+            return Err(diststream_types::DistStreamError::InvalidConfig(
+                "parallelism degree must be at least 1".into(),
+            ));
+        }
+        Ok(StreamingContext {
+            parallelism,
+            mode,
+            pool: TaskPool::new(parallelism),
+            cost,
+            rng: Mutex::new(StdRng::seed_from_u64(Self::DEFAULT_SEED)),
+        })
+    }
+
+    /// Reseeds the straggler RNG (for reproducible experiment replicates).
+    pub fn reseed(&self, seed: u64) {
+        *self.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// The parallelism degree (number of task slots).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &SimCostModel {
+        &self.cost
+    }
+
+    /// Executes one parallel step: runs `f` over every input and returns the
+    /// outputs in task order plus the step's timing.
+    ///
+    /// In [`ExecutionMode::Threads`] the tasks run concurrently and
+    /// `StepMetrics::wall_secs` is measured. In
+    /// [`ExecutionMode::Simulated`] the tasks run serially (each timed) and
+    /// `wall_secs` is the simulated barrier makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::Engine`] if a task panics in thread mode.
+    ///
+    /// [`DistStreamError::Engine`]: diststream_types::DistStreamError::Engine
+    pub fn run_tasks<I, O, F>(&self, inputs: Vec<I>, f: F) -> Result<(Vec<O>, StepMetrics)>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        match self.mode {
+            ExecutionMode::Threads => {
+                let start = Instant::now();
+                let (outputs, task_secs) = self.pool.run(inputs, &f)?;
+                let wall = start.elapsed().as_secs_f64();
+                Ok((outputs, StepMetrics::new(task_secs, wall)))
+            }
+            ExecutionMode::Simulated => {
+                let mut outputs = Vec::with_capacity(inputs.len());
+                let mut measured = Vec::with_capacity(inputs.len());
+                for (idx, input) in inputs.into_iter().enumerate() {
+                    let start = Instant::now();
+                    outputs.push(f(idx, input));
+                    measured.push(start.elapsed().as_secs_f64());
+                }
+                let mut rng = self.rng.lock();
+                let (effective, makespan) =
+                    self.cost
+                        .step_wall_secs(&measured, self.parallelism, &mut rng);
+                Ok((outputs, StepMetrics::new(effective, makespan)))
+            }
+        }
+    }
+
+    /// Simulated network seconds for moving `bytes` in `messages` messages.
+    ///
+    /// Returns 0.0 in thread mode, where real data movement (memory traffic)
+    /// is already part of the measured wall time.
+    pub fn network_secs(&self, bytes: u64, messages: u64) -> f64 {
+        match self.mode {
+            ExecutionMode::Threads => 0.0,
+            ExecutionMode::Simulated => self.cost.network.transfer_secs(bytes, messages),
+        }
+    }
+
+    /// Simulated cost of broadcasting `payload_bytes` to every task slot.
+    pub fn broadcast_secs(&self, payload_bytes: u64) -> f64 {
+        match self.mode {
+            ExecutionMode::Threads => 0.0,
+            ExecutionMode::Simulated => self.cost.broadcast_secs(payload_bytes, self.parallelism),
+        }
+    }
+
+    /// Simulated cost of the shuffle between the assignment and local-update
+    /// steps.
+    pub fn shuffle_secs(&self, bytes: u64) -> f64 {
+        match self.mode {
+            ExecutionMode::Threads => 0.0,
+            ExecutionMode::Simulated => self.cost.shuffle_secs(bytes, self.parallelism),
+        }
+    }
+
+    /// Simulated cost of collecting `bytes` of step output onto the driver.
+    pub fn collect_secs(&self, bytes: u64) -> f64 {
+        match self.mode {
+            ExecutionMode::Threads => 0.0,
+            ExecutionMode::Simulated => self.cost.collect_secs(bytes, self.parallelism),
+        }
+    }
+
+    /// The fixed per-batch scheduling overhead (simulated mode; 0.0 in
+    /// thread mode).
+    pub fn batch_overhead_secs(&self) -> f64 {
+        match self.mode {
+            ExecutionMode::Threads => 0.0,
+            ExecutionMode::Simulated => {
+                self.cost.per_batch_overhead_secs * self.cost.workload_scale
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_parallelism_is_invalid() {
+        assert!(StreamingContext::new(0, ExecutionMode::Threads).is_err());
+    }
+
+    #[test]
+    fn thread_and_simulated_modes_compute_identical_data() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let threads = StreamingContext::new(4, ExecutionMode::Threads).unwrap();
+        let sim = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+        let (a, _) = threads.run_tasks(inputs.clone(), |_, x| x * 3).unwrap();
+        let (b, _) = sim.run_tasks(inputs, |_, x| x * 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulated_metrics_include_per_task_overhead() {
+        let cost = SimCostModel {
+            per_task_overhead_secs: 0.25,
+            ..SimCostModel::zero()
+        };
+        let ctx = StreamingContext::with_cost_model(2, ExecutionMode::Simulated, cost).unwrap();
+        let (_, step) = ctx.run_tasks(vec![(), ()], |_, ()| ()).unwrap();
+        assert!(step.task_secs().iter().all(|&t| t >= 0.25));
+        assert!(step.wall_secs() >= 0.25);
+    }
+
+    #[test]
+    fn network_charges_zero_in_thread_mode() {
+        let ctx = StreamingContext::new(2, ExecutionMode::Threads).unwrap();
+        assert_eq!(ctx.network_secs(1 << 30, 100), 0.0);
+        assert_eq!(ctx.broadcast_secs(1 << 30), 0.0);
+        assert_eq!(ctx.batch_overhead_secs(), 0.0);
+    }
+
+    #[test]
+    fn network_charges_nonzero_in_simulated_mode() {
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        assert!(ctx.network_secs(1 << 30, 1) > 0.0);
+        assert!(ctx.broadcast_secs(1 << 20) > 0.0);
+        assert!(ctx.batch_overhead_secs() > 0.0);
+    }
+
+    #[test]
+    fn reseed_makes_straggler_sequences_reproducible() {
+        // Straggler decisions come from the context's seeded RNG; with fixed
+        // task times the inflation pattern must repeat after a reseed.
+        let cost = SimCostModel {
+            straggler: Some(crate::netcost::StragglerModel {
+                prob_per_slot: 0.05,
+                max_prob: 0.9,
+                min_slowdown: 2.0,
+                max_slowdown: 2.0,
+            }),
+            ..SimCostModel::zero()
+        };
+        let ctx = StreamingContext::with_cost_model(8, ExecutionMode::Simulated, cost).unwrap();
+        let fixed = vec![1.0_f64; 64];
+        ctx.reseed(99);
+        let first = ctx
+            .cost_model()
+            .step_wall_secs(&fixed, 8, &mut ctx.rng.lock());
+        ctx.reseed(99);
+        let second = ctx
+            .cost_model()
+            .step_wall_secs(&fixed, 8, &mut ctx.rng.lock());
+        assert_eq!(first, second);
+        // And the pattern really contains some inflated tasks.
+        assert!(first.0.iter().any(|&t| t > 1.0));
+    }
+
+    #[test]
+    fn outputs_preserve_task_order_in_both_modes() {
+        for mode in [ExecutionMode::Threads, ExecutionMode::Simulated] {
+            let ctx = StreamingContext::new(3, mode).unwrap();
+            let (outs, _) = ctx
+                .run_tasks((0..20).collect::<Vec<usize>>(), |idx, x| {
+                    assert_eq!(idx, x);
+                    x
+                })
+                .unwrap();
+            assert_eq!(outs, (0..20).collect::<Vec<usize>>());
+        }
+    }
+}

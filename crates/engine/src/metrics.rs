@@ -1,0 +1,332 @@
+//! Step- and batch-level performance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's straggler criterion: a task is a straggler when its execution
+/// time exceeds 1.2× the step's mean task time (§VII-D2).
+pub const STRAGGLER_FACTOR: f64 = 1.2;
+
+/// Timing of one parallel step (a set of tasks separated from the next step
+/// by a synchronization barrier).
+///
+/// `task_secs` are the *effective* per-task durations: measured wall time in
+/// thread mode; measured serial time plus straggler inflation and per-task
+/// overhead in simulated mode. `wall_secs` is the step's barrier-to-barrier
+/// latency: measured in thread mode, the scheduling makespan in simulated
+/// mode.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StepMetrics {
+    task_secs: Vec<f64>,
+    wall_secs: f64,
+}
+
+impl StepMetrics {
+    /// Creates step metrics from effective task durations and step wall time.
+    pub fn new(task_secs: Vec<f64>, wall_secs: f64) -> Self {
+        StepMetrics {
+            task_secs,
+            wall_secs,
+        }
+    }
+
+    /// A zero-task, zero-time step (used for skipped steps).
+    pub fn empty() -> Self {
+        StepMetrics::default()
+    }
+
+    /// Number of tasks in the step.
+    pub fn task_count(&self) -> usize {
+        self.task_secs.len()
+    }
+
+    /// Effective per-task durations in seconds.
+    pub fn task_secs(&self) -> &[f64] {
+        &self.task_secs
+    }
+
+    /// Barrier-to-barrier step latency in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
+
+    /// Mean task duration (0.0 for an empty step).
+    pub fn mean_task_secs(&self) -> f64 {
+        if self.task_secs.is_empty() {
+            0.0
+        } else {
+            self.task_secs.iter().sum::<f64>() / self.task_secs.len() as f64
+        }
+    }
+
+    /// Longest task duration (0.0 for an empty step).
+    pub fn max_task_secs(&self) -> f64 {
+        self.task_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of straggler tasks: tasks slower than
+    /// [`STRAGGLER_FACTOR`] × the mean task time.
+    pub fn straggler_count(&self) -> usize {
+        let mean = self.mean_task_secs();
+        if mean == 0.0 {
+            return 0;
+        }
+        self.task_secs
+            .iter()
+            .filter(|&&t| t > STRAGGLER_FACTOR * mean)
+            .count()
+    }
+
+    /// Straggler tasks as a fraction of all tasks (0.0 for an empty step).
+    pub fn straggler_fraction(&self) -> f64 {
+        if self.task_secs.is_empty() {
+            0.0
+        } else {
+            self.straggler_count() as f64 / self.task_secs.len() as f64
+        }
+    }
+}
+
+/// End-to-end timing and data-movement accounting for one mini-batch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Zero-based batch index.
+    pub batch_index: usize,
+    /// Records processed in the batch.
+    pub records: usize,
+    /// Step 1: finding the closest micro-cluster (record-based parallelism).
+    pub assignment: StepMetrics,
+    /// Step 2: local update (model-based parallelism).
+    pub local: StepMetrics,
+    /// Step 3: global update on the driver, in seconds.
+    pub global_secs: f64,
+    /// Network + scheduling overhead charged to the batch, in seconds.
+    pub overhead_secs: f64,
+    /// Bytes broadcast to tasks (model × parallelism).
+    pub broadcast_bytes: u64,
+    /// Bytes moved by the shuffle between steps 1 and 2.
+    pub shuffle_bytes: u64,
+    /// `true` when the batch ran under the asynchronous update protocol,
+    /// overlapping the driver-side global update with the parallel steps.
+    pub async_overlap: bool,
+}
+
+impl BatchMetrics {
+    /// Total batch latency.
+    ///
+    /// Under the synchronous protocol this is the sum of both parallel
+    /// steps, the driver-side global update, and overheads. Under the
+    /// asynchronous protocol (`async_overlap`), the global update of the
+    /// previous batch runs concurrently with this batch's parallel steps,
+    /// so the critical path is the *maximum* of the two.
+    pub fn total_secs(&self) -> f64 {
+        let parallel = self.assignment.wall_secs() + self.local.wall_secs();
+        if self.async_overlap {
+            parallel.max(self.global_secs) + self.overhead_secs
+        } else {
+            parallel + self.global_secs + self.overhead_secs
+        }
+    }
+
+    /// Straggler tasks across both parallel steps.
+    pub fn straggler_count(&self) -> usize {
+        self.assignment.straggler_count() + self.local.straggler_count()
+    }
+}
+
+/// Accumulates batch metrics into stream-level throughput numbers.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{BatchMetrics, StepMetrics, ThroughputMeter};
+///
+/// let mut meter = ThroughputMeter::new();
+/// let mut batch = BatchMetrics::default();
+/// batch.records = 1000;
+/// batch.global_secs = 0.5;
+/// meter.observe(&batch);
+/// assert_eq!(meter.records(), 1000);
+/// assert_eq!(meter.records_per_sec(), 2000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    records: usize,
+    secs: f64,
+    batches: usize,
+    global_secs: f64,
+    straggler_tasks: usize,
+    total_tasks: usize,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Folds one batch's metrics into the totals.
+    pub fn observe(&mut self, batch: &BatchMetrics) {
+        self.records += batch.records;
+        self.secs += batch.total_secs();
+        self.batches += 1;
+        self.global_secs += batch.global_secs;
+        self.straggler_tasks += batch.straggler_count();
+        self.total_tasks += batch.assignment.task_count() + batch.local.task_count();
+    }
+
+    /// Total records observed.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Total processing seconds observed.
+    pub fn secs(&self) -> f64 {
+        self.secs
+    }
+
+    /// Number of batches observed.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Average throughput: records / total processing time.
+    ///
+    /// Returns 0.0 before any time has been observed.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.secs == 0.0 {
+            0.0
+        } else {
+            self.records as f64 / self.secs
+        }
+    }
+
+    /// Per-record latency in microseconds — "the inverse of the throughput"
+    /// (§VII-C1).
+    pub fn micros_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.secs * 1e6 / self.records as f64
+        }
+    }
+
+    /// Driver-side global-update latency per record, in microseconds.
+    pub fn global_micros_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.global_secs * 1e6 / self.records as f64
+        }
+    }
+
+    /// Fraction of tasks that were stragglers.
+    pub fn straggler_fraction(&self) -> f64 {
+        if self.total_tasks == 0 {
+            0.0
+        } else {
+            self.straggler_tasks as f64 / self.total_tasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_statistics() {
+        let step = StepMetrics::new(vec![1.0, 1.0, 1.0, 2.0], 2.0);
+        assert_eq!(step.task_count(), 4);
+        assert_eq!(step.mean_task_secs(), 1.25);
+        assert_eq!(step.max_task_secs(), 2.0);
+        // 2.0 > 1.2 * 1.25 = 1.5 → one straggler.
+        assert_eq!(step.straggler_count(), 1);
+        assert_eq!(step.straggler_fraction(), 0.25);
+        assert_eq!(step.wall_secs(), 2.0);
+    }
+
+    #[test]
+    fn empty_step_is_all_zero() {
+        let step = StepMetrics::empty();
+        assert_eq!(step.task_count(), 0);
+        assert_eq!(step.mean_task_secs(), 0.0);
+        assert_eq!(step.max_task_secs(), 0.0);
+        assert_eq!(step.straggler_count(), 0);
+        assert_eq!(step.straggler_fraction(), 0.0);
+    }
+
+    #[test]
+    fn uniform_tasks_have_no_stragglers() {
+        let step = StepMetrics::new(vec![1.0; 8], 1.0);
+        assert_eq!(step.straggler_count(), 0);
+    }
+
+    #[test]
+    fn batch_total_sums_components() {
+        let batch = BatchMetrics {
+            batch_index: 0,
+            records: 10,
+            assignment: StepMetrics::new(vec![1.0], 1.0),
+            local: StepMetrics::new(vec![0.5], 0.5),
+            global_secs: 0.25,
+            overhead_secs: 0.25,
+            broadcast_bytes: 100,
+            shuffle_bytes: 200,
+            async_overlap: false,
+        };
+        assert_eq!(batch.total_secs(), 2.0);
+    }
+
+    #[test]
+    fn async_overlap_hides_global_update_behind_parallel_steps() {
+        let mut batch = BatchMetrics {
+            batch_index: 0,
+            records: 10,
+            assignment: StepMetrics::new(vec![1.0], 1.0),
+            local: StepMetrics::new(vec![0.5], 0.5),
+            global_secs: 0.25,
+            overhead_secs: 0.1,
+            broadcast_bytes: 0,
+            shuffle_bytes: 0,
+            async_overlap: true,
+        };
+        // Global (0.25) hides behind the 1.5s parallel part.
+        assert!((batch.total_secs() - 1.6).abs() < 1e-12);
+        // A slow global update becomes the critical path instead.
+        batch.global_secs = 5.0;
+        assert!((batch.total_secs() - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_accumulates_batches() {
+        let mut meter = ThroughputMeter::new();
+        for i in 0..3 {
+            let batch = BatchMetrics {
+                batch_index: i,
+                records: 100,
+                assignment: StepMetrics::new(vec![0.5, 0.5], 0.5),
+                local: StepMetrics::new(vec![0.25], 0.25),
+                global_secs: 0.25,
+                overhead_secs: 0.0,
+                broadcast_bytes: 0,
+                shuffle_bytes: 0,
+                async_overlap: false,
+            };
+            meter.observe(&batch);
+        }
+        assert_eq!(meter.records(), 300);
+        assert_eq!(meter.batches(), 3);
+        assert_eq!(meter.secs(), 3.0);
+        assert_eq!(meter.records_per_sec(), 100.0);
+        assert_eq!(meter.micros_per_record(), 10_000.0);
+        assert!((meter.global_micros_per_record() - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_handles_zero_observations() {
+        let meter = ThroughputMeter::new();
+        assert_eq!(meter.records_per_sec(), 0.0);
+        assert_eq!(meter.micros_per_record(), 0.0);
+        assert_eq!(meter.straggler_fraction(), 0.0);
+    }
+}

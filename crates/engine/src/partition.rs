@@ -1,0 +1,314 @@
+//! Partitioners: round-robin for record-based parallelism, deterministic
+//! hash partitioning and `group_by_key` for model-based parallelism.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Deterministic 64-bit FNV-1a hash.
+///
+/// The engine never uses `std`'s randomized `RandomState` for partitioning:
+/// task placement must be reproducible run-to-run so quality results are
+/// bit-for-bit deterministic at any parallelism degree.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::fnv1a_hash;
+/// assert_eq!(fnv1a_hash(b"abc"), fnv1a_hash(b"abc"));
+/// assert_ne!(fnv1a_hash(b"abc"), fnv1a_hash(b"abd"));
+/// ```
+pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Splits records across `p` tasks in round-robin order (§V-A).
+///
+/// The paper assigns "incoming records with different timestamps into
+/// different tasks in a round-robin way ... to facilitate the goal of
+/// maintaining the relative orders between the input data records and the
+/// output micro-cluster results": element `i` goes to partition `i % p`, so
+/// each partition individually preserves arrival order and the original
+/// order is recoverable by interleaving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobinPartitioner;
+
+impl RoundRobinPartitioner {
+    /// Splits `items` into `partitions` round-robin partitions.
+    ///
+    /// Every partition preserves the relative order of its items. When
+    /// `items.len() < partitions` the trailing partitions are empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diststream_engine::RoundRobinPartitioner;
+    /// let parts = RoundRobinPartitioner.split(vec![1, 2, 3, 4, 5], 2);
+    /// assert_eq!(parts, vec![vec![1, 3, 5], vec![2, 4]]);
+    /// ```
+    pub fn split<T>(&self, items: Vec<T>, partitions: usize) -> Vec<Vec<T>> {
+        assert!(partitions > 0, "partition count must be at least 1");
+        let per = items.len() / partitions + 1;
+        let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::with_capacity(per)).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            out[i % partitions].push(item);
+        }
+        out
+    }
+
+    /// Reassembles round-robin partitions back into the original order —
+    /// the inverse of [`RoundRobinPartitioner::split`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diststream_engine::RoundRobinPartitioner;
+    /// let parts = RoundRobinPartitioner.split(vec![1, 2, 3, 4, 5], 3);
+    /// assert_eq!(RoundRobinPartitioner.interleave(parts), vec![1, 2, 3, 4, 5]);
+    /// ```
+    pub fn interleave<T>(&self, partitions: Vec<Vec<T>>) -> Vec<T> {
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        let mut iters: Vec<std::vec::IntoIter<T>> =
+            partitions.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(total);
+        'outer: loop {
+            let mut advanced = false;
+            for it in &mut iters {
+                if let Some(item) = it.next() {
+                    out.push(item);
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break 'outer;
+            }
+        }
+        out
+    }
+}
+
+/// Hash-partitions keyed items deterministically across `p` partitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashPartitioner;
+
+impl HashPartitioner {
+    /// The partition index for `key` out of `partitions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn partition_of<K: KeyBytes>(&self, key: &K, partitions: usize) -> usize {
+        assert!(partitions > 0, "partition count must be at least 1");
+        (fnv1a_hash(&key.key_bytes()) % partitions as u64) as usize
+    }
+}
+
+/// Keys that can expose stable bytes for deterministic hashing.
+///
+/// Implemented for the integer key types the framework shuffles on. (The
+/// blanket `Hash` trait is unusable here because `std`'s hasher seeds are
+/// randomized per-process.)
+pub trait KeyBytes {
+    /// A stable byte representation of the key.
+    fn key_bytes(&self) -> Vec<u8>;
+}
+
+impl KeyBytes for u64 {
+    fn key_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl KeyBytes for u32 {
+    fn key_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl KeyBytes for usize {
+    fn key_bytes(&self) -> Vec<u8> {
+        (*self as u64).to_le_bytes().to_vec()
+    }
+}
+
+impl KeyBytes for (u64, u64) {
+    fn key_bytes(&self) -> Vec<u8> {
+        let mut v = self.0.to_le_bytes().to_vec();
+        v.extend_from_slice(&self.1.to_le_bytes());
+        v
+    }
+}
+
+/// Groups `(key, value)` pairs by key and assigns each group to one of
+/// `partitions` shuffle partitions — the `groupByKey` step of model-based
+/// parallelism (§V-B).
+///
+/// Within a partition, groups appear in first-occurrence order of their key
+/// and values keep their input order, so the result is fully deterministic.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::group_by_key;
+///
+/// let pairs = vec![(1u64, "a"), (2, "b"), (1, "c")];
+/// let parts = group_by_key(pairs, 1);
+/// assert_eq!(parts[0], vec![(1, vec!["a", "c"]), (2, vec!["b"])]);
+/// ```
+pub fn group_by_key<K, V>(pairs: Vec<(K, V)>, partitions: usize) -> Vec<Vec<(K, Vec<V>)>>
+where
+    K: Eq + Hash + Clone + KeyBytes,
+{
+    assert!(partitions > 0, "partition count must be at least 1");
+    let partitioner = HashPartitioner;
+    // key -> (partition, position within partition)
+    let mut slots: HashMap<K, (usize, usize)> = HashMap::new();
+    let mut out: Vec<Vec<(K, Vec<V>)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for (key, value) in pairs {
+        match slots.get(&key) {
+            Some(&(p, idx)) => out[p][idx].1.push(value),
+            None => {
+                let p = partitioner.partition_of(&key, partitions);
+                let idx = out[p].len();
+                out[p].push((key.clone(), vec![value]));
+                slots.insert(key, (p, idx));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robin_preserves_relative_order() {
+        let parts = RoundRobinPartitioner.split((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn round_robin_more_partitions_than_items() {
+        let parts = RoundRobinPartitioner.split(vec![1, 2], 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], vec![1]);
+        assert_eq!(parts[1], vec![2]);
+        assert!(parts[2].is_empty() && parts[3].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count")]
+    fn round_robin_zero_partitions_panics() {
+        let _ = RoundRobinPartitioner.split(vec![1], 0);
+    }
+
+    #[test]
+    fn interleave_inverts_split() {
+        let items: Vec<u32> = (0..17).collect();
+        for p in 1..6 {
+            let parts = RoundRobinPartitioner.split(items.clone(), p);
+            assert_eq!(RoundRobinPartitioner.interleave(parts), items);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        for key in 0u64..100 {
+            let p = HashPartitioner.partition_of(&key, 7);
+            assert!(p < 7);
+            assert_eq!(p, HashPartitioner.partition_of(&key, 7));
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let mut counts = vec![0usize; 4];
+        for key in 0u64..1000 {
+            counts[HashPartitioner.partition_of(&key, 4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 150, "partition unexpectedly starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn group_by_key_groups_values_in_order() {
+        let pairs = vec![(5u64, 1), (3, 2), (5, 3), (3, 4), (9, 5)];
+        let parts = group_by_key(pairs, 2);
+        let all: Vec<(u64, Vec<i32>)> = parts.into_iter().flatten().collect();
+        let five = all.iter().find(|(k, _)| *k == 5).unwrap();
+        assert_eq!(five.1, vec![1, 3]);
+        let three = all.iter().find(|(k, _)| *k == 3).unwrap();
+        assert_eq!(three.1, vec![2, 4]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn group_by_key_single_partition_keeps_first_seen_order() {
+        let pairs = vec![(2u64, "x"), (1, "y"), (2, "z")];
+        let parts = group_by_key(pairs, 1);
+        let keys: Vec<u64> = parts[0].iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 1]);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a_hash(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_conserves_items(items in prop::collection::vec(0u32..1000, 0..200), p in 1usize..8) {
+            let parts = RoundRobinPartitioner.split(items.clone(), p);
+            let mut collected: Vec<u32> = parts.iter().flatten().copied().collect();
+            let mut expected = items.clone();
+            collected.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(collected, expected);
+        }
+
+        #[test]
+        fn prop_group_by_key_conserves_values(
+            pairs in prop::collection::vec((0u64..20, 0i32..1000), 0..200),
+            p in 1usize..6,
+        ) {
+            let parts = group_by_key(pairs.clone(), p);
+            let mut collected: Vec<i32> = parts.iter().flatten().flat_map(|(_, vs)| vs.iter().copied()).collect();
+            let mut expected: Vec<i32> = pairs.iter().map(|&(_, v)| v).collect();
+            collected.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(collected, expected);
+        }
+
+        #[test]
+        fn prop_group_by_key_each_key_once(
+            pairs in prop::collection::vec((0u64..20, 0i32..1000), 0..200),
+            p in 1usize..6,
+        ) {
+            let parts = group_by_key(pairs, p);
+            let mut seen = std::collections::HashSet::new();
+            for (k, _) in parts.iter().flatten() {
+                prop_assert!(seen.insert(*k), "key {} appeared in two groups", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Real-thread task execution for [`ExecutionMode::Threads`].
+//!
+//! [`ExecutionMode::Threads`]: crate::ExecutionMode::Threads
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use diststream_types::{DistStreamError, Result};
+use parking_lot::Mutex;
+
+/// A bounded pool of OS worker threads that executes a step's tasks.
+///
+/// Tasks are pulled from a shared counter by up to `threads` scoped worker
+/// threads — the same dynamic task-to-slot scheduling a Spark executor pool
+/// performs. Outputs are returned in task order together with each task's
+/// measured execution seconds.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::TaskPool;
+///
+/// let pool = TaskPool::new(2);
+/// let (outs, secs) = pool.run(vec![1, 2, 3], &|_idx, x: i32| x * 10)?;
+/// assert_eq!(outs, vec![10, 20, 30]);
+/// assert_eq!(secs.len(), 3);
+/// # Ok::<(), diststream_types::DistStreamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPool {
+    threads: usize,
+}
+
+impl TaskPool {
+    /// Creates a pool with `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        TaskPool { threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every input on the pool, returning outputs in task
+    /// order plus each task's measured execution time in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::Engine`] if any task panics; remaining
+    /// tasks may or may not have run.
+    pub fn run<I, O, F>(&self, inputs: Vec<I>, f: &F) -> Result<(Vec<O>, Vec<f64>)>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<(O, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let scope_result = crossbeam::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(|_| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let input = slots[idx]
+                        .lock()
+                        .take()
+                        .expect("task input consumed exactly once");
+                    let start = Instant::now();
+                    let output = f(idx, input);
+                    let secs = start.elapsed().as_secs_f64();
+                    *results[idx].lock() = Some((output, secs));
+                });
+            }
+        });
+        if scope_result.is_err() {
+            return Err(DistStreamError::Engine(
+                "a worker task panicked during step execution".into(),
+            ));
+        }
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut durations = Vec::with_capacity(n);
+        for cell in results {
+            match cell.into_inner() {
+                Some((o, secs)) => {
+                    outputs.push(o);
+                    durations.push(secs);
+                }
+                None => {
+                    return Err(DistStreamError::Engine(
+                        "a task produced no output (worker died early)".into(),
+                    ))
+                }
+            }
+        }
+        Ok((outputs, durations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn outputs_preserve_task_order() {
+        let pool = TaskPool::new(4);
+        let inputs: Vec<usize> = (0..100).collect();
+        let (outs, secs) = pool.run(inputs, &|idx, x| {
+            assert_eq!(idx, x);
+            x * 2
+        })
+        .unwrap();
+        assert_eq!(outs, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(secs.len(), 100);
+        assert!(secs.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let pool = TaskPool::new(2);
+        let (outs, secs) = pool.run(Vec::<u8>::new(), &|_, x| x).unwrap();
+        assert!(outs.is_empty() && secs.is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = TaskPool::new(8);
+        let counter = AtomicU64::new(0);
+        let (outs, _) = pool
+            .run((0..500).collect::<Vec<u64>>(), &|_, x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .unwrap();
+        assert_eq!(outs.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn task_panic_becomes_engine_error() {
+        let pool = TaskPool::new(2);
+        let result = pool.run(vec![0, 1, 2], &|_, x: i32| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+        assert!(matches!(result, Err(DistStreamError::Engine(_))));
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let pool = TaskPool::new(16);
+        let (outs, _) = pool.run(vec![7], &|_, x: i32| x + 1).unwrap();
+        assert_eq!(outs, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = TaskPool::new(0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Serialized-size accounting for the network-cost model.
+//!
+//! The simulated cluster charges network time for broadcasting the
+//! micro-cluster model and shuffling record groups. Rather than actually
+//! serializing data, [`serialized_size`] runs a counting [`serde`]
+//! serializer that adds up the bytes a compact binary encoding (fixed-width
+//! numbers, length-prefixed sequences) would produce.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Returns the number of bytes a compact binary encoding of `value` would
+/// occupy.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::serialized_size;
+///
+/// assert_eq!(serialized_size(&0u64), 8);
+/// assert_eq!(serialized_size(&1.0f64), 8);
+/// // Vec = 8-byte length prefix + elements.
+/// assert_eq!(serialized_size(&vec![1.0f64, 2.0]), 8 + 16);
+/// ```
+pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> u64 {
+    let mut counter = ByteCounter { bytes: 0 };
+    value
+        .serialize(&mut counter)
+        .expect("byte counting cannot fail");
+    counter.bytes
+}
+
+struct ByteCounter {
+    bytes: u64,
+}
+
+/// Counting serializers cannot fail, but serde requires an error type.
+#[derive(Debug)]
+struct CountError(String);
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CountError {}
+
+impl ser::Error for CountError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CountError(msg.to_string())
+    }
+}
+
+impl ser::Serializer for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, _: bool) -> Result<(), CountError> {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_i8(self, _: i8) -> Result<(), CountError> {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_i16(self, _: i16) -> Result<(), CountError> {
+        self.bytes += 2;
+        Ok(())
+    }
+    fn serialize_i32(self, _: i32) -> Result<(), CountError> {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_i64(self, _: i64) -> Result<(), CountError> {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_u8(self, _: u8) -> Result<(), CountError> {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_u16(self, _: u16) -> Result<(), CountError> {
+        self.bytes += 2;
+        Ok(())
+    }
+    fn serialize_u32(self, _: u32) -> Result<(), CountError> {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_u64(self, _: u64) -> Result<(), CountError> {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_f32(self, _: f32) -> Result<(), CountError> {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_f64(self, _: f64) -> Result<(), CountError> {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_char(self, _: char) -> Result<(), CountError> {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CountError> {
+        self.bytes += 8 + v.len() as u64;
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CountError> {
+        self.bytes += 8 + v.len() as u64;
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CountError> {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CountError> {
+        self.bytes += 1;
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CountError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), CountError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+    ) -> Result<(), CountError> {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        self.bytes += 4;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _: Option<usize>) -> Result<Self, CountError> {
+        self.bytes += 8;
+        Ok(self)
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, CountError> {
+        self.bytes += 4;
+        Ok(self)
+    }
+    fn serialize_map(self, _: Option<usize>) -> Result<Self, CountError> {
+        self.bytes += 8;
+        Ok(self)
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, CountError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, CountError> {
+        self.bytes += 4;
+        Ok(self)
+    }
+}
+
+macro_rules! impl_compound {
+    ($trait:path, $method:ident $(, $key:ident)?) => {
+        impl $trait for &mut ByteCounter {
+            type Ok = ();
+            type Error = CountError;
+
+            $(
+                fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CountError> {
+                    key.serialize(&mut **self)
+                }
+            )?
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<(), CountError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(ser::SerializeSeq, serialize_element);
+impl_compound!(ser::SerializeTuple, serialize_element);
+impl_compound!(ser::SerializeTupleStruct, serialize_field);
+impl_compound!(ser::SerializeTupleVariant, serialize_field);
+impl_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::{Point, Record, Timestamp};
+    use serde::Serialize;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(serialized_size(&true), 1);
+        assert_eq!(serialized_size(&1u8), 1);
+        assert_eq!(serialized_size(&1u32), 4);
+        assert_eq!(serialized_size(&1i64), 8);
+        assert_eq!(serialized_size(&1.5f64), 8);
+        assert_eq!(serialized_size("abc"), 11);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        assert_eq!(serialized_size(&Option::<u64>::None), 1);
+        assert_eq!(serialized_size(&Some(1u64)), 9);
+        assert_eq!(serialized_size(&(1u32, 2.0f64)), 12);
+    }
+
+    #[test]
+    fn sequences_have_length_prefix() {
+        assert_eq!(serialized_size(&Vec::<f64>::new()), 8);
+        assert_eq!(serialized_size(&vec![0.0f64; 10]), 8 + 80);
+        let nested = vec![vec![1u8], vec![2u8, 3u8]];
+        assert_eq!(serialized_size(&nested), 8 + (8 + 1) + (8 + 2));
+    }
+
+    #[test]
+    fn structs_sum_fields() {
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+            b: f64,
+        }
+        assert_eq!(serialized_size(&S { a: 1, b: 2.0 }), 12);
+    }
+
+    #[test]
+    fn record_size_scales_with_dims() {
+        let small = Record::new(0, Point::zeros(2), Timestamp::ZERO);
+        let big = Record::new(0, Point::zeros(54), Timestamp::ZERO);
+        let delta = serialized_size(&big) - serialized_size(&small);
+        assert_eq!(delta, 52 * 8);
+    }
+
+    #[test]
+    fn enum_variants_carry_tag() {
+        #[derive(Serialize)]
+        enum E {
+            A,
+            B(u64),
+        }
+        assert_eq!(serialized_size(&E::A), 4);
+        assert_eq!(serialized_size(&E::B(0)), 12);
+    }
+}

@@ -1,0 +1,217 @@
+//! Batch-oriented quality metrics (SSQ, purity, F-measure) — the metrics
+//! CMM is compared against in the paper's methodology discussion.
+
+use std::collections::BTreeMap;
+
+use diststream_types::{ClassId, Point, Record};
+
+/// Assigns each record to the nearest of `centroids` (`None` if there are
+/// no centroids) — the standard way to evaluate an online-offline clustering
+/// against recent records.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_quality::nearest_assignment;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let records = vec![Record::new(0, Point::from(vec![1.0]), Timestamp::ZERO)];
+/// let centroids = vec![Point::from(vec![0.0]), Point::from(vec![10.0])];
+/// assert_eq!(nearest_assignment(&records, &centroids), vec![Some(0)]);
+/// ```
+pub fn nearest_assignment(records: &[Record], centroids: &[Point]) -> Vec<Option<usize>> {
+    records
+        .iter()
+        .map(|r| {
+            centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.squared_distance(&r.point)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
+        })
+        .collect()
+}
+
+/// Like [`nearest_assignment`], but a record farther than `max_distance`
+/// from every centroid is left unclustered (`None`) — it is not *covered*
+/// by the clustering, and CMM counts it as missed. This mirrors the paper's
+/// missed-record analysis (§VII-B2): a model whose micro-clusters lag the
+/// stream's current pattern fails to cover recent records.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_quality::nearest_assignment_bounded;
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let records = vec![
+///     Record::new(0, Point::from(vec![1.0]), Timestamp::ZERO),
+///     Record::new(1, Point::from(vec![50.0]), Timestamp::ZERO),
+/// ];
+/// let centroids = vec![Point::from(vec![0.0])];
+/// assert_eq!(
+///     nearest_assignment_bounded(&records, &centroids, 5.0),
+///     vec![Some(0), None]
+/// );
+/// ```
+pub fn nearest_assignment_bounded(
+    records: &[Record],
+    centroids: &[Point],
+    max_distance: f64,
+) -> Vec<Option<usize>> {
+    let bound2 = max_distance * max_distance;
+    records
+        .iter()
+        .map(|r| {
+            centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.squared_distance(&r.point)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .filter(|(_, d2)| *d2 <= bound2)
+                .map(|(i, _)| i)
+        })
+        .collect()
+}
+
+/// Sum of squared distances from each record to its assigned centroid
+/// (unassigned records are skipped). Lower is better.
+pub fn ssq(records: &[Record], assignment: &[Option<usize>], centroids: &[Point]) -> f64 {
+    records
+        .iter()
+        .zip(assignment.iter())
+        .filter_map(|(r, a)| a.map(|c| r.point.squared_distance(&centroids[c])))
+        .sum()
+}
+
+/// Cluster purity: the fraction of clustered records whose class is their
+/// cluster's majority class. In `[0, 1]`, higher is better; 1.0 when every
+/// cluster is single-class. Returns 1.0 when nothing is clustered.
+pub fn purity(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    let mut per_cluster: BTreeMap<usize, BTreeMap<Option<ClassId>, usize>> = BTreeMap::new();
+    let mut total = 0usize;
+    for (r, a) in records.iter().zip(assignment.iter()) {
+        if let Some(c) = a {
+            *per_cluster.entry(*c).or_default().entry(r.label).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let majority_sum: usize = per_cluster
+        .values()
+        .map(|classes| classes.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / total as f64
+}
+
+/// Macro-averaged F-measure: for every ground-truth class, the best F1
+/// score over all clusters, averaged across classes. In `[0, 1]`.
+pub fn f_measure(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    let mut class_total: BTreeMap<ClassId, usize> = BTreeMap::new();
+    let mut cluster_total: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut joint: BTreeMap<(ClassId, usize), usize> = BTreeMap::new();
+    for (r, a) in records.iter().zip(assignment.iter()) {
+        if let Some(label) = r.label {
+            *class_total.entry(label).or_insert(0) += 1;
+            if let Some(c) = a {
+                *joint.entry((label, *c)).or_insert(0) += 1;
+            }
+        }
+        if let Some(c) = a {
+            *cluster_total.entry(*c).or_insert(0) += 1;
+        }
+    }
+    if class_total.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for (&class, &n_class) in &class_total {
+        let mut best = 0.0_f64;
+        for (&cluster, &n_cluster) in &cluster_total {
+            let hit = *joint.get(&(class, cluster)).unwrap_or(&0) as f64;
+            if hit == 0.0 {
+                continue;
+            }
+            let precision = hit / n_cluster as f64;
+            let recall = hit / n_class as f64;
+            best = best.max(2.0 * precision * recall / (precision + recall));
+        }
+        sum += best;
+    }
+    sum / class_total.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::Timestamp;
+
+    fn rec(id: u64, x: f64, class: u32) -> Record {
+        Record::labeled(
+            id,
+            Point::from(vec![x]),
+            Timestamp::from_secs(id as f64),
+            ClassId(class),
+        )
+    }
+
+    fn setup() -> (Vec<Record>, Vec<Option<usize>>) {
+        let records = vec![rec(0, 0.0, 0), rec(1, 0.2, 0), rec(2, 10.0, 1), rec(3, 10.2, 1)];
+        let assignment = vec![Some(0), Some(0), Some(1), Some(1)];
+        (records, assignment)
+    }
+
+    #[test]
+    fn nearest_assignment_picks_closest() {
+        let (records, _) = setup();
+        let centroids = vec![Point::from(vec![0.1]), Point::from(vec![10.1])];
+        assert_eq!(
+            nearest_assignment(&records, &centroids),
+            vec![Some(0), Some(0), Some(1), Some(1)]
+        );
+        assert_eq!(nearest_assignment(&records, &[]), vec![None; 4]);
+    }
+
+    #[test]
+    fn ssq_is_zero_at_centroids() {
+        let (records, assignment) = setup();
+        let exact = vec![Point::from(vec![0.0]), Point::from(vec![10.0])];
+        let s = ssq(&records, &assignment, &exact);
+        assert!((s - (0.04 + 0.04)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        let (records, assignment) = setup();
+        assert_eq!(purity(&records, &assignment), 1.0);
+        let mixed = vec![Some(0), Some(0), Some(0), Some(0)];
+        assert_eq!(purity(&records, &mixed), 0.5);
+        assert_eq!(purity(&records, &[None, None, None, None]), 1.0);
+    }
+
+    #[test]
+    fn f_measure_perfect_is_one() {
+        let (records, assignment) = setup();
+        assert_eq!(f_measure(&records, &assignment), 1.0);
+    }
+
+    #[test]
+    fn f_measure_degrades_with_merged_clusters() {
+        let (records, _) = setup();
+        let merged = vec![Some(0); 4];
+        let f = f_measure(&records, &merged);
+        // Each class: precision 0.5, recall 1.0 → F1 = 2/3.
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_counts_missed_as_recall_loss() {
+        let (records, mut assignment) = setup();
+        assignment[0] = None;
+        let f = f_measure(&records, &assignment);
+        assert!(f < 1.0);
+    }
+}

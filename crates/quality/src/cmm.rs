@@ -1,0 +1,429 @@
+//! The Clustering Mapping Measure (CMM) — Kremer et al., KDD 2011.
+//!
+//! The paper evaluates clustering quality with CMM "because it is more
+//! accurate than batch-oriented metrics such as SSQ, Purity, and F-measure"
+//! (§VII-B1): it decays the weights of aging records and penalizes the three
+//! error classes evolving streams produce — *missed* records (a known class
+//! left unclustered), *misplaced* records (put into a cluster mapped to a
+//! different class), and *noise* records (ground-truth noise swallowed by a
+//! cluster) — normalizing to `[0, 1]`, larger = better.
+//!
+//! Connectivity follows the CMM paper: `con(o, S)` compares `o`'s average
+//! distance to its `k` nearest neighbors in `S` against the average k-NN
+//! distance inside `S`; faults that are "almost right" (the record is
+//! well-connected to the cluster it landed in) are penalized less.
+
+use std::collections::BTreeMap;
+
+use diststream_types::{ClassId, Record, Timestamp};
+
+/// Parameters of the CMM computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmmParams {
+    /// Neighborhood size `k` for connectivity (MOA default: 2).
+    pub k: usize,
+    /// Decay base for record aging weights `w(o) = β^{-(now − t_o)}`.
+    pub beta: f64,
+    /// Maximum number of most-recent records evaluated (the horizon).
+    pub horizon: usize,
+}
+
+impl Default for CmmParams {
+    fn default() -> Self {
+        CmmParams {
+            k: 2,
+            beta: 2f64.powf(0.25),
+            horizon: 1000,
+        }
+    }
+}
+
+/// The cluster-to-class mapping plus per-record fault classification
+/// produced while scoring — exposed for the fault-analysis experiment
+/// (paper §VII-B2: missed/misplaced record counts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CmmBreakdown {
+    /// The CMM score in `[0, 1]`.
+    pub cmm: f64,
+    /// Records whose class exists but which were left in no cluster.
+    pub missed: usize,
+    /// Records placed in a cluster mapped to a different class.
+    pub misplaced: usize,
+    /// Ground-truth noise records swallowed by a cluster.
+    pub noise_included: usize,
+    /// Records evaluated (≤ horizon).
+    pub evaluated: usize,
+}
+
+/// Computes CMM for the most recent records of a stream.
+///
+/// `records[i]` is scored against `assignment[i]`: the macro-cluster index
+/// the clustering put the record in, or `None` for unclustered. Records with
+/// `label == None` are treated as ground-truth noise. Only the last
+/// `params.horizon` records are evaluated, weighted by recency relative to
+/// `now`.
+///
+/// Returns 1.0 for an empty evaluation window (no evidence of error).
+///
+/// # Panics
+///
+/// Panics if `records` and `assignment` lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_quality::{cmm, CmmParams};
+/// use diststream_types::{ClassId, Point, Record, Timestamp};
+///
+/// let records: Vec<Record> = (0..10)
+///     .map(|i| {
+///         let class = (i % 2) as u32;
+///         Record::labeled(i, Point::from(vec![class as f64 * 10.0]), Timestamp::from_secs(i as f64), ClassId(class))
+///     })
+///     .collect();
+/// // Perfect clustering: class 0 → cluster 0, class 1 → cluster 1.
+/// let perfect: Vec<Option<usize>> = (0..10).map(|i| Some((i % 2) as usize)).collect();
+/// let score = cmm(&records, &perfect, Timestamp::from_secs(10.0), &CmmParams::default());
+/// assert_eq!(score.cmm, 1.0);
+/// ```
+pub fn cmm(
+    records: &[Record],
+    assignment: &[Option<usize>],
+    now: Timestamp,
+    params: &CmmParams,
+) -> CmmBreakdown {
+    assert_eq!(
+        records.len(),
+        assignment.len(),
+        "records and assignment must be parallel"
+    );
+    let start = records.len().saturating_sub(params.horizon);
+    let records = &records[start..];
+    let assignment = &assignment[start..];
+    let n = records.len();
+    if n == 0 {
+        return CmmBreakdown {
+            cmm: 1.0,
+            ..Default::default()
+        };
+    }
+
+    // Aging weights.
+    let weights: Vec<f64> = records
+        .iter()
+        .map(|r| params.beta.powf(-now.saturating_since(r.timestamp)))
+        .collect();
+
+    // Ground-truth class sets and clustering cluster sets (indices).
+    let mut class_members: BTreeMap<ClassId, Vec<usize>> = BTreeMap::new();
+    let mut cluster_members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, (r, a)) in records.iter().zip(assignment.iter()).enumerate() {
+        if let Some(label) = r.label {
+            class_members.entry(label).or_default().push(i);
+        }
+        if let Some(c) = a {
+            cluster_members.entry(*c).or_default().push(i);
+        }
+    }
+
+    // Cluster → class mapping by maximum weighted class frequency.
+    let mut cluster_class: BTreeMap<usize, Option<ClassId>> = BTreeMap::new();
+    for (cluster, members) in &cluster_members {
+        let mut by_class: BTreeMap<ClassId, f64> = BTreeMap::new();
+        for &i in members {
+            if let Some(label) = records[i].label {
+                *by_class.entry(label).or_insert(0.0) += weights[i];
+            }
+        }
+        let mapped = by_class
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(class, _)| class);
+        cluster_class.insert(*cluster, mapped);
+    }
+
+    // Connectivity caches.
+    let knn = |o: usize, set: &[usize]| -> f64 {
+        let mut dists: Vec<f64> = set
+            .iter()
+            .filter(|&&j| j != o)
+            .map(|&j| records[o].point.distance(&records[j].point))
+            .collect();
+        if dists.is_empty() {
+            return 0.0;
+        }
+        dists.sort_by(f64::total_cmp);
+        let k = params.k.min(dists.len());
+        dists[..k].iter().sum::<f64>() / k as f64
+    };
+    // Average k-NN distance of a set, computed lazily.
+    let mut avg_cache: BTreeMap<(bool, u64), f64> = BTreeMap::new();
+    let mut avg_knn = |key: (bool, u64), set: &[usize]| -> f64 {
+        if let Some(&v) = avg_cache.get(&key) {
+            return v;
+        }
+        let v = if set.len() <= 1 {
+            0.0
+        } else {
+            set.iter().map(|&p| knn(p, set)).sum::<f64>() / set.len() as f64
+        };
+        avg_cache.insert(key, v);
+        v
+    };
+    let mut con = |o: usize, key: (bool, u64), set: &[usize]| -> f64 {
+        if set.is_empty() || (set.len() == 1 && set[0] == o) {
+            return 0.0;
+        }
+        let d = knn(o, set);
+        let avg = avg_knn(key, set);
+        if d <= avg || d == 0.0 {
+            1.0
+        } else {
+            avg / d
+        }
+    };
+
+    // Score faults.
+    let mut breakdown = CmmBreakdown {
+        evaluated: n,
+        ..Default::default()
+    };
+    let mut penalty_sum = 0.0;
+    let mut weight_sum = 0.0;
+    for i in 0..n {
+        weight_sum += weights[i];
+        match (records[i].label, assignment[i]) {
+            (Some(label), None) => {
+                // Missed: the record's class exists but it was not covered.
+                breakdown.missed += 1;
+                let class_set = &class_members[&label];
+                let c = con(i, (true, label.0 as u64), class_set);
+                penalty_sum += weights[i] * c;
+            }
+            (Some(label), Some(cluster)) => {
+                let mapped = cluster_class[&cluster];
+                if mapped != Some(label) {
+                    // Misplaced: in a cluster mapped to another class.
+                    breakdown.misplaced += 1;
+                    let class_set = &class_members[&label];
+                    let class_con = con(i, (true, label.0 as u64), class_set);
+                    let cluster_set = &cluster_members[&cluster];
+                    let cluster_con = con(i, (false, cluster as u64), cluster_set);
+                    penalty_sum += weights[i] * class_con * (1.0 - cluster_con);
+                }
+            }
+            (None, Some(cluster)) => {
+                // Noise swallowed by a cluster: penalized by how strongly it
+                // connects to that cluster.
+                breakdown.noise_included += 1;
+                let cluster_set = &cluster_members[&cluster];
+                let c = con(i, (false, cluster as u64), cluster_set);
+                penalty_sum += weights[i] * c;
+            }
+            (None, None) => {} // Correctly ignored noise.
+        }
+    }
+
+    breakdown.cmm = if weight_sum > 0.0 {
+        (1.0 - penalty_sum / weight_sum).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::Point;
+
+    fn rec(id: u64, x: f64, class: Option<u32>) -> Record {
+        let mut r = Record::new(id, Point::from(vec![x]), Timestamp::from_secs(id as f64));
+        r.label = class.map(ClassId);
+        r
+    }
+
+    fn params() -> CmmParams {
+        CmmParams::default()
+    }
+
+    fn two_class_setup() -> (Vec<Record>, Timestamp) {
+        // Class 0 near x = 0, class 1 near x = 10; 10 records each.
+        let mut records = Vec::new();
+        for i in 0..20u64 {
+            let class = (i % 2) as u32;
+            let x = class as f64 * 10.0 + (i as f64) * 0.01;
+            records.push(rec(i, x, Some(class)));
+        }
+        (records, Timestamp::from_secs(20.0))
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (records, now) = two_class_setup();
+        let assignment: Vec<Option<usize>> =
+            records.iter().map(|r| Some(r.label.unwrap().0 as usize)).collect();
+        let out = cmm(&records, &assignment, now, &params());
+        assert_eq!(out.cmm, 1.0);
+        assert_eq!(out.missed + out.misplaced + out.noise_included, 0);
+    }
+
+    #[test]
+    fn empty_window_scores_one() {
+        let out = cmm(&[], &[], Timestamp::ZERO, &params());
+        assert_eq!(out.cmm, 1.0);
+        assert_eq!(out.evaluated, 0);
+    }
+
+    #[test]
+    fn missed_records_lower_the_score() {
+        let (records, now) = two_class_setup();
+        let mut assignment: Vec<Option<usize>> =
+            records.iter().map(|r| Some(r.label.unwrap().0 as usize)).collect();
+        // Drop half of class 0 from the clustering.
+        for (i, a) in assignment.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *a = None;
+            }
+        }
+        let out = cmm(&records, &assignment, now, &params());
+        assert!(out.missed > 0);
+        assert!(out.cmm < 1.0);
+    }
+
+    #[test]
+    fn misplaced_records_lower_the_score() {
+        let (records, now) = two_class_setup();
+        let assignment: Vec<Option<usize>> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let class = r.label.unwrap().0 as usize;
+                if i == 0 {
+                    Some(1 - class) // one record in the wrong cluster
+                } else {
+                    Some(class)
+                }
+            })
+            .collect();
+        let out = cmm(&records, &assignment, now, &params());
+        assert_eq!(out.misplaced, 1);
+        assert!(out.cmm < 1.0);
+        // One well-separated misplacement among 20 recent records costs a
+        // few percent, not everything.
+        assert!(out.cmm > 0.8, "cmm = {}", out.cmm);
+    }
+
+    #[test]
+    fn noise_inclusion_penalized() {
+        let (mut records, now) = two_class_setup();
+        records.push(rec(20, 0.05, None)); // noise right inside cluster 0
+        let mut assignment: Vec<Option<usize>> = records[..20]
+            .iter()
+            .map(|r| Some(r.label.unwrap().0 as usize))
+            .collect();
+        assignment.push(Some(0));
+        let out = cmm(&records, &assignment, now, &params());
+        assert_eq!(out.noise_included, 1);
+        assert!(out.cmm < 1.0);
+    }
+
+    #[test]
+    fn ignored_noise_costs_nothing() {
+        let (mut records, now) = two_class_setup();
+        records.push(rec(20, 555.0, None));
+        let mut assignment: Vec<Option<usize>> = records[..20]
+            .iter()
+            .map(|r| Some(r.label.unwrap().0 as usize))
+            .collect();
+        assignment.push(None);
+        let out = cmm(&records, &assignment, now, &params());
+        assert_eq!(out.cmm, 1.0);
+    }
+
+    #[test]
+    fn old_faults_matter_less_than_recent_ones() {
+        let (records, _) = two_class_setup();
+        let make_assignment = |victim: usize| -> Vec<Option<usize>> {
+            records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let class = r.label.unwrap().0 as usize;
+                    if i == victim {
+                        None
+                    } else {
+                        Some(class)
+                    }
+                })
+                .collect()
+        };
+        let now = Timestamp::from_secs(20.0);
+        let miss_old = cmm(&records, &make_assignment(0), now, &params());
+        let miss_new = cmm(&records, &make_assignment(19), now, &params());
+        assert!(
+            miss_old.cmm > miss_new.cmm,
+            "aging should discount old faults: old {} vs new {}",
+            miss_old.cmm,
+            miss_new.cmm
+        );
+    }
+
+    #[test]
+    fn horizon_limits_evaluation() {
+        let (records, now) = two_class_setup();
+        // Everything unclustered, but the horizon only sees the last 4.
+        let assignment = vec![None; records.len()];
+        let p = CmmParams {
+            horizon: 4,
+            ..params()
+        };
+        let out = cmm(&records, &assignment, now, &p);
+        assert_eq!(out.evaluated, 4);
+        assert_eq!(out.missed, 4);
+    }
+
+    #[test]
+    fn all_missed_scores_near_zero() {
+        let (records, now) = two_class_setup();
+        let assignment = vec![None; records.len()];
+        let out = cmm(&records, &assignment, now, &params());
+        assert!(out.cmm < 0.1, "cmm = {}", out.cmm);
+    }
+
+    #[test]
+    fn nearly_right_misplacement_penalized_less_than_far_one() {
+        // Class 0 at x≈0 and class 1 at x≈10, plus a third cluster at x≈100.
+        let mut records = Vec::new();
+        for i in 0..30u64 {
+            let class = (i % 3) as u32;
+            let x = match class {
+                0 => 0.0,
+                1 => 10.0,
+                _ => 100.0,
+            } + (i as f64) * 0.01;
+            records.push(rec(i, x, Some(class)));
+        }
+        let now = Timestamp::from_secs(30.0);
+        let base: Vec<Option<usize>> = records
+            .iter()
+            .map(|r| Some(r.label.unwrap().0 as usize))
+            .collect();
+        // Victim is a class-0 record (index 0, x≈0).
+        let mut near = base.clone();
+        near[0] = Some(1); // misplaced into the 10-ish cluster
+        let mut far = base.clone();
+        far[0] = Some(2); // misplaced into the 100-ish cluster
+        let near_out = cmm(&records, &near, now, &params());
+        let far_out = cmm(&records, &far, now, &params());
+        // Both are misplacements of the same weight; the connectivity term
+        // makes the distant cluster at least as costly.
+        assert!(near_out.cmm >= far_out.cmm - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let _ = cmm(&[], &[None], Timestamp::ZERO, &params());
+    }
+}

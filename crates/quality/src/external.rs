@@ -1,0 +1,171 @@
+//! External clustering-agreement indices: pairwise F1 and the adjusted Rand
+//! index — cited alongside purity/F-measure in the CMM paper's comparison
+//! of batch-oriented metrics.
+
+use std::collections::BTreeMap;
+
+use diststream_types::{ClassId, Record};
+
+/// Builds the class/cluster contingency table over labeled, clustered
+/// records (records lacking either side are skipped).
+fn contingency(
+    records: &[Record],
+    assignment: &[Option<usize>],
+) -> (BTreeMap<(ClassId, usize), u64>, BTreeMap<ClassId, u64>, BTreeMap<usize, u64>, u64) {
+    let mut joint = BTreeMap::new();
+    let mut classes = BTreeMap::new();
+    let mut clusters = BTreeMap::new();
+    let mut n = 0u64;
+    for (r, a) in records.iter().zip(assignment.iter()) {
+        if let (Some(label), Some(cluster)) = (r.label, a) {
+            *joint.entry((label, *cluster)).or_insert(0) += 1;
+            *classes.entry(label).or_insert(0) += 1;
+            *clusters.entry(*cluster).or_insert(0) += 1;
+            n += 1;
+        }
+    }
+    (joint, classes, clusters, n)
+}
+
+fn choose2(n: u64) -> f64 {
+    (n as f64) * (n.saturating_sub(1) as f64) / 2.0
+}
+
+/// Adjusted Rand index between ground-truth classes and cluster assignment.
+///
+/// 1.0 for identical partitions, ~0.0 for independent ones (can be
+/// negative). Records without a label or without a cluster are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_quality::adjusted_rand_index;
+/// use diststream_types::{ClassId, Point, Record, Timestamp};
+///
+/// let records: Vec<Record> = (0..8)
+///     .map(|i| Record::labeled(i, Point::zeros(1), Timestamp::ZERO, ClassId((i % 2) as u32)))
+///     .collect();
+/// let perfect: Vec<Option<usize>> = (0..8).map(|i| Some((i % 2) as usize)).collect();
+/// assert!((adjusted_rand_index(&records, &perfect) - 1.0).abs() < 1e-12);
+/// let merged = vec![Some(0); 8];
+/// assert!(adjusted_rand_index(&records, &merged).abs() < 1e-12);
+/// ```
+pub fn adjusted_rand_index(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    let (joint, classes, clusters, n) = contingency(records, assignment);
+    if n < 2 {
+        return 1.0;
+    }
+    let sum_joint: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_classes: f64 = classes.values().map(|&c| choose2(c)).sum();
+    let sum_clusters: f64 = clusters.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    let expected = sum_classes * sum_clusters / total;
+    let max_index = 0.5 * (sum_classes + sum_clusters);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Pairwise F1: precision/recall over record *pairs* that share a cluster
+/// vs. pairs that share a class. In `[0, 1]`, 1.0 for identical partitions.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_quality::pairwise_f1;
+/// use diststream_types::{ClassId, Point, Record, Timestamp};
+///
+/// let records: Vec<Record> = (0..6)
+///     .map(|i| Record::labeled(i, Point::zeros(1), Timestamp::ZERO, ClassId((i % 3) as u32)))
+///     .collect();
+/// let perfect: Vec<Option<usize>> = (0..6).map(|i| Some((i % 3) as usize)).collect();
+/// assert_eq!(pairwise_f1(&records, &perfect), 1.0);
+/// ```
+pub fn pairwise_f1(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    let (joint, classes, clusters, n) = contingency(records, assignment);
+    if n < 2 {
+        return 1.0;
+    }
+    let together_both: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let together_class: f64 = classes.values().map(|&c| choose2(c)).sum();
+    let together_cluster: f64 = clusters.values().map(|&c| choose2(c)).sum();
+    if together_class == 0.0 && together_cluster == 0.0 {
+        return 1.0; // all singletons on both sides
+    }
+    if together_cluster == 0.0 || together_class == 0.0 {
+        return 0.0;
+    }
+    let precision = together_both / together_cluster;
+    let recall = together_both / together_class;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diststream_types::{Point, Timestamp};
+
+    fn rec(id: u64, class: u32) -> Record {
+        Record::labeled(id, Point::zeros(1), Timestamp::ZERO, ClassId(class))
+    }
+
+    fn two_classes() -> Vec<Record> {
+        (0..10).map(|i| rec(i, (i % 2) as u32)).collect()
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        let records = two_classes();
+        let perfect: Vec<Option<usize>> = (0..10).map(|i| Some((i % 2) as usize)).collect();
+        assert!((adjusted_rand_index(&records, &perfect) - 1.0).abs() < 1e-12);
+        assert_eq!(pairwise_f1(&records, &perfect), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        let records = two_classes();
+        let swapped: Vec<Option<usize>> = (0..10).map(|i| Some(1 - (i % 2) as usize)).collect();
+        assert!((adjusted_rand_index(&records, &swapped) - 1.0).abs() < 1e-12);
+        assert_eq!(pairwise_f1(&records, &swapped), 1.0);
+    }
+
+    #[test]
+    fn everything_merged_is_chance_level_ari() {
+        let records = two_classes();
+        let merged = vec![Some(0); 10];
+        assert!(adjusted_rand_index(&records, &merged).abs() < 1e-12);
+        // Pairwise F1 still gives credit for same-class pairs being together.
+        let f1 = pairwise_f1(&records, &merged);
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+
+    #[test]
+    fn oversplit_partition_scores_below_one() {
+        let records = two_classes();
+        let singletons: Vec<Option<usize>> = (0..10).map(|i| Some(i as usize)).collect();
+        assert!(adjusted_rand_index(&records, &singletons) <= 0.0 + 1e-12);
+        assert_eq!(pairwise_f1(&records, &singletons), 0.0);
+    }
+
+    #[test]
+    fn unclustered_records_skipped() {
+        let records = two_classes();
+        let mut partial: Vec<Option<usize>> = (0..10).map(|i| Some((i % 2) as usize)).collect();
+        partial[0] = None;
+        // Remaining pairs still agree perfectly.
+        assert!((adjusted_rand_index(&records, &partial) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_inputs_are_defined() {
+        let records = vec![rec(0, 0)];
+        assert_eq!(adjusted_rand_index(&records, &[Some(0)]), 1.0);
+        assert_eq!(pairwise_f1(&records, &[Some(0)]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by DistStream crates.
+///
+/// All public fallible APIs in the workspace return this type (or a crate
+/// alias of `Result<T, DistStreamError>`). It is `Send + Sync + 'static` so
+/// it can cross the engine's task boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_types::DistStreamError;
+///
+/// let err = DistStreamError::DimensionMismatch { expected: 2, got: 3 };
+/// assert_eq!(err.to_string(), "dimension mismatch: expected 2, got 3");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistStreamError {
+    /// A record's dimensionality disagrees with the model's.
+    DimensionMismatch {
+        /// Dimensionality the model was initialized with.
+        expected: usize,
+        /// Dimensionality of the offending record.
+        got: usize,
+    },
+    /// The stream produced no records where at least one was required.
+    EmptyStream,
+    /// A configuration knob is out of its valid range.
+    InvalidConfig(String),
+    /// The distributed engine failed (worker panic, channel closed, ...).
+    Engine(String),
+    /// The model has not been initialized (no initial micro-clusters).
+    Uninitialized,
+}
+
+impl fmt::Display for DistStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistStreamError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            DistStreamError::EmptyStream => write!(f, "stream produced no records"),
+            DistStreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DistStreamError::Engine(msg) => write!(f, "engine failure: {msg}"),
+            DistStreamError::Uninitialized => {
+                write!(f, "model not initialized with initial micro-clusters")
+            }
+        }
+    }
+}
+
+impl Error for DistStreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DistStreamError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<DistStreamError> = vec![
+            DistStreamError::DimensionMismatch {
+                expected: 1,
+                got: 2,
+            },
+            DistStreamError::EmptyStream,
+            DistStreamError::InvalidConfig("beta".into()),
+            DistStreamError::Engine("worker died".into()),
+            DistStreamError::Uninitialized,
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Dense feature vectors and the arithmetic used by micro-cluster sketches.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `d`-dimensional feature vector.
+///
+/// `Point` is the unit of spatial data everywhere in DistStream: stream
+/// records carry one, micro-cluster linear/squared sums are stored as them,
+/// and cluster centroids are computed as them. Arithmetic is implemented for
+/// the operations the online-offline paradigm needs: element-wise addition
+/// (micro-cluster additivity), scaling (decay), and element-wise squaring
+/// (the `CF2x` squared-sum feature vector of CluStream).
+///
+/// # Examples
+///
+/// ```
+/// use diststream_types::Point;
+///
+/// let p = Point::from(vec![1.0, 2.0]);
+/// let q = Point::from(vec![3.0, 4.0]);
+/// assert_eq!((&p + &q).as_slice(), &[4.0, 6.0]);
+/// assert_eq!(p.scaled(2.0).as_slice(), &[2.0, 4.0]);
+/// assert_eq!(p.squared().as_slice(), &[1.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point(Vec<f64>);
+
+impl Point {
+    /// Creates the zero vector of dimension `dims`.
+    ///
+    /// ```
+    /// use diststream_types::Point;
+    /// assert_eq!(Point::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+    /// ```
+    pub fn zeros(dims: usize) -> Self {
+        Point(vec![0.0; dims])
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the point has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the coordinates as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrows the coordinates.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the point, returning the underlying coordinate vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Element-wise square: `(x_1^2, ..., x_d^2)`.
+    ///
+    /// Used to build the squared-sum feature vector `CF2x` when a record is
+    /// absorbed by a micro-cluster.
+    pub fn squared(&self) -> Point {
+        Point(self.0.iter().map(|v| v * v).collect())
+    }
+
+    /// Returns this point scaled by `factor` (time decay).
+    pub fn scaled(&self, factor: f64) -> Point {
+        Point(self.0.iter().map(|v| v * factor).collect())
+    }
+
+    /// Scales this point in place by `factor`.
+    pub fn scale_in_place(&mut self, factor: f64) {
+        for v in &mut self.0 {
+            *v *= factor;
+        }
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ; dimension agreement is validated at
+    /// stream ingestion, so a mismatch here is a programming error.
+    pub fn add_in_place(&mut self, other: &Point) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "point dimension mismatch: {} vs {}",
+            self.dims(),
+            other.dims()
+        );
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Dot product with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &Point) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "point dimension mismatch");
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// The online phase compares distances against radius bounds, so the
+    /// squared form avoids a `sqrt` in the hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn squared_distance(&self, other: &Point) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "point dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.squared_distance(other).sqrt()
+    }
+
+    /// Euclidean norm of the point.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sum of all coordinates.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Iterates over the coordinates.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point(coords)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(coords: &[f64]) -> Self {
+        Point(coords.to_vec())
+    }
+}
+
+impl FromIterator<f64> for Point {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Point(iter.into_iter().collect())
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.0[index]
+    }
+}
+
+impl Add for &Point {
+    type Output = Point;
+
+    fn add(self, rhs: &Point) -> Point {
+        let mut out = self.clone();
+        out.add_in_place(rhs);
+        out
+    }
+}
+
+impl AddAssign<&Point> for Point {
+    fn add_assign(&mut self, rhs: &Point) {
+        self.add_in_place(rhs);
+    }
+}
+
+impl Sub for &Point {
+    type Output = Point;
+
+    fn sub(self, rhs: &Point) -> Point {
+        assert_eq!(self.dims(), rhs.dims(), "point dimension mismatch");
+        Point(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+}
+
+impl Mul<f64> for &Point {
+    type Output = Point;
+
+    fn mul(self, rhs: f64) -> Point {
+        self.scaled(rhs)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i >= 8 {
+                write!(f, "... {} dims", self.0.len())?;
+                break;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_requested_dims() {
+        let p = Point::zeros(5);
+        assert_eq!(p.dims(), 5);
+        assert!(p.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_point_is_empty() {
+        assert!(Point::zeros(0).is_empty());
+        assert!(!Point::zeros(1).is_empty());
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::from(vec![0.0, 0.0]);
+        let b = Point::from(vec![3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.squared_distance(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::from(vec![1.5, -2.5, 7.0]);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut p = Point::from(vec![1.0, 2.0]);
+        p.add_in_place(&Point::from(vec![3.0, 4.0]));
+        assert_eq!(p.as_slice(), &[4.0, 6.0]);
+        p.scale_in_place(0.5);
+        assert_eq!(p.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn squared_is_elementwise() {
+        let p = Point::from(vec![-2.0, 3.0]);
+        assert_eq!(p.squared().as_slice(), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Point::from(vec![1.0, 2.0, 3.0]);
+        let b = Point::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn sub_and_mul_operators() {
+        let a = Point::from(vec![5.0, 7.0]);
+        let b = Point::from(vec![2.0, 3.0]);
+        assert_eq!((&a - &b).as_slice(), &[3.0, 4.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[10.0, 14.0]);
+    }
+
+    #[test]
+    fn norm_and_sum() {
+        let p = Point::from(vec![3.0, 4.0]);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.sum(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = Point::zeros(2);
+        let b = Point::zeros(3);
+        let _ = a.distance(&b);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Point = (0..4).map(|i| i as f64).collect();
+        assert_eq!(p.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn debug_truncates_long_points() {
+        let p = Point::zeros(20);
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("20 dims"));
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Point::from(vec![1.0, 2.0]).is_finite());
+        assert!(!Point::from(vec![1.0, f64::NAN]).is_finite());
+        assert!(!Point::from(vec![f64::INFINITY]).is_finite());
+    }
+
+    fn small_point(dims: usize) -> impl Strategy<Value = Point> {
+        prop::collection::vec(-1e6_f64..1e6, dims).prop_map(Point::from)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetric(a in small_point(4), b in small_point(4)) {
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in small_point(3), b in small_point(3), c in small_point(3)) {
+            let direct = a.distance(&c);
+            let via = a.distance(&b) + b.distance(&c);
+            prop_assert!(direct <= via + 1e-6);
+        }
+
+        #[test]
+        fn prop_addition_commutative(a in small_point(5), b in small_point(5)) {
+            let ab = &a + &b;
+            let ba = &b + &a;
+            prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        }
+
+        #[test]
+        fn prop_scaling_distributes_over_addition(a in small_point(3), b in small_point(3), k in -100.0_f64..100.0) {
+            let lhs = (&a + &b).scaled(k);
+            let rhs = &a.scaled(k) + &b.scaled(k);
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!((l - r).abs() <= 1e-6 * l.abs().max(r.abs()).max(1.0));
+            }
+        }
+
+        #[test]
+        fn prop_norm_nonnegative(a in small_point(6)) {
+            prop_assert!(a.norm() >= 0.0);
+        }
+    }
+}

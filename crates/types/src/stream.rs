@@ -1,0 +1,163 @@
+//! Lightweight stream-level helper types.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::record::{ClassId, Record};
+
+/// A point paired with its ground-truth class, the raw unit datasets are
+/// generated in before being stamped into [`Record`]s.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_types::{ClassId, LabeledPoint, Point};
+/// let lp = LabeledPoint { point: Point::zeros(2), label: ClassId(0) };
+/// assert_eq!(lp.point.dims(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    /// Feature vector.
+    pub point: Point,
+    /// Ground-truth class.
+    pub label: ClassId,
+}
+
+/// Aggregate characteristics of a record stream (Table I of the paper).
+///
+/// Computed in one pass by [`StreamSummary::from_records`]; used by the
+/// `table1_datasets` experiment binary and by dataset-shape tests.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_types::{ClassId, Point, Record, StreamSummary, Timestamp};
+///
+/// let recs = vec![
+///     Record::labeled(0, Point::zeros(2), Timestamp::ZERO, ClassId(0)),
+///     Record::labeled(1, Point::zeros(2), Timestamp::from_secs(1.0), ClassId(0)),
+///     Record::labeled(2, Point::zeros(2), Timestamp::from_secs(2.0), ClassId(1)),
+/// ];
+/// let summary = StreamSummary::from_records(&recs);
+/// assert_eq!(summary.records, 3);
+/// assert_eq!(summary.clusters(), 2);
+/// assert!((summary.top_fractions(1)[0] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Total number of records.
+    pub records: usize,
+    /// Feature dimensionality (0 for an empty stream).
+    pub features: usize,
+    /// Record count per ground-truth class.
+    pub class_counts: BTreeMap<ClassId, usize>,
+    /// Virtual duration from first to last timestamp, in seconds.
+    pub duration_secs: f64,
+}
+
+impl StreamSummary {
+    /// Scans `records` and accumulates the summary.
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut class_counts = BTreeMap::new();
+        for r in records {
+            if let Some(label) = r.label {
+                *class_counts.entry(label).or_insert(0) += 1;
+            }
+        }
+        let duration_secs = match (records.first(), records.last()) {
+            (Some(first), Some(last)) => last.timestamp - first.timestamp,
+            _ => 0.0,
+        };
+        StreamSummary {
+            records: records.len(),
+            features: records.first().map_or(0, Record::dims),
+            class_counts,
+            duration_secs,
+        }
+    }
+
+    /// Number of distinct ground-truth classes observed.
+    pub fn clusters(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    /// Fractions of the `n` largest classes, descending — the "(a%, b%, c%)"
+    /// columns of Table I.
+    pub fn top_fractions(&self, n: usize) -> Vec<f64> {
+        if self.records == 0 {
+            return Vec::new();
+        }
+        let mut counts: Vec<usize> = self.class_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+            .into_iter()
+            .take(n)
+            .map(|c| c as f64 / self.records as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Timestamp;
+
+    fn rec(id: u64, label: u32, t: f64) -> Record {
+        Record::labeled(
+            id,
+            Point::zeros(3),
+            Timestamp::from_secs(t),
+            ClassId(label),
+        )
+    }
+
+    #[test]
+    fn empty_stream_summary() {
+        let s = StreamSummary::from_records(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.features, 0);
+        assert_eq!(s.clusters(), 0);
+        assert!(s.top_fractions(3).is_empty());
+    }
+
+    #[test]
+    fn counts_classes_and_duration() {
+        let recs = vec![rec(0, 0, 0.0), rec(1, 1, 5.0), rec(2, 0, 10.0)];
+        let s = StreamSummary::from_records(&recs);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.features, 3);
+        assert_eq!(s.clusters(), 2);
+        assert_eq!(s.duration_secs, 10.0);
+        assert_eq!(s.class_counts[&ClassId(0)], 2);
+    }
+
+    #[test]
+    fn top_fractions_sorted_descending() {
+        let mut recs = Vec::new();
+        for i in 0..6 {
+            recs.push(rec(i, 0, i as f64)); // 6 of class 0
+        }
+        for i in 6..9 {
+            recs.push(rec(i, 1, i as f64)); // 3 of class 1
+        }
+        recs.push(rec(9, 2, 9.0)); // 1 of class 2
+        let s = StreamSummary::from_records(&recs);
+        let fracs = s.top_fractions(3);
+        assert_eq!(fracs, vec![0.6, 0.3, 0.1]);
+        // Asking for more classes than exist truncates.
+        assert_eq!(s.top_fractions(10).len(), 3);
+    }
+
+    #[test]
+    fn unlabeled_records_are_skipped_in_class_counts() {
+        let recs = vec![
+            Record::new(0, Point::zeros(1), Timestamp::ZERO),
+            rec(1, 0, 1.0),
+        ];
+        let s = StreamSummary::from_records(&recs);
+        assert_eq!(s.records, 2);
+        assert_eq!(s.clusters(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Forest cover mapping with grid-based D-Stream.
+//!
+//! A CoverType-like cartographic stream is clustered with D-Stream: records
+//! map to grid cells in O(d) (no nearest-centroid scan), cell densities
+//! decay, and sporadic cells are swept. The offline phase uses D-Stream's
+//! native macro-clustering: grouping *adjacent* dense cells into regions.
+//!
+//! ```sh
+//! cargo run --example forest_cover --release
+//! ```
+
+use diststream::algorithms::offline::adjacent_grid_clusters;
+use diststream::algorithms::{DStream, DStreamParams};
+use diststream::core::DistStreamJob;
+use diststream::datasets::covertype_like;
+use diststream::engine::{ExecutionMode, StreamingContext, VecSource};
+use diststream::types::{ClusteringConfig, DistStreamError};
+
+fn main() -> Result<(), DistStreamError> {
+    let dataset = covertype_like(20_000, 11);
+    let scale = dataset.mean_intra_distance();
+    let dims = dataset.points[0].point.dims();
+    let records = dataset.to_records(40.0);
+
+    let algo = DStream::new(DStreamParams {
+        cell_width: 6.0 * scale / (dims as f64).sqrt(),
+        grid_dims: 6,
+        expected_cells: 200,
+        ..Default::default()
+    });
+    let ctx = StreamingContext::new(8, ExecutionMode::Simulated)?;
+
+    println!("mapping forest cover types from streaming survey records...\n");
+    let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+        .init_records(400)
+        .run(VecSource::new(records), |report| {
+            if report.batch_index % 10 == 0 {
+                println!(
+                    "t={:>5.0}s  {:>4} records  {:>4} non-empty grid cells",
+                    report.window_end.secs(),
+                    report.outcome.metrics.records,
+                    report.model.len(),
+                );
+            }
+        })?;
+
+    // Offline phase: D-Stream's native adjacency grouping of dense cells.
+    let regions = adjacent_grid_clusters(&result.model, 10.0);
+    println!(
+        "\n{} grid cells grouped into {} cover-type regions:",
+        result.model.len(),
+        regions.len()
+    );
+    for (i, c) in regions.centroids.iter().enumerate() {
+        let members = regions
+            .assignment
+            .iter()
+            .filter(|a| **a == Some(i))
+            .count();
+        println!(
+            "  region {i}: {members} cells, centroid norm {:.2}",
+            c.norm()
+        );
+    }
+    Ok(())
+}

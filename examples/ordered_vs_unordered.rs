@@ -1,0 +1,78 @@
+//! The order-aware mechanism, demonstrated: the same stream, the same
+//! algorithm, order-aware vs unordered mini-batch execution, scored with
+//! CMM at every batch end.
+//!
+//! The stream is the dynamic KDD-99 analog — the dataset family where the
+//! paper measures the largest quality gap. Watch the `unordered` column dip
+//! during the attack waves while `order-aware` tracks the changes.
+//!
+//! ```sh
+//! cargo run --example ordered_vs_unordered --release
+//! ```
+
+use diststream::algorithms::offline::{kmeans, KmeansParams};
+use diststream::algorithms::{DenStream, DenStreamParams};
+use diststream::core::{DistStreamJob, StreamClustering, UpdateOrdering};
+use diststream::datasets::kdd99_like;
+use diststream::engine::{ExecutionMode, StreamingContext, VecSource};
+use diststream::quality::{cmm, nearest_assignment_bounded, CmmParams};
+use diststream::types::{ClusteringConfig, DistStreamError, Record, Timestamp};
+
+fn run(ordering: UpdateOrdering, records: &[Record], eps: f64, bound: f64) -> Vec<(f64, f64)> {
+    let algo = DenStream::new(DenStreamParams {
+        eps,
+        ..Default::default()
+    });
+    let ctx = StreamingContext::new(4, ExecutionMode::Simulated).expect("valid context");
+    let mut processed = 400usize;
+    let mut series = Vec::new();
+    // Pre-merge is a DistStream contribution (§V-C); the unordered baseline
+    // does not have it.
+    DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+        .init_records(400)
+        .premerge(ordering == UpdateOrdering::OrderAware)
+        .ordering(ordering)
+        .run(VecSource::new(records.to_vec()), |report| {
+            processed += report.outcome.metrics.records;
+            let macros = kmeans(&algo.snapshot(report.model), KmeansParams::new(23));
+            let params = CmmParams::default();
+            let start = processed.saturating_sub(params.horizon);
+            let window = &records[start..processed.min(records.len())];
+            let assignment = nearest_assignment_bounded(window, &macros.centroids, bound);
+            let score = cmm(window, &assignment, report.window_end, &params);
+            series.push((report.window_end.secs(), score.cmm));
+        })
+        .expect("job run");
+    series
+}
+
+fn main() -> Result<(), DistStreamError> {
+    let dataset = kdd99_like(30_000, 42);
+    let scale = dataset.mean_intra_distance();
+    let records = dataset.to_records(61.0); // ~494s, the paper's duration
+
+    println!("running order-aware executor...");
+    let ordered = run(UpdateOrdering::OrderAware, &records, 0.5 * scale, 1.5 * scale);
+    println!("running unordered baseline...\n");
+    let unordered = run(UpdateOrdering::Unordered, &records, 0.5 * scale, 1.5 * scale);
+
+    println!("{:>10} {:>12} {:>12}", "stream(s)", "order-aware", "unordered");
+    let mut worst: (f64, f64) = (0.0, 1.0);
+    for (&(t, o), &(_, u)) in ordered.iter().zip(unordered.iter()) {
+        let bar = if u < o - 0.05 { "  <-- unordered lags the change" } else { "" };
+        println!("{t:>10.0} {o:>12.3} {u:>12.3}{bar}");
+        if u / o.max(1e-9) < worst.1 {
+            worst = (t, u / o);
+        }
+    }
+    let avg = |s: &[(f64, f64)]| s.iter().map(|&(_, v)| v).sum::<f64>() / s.len() as f64;
+    println!(
+        "\naverage CMM: order-aware {:.3}, unordered {:.3}; worst unordered/ordered ratio {:.2} at t={:.0}s",
+        avg(&ordered),
+        avg(&unordered),
+        worst.1,
+        worst.0,
+    );
+    let _ = Timestamp::ZERO; // (keep the import used in all feature configurations)
+    Ok(())
+}

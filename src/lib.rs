@@ -1,0 +1,10 @@
+//! DistStream facade crate — re-exports the full public API of the
+//! workspace. See the README for an overview and `examples/` for runnable
+//! entry points.
+
+pub use diststream_algorithms as algorithms;
+pub use diststream_core as core;
+pub use diststream_datasets as datasets;
+pub use diststream_engine as engine;
+pub use diststream_quality as quality;
+pub use diststream_types as types;

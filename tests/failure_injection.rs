@@ -1,0 +1,71 @@
+//! Failure-injection tests: worker panics surface as engine errors instead
+//! of poisoning the process, and malformed streams fail loudly.
+
+use diststream::core::reference::NaiveClustering;
+use diststream::core::{DistStreamExecutor, StreamClustering};
+use diststream::engine::{ExecutionMode, MiniBatch, StreamingContext, TaskPool};
+use diststream::types::{DistStreamError, Point, Record, Timestamp};
+
+#[test]
+fn worker_panic_becomes_engine_error() {
+    let pool = TaskPool::new(4);
+    let result = pool.run((0..64).collect::<Vec<u32>>(), &|_, x| {
+        assert!(x != 13, "injected failure");
+        x
+    });
+    assert!(matches!(result, Err(DistStreamError::Engine(_))));
+}
+
+#[test]
+fn dimension_mismatch_panics_in_thread_mode_as_engine_error() {
+    // A malformed stream: the second record has the wrong dimensionality.
+    // In thread mode the distance computation panics inside a worker task
+    // and the executor reports an engine error.
+    let algo = NaiveClustering::new(1.0);
+    let ctx = StreamingContext::new(2, ExecutionMode::Threads).expect("context");
+    let exec = DistStreamExecutor::new(&algo, &ctx);
+    let mut model = algo
+        .init(&[Record::new(0, Point::from(vec![0.0, 0.0]), Timestamp::ZERO)])
+        .expect("init");
+    let batch = MiniBatch {
+        index: 0,
+        window_start: Timestamp::ZERO,
+        window_end: Timestamp::from_secs(1.0),
+        records: vec![
+            Record::new(1, Point::from(vec![0.1, 0.1]), Timestamp::from_secs(0.1)),
+            Record::new(2, Point::from(vec![0.1]), Timestamp::from_secs(0.2)),
+        ],
+    };
+    let result = exec.process_batch(&mut model, batch);
+    assert!(matches!(result, Err(DistStreamError::Engine(_))));
+}
+
+#[test]
+fn executor_survives_after_a_failed_batch() {
+    // After an engine error, the same context and model keep working for
+    // well-formed batches (parallel recovery in spirit: the failed batch is
+    // lost, the model is last-known-good).
+    let algo = NaiveClustering::new(1.0);
+    let ctx = StreamingContext::new(2, ExecutionMode::Threads).expect("context");
+    let exec = DistStreamExecutor::new(&algo, &ctx);
+    let mut model = algo
+        .init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])
+        .expect("init");
+
+    let poison = MiniBatch {
+        index: 0,
+        window_start: Timestamp::ZERO,
+        window_end: Timestamp::from_secs(1.0),
+        records: vec![Record::new(1, Point::from(vec![0.1, 0.2]), Timestamp::from_secs(0.1))],
+    };
+    assert!(exec.process_batch(&mut model, poison).is_err());
+
+    let good = MiniBatch {
+        index: 1,
+        window_start: Timestamp::from_secs(1.0),
+        window_end: Timestamp::from_secs(2.0),
+        records: vec![Record::new(2, Point::from(vec![0.2]), Timestamp::from_secs(1.5))],
+    };
+    let outcome = exec.process_batch(&mut model, good).expect("recovery batch");
+    assert_eq!(outcome.assigned_existing, 1);
+}
