@@ -57,10 +57,13 @@ impl Summary {
     }
 }
 
+/// A child of an internal node: its aggregate summary plus the subtree.
+type Child = (Summary, Box<Node>);
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
     Leaf(Vec<LeafEntry>),
-    Internal(Vec<(Summary, Box<Node>)>),
+    Internal(Vec<Child>),
 }
 
 /// An insert that overflowed a node returns the two replacement halves.
@@ -130,9 +133,7 @@ impl CfTree {
         fn depth(node: &Node) -> usize {
             match node {
                 Node::Leaf(_) => 1,
-                Node::Internal(children) => {
-                    1 + children.first().map_or(0, |(_, c)| depth(c))
-                }
+                Node::Internal(children) => 1 + children.first().map_or(0, |(_, c)| depth(c)),
             }
         }
         self.root.as_ref().map_or(0, depth)
@@ -155,10 +156,8 @@ impl CfTree {
                     None => self.root = Some(root),
                     Some((s1, n1, s2, n2)) => {
                         // Root split: grow a new root.
-                        self.root = Some(Node::Internal(vec![
-                            (s1, Box::new(n1)),
-                            (s2, Box::new(n2)),
-                        ]));
+                        self.root =
+                            Some(Node::Internal(vec![(s1, Box::new(n1)), (s2, Box::new(n2))]));
                     }
                 }
             }
@@ -290,16 +289,14 @@ fn split_leaf(entries: Vec<LeafEntry>) -> (Vec<LeafEntry>, Vec<LeafEntry>) {
     (left, right)
 }
 
-fn split_internal(
-    children: Vec<(Summary, Box<Node>)>,
-) -> (Vec<(Summary, Box<Node>)>, Vec<(Summary, Box<Node>)>) {
+fn split_internal(children: Vec<Child>) -> (Vec<Child>, Vec<Child>) {
     let centroids: Vec<Point> = children.iter().map(|(s, _)| s.centroid()).collect();
     let (i, j) = farthest_pair(centroids.iter());
     let seed_l = centroids[i].clone();
     let seed_r = centroids[j].clone();
     let mut left = Vec::new();
     let mut right = Vec::new();
-    for (child, centroid) in children.into_iter().zip(centroids.into_iter()) {
+    for (child, centroid) in children.into_iter().zip(centroids) {
         if centroid.squared_distance(&seed_l) <= centroid.squared_distance(&seed_r) {
             left.push(child);
         } else {

@@ -13,9 +13,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use diststream_core::{
-    Assignment, MicroClusterId, StreamClustering, WeightedPoint,
-};
+use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
 use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
 
 use crate::cf::CfVector;
@@ -94,7 +92,6 @@ impl CluStreamModel {
             .map(|(_, cf)| cf.centroid().distance(point))
             .fold(f64::INFINITY, f64::min)
     }
-
 }
 
 /// CluStream implemented through the four DistStream APIs.
@@ -311,7 +308,11 @@ impl StreamClustering for CluStream {
     }
 
     fn snapshot(&self, model: &CluStreamModel) -> Vec<WeightedPoint> {
-        model.mcs.values().map(CfVector::to_weighted_point).collect()
+        model
+            .mcs
+            .values()
+            .map(CfVector::to_weighted_point)
+            .collect()
     }
 }
 
@@ -335,7 +336,11 @@ mod tests {
         // Two well-populated micro-clusters near x = 0 and x = 10.
         let mut records = Vec::new();
         for i in 0..10 {
-            records.push(rec(i, (i % 2) as f64 * 10.0 + (i as f64) * 0.01, i as f64 * 0.1));
+            records.push(rec(
+                i,
+                (i % 2) as f64 * 10.0 + (i as f64) * 0.01,
+                i as f64 * 0.1,
+            ));
         }
         algo.init(&records).unwrap()
     }
@@ -343,7 +348,9 @@ mod tests {
     #[test]
     fn init_respects_budget() {
         let algo = algo(3);
-        let records: Vec<Record> = (0..50).map(|i| rec(i, (i % 10) as f64 * 3.0, i as f64)).collect();
+        let records: Vec<Record> = (0..50)
+            .map(|i| rec(i, (i % 10) as f64 * 3.0, i as f64))
+            .collect();
         let model = algo.init(&records).unwrap();
         assert!(model.len() <= 3);
         assert!(!model.is_empty());
@@ -359,7 +366,10 @@ mod tests {
         let algo = algo(10);
         let model = seeded_model(&algo);
         let near = rec(100, 0.02, 2.0);
-        assert!(matches!(algo.assign(&model, &near), Assignment::Existing(_)));
+        assert!(matches!(
+            algo.assign(&model, &near),
+            Assignment::Existing(_)
+        ));
         let far = rec(101, 50.0, 2.0);
         assert_eq!(algo.assign(&model, &far), Assignment::New(101));
     }

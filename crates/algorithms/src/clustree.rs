@@ -357,9 +357,7 @@ mod tests {
             max_micro_clusters: 2,
             ..Default::default()
         });
-        let mut model = a
-            .init(&[rec(0, 0.0, 0.0), rec(1, 100.0, 0.0)])
-            .unwrap();
+        let mut model = a.init(&[rec(0, 0.0, 0.0), rec(1, 100.0, 0.0)]).unwrap();
         // Two new clusters near 100 → merge pressure keeps the budget.
         let created = vec![
             CfVector::from_record(&rec(2, 103.0, 1.0)),
@@ -415,9 +413,7 @@ mod tests {
     #[test]
     fn snapshot_matches_entries() {
         let a = algo();
-        let model = a
-            .init(&[rec(0, 0.0, 0.0), rec(1, 50.0, 0.0)])
-            .unwrap();
+        let model = a.init(&[rec(0, 0.0, 0.0), rec(1, 50.0, 0.0)]).unwrap();
         assert_eq!(a.snapshot(&model).len(), 2);
     }
 }

@@ -354,7 +354,10 @@ mod tests {
     #[test]
     fn cell_mapping_floors_coordinates() {
         let a = algo();
-        assert_eq!(a.cell_of(&Point::from(vec![0.4, 1.7, -0.3])), vec![0, 1, -1]);
+        assert_eq!(
+            a.cell_of(&Point::from(vec![0.4, 1.7, -0.3])),
+            vec![0, 1, -1]
+        );
     }
 
     #[test]

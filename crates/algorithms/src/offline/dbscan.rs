@@ -108,7 +108,13 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let out = dbscan(&[], DbscanParams { eps: 1.0, min_weight: 1.0 });
+        let out = dbscan(
+            &[],
+            DbscanParams {
+                eps: 1.0,
+                min_weight: 1.0,
+            },
+        );
         assert!(out.is_empty());
     }
 
@@ -123,7 +129,13 @@ mod tests {
         for i in 1..10 {
             pts.push(wp(9.0, i as f64, 2.0));
         }
-        let out = dbscan(&pts, DbscanParams { eps: 1.1, min_weight: 4.0 });
+        let out = dbscan(
+            &pts,
+            DbscanParams {
+                eps: 1.1,
+                min_weight: 4.0,
+            },
+        );
         assert_eq!(out.len(), 1);
         assert!(out.assignment.iter().all(|a| a == &Some(0)));
     }
@@ -137,7 +149,13 @@ mod tests {
             wp(10.5, 0.0, 3.0),
             wp(100.0, 0.0, 1.0), // lonely light point → noise
         ];
-        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 5.0 });
+        let out = dbscan(
+            &pts,
+            DbscanParams {
+                eps: 1.0,
+                min_weight: 5.0,
+            },
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out.assignment[0], out.assignment[1]);
         assert_eq!(out.assignment[2], out.assignment[3]);
@@ -150,7 +168,13 @@ mod tests {
         // Two points each of weight 10 form a core neighborhood even though
         // there are only two of them.
         let pts = vec![wp(0.0, 0.0, 10.0), wp(0.5, 0.0, 10.0)];
-        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 15.0 });
+        let out = dbscan(
+            &pts,
+            DbscanParams {
+                eps: 1.0,
+                min_weight: 15.0,
+            },
+        );
         assert_eq!(out.len(), 1);
     }
 
@@ -163,7 +187,13 @@ mod tests {
             wp(0.9, 0.0, 1.0), // border (its own hood holds the core, so it is core too)
             wp(2.5, 0.0, 1.0), // out of reach of both → noise
         ];
-        let out = dbscan(&pts, DbscanParams { eps: 1.0, min_weight: 12.0 });
+        let out = dbscan(
+            &pts,
+            DbscanParams {
+                eps: 1.0,
+                min_weight: 12.0,
+            },
+        );
         assert_eq!(out.assignment[0], Some(0));
         assert_eq!(out.assignment[1], Some(0));
         assert_eq!(out.assignment[2], None);

@@ -115,9 +115,7 @@ mod tests {
         let records: Vec<Record> = xs
             .iter()
             .enumerate()
-            .map(|(i, &(x, y))| {
-                Record::new(i as u64, Point::from(vec![x, y]), Timestamp::ZERO)
-            })
+            .map(|(i, &(x, y))| Record::new(i as u64, Point::from(vec![x, y]), Timestamp::ZERO))
             .collect();
         a.init(&records).unwrap()
     }
@@ -125,13 +123,7 @@ mod tests {
     #[test]
     fn l_shaped_chain_is_one_cluster() {
         // Cells (0,0)-(1,0)-(2,0)-(2,1)-(2,2): connected through shared axes.
-        let model = model_of(&[
-            (0.5, 0.5),
-            (1.5, 0.5),
-            (2.5, 0.5),
-            (2.5, 1.5),
-            (2.5, 2.5),
-        ]);
+        let model = model_of(&[(0.5, 0.5), (1.5, 0.5), (2.5, 0.5), (2.5, 1.5), (2.5, 2.5)]);
         let macros = adjacent_grid_clusters(&model, 0.5);
         assert_eq!(macros.len(), 1);
         assert!(macros.assignment.iter().all(|x| x == &Some(0)));

@@ -97,8 +97,11 @@ pub fn kmeans(points: &[WeightedPoint], params: KmeansParams) -> MacroClusters {
     let mut used: Vec<usize> = assignment.clone();
     used.sort_unstable();
     used.dedup();
-    let remap: std::collections::HashMap<usize, usize> =
-        used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    let remap: std::collections::BTreeMap<usize, usize> = used
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
     MacroClusters {
         centroids: used.iter().map(|&c| centroids[c].clone()).collect(),
         assignment: assignment.into_iter().map(|c| Some(remap[&c])).collect(),

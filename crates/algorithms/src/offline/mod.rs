@@ -64,7 +64,13 @@ pub(crate) fn weighted_mean(points: &[WeightedPoint], members: &[usize]) -> Opti
             None => sum = Some(wp.point.scaled(wp.weight)),
         }
     }
-    sum.map(|s| if total > 0.0 { s.scaled(1.0 / total) } else { s })
+    sum.map(|s| {
+        if total > 0.0 {
+            s.scaled(1.0 / total)
+        } else {
+            s
+        }
+    })
 }
 
 #[cfg(test)]

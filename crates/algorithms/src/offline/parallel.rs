@@ -130,7 +130,7 @@ pub fn parallel_kmeans(
     let mut used: Vec<usize> = assignment.clone();
     used.sort_unstable();
     used.dedup();
-    let remap: std::collections::HashMap<usize, usize> = used
+    let remap: std::collections::BTreeMap<usize, usize> = used
         .iter()
         .enumerate()
         .map(|(new, &old)| (old, new))
@@ -177,7 +177,12 @@ mod tests {
     #[test]
     fn matches_sequential_clustering() {
         let points: Vec<WeightedPoint> = (0..100)
-            .map(|i| wp((i % 9) as f64 * 2.5 + (i as f64) * 0.001, 1.0 + (i % 3) as f64))
+            .map(|i| {
+                wp(
+                    (i % 9) as f64 * 2.5 + (i as f64) * 0.001,
+                    1.0 + (i % 3) as f64,
+                )
+            })
             .collect();
         let params = KmeansParams::new(5);
         let sequential = kmeans(&points, params);

@@ -273,7 +273,13 @@ mod tests {
 
     fn stream(n: u64) -> Vec<Record> {
         (0..n)
-            .map(|i| rec(i, (i % 4) as f64 * 6.0 + (i % 3) as f64 * 0.1, i as f64 * 0.2))
+            .map(|i| {
+                rec(
+                    i,
+                    (i % 4) as f64 * 6.0 + (i % 3) as f64 * 0.1,
+                    i as f64 * 0.2,
+                )
+            })
             .collect()
     }
 
@@ -288,8 +294,14 @@ mod tests {
     fn leader_rule_creates_new_centroids() {
         let a = algo();
         let model = a.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        assert!(matches!(a.assign(&model, &rec(1, 0.5, 1.0)), Assignment::Existing(_)));
-        assert!(matches!(a.assign(&model, &rec(2, 9.0, 1.0)), Assignment::New(_)));
+        assert!(matches!(
+            a.assign(&model, &rec(1, 0.5, 1.0)),
+            Assignment::Existing(_)
+        ));
+        assert!(matches!(
+            a.assign(&model, &rec(2, 9.0, 1.0)),
+            Assignment::New(_)
+        ));
     }
 
     #[test]

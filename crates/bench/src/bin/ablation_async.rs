@@ -56,7 +56,10 @@ fn run_async_quality<A: StreamClustering>(algo: &A, bundle: &Bundle) -> f64 {
         let window_end = batch.window_end;
         let outcome = exec.process_batch(&mut model, batch).expect("batch");
         processed += outcome.metrics.records;
-        let macros = kmeans(&algo.snapshot(&model), KmeansParams::new(bundle.kind.clusters()));
+        let macros = kmeans(
+            &algo.snapshot(&model),
+            KmeansParams::new(bundle.kind.clusters()),
+        );
         let upto = processed.min(records.len());
         let window = &records[upto.saturating_sub(params.horizon)..upto];
         let assignment =
@@ -84,8 +87,15 @@ fn main() {
         let algo = bundle.clustream();
         let ctx = throughput_context(&bundle, PARALLELISM).expect("context");
 
-        let sync = run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, ROUNDS)
-            .expect("sync run");
+        let sync = run_throughput(
+            &algo,
+            &bundle,
+            &ctx,
+            ExecutorKind::OrderAware,
+            BATCH_SECS,
+            ROUNDS,
+        )
+        .expect("sync run");
         let asynchronous = run_async_throughput(&algo, &bundle, &ctx);
         let quality = run_async_quality(&algo, &bundle);
 

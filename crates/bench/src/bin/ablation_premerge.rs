@@ -16,10 +16,24 @@ const BATCH_SECS: f64 = 10.0;
 
 fn run_pair<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, name: &str) {
     let ctx = StreamingContext::new(4, ExecutionMode::Simulated).expect("p=4");
-    let with = run_quality(algo, bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, true)
-        .expect("premerge on");
-    let without = run_quality(algo, bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, false)
-        .expect("premerge off");
+    let with = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::OrderAware,
+        BATCH_SECS,
+        true,
+    )
+    .expect("premerge on");
+    let without = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::OrderAware,
+        BATCH_SECS,
+        false,
+    )
+    .expect("premerge off");
     table.row([
         bundle.kind.name().to_string(),
         name.to_string(),

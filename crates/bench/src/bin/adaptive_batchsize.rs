@@ -36,9 +36,15 @@ fn main() {
         let algo = bundle.clustream();
         let ctx = throughput_context(&bundle, PARALLELISM).expect("context");
 
-        let fixed_small =
-            run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, START_BATCH, ROUNDS)
-                .expect("fixed small");
+        let fixed_small = run_throughput(
+            &algo,
+            &bundle,
+            &ctx,
+            ExecutorKind::OrderAware,
+            START_BATCH,
+            ROUNDS,
+        )
+        .expect("fixed small");
         let fixed_paper =
             run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, 10.0, ROUNDS)
                 .expect("fixed 10s");

@@ -58,13 +58,28 @@ fn main() {
     for kind in DatasetKind::ALL {
         let records = cli.records_for(20_000, kind.full_records());
         let bundle = Bundle::new(kind, records, cli.seed);
-        run_algo(&mut table, &bundle.clustream(), &bundle, "CluStream", &mut diffs);
-        run_algo(&mut table, &bundle.denstream(), &bundle, "DenStream", &mut diffs);
+        run_algo(
+            &mut table,
+            &bundle.clustream(),
+            &bundle,
+            "CluStream",
+            &mut diffs,
+        );
+        run_algo(
+            &mut table,
+            &bundle.denstream(),
+            &bundle,
+            "DenStream",
+            &mut diffs,
+        );
     }
     print_table(
         "Paper: average 2.79% quality difference across batch sizes",
         &table,
     );
     let avg = diffs.iter().sum::<f64>() / diffs.len().max(1) as f64;
-    println!("\naverage |CMM difference| across all runs: {:.2}%", avg * 100.0);
+    println!(
+        "\naverage |CMM difference| across all runs: {:.2}%",
+        avg * 100.0
+    );
 }

@@ -8,8 +8,8 @@
 //! MOA counterparts.
 
 use diststream_bench::{
-    fmt_f64, print_table, run_quality, run_sequential_quality, run_throughput,
-    throughput_context, Bundle, Cli, DatasetKind, ExecutorKind, Table, ThroughputOutcome,
+    fmt_f64, print_table, run_quality, run_sequential_quality, run_throughput, throughput_context,
+    Bundle, Cli, DatasetKind, ExecutorKind, Table, ThroughputOutcome,
 };
 use diststream_core::StreamClustering;
 use diststream_engine::{ExecutionMode, StreamingContext};
@@ -116,14 +116,28 @@ fn main() {
             (
                 "D-Stream",
                 run_sequential_quality(&dstream, &bundle, 10.0).expect("seq run"),
-                run_quality(&dstream, &bundle, &ctx1, ExecutorKind::OrderAware, 10.0, true)
-                    .expect("dist run"),
+                run_quality(
+                    &dstream,
+                    &bundle,
+                    &ctx1,
+                    ExecutorKind::OrderAware,
+                    10.0,
+                    true,
+                )
+                .expect("dist run"),
             ),
             (
                 "ClusTree",
                 run_sequential_quality(&clustree, &bundle, 10.0).expect("seq run"),
-                run_quality(&clustree, &bundle, &ctx1, ExecutorKind::OrderAware, 10.0, true)
-                    .expect("dist run"),
+                run_quality(
+                    &clustree,
+                    &bundle,
+                    &ctx1,
+                    ExecutorKind::OrderAware,
+                    10.0,
+                    true,
+                )
+                .expect("dist run"),
             ),
         ] {
             quality.row([

@@ -26,17 +26,27 @@ struct Panel {
     unordered: QualityOutcome,
 }
 
-fn run_panel<A: StreamClustering>(
-    algo: &A,
-    bundle: &Bundle,
-    algorithm: &'static str,
-) -> Panel {
+fn run_panel<A: StreamClustering>(algo: &A, bundle: &Bundle, algorithm: &'static str) -> Panel {
     let ctx = StreamingContext::new(1, ExecutionMode::Simulated).expect("p=1 is valid");
     let moa = run_sequential_quality(algo, bundle, BATCH_SECS).expect("sequential run");
-    let diststream = run_quality(algo, bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, true)
-        .expect("order-aware run");
-    let unordered = run_quality(algo, bundle, &ctx, ExecutorKind::Unordered, BATCH_SECS, true)
-        .expect("unordered run");
+    let diststream = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::OrderAware,
+        BATCH_SECS,
+        true,
+    )
+    .expect("order-aware run");
+    let unordered = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::Unordered,
+        BATCH_SECS,
+        true,
+    )
+    .expect("unordered run");
     Panel {
         dataset: bundle.kind.name(),
         algorithm,
@@ -97,7 +107,10 @@ fn main() {
     for p in &panels {
         let ds_norm = normalized(&p.diststream, &p.moa);
         let un_norm = normalized(&p.unordered, &p.moa);
-        let min_un = un_norm.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let min_un = un_norm
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
         summary.row([
             p.dataset.to_string(),
             p.algorithm.to_string(),
@@ -109,7 +122,10 @@ fn main() {
             fmt_f64(min_un, 3),
         ]);
     }
-    print_table("Summary (paper: DistStream ≈ 99% of MOA; unordered up to 60% lower)", &summary);
+    print_table(
+        "Summary (paper: DistStream ≈ 99% of MOA; unordered up to 60% lower)",
+        &summary,
+    );
 
     // Per-panel normalized series (the plotted lines).
     for p in &panels {

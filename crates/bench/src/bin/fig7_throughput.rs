@@ -42,10 +42,24 @@ fn run_row<A: StreamClustering>(
 ) {
     let moa = run_sequential_throughput(algo, bundle, rounds).expect("sequential run");
     let ctx = single_machine_context(bundle);
-    let ordered = run_throughput(algo, bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, rounds)
-        .expect("order-aware run");
-    let unordered = run_throughput(algo, bundle, &ctx, ExecutorKind::Unordered, BATCH_SECS, rounds)
-        .expect("unordered run");
+    let ordered = run_throughput(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::OrderAware,
+        BATCH_SECS,
+        rounds,
+    )
+    .expect("order-aware run");
+    let unordered = run_throughput(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::Unordered,
+        BATCH_SECS,
+        rounds,
+    )
+    .expect("unordered run");
     table.row([
         format!("large-{}", bundle.kind.name()),
         algorithm.to_string(),
@@ -73,8 +87,20 @@ fn main() {
     for kind in DatasetKind::ALL {
         let records = cli.records_for(20_000, kind.full_records());
         let bundle = Bundle::new(kind, records, cli.seed);
-        run_row(&mut table, &bundle.clustream(), &bundle, "CluStream", ROUNDS);
-        run_row(&mut table, &bundle.denstream(), &bundle, "DenStream", ROUNDS);
+        run_row(
+            &mut table,
+            &bundle.clustream(),
+            &bundle,
+            "CluStream",
+            ROUNDS,
+        );
+        run_row(
+            &mut table,
+            &bundle.denstream(),
+            &bundle,
+            "DenStream",
+            ROUNDS,
+        );
     }
     print_table(
         "Paper: mini-batch ≈ 10.6% below MOA; DistStream ≈ 1.3× unordered",

@@ -42,7 +42,12 @@ fn sweep<A: StreamClustering>(algo: &A, bundle: &Bundle) -> Vec<(usize, Throughp
         .collect()
 }
 
-fn report(table: &mut Table, bundle: &Bundle, algorithm: &str, sweep: &[(usize, ThroughputOutcome)]) {
+fn report(
+    table: &mut Table,
+    bundle: &Bundle,
+    algorithm: &str,
+    sweep: &[(usize, ThroughputOutcome)],
+) {
     let base = sweep[0].1.records_per_sec;
     for (p, out) in sweep {
         table.row([
@@ -74,9 +79,19 @@ fn main() {
         let records = cli.records_for(20_000, kind.full_records());
         let bundle = Bundle::new(kind, records, cli.seed);
         let clustream = bundle.clustream();
-        report(&mut table, &bundle, "CluStream", &sweep(&clustream, &bundle));
+        report(
+            &mut table,
+            &bundle,
+            "CluStream",
+            &sweep(&clustream, &bundle),
+        );
         let denstream = bundle.denstream();
-        report(&mut table, &bundle, "DenStream", &sweep(&denstream, &bundle));
+        report(
+            &mut table,
+            &bundle,
+            "DenStream",
+            &sweep(&denstream, &bundle),
+        );
     }
     print_table(
         "Paper: sub-linear gain up to ~13.2× at p=32; global-update latency constant in p; stragglers grow 12%→25% from p=16 to p=32",

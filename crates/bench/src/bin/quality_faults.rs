@@ -16,10 +16,24 @@ const BATCH_SECS: f64 = 10.0;
 
 fn run_pair<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, name: &str) {
     let ctx = StreamingContext::new(1, ExecutionMode::Simulated).expect("p=1");
-    let ordered = run_quality(algo, bundle, &ctx, ExecutorKind::OrderAware, BATCH_SECS, true)
-        .expect("ordered run");
-    let unordered = run_quality(algo, bundle, &ctx, ExecutorKind::Unordered, BATCH_SECS, true)
-        .expect("unordered run");
+    let ordered = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::OrderAware,
+        BATCH_SECS,
+        true,
+    )
+    .expect("ordered run");
+    let unordered = run_quality(
+        algo,
+        bundle,
+        &ctx,
+        ExecutorKind::Unordered,
+        BATCH_SECS,
+        true,
+    )
+    .expect("unordered run");
     let ratio = |a: usize, b: usize| -> String {
         if b == 0 {
             "-".into()

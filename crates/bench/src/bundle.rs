@@ -113,12 +113,14 @@ impl Bundle {
 
     /// Records stamped at the (scaled) quality rate of 1K records/s.
     pub fn quality_records(&self) -> Vec<Record> {
-        self.dataset.to_records(self.kind.quality_rate() * self.scale)
+        self.dataset
+            .to_records(self.kind.quality_rate() * self.scale)
     }
 
     /// Records stamped at the (scaled) stress rate.
     pub fn stress_records(&self) -> Vec<Record> {
-        self.dataset.to_records(self.kind.stress_rate() * self.scale)
+        self.dataset
+            .to_records(self.kind.stress_rate() * self.scale)
     }
 
     /// Initialization prefix size: 2% of the stream, at least 200 records.

@@ -312,15 +312,7 @@ mod tests {
         let bundle = small_bundle();
         let algo = bundle.clustream();
         let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
-        let out = run_quality(
-            &algo,
-            &bundle,
-            &ctx,
-            ExecutorKind::OrderAware,
-            10.0,
-            true,
-        )
-        .unwrap();
+        let out = run_quality(&algo, &bundle, &ctx, ExecutorKind::OrderAware, 10.0, true).unwrap();
         assert!(!out.series.is_empty());
         assert!(out.avg_cmm > 0.0 && out.avg_cmm <= 1.0);
         assert!(out.meter.records() > 0);
@@ -340,8 +332,7 @@ mod tests {
         let bundle = small_bundle();
         let algo = bundle.denstream();
         let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
-        let out =
-            run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, 10.0, 2).unwrap();
+        let out = run_throughput(&algo, &bundle, &ctx, ExecutorKind::OrderAware, 10.0, 2).unwrap();
         assert_eq!(out.records, 2 * bundle.records() - bundle.init_records());
         assert!(out.records_per_sec > 0.0);
     }

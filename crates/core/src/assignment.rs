@@ -66,7 +66,10 @@ mod tests {
         Record::new(id, Point::from(vec![x]), Timestamp::from_secs(id as f64))
     }
 
-    fn setup() -> (NaiveClustering, <NaiveClustering as StreamClustering>::Model) {
+    fn setup() -> (
+        NaiveClustering,
+        <NaiveClustering as StreamClustering>::Model,
+    ) {
         let algo = NaiveClustering::new(1.0);
         // Two micro-clusters at x = 0 and x = 10.
         let model = algo.init(&[rec(0, 0.0), rec(1, 10.0)]).unwrap();
@@ -77,8 +80,7 @@ mod tests {
     fn assignments_match_sequential_reference() {
         let (algo, model) = setup();
         let records: Vec<Record> = (2..42).map(|i| rec(i, (i % 11) as f64)).collect();
-        let expected: Vec<Assignment> =
-            records.iter().map(|r| algo.assign(&model, r)).collect();
+        let expected: Vec<Assignment> = records.iter().map(|r| algo.assign(&model, r)).collect();
 
         for p in [1, 3, 8] {
             let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();

@@ -62,7 +62,7 @@ pub use assignment::{assign_records, AssignmentOutcome};
 pub use global::{global_update, GlobalOutcome};
 pub use local::{local_update, CreatedSketch, LocalOutcome, UpdatedSketch};
 pub use parallel::{BatchOutcome, DistStreamExecutor};
+pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
 pub use pipelined::PipelinedExecutor;
 pub use recovery::{Checkpoint, CheckpointingDriver};
-pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
 pub use sequential::{SequentialExecutor, SequentialSummary};

@@ -93,15 +93,11 @@ pub fn local_update<A: StreamClustering>(
     window_start: Timestamp,
     shuffle_seed: u64,
 ) -> Result<LocalOutcome<A::Sketch>> {
-    let record_bytes = pairs
-        .first()
-        .map_or(0, |(r, _)| serialized_size(r) + 16);
+    let record_bytes = pairs.first().map_or(0, |(r, _)| serialized_size(r) + 16);
     let shuffle_bytes = record_bytes * pairs.len() as u64;
 
-    let keyed: Vec<((u64, u64), Record)> = pairs
-        .into_iter()
-        .map(|(r, a)| (group_key(a), r))
-        .collect();
+    let keyed: Vec<((u64, u64), Record)> =
+        pairs.into_iter().map(|(r, a)| (group_key(a), r)).collect();
     let partitions = group_by_key(keyed, ctx.parallelism());
 
     type TaskOut<S> = (Vec<UpdatedSketch<S>>, Vec<CreatedSketch<S>>);
@@ -128,16 +124,15 @@ pub fn local_update<A: StreamClustering>(
                         }
                     }
                 }
-                let first_arrival = records
-                    .iter()
-                    .map(Record::arrival_key)
-                    .min()
-                    .expect("groups are non-empty");
-                let last_arrival = records
-                    .iter()
-                    .map(Record::arrival_key)
-                    .max()
-                    .expect("groups are non-empty");
+                // group_by_key never yields empty groups; an empty one
+                // carries no records and can be skipped outright instead
+                // of panicking.
+                let Some(first_arrival) = records.iter().map(Record::arrival_key).min() else {
+                    continue;
+                };
+                let Some(last_arrival) = records.iter().map(Record::arrival_key).max() else {
+                    continue;
+                };
                 let absorbed = records.len();
                 if kind == KIND_EXISTING {
                     let mut sketch = algo.sketch_of(&model, key);
@@ -152,7 +147,9 @@ pub fn local_update<A: StreamClustering>(
                     });
                 } else {
                     let mut iter = records.iter();
-                    let seed_record = iter.next().expect("groups are non-empty");
+                    let Some(seed_record) = iter.next() else {
+                        continue;
+                    };
                     let mut sketch = algo.create(seed_record);
                     for r in iter {
                         algo.update(&mut sketch, r);
@@ -250,8 +247,11 @@ mod tests {
                 .iter()
                 .map(|u| (u.id, u.sketch.clone()))
                 .collect();
-            let mut got_updated: Vec<_> =
-                out.updated.iter().map(|u| (u.id, u.sketch.clone())).collect();
+            let mut got_updated: Vec<_> = out
+                .updated
+                .iter()
+                .map(|u| (u.id, u.sketch.clone()))
+                .collect();
             base_updated.sort_by_key(|(id, _)| *id);
             got_updated.sort_by_key(|(id, _)| *id);
             assert_eq!(base_updated, got_updated, "parallelism {p}");

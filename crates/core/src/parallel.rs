@@ -289,9 +289,7 @@ mod tests {
         let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let exec = DistStreamExecutor::new(&algo, &ctx);
-        let outcome = exec
-            .process_batch(&mut model, batch(0, records))
-            .unwrap();
+        let outcome = exec.process_batch(&mut model, batch(0, records)).unwrap();
         assert_eq!(outcome.created_micro_clusters, 19);
         assert_eq!(outcome.created_after_premerge, 1);
     }

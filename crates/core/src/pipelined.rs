@@ -111,7 +111,11 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
     ///
     /// Propagates engine failures (task panics) as
     /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
-    pub fn process_batch(&mut self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+    pub fn process_batch(
+        &mut self,
+        model: &mut A::Model,
+        batch: MiniBatch,
+    ) -> Result<BatchOutcome> {
         let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let records = batch.len();
         let window_start = batch.window_start;
@@ -280,7 +284,8 @@ mod tests {
 
         let mut sync_model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let sync = DistStreamExecutor::new(&algo, &ctx);
-        sync.process_batch(&mut sync_model, batch(0, a.to_vec())).unwrap();
+        sync.process_batch(&mut sync_model, batch(0, a.to_vec()))
+            .unwrap();
 
         let mut async_model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let mut pipelined = PipelinedExecutor::new(&algo, &ctx);

@@ -167,9 +167,8 @@ where
     /// Returns [`DistStreamError::Engine`] if the checkpoint fails to
     /// decode, and propagates replay failures.
     pub fn recover(&self) -> Result<A::Model> {
-        let mut model: A::Model = decode(&self.checkpoint.bytes).map_err(|e| {
-            DistStreamError::Engine(format!("checkpoint corrupt: {e}"))
-        })?;
+        let mut model: A::Model = decode(&self.checkpoint.bytes)
+            .map_err(|e| DistStreamError::Engine(format!("checkpoint corrupt: {e}")))?;
         let exec = DistStreamExecutor::new(self.algo, self.ctx);
         for batch in &self.replay_log {
             exec.process_batch(&mut model, batch.clone())?;
@@ -217,7 +216,13 @@ mod tests {
         let mut d = driver(&algo, &ctx, 3);
         for i in 0..7 {
             let records = (0..10)
-                .map(|j| rec(1 + i * 10 + j, (j % 4) as f64 * 3.0, i as f64 + j as f64 * 0.05))
+                .map(|j| {
+                    rec(
+                        1 + i * 10 + j,
+                        (j % 4) as f64 * 3.0,
+                        i as f64 + j as f64 * 0.05,
+                    )
+                })
                 .collect();
             d.process_batch(batch(i as usize, records)).unwrap();
             // Recovery must reproduce the live model at every point.

@@ -97,7 +97,7 @@ impl<'a, A: StreamClustering> SequentialExecutor<'a, A> {
         mut source: S,
     ) -> Result<SequentialSummary> {
         let mut records = 0;
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(wallclock-entropy) throughput reporting only, never touches model state
         while let Some(record) = source.next_record() {
             self.process_record(model, &record);
             records += 1;
@@ -137,7 +137,9 @@ mod tests {
         let algo = NaiveClustering::new(1.0);
         let exec = SequentialExecutor::new(&algo);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        let recs: Vec<Record> = (1..50).map(|i| rec(i, (i % 5) as f64, i as f64 * 0.1)).collect();
+        let recs: Vec<Record> = (1..50)
+            .map(|i| rec(i, (i % 5) as f64, i as f64 * 0.1))
+            .collect();
         let summary = exec
             .process_stream(&mut model, VecSource::new(recs))
             .unwrap();

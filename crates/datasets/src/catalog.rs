@@ -272,9 +272,21 @@ mod tests {
         assert_eq!(p.records, N);
         assert_eq!(p.features, 54);
         assert_eq!(p.clusters, 23);
-        assert!((p.top_fractions[0] - 0.57).abs() < 0.03, "{:?}", p.top_fractions);
-        assert!((p.top_fractions[1] - 0.22).abs() < 0.03, "{:?}", p.top_fractions);
-        assert!((p.top_fractions[2] - 0.20).abs() < 0.03, "{:?}", p.top_fractions);
+        assert!(
+            (p.top_fractions[0] - 0.57).abs() < 0.03,
+            "{:?}",
+            p.top_fractions
+        );
+        assert!(
+            (p.top_fractions[1] - 0.22).abs() < 0.03,
+            "{:?}",
+            p.top_fractions
+        );
+        assert!(
+            (p.top_fractions[2] - 0.20).abs() < 0.03,
+            "{:?}",
+            p.top_fractions
+        );
     }
 
     #[test]
@@ -282,8 +294,16 @@ mod tests {
         let p = covertype_like(N, 1).profile();
         assert_eq!(p.features, 54);
         assert_eq!(p.clusters, 7);
-        assert!((p.top_fractions[0] - 0.49).abs() < 0.03, "{:?}", p.top_fractions);
-        assert!((p.top_fractions[1] - 0.36).abs() < 0.03, "{:?}", p.top_fractions);
+        assert!(
+            (p.top_fractions[0] - 0.49).abs() < 0.03,
+            "{:?}",
+            p.top_fractions
+        );
+        assert!(
+            (p.top_fractions[1] - 0.36).abs() < 0.03,
+            "{:?}",
+            p.top_fractions
+        );
     }
 
     #[test]
@@ -291,7 +311,11 @@ mod tests {
         let p = kdd98_like(N, 1).profile();
         assert_eq!(p.features, 315);
         assert_eq!(p.clusters, 5);
-        assert!((p.top_fractions[0] - 0.95).abs() < 0.01, "{:?}", p.top_fractions);
+        assert!(
+            (p.top_fractions[0] - 0.95).abs() < 0.01,
+            "{:?}",
+            p.top_fractions
+        );
     }
 
     #[test]
@@ -312,7 +336,11 @@ mod tests {
         for d in [0, 10, 53] {
             let mean: f64 =
                 ds.points.iter().map(|p| p.point[d]).sum::<f64>() / ds.points.len() as f64;
-            let var: f64 = ds.points.iter().map(|p| p.point[d] * p.point[d]).sum::<f64>()
+            let var: f64 = ds
+                .points
+                .iter()
+                .map(|p| p.point[d] * p.point[d])
+                .sum::<f64>()
                 / ds.points.len() as f64
                 - mean * mean;
             assert!(mean.abs() < 1e-9);

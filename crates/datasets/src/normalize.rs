@@ -114,8 +114,8 @@ mod tests {
         normalize(&mut pts);
         for d in 0..2 {
             let mean: f64 = pts.iter().map(|p| p.point[d]).sum::<f64>() / 100.0;
-            let var: f64 = pts.iter().map(|p| p.point[d] * p.point[d]).sum::<f64>() / 100.0
-                - mean * mean;
+            let var: f64 =
+                pts.iter().map(|p| p.point[d] * p.point[d]).sum::<f64>() / 100.0 - mean * mean;
             assert!(mean.abs() < 1e-9, "dim {d} mean {mean}");
             assert!((var - 1.0).abs() < 1e-9, "dim {d} var {var}");
         }

@@ -57,7 +57,6 @@ impl ClusterSpec {
     fn window(&self) -> f64 {
         (self.active.1 - self.active.0).max(1e-9)
     }
-
 }
 
 /// Configuration of a synthetic stream.
@@ -185,7 +184,11 @@ pub fn generate(config: &SynthConfig) -> Vec<LabeledPoint> {
         let drift = spec.drift_stds * spec.std * progress;
         let offsets = &clump_offsets[cluster_idx];
         let clump = &offsets[rng.gen_range(0..offsets.len())];
-        let inner_std = if spec.clumps > 1 { spec.std / 3.0 } else { spec.std };
+        let inner_std = if spec.clumps > 1 {
+            spec.std / 3.0
+        } else {
+            spec.std
+        };
         let coords: Vec<f64> = (0..config.dims)
             .map(|d| {
                 centers[cluster_idx][d]
@@ -298,7 +301,7 @@ mod tests {
         };
         let points = generate(&cfg);
         let mean = |slice: &[LabeledPoint]| -> Vec<f64> {
-            let mut m = vec![0.0; 3];
+            let mut m = [0.0; 3];
             for p in slice {
                 for (d, v) in p.point.iter().enumerate() {
                     m[d] += v;
@@ -322,8 +325,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let samples: Vec<f64> = (0..50_000).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
     }

@@ -37,6 +37,7 @@ pub fn encode<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
     let mut out = Encoder { bytes: Vec::new() };
     value
         .serialize(&mut out)
+        // lint:allow(no-panic) Encoder writes to an in-memory Vec and never errors
         .expect("in-memory encoding cannot fail");
     out.bytes
 }
@@ -231,11 +232,7 @@ impl ser::Serializer for &mut Encoder {
         self.serialize_u64(len as u64)?;
         Ok(self)
     }
-    fn serialize_struct(
-        self,
-        _: &'static str,
-        _: usize,
-    ) -> std::result::Result<Self, CodecError> {
+    fn serialize_struct(self, _: &'static str, _: usize) -> std::result::Result<Self, CodecError> {
         Ok(self)
     }
     fn serialize_struct_variant(
@@ -339,7 +336,9 @@ impl<'de> Decoder<'de> {
     }
 
     fn take_array<const N: usize>(&mut self) -> std::result::Result<[u8; N], CodecError> {
-        Ok(self.take(N)?.try_into().expect("length checked"))
+        self.take(N)?
+            .try_into()
+            .map_err(|_| <CodecError as de::Error>::custom("internal length mismatch"))
     }
 
     fn read_u32(&mut self) -> std::result::Result<u32, CodecError> {
@@ -358,10 +357,7 @@ impl<'de> Decoder<'de> {
 
 macro_rules! decode_num {
     ($method:ident, $visit:ident, $ty:ty) => {
-        fn $method<V: Visitor<'de>>(
-            self,
-            visitor: V,
-        ) -> std::result::Result<V::Value, CodecError> {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> std::result::Result<V::Value, CodecError> {
             visitor.$visit(<$ty>::from_le_bytes(self.take_array()?))
         }
     };
@@ -370,10 +366,7 @@ macro_rules! decode_num {
 impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     type Error = CodecError;
 
-    fn deserialize_any<V: Visitor<'de>>(
-        self,
-        _: V,
-    ) -> std::result::Result<V::Value, CodecError> {
+    fn deserialize_any<V: Visitor<'de>>(self, _: V) -> std::result::Result<V::Value, CodecError> {
         Err(de::Error::custom(
             "the checkpoint codec is not self-describing",
         ))
@@ -412,9 +405,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         visitor: V,
     ) -> std::result::Result<V::Value, CodecError> {
         let code = self.read_u32()?;
-        visitor.visit_char(char::from_u32(code).ok_or_else(|| {
-            de::Error::custom(format!("invalid char code {code}"))
-        })?)
+        visitor.visit_char(
+            char::from_u32(code)
+                .ok_or_else(|| de::Error::custom(format!("invalid char code {code}")))?,
+        )
     }
 
     fn deserialize_str<V: Visitor<'de>>(
@@ -423,9 +417,7 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     ) -> std::result::Result<V::Value, CodecError> {
         let len = self.read_len()?;
         let bytes = self.take(len)?;
-        visitor.visit_str(
-            std::str::from_utf8(bytes).map_err(|e| de::Error::custom(e.to_string()))?,
-        )
+        visitor.visit_str(std::str::from_utf8(bytes).map_err(|e| de::Error::custom(e.to_string()))?)
     }
 
     fn deserialize_string<V: Visitor<'de>>(
@@ -489,7 +481,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         visitor: V,
     ) -> std::result::Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -497,7 +492,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> std::result::Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -514,7 +512,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         visitor: V,
     ) -> std::result::Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(

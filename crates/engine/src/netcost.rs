@@ -169,9 +169,10 @@ impl SimCostModel {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .expect("at least one slot");
-            slot_load[min_idx] += t;
+                .map(|(i, _)| i);
+            if let Some(min_idx) = min_idx {
+                slot_load[min_idx] += t;
+            }
         }
         let makespan = slot_load.iter().copied().fold(0.0, f64::max);
         (effective, makespan)

@@ -59,10 +59,18 @@ impl RoundRobinPartitioner {
     pub fn split<T>(&self, items: Vec<T>, partitions: usize) -> Vec<Vec<T>> {
         assert!(partitions > 0, "partition count must be at least 1");
         let per = items.len() / partitions + 1;
+        #[cfg(feature = "debug_invariants")]
+        let input_len = items.len();
         let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::with_capacity(per)).collect();
         for (i, item) in items.into_iter().enumerate() {
             out[i % partitions].push(item);
         }
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(
+            out.iter().map(Vec::len).sum::<usize>(),
+            input_len,
+            "debug_invariants: round-robin split lost or duplicated items",
+        );
         out
     }
 
@@ -175,6 +183,8 @@ where
 {
     assert!(partitions > 0, "partition count must be at least 1");
     let partitioner = HashPartitioner;
+    #[cfg(feature = "debug_invariants")]
+    let input_len = pairs.len();
     // key -> (partition, position within partition)
     let mut slots: HashMap<K, (usize, usize)> = HashMap::new();
     let mut out: Vec<Vec<(K, Vec<V>)>> = (0..partitions).map(|_| Vec::new()).collect();
@@ -187,6 +197,27 @@ where
                 out[p].push((key.clone(), vec![value]));
                 slots.insert(key, (p, idx));
             }
+        }
+    }
+    #[cfg(feature = "debug_invariants")]
+    {
+        // Completeness: every input value lands in exactly one group, and
+        // no key appears in two partitions (slots guarantees both; this
+        // catches regressions if the bookkeeping is ever rewritten).
+        let value_count: usize = out
+            .iter()
+            .flat_map(|part| part.iter().map(|(_, vs)| vs.len()))
+            .sum();
+        assert_eq!(
+            value_count, input_len,
+            "debug_invariants: group_by_key lost or duplicated values",
+        );
+        let mut seen_keys = std::collections::BTreeSet::new();
+        for (key, _) in out.iter().flatten() {
+            assert!(
+                seen_keys.insert(fnv1a_hash(&key.key_bytes())),
+                "debug_invariants: group_by_key emitted a key twice",
+            );
         }
     }
     out

@@ -64,22 +64,29 @@ impl TaskPool {
         if n == 0 {
             return Ok((Vec::new(), Vec::new()));
         }
-        let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let results: Vec<Mutex<Option<(O, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
 
         let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..self.threads.min(n) {
                 s.spawn(|_| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    // SeqCst: the claim counter gates which worker owns a
+                    // task slot; relaxed ordering here would let a claim
+                    // race ahead of the slot handoff it authorizes.
+                    let idx = cursor.fetch_add(1, Ordering::SeqCst);
                     if idx >= n {
                         break;
                     }
-                    let input = slots[idx]
-                        .lock()
-                        .take()
-                        .expect("task input consumed exactly once");
-                    let start = Instant::now();
+                    // fetch_add hands each index to exactly one worker, so
+                    // the slot is always full here; skipping instead of
+                    // panicking turns an impossible state into a detectable
+                    // "worker died early" error at collection time.
+                    let Some(input) = slots[idx].lock().take() else {
+                        continue;
+                    };
+                    let start = Instant::now(); // lint:allow(wallclock-entropy) task timing feeds straggler metrics only
                     let output = f(idx, input);
                     let secs = start.elapsed().as_secs_f64();
                     *results[idx].lock() = Some((output, secs));
@@ -120,11 +127,12 @@ mod tests {
     fn outputs_preserve_task_order() {
         let pool = TaskPool::new(4);
         let inputs: Vec<usize> = (0..100).collect();
-        let (outs, secs) = pool.run(inputs, &|idx, x| {
-            assert_eq!(idx, x);
-            x * 2
-        })
-        .unwrap();
+        let (outs, secs) = pool
+            .run(inputs, &|idx, x| {
+                assert_eq!(idx, x);
+                x * 2
+            })
+            .unwrap();
         assert_eq!(outs, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(secs.len(), 100);
         assert!(secs.iter().all(|&s| s >= 0.0));

@@ -9,6 +9,12 @@
 //! exact order for any disorder bounded by `max_lateness_secs`. Records
 //! later than the watermark are counted and dropped (the classic
 //! late-data policy).
+//!
+//! At-least-once sources may also *re-deliver* records (a replayed Kafka
+//! segment). The buffer deduplicates at the release point: a record whose
+//! arrival key is not greater than the last released key is suppressed, so
+//! downstream batching sees each key exactly once, in strictly increasing
+//! order, no matter how the source retries.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -47,6 +53,11 @@ pub struct ReorderBuffer<S> {
     watermark: Timestamp,
     inner_exhausted: bool,
     dropped_late: usize,
+    dropped_duplicate: usize,
+    /// Arrival key of the last record released downstream. Release-point
+    /// deduplication compares against it, which also guarantees releases
+    /// are strictly increasing.
+    last_released: Option<(Timestamp, RecordId)>,
 }
 
 /// Wrapper making `Record` usable inside the heap ordering tuple (ordering
@@ -90,12 +101,20 @@ impl<S: RecordSource> ReorderBuffer<S> {
             watermark: Timestamp::from_secs(f64::NEG_INFINITY),
             inner_exhausted: false,
             dropped_late: 0,
+            dropped_duplicate: 0,
+            last_released: None,
         }
     }
 
     /// Records dropped because they arrived later than the watermark.
     pub fn dropped_late(&self) -> usize {
         self.dropped_late
+    }
+
+    /// Records suppressed because their arrival key was already released
+    /// (at-least-once re-delivery).
+    pub fn dropped_duplicates(&self) -> usize {
+        self.dropped_duplicate
     }
 
     /// Records currently buffered awaiting the watermark.
@@ -120,8 +139,7 @@ impl<S: RecordSource> ReorderBuffer<S> {
                         continue;
                     }
                     self.watermark = self.watermark.max(r.timestamp);
-                    self.heap
-                        .push(Reverse((r.timestamp, r.id, HeapRecord(r))));
+                    self.heap.push(Reverse((r.timestamp, r.id, HeapRecord(r))));
                 }
                 None => self.inner_exhausted = true,
             }
@@ -131,14 +149,37 @@ impl<S: RecordSource> ReorderBuffer<S> {
 
 impl<S: RecordSource> RecordSource for ReorderBuffer<S> {
     fn next_record(&mut self) -> Option<Record> {
-        self.pull_until_releasable();
-        self.heap.pop().map(|Reverse((_, _, r))| r.0)
+        loop {
+            self.pull_until_releasable();
+            let record = self.heap.pop().map(|Reverse((_, _, r))| r.0)?;
+            let key = record.arrival_key();
+            match self.last_released {
+                // A key at or below the last release is a re-delivery (or
+                // an equal-timestamp straggler whose tie already went out);
+                // releasing it would break strict arrival order downstream.
+                Some(last) if key <= last => {
+                    self.dropped_duplicate += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            // Guaranteed by the dedup arm above; asserted here so the
+            // invariant survives future edits to the release logic.
+            #[cfg(feature = "debug_invariants")]
+            assert!(
+                self.last_released.is_none_or(|last| last < key),
+                "debug_invariants: reorder buffer released records out of arrival order \
+                 ({:?} after {:?})",
+                key,
+                self.last_released,
+            );
+            self.last_released = Some(key);
+            return Some(record);
+        }
     }
 
     fn len_hint(&self) -> Option<usize> {
-        self.inner
-            .len_hint()
-            .map(|n| n + self.heap.len())
+        self.inner.len_hint().map(|n| n + self.heap.len())
     }
 }
 
@@ -214,7 +255,83 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2]);
     }
 
+    #[test]
+    fn duplicated_records_released_once() {
+        // Every record delivered twice, back to back (at-least-once source).
+        let recs: Vec<Record> = (0..20)
+            .flat_map(|i| [rec(i, i as f64), rec(i, i as f64)])
+            .collect();
+        let mut buffer = ReorderBuffer::new(VecSource::new(recs), 3.0);
+        let out: Vec<u64> = std::iter::from_fn(|| buffer.next_record())
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(out, (0..20).collect::<Vec<u64>>());
+        assert_eq!(buffer.dropped_duplicates(), 20);
+        assert_eq!(buffer.dropped_late(), 0);
+    }
+
+    #[test]
+    fn replayed_mini_batch_segment_is_suppressed() {
+        // The source re-delivers a whole mini-batch worth of records after
+        // making progress — the classic replay-from-last-offset pattern.
+        let mut recs: Vec<Record> = (0..12).map(|i| rec(i, i as f64)).collect();
+        let replay: Vec<Record> = (4..8).map(|i| rec(i, i as f64)).collect();
+        recs.splice(8..8, replay);
+        let mut buffer = ReorderBuffer::new(VecSource::new(recs), 6.0);
+        let out: Vec<u64> = std::iter::from_fn(|| buffer.next_record())
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(out, (0..12).collect::<Vec<u64>>());
+        assert_eq!(buffer.dropped_duplicates(), 4);
+    }
+
+    #[test]
+    fn equal_timestamp_straggler_after_release_is_suppressed() {
+        // id 0 shares its timestamp with id 1 but shows up only after id 1
+        // was already released; letting it out would un-sort the stream.
+        let recs = vec![rec(1, 0.0), rec(5, 5.0), rec(0, 0.0), rec(6, 6.0)];
+        let mut buffer = ReorderBuffer::new(VecSource::new(recs), 0.0);
+        let out: Vec<u64> = std::iter::from_fn(|| buffer.next_record())
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(out, vec![1, 5, 6]);
+        assert_eq!(buffer.dropped_duplicates() + buffer.dropped_late(), 1);
+    }
+
     proptest! {
+        #[test]
+        fn prop_duplicates_and_disorder_yield_unique_sorted_output(
+            seed in 0u64..500,
+            window in 1usize..6,
+            dup_every in 2usize..5,
+        ) {
+            // Duplicate every `dup_every`-th record, then shuffle within
+            // disorder windows: output must be each key once, in order.
+            let mut recs: Vec<Record> = Vec::new();
+            for i in 0..40u64 {
+                recs.push(rec(i, i as f64));
+                if (i as usize).is_multiple_of(dup_every) {
+                    recs.push(rec(i, i as f64));
+                }
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for chunk in recs.chunks_mut(window) {
+                chunk.shuffle(&mut rng);
+            }
+            let dup_count = recs.len() - 40;
+            let mut buffer = ReorderBuffer::new(VecSource::new(recs), (window + 1) as f64);
+            let out: Vec<Record> = std::iter::from_fn(|| buffer.next_record()).collect();
+            for w in out.windows(2) {
+                prop_assert!(
+                    w[0].arrival_key() < w[1].arrival_key(),
+                    "released keys must be strictly increasing"
+                );
+            }
+            prop_assert_eq!(out.len(), 40, "every unique key must be released once");
+            prop_assert_eq!(buffer.dropped_duplicates(), dup_count);
+            prop_assert_eq!(buffer.dropped_late(), 0);
+        }
+
         #[test]
         fn prop_output_sorted_and_complete_under_bound(
             seed in 0u64..1000,

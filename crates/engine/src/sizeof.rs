@@ -26,6 +26,7 @@ pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> u64 {
     let mut counter = ByteCounter { bytes: 0 };
     value
         .serialize(&mut counter)
+        // lint:allow(no-panic) ByteCounter's methods are structurally infallible
         .expect("byte counting cannot fail");
     counter.bytes
 }

@@ -279,8 +279,7 @@ mod tests {
 
     #[test]
     fn rate_stamped_respects_start_offset() {
-        let src =
-            RateStampedSource::starting_at(vec![lp(0)], 1.0, Timestamp::from_secs(100.0));
+        let src = RateStampedSource::starting_at(vec![lp(0)], 1.0, Timestamp::from_secs(100.0));
         assert_eq!(drain(src)[0].timestamp.secs(), 100.0);
     }
 

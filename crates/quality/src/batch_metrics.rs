@@ -93,7 +93,11 @@ pub fn purity(records: &[Record], assignment: &[Option<usize>]) -> f64 {
     let mut total = 0usize;
     for (r, a) in records.iter().zip(assignment.iter()) {
         if let Some(c) = a {
-            *per_cluster.entry(*c).or_default().entry(r.label).or_insert(0) += 1;
+            *per_cluster
+                .entry(*c)
+                .or_default()
+                .entry(r.label)
+                .or_insert(0) += 1;
             total += 1;
         }
     }
@@ -159,7 +163,12 @@ mod tests {
     }
 
     fn setup() -> (Vec<Record>, Vec<Option<usize>>) {
-        let records = vec![rec(0, 0.0, 0), rec(1, 0.2, 0), rec(2, 10.0, 1), rec(3, 10.2, 1)];
+        let records = vec![
+            rec(0, 0.0, 0),
+            rec(1, 0.2, 0),
+            rec(2, 10.0, 1),
+            rec(3, 10.2, 1),
+        ];
         let assignment = vec![Some(0), Some(0), Some(1), Some(1)];
         (records, assignment)
     }

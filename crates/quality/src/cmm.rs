@@ -261,8 +261,10 @@ mod tests {
     #[test]
     fn perfect_clustering_scores_one() {
         let (records, now) = two_class_setup();
-        let assignment: Vec<Option<usize>> =
-            records.iter().map(|r| Some(r.label.unwrap().0 as usize)).collect();
+        let assignment: Vec<Option<usize>> = records
+            .iter()
+            .map(|r| Some(r.label.unwrap().0 as usize))
+            .collect();
         let out = cmm(&records, &assignment, now, &params());
         assert_eq!(out.cmm, 1.0);
         assert_eq!(out.missed + out.misplaced + out.noise_included, 0);
@@ -278,8 +280,10 @@ mod tests {
     #[test]
     fn missed_records_lower_the_score() {
         let (records, now) = two_class_setup();
-        let mut assignment: Vec<Option<usize>> =
-            records.iter().map(|r| Some(r.label.unwrap().0 as usize)).collect();
+        let mut assignment: Vec<Option<usize>> = records
+            .iter()
+            .map(|r| Some(r.label.unwrap().0 as usize))
+            .collect();
         // Drop half of class 0 from the clustering.
         for (i, a) in assignment.iter_mut().enumerate() {
             if i % 4 == 0 {

@@ -6,12 +6,18 @@ use std::collections::BTreeMap;
 
 use diststream_types::{ClassId, Record};
 
+/// Joint class/cluster counts, class marginals, cluster marginals, and the
+/// number of records contributing to the table.
+type Contingency = (
+    BTreeMap<(ClassId, usize), u64>,
+    BTreeMap<ClassId, u64>,
+    BTreeMap<usize, u64>,
+    u64,
+);
+
 /// Builds the class/cluster contingency table over labeled, clustered
 /// records (records lacking either side are skipped).
-fn contingency(
-    records: &[Record],
-    assignment: &[Option<usize>],
-) -> (BTreeMap<(ClassId, usize), u64>, BTreeMap<ClassId, u64>, BTreeMap<usize, u64>, u64) {
+fn contingency(records: &[Record], assignment: &[Option<usize>]) -> Contingency {
     let mut joint = BTreeMap::new();
     let mut classes = BTreeMap::new();
     let mut clusters = BTreeMap::new();

@@ -30,8 +30,6 @@ mod batch_metrics;
 mod cmm;
 mod external;
 
-pub use batch_metrics::{
-    f_measure, nearest_assignment, nearest_assignment_bounded, purity, ssq,
-};
+pub use batch_metrics::{f_measure, nearest_assignment, nearest_assignment_bounded, purity, ssq};
 pub use cmm::{cmm, CmmBreakdown, CmmParams};
 pub use external::{adjusted_rand_index, pairwise_f1};

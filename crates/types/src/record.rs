@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn timestamp_total_order() {
-        let mut ts = vec![
+        let mut ts = [
             Timestamp::from_secs(3.0),
             Timestamp::from_secs(-1.0),
             Timestamp::from_secs(0.0),

@@ -105,12 +105,7 @@ mod tests {
     use crate::record::Timestamp;
 
     fn rec(id: u64, label: u32, t: f64) -> Record {
-        Record::labeled(
-            id,
-            Point::zeros(3),
-            Timestamp::from_secs(t),
-            ClassId(label),
-        )
+        Record::labeled(id, Point::zeros(3), Timestamp::from_secs(t), ClassId(label))
     }
 
     #[test]

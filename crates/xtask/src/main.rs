@@ -1,0 +1,208 @@
+//! Workspace automation tasks.
+//!
+//! `cargo run -p xtask -- lint` walks every shipping `.rs` file under
+//! `crates/*/src` and enforces the determinism invariant catalog in
+//! `rules.rs`, printing `file:line: [rule] message` diagnostics and
+//! exiting nonzero on any finding. Escape hatches, in order of
+//! preference:
+//!
+//! 1. fix the code;
+//! 2. `// lint:allow(<rule>) <why>` on the offending or preceding line;
+//! 3. a repo-relative path in `crates/xtask/allow/<rule>.txt`.
+//!
+//! See DESIGN.md § "Determinism invariants and the lint catalog".
+
+mod lexer;
+mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match parse_root(&args[1..]) {
+            Ok(root) => lint(root),
+            Err(msg) => {
+                eprintln!("xtask lint: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("rules") => {
+            for rule in rules::catalog() {
+                println!("{}\n    {}\n", rule.name, rule.rationale);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|rules> [--root <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [flag, path] if flag == "--root" => return Ok(PathBuf::from(path)),
+        [flag] if flag == "--root" => return Err("--root requires a path argument".into()),
+        [arg, ..] => return Err(format!("unrecognized argument `{arg}`")),
+        [] => {}
+    }
+    // crates/xtask/ -> workspace root.
+    Ok(Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from(".")))
+}
+
+fn lint(root: PathBuf) -> ExitCode {
+    let files = match discover_files(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("xtask lint: cannot walk {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("xtask lint: no source files found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let catalog = rules::catalog();
+    let allowlists: Vec<BTreeSet<String>> = catalog
+        .iter()
+        .map(|rule| load_allowlist(&root, rule.name))
+        .collect();
+
+    let mut findings: Vec<(String, rules::Violation)> = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = relative_path(&root, file);
+        let source = match std::fs::read_to_string(file) {
+            Ok(source) => source,
+            Err(err) => {
+                eprintln!("xtask lint: cannot read {rel}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        scanned += 1;
+        let allows = lexer::inline_allows(&source);
+        let shipping = lexer::strip_test_code(&lexer::lex(&source));
+        for (rule, allowlist) in catalog.iter().zip(&allowlists) {
+            if !(rule.applies)(&rel) || allowlist.contains(&rel) {
+                continue;
+            }
+            for violation in (rule.check)(&shipping) {
+                let suppressed = allows.iter().any(|(line, name)| {
+                    name == rule.name && (*line == violation.line || *line + 1 == violation.line)
+                });
+                if !suppressed {
+                    findings.push((rel.clone(), violation));
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.0, a.1.line, a.1.rule).cmp(&(&b.0, b.1.line, b.1.rule)));
+    for (path, violation) in &findings {
+        println!(
+            "{path}:{line}: [{rule}] {message}",
+            line = violation.line,
+            rule = violation.rule,
+            message = violation.message
+        );
+    }
+    if findings.is_empty() {
+        println!(
+            "xtask lint: {scanned} files clean across {} rules",
+            catalog.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) in {} file(s)",
+            findings.len(),
+            findings
+                .iter()
+                .map(|(path, _)| path)
+                .collect::<BTreeSet<_>>()
+                .len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Shipping sources: `crates/*/src/**/*.rs`. Integration tests, benches,
+/// and the vendored stub crates are out of lint scope by construction.
+fn discover_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Loads `crates/xtask/allow/<rule>.txt`: one repo-relative path per line,
+/// `#` comments. A missing file means an empty allowlist.
+fn load_allowlist(root: &Path, rule: &str) -> BTreeSet<String> {
+    let path = root.join("crates/xtask/allow").join(format!("{rule}.txt"));
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return BTreeSet::new();
+    };
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_workspace_sources() {
+        let root = parse_root(&[]).expect("default root");
+        let files = discover_files(&root).expect("walk");
+        let rels: Vec<String> = files.iter().map(|f| relative_path(&root, f)).collect();
+        assert!(rels.iter().any(|r| r == "crates/engine/src/pool.rs"));
+        assert!(rels.iter().any(|r| r == "crates/core/src/global.rs"));
+        assert!(!rels.iter().any(|r| r.starts_with("vendor/")));
+        assert!(!rels.iter().any(|r| r.contains("/tests/")));
+    }
+
+    #[test]
+    fn allowlist_parsing_skips_comments() {
+        let root = parse_root(&[]).expect("default root");
+        let list = load_allowlist(&root, "wallclock-entropy");
+        assert!(list.contains("crates/core/src/global.rs"));
+        assert!(!list.iter().any(|entry| entry.starts_with('#')));
+    }
+}

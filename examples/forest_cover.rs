@@ -52,11 +52,7 @@ fn main() -> Result<(), DistStreamError> {
         regions.len()
     );
     for (i, c) in regions.centroids.iter().enumerate() {
-        let members = regions
-            .assignment
-            .iter()
-            .filter(|a| **a == Some(i))
-            .count();
+        let members = regions.assignment.iter().filter(|a| **a == Some(i)).count();
         println!(
             "  region {i}: {members} cells, centroid norm {:.2}",
             c.norm()

@@ -52,14 +52,31 @@ fn main() -> Result<(), DistStreamError> {
     let records = dataset.to_records(61.0); // ~494s, the paper's duration
 
     println!("running order-aware executor...");
-    let ordered = run(UpdateOrdering::OrderAware, &records, 0.5 * scale, 1.5 * scale);
+    let ordered = run(
+        UpdateOrdering::OrderAware,
+        &records,
+        0.5 * scale,
+        1.5 * scale,
+    );
     println!("running unordered baseline...\n");
-    let unordered = run(UpdateOrdering::Unordered, &records, 0.5 * scale, 1.5 * scale);
+    let unordered = run(
+        UpdateOrdering::Unordered,
+        &records,
+        0.5 * scale,
+        1.5 * scale,
+    );
 
-    println!("{:>10} {:>12} {:>12}", "stream(s)", "order-aware", "unordered");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "stream(s)", "order-aware", "unordered"
+    );
     let mut worst: (f64, f64) = (0.0, 1.0);
     for (&(t, o), &(_, u)) in ordered.iter().zip(unordered.iter()) {
-        let bar = if u < o - 0.05 { "  <-- unordered lags the change" } else { "" };
+        let bar = if u < o - 0.05 {
+            "  <-- unordered lags the change"
+        } else {
+            ""
+        };
         println!("{t:>10.0} {o:>12.3} {u:>12.3}{bar}");
         if u / o.max(1e-9) < worst.1 {
             worst = (t, u / o);

@@ -1,0 +1,85 @@
+//! Determinism regression tests: the invariant the xtask lints protect.
+//!
+//! DistStream's order-aware guarantee is that the merged global model is a
+//! pure function of the stream — not of the parallelism degree, the
+//! execution mode, or thread scheduling. These tests compare the
+//! *serialized bytes* of final models across replays, so even a
+//! representation-level divergence (map ordering, float summation order)
+//! fails loudly.
+
+use diststream::algorithms::{CluStream, CluStreamParams, DenStream, DenStreamParams};
+use diststream::core::{DistStreamJob, StreamClustering};
+use diststream::datasets::covertype_like;
+use diststream::engine::{encode, ExecutionMode, StreamingContext, VecSource};
+use diststream::types::{ClusteringConfig, Record};
+
+fn records() -> Vec<Record> {
+    covertype_like(2000, 5).to_records(50.0)
+}
+
+/// Replays the same stream through a full job and returns the final
+/// model's exact serialized bytes.
+fn model_bytes<A: StreamClustering>(algo: &A, threads: usize, mode: ExecutionMode) -> Vec<u8> {
+    let ctx = StreamingContext::new(threads, mode).expect("context");
+    let result = DistStreamJob::new(algo, &ctx, ClusteringConfig::default())
+        .init_records(150)
+        .run_to_end(VecSource::new(records()))
+        .expect("job");
+    encode(&result.model)
+}
+
+/// Same dataset + seed at `threads = 1, 2, 8` must produce bit-identical
+/// global models, with real OS threads doing the work.
+#[test]
+fn clustream_model_bytes_identical_across_thread_counts() {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    let base = model_bytes(&algo, 1, ExecutionMode::Threads);
+    assert!(!base.is_empty());
+    for threads in [2, 8] {
+        assert_eq!(
+            model_bytes(&algo, threads, ExecutionMode::Threads),
+            base,
+            "CluStream model bytes diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn denstream_model_bytes_identical_across_thread_counts() {
+    let algo = DenStream::new(DenStreamParams {
+        eps: 2.5,
+        ..Default::default()
+    });
+    let base = model_bytes(&algo, 1, ExecutionMode::Threads);
+    assert!(!base.is_empty());
+    for threads in [2, 8] {
+        assert_eq!(
+            model_bytes(&algo, threads, ExecutionMode::Threads),
+            base,
+            "DenStream model bytes diverged at threads={threads}"
+        );
+    }
+}
+
+/// The `debug_invariants` acceptance replay: p=1 vs p=4 with the runtime
+/// invariant assertions (reorder monotonicity, partition completeness)
+/// armed along the whole path. Run via
+/// `cargo test --features debug_invariants`.
+#[cfg(feature = "debug_invariants")]
+#[test]
+fn invariant_checked_replay_p1_vs_p4_is_byte_identical() {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    for mode in [ExecutionMode::Simulated, ExecutionMode::Threads] {
+        assert_eq!(
+            model_bytes(&algo, 1, mode),
+            model_bytes(&algo, 4, mode),
+            "merged model bytes differ between p=1 and p=4 in {mode:?} mode"
+        );
+    }
+}

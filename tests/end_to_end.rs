@@ -6,9 +6,7 @@ use diststream::algorithms::{
     CluStream, CluStreamParams, ClusTree, ClusTreeParams, DStream, DStreamParams, DenStream,
     DenStreamParams,
 };
-use diststream::core::{
-    DistStreamExecutor, DistStreamJob, SequentialExecutor, StreamClustering,
-};
+use diststream::core::{DistStreamExecutor, DistStreamJob, SequentialExecutor, StreamClustering};
 use diststream::datasets::covertype_like;
 use diststream::engine::{ExecutionMode, MiniBatch, StreamingContext, VecSource};
 use diststream::types::{ClusteringConfig, Record};
@@ -17,7 +15,11 @@ fn records() -> Vec<Record> {
     covertype_like(3000, 5).to_records(50.0)
 }
 
-fn final_snapshot<A: StreamClustering>(algo: &A, p: usize, mode: ExecutionMode) -> Vec<(Vec<f64>, f64)> {
+fn final_snapshot<A: StreamClustering>(
+    algo: &A,
+    p: usize,
+    mode: ExecutionMode,
+) -> Vec<(Vec<f64>, f64)> {
     let ctx = StreamingContext::new(p, mode).expect("context");
     let result = DistStreamJob::new(algo, &ctx, ClusteringConfig::default())
         .init_records(150)

@@ -56,7 +56,11 @@ fn executor_survives_after_a_failed_batch() {
         index: 0,
         window_start: Timestamp::ZERO,
         window_end: Timestamp::from_secs(1.0),
-        records: vec![Record::new(1, Point::from(vec![0.1, 0.2]), Timestamp::from_secs(0.1))],
+        records: vec![Record::new(
+            1,
+            Point::from(vec![0.1, 0.2]),
+            Timestamp::from_secs(0.1),
+        )],
     };
     assert!(exec.process_batch(&mut model, poison).is_err());
 
@@ -64,8 +68,14 @@ fn executor_survives_after_a_failed_batch() {
         index: 1,
         window_start: Timestamp::from_secs(1.0),
         window_end: Timestamp::from_secs(2.0),
-        records: vec![Record::new(2, Point::from(vec![0.2]), Timestamp::from_secs(1.5))],
+        records: vec![Record::new(
+            2,
+            Point::from(vec![0.2]),
+            Timestamp::from_secs(1.5),
+        )],
     };
-    let outcome = exec.process_batch(&mut model, good).expect("recovery batch");
+    let outcome = exec
+        .process_batch(&mut model, good)
+        .expect("recovery batch");
     assert_eq!(outcome.assigned_existing, 1);
 }

@@ -26,7 +26,12 @@ fn setup(dataset: &Dataset, k: usize) -> Setup {
     }
 }
 
-fn eval(setup: &Setup, snapshot: &[diststream::core::WeightedPoint], upto: usize, now: Timestamp) -> f64 {
+fn eval(
+    setup: &Setup,
+    snapshot: &[diststream::core::WeightedPoint],
+    upto: usize,
+    now: Timestamp,
+) -> f64 {
     let macros = kmeans(snapshot, KmeansParams::new(setup.k));
     let params = CmmParams::default();
     let upto = upto.min(setup.records.len());
@@ -113,7 +118,10 @@ fn stable_dataset_is_insensitive_to_ordering() {
         (ordered - unordered).abs() < 0.05,
         "stable data diverged: ordered {ordered:.3} vs unordered {unordered:.3}"
     );
-    assert!(ordered > 0.8, "stable dataset should cluster well: {ordered:.3}");
+    assert!(
+        ordered > 0.8,
+        "stable dataset should cluster well: {ordered:.3}"
+    );
 }
 
 #[test]

@@ -1,0 +1,258 @@
+//! Offline stand-in for `loom`.
+//!
+//! Real loom exhaustively explores thread interleavings under the C11
+//! memory model. This vendored version cannot do that offline, so it makes
+//! a weaker but honest trade: `loom::model` runs the closure many times on
+//! real OS threads while the `loom::sync` primitives inject randomized
+//! yields and sleeps before and after every operation, perturbing the
+//! scheduler toward rare interleavings. Failures it finds are real;
+//! passing is evidence, not proof. The API mirrors the loom subset the
+//! workspace's `#[cfg(loom)]` tests use, so swapping in real loom later is
+//! a dependency change only.
+//!
+//! Iteration count defaults to 200 and can be raised with
+//! `LOOM_ITERATIONS`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+static GLOBAL_SEED: AtomicU64 = AtomicU64::new(0x6c6f6f6d);
+
+thread_local! {
+    static CHAOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Randomized scheduling perturbation: ~1 in 4 operations yields, ~1 in 32
+/// parks the thread briefly so peers can overtake it.
+pub fn chaos_point() {
+    let draw = CHAOS.with(|cell| {
+        let mut state = cell.get();
+        if state == 0 {
+            state = GLOBAL_SEED.fetch_add(0x9e3779b97f4a7c15, StdOrdering::Relaxed) | 1;
+        }
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        cell.set(state);
+        state
+    });
+    if draw.is_multiple_of(32) {
+        std::thread::sleep(std::time::Duration::from_micros(draw % 50));
+    } else if draw.is_multiple_of(4) {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` repeatedly with fresh perturbation seeds. Panics propagate to
+/// the caller, so a failing interleaving fails the enclosing test.
+pub fn model<F: Fn()>(f: F) {
+    let iterations = std::env::var("LOOM_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    for round in 0..iterations {
+        GLOBAL_SEED.store(
+            0x6c6f6f6d ^ round.wrapping_mul(0x2545f4914f6cdd1d),
+            StdOrdering::SeqCst,
+        );
+        CHAOS.with(|cell| cell.set(0));
+        f();
+    }
+}
+
+pub mod thread {
+    use super::chaos_point;
+
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle {
+            inner: std::thread::spawn(move || {
+                chaos_point();
+                f()
+            }),
+        }
+    }
+
+    pub fn yield_now() {
+        chaos_point();
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    use super::chaos_point;
+
+    pub use std::sync::Arc;
+
+    /// Mutex with loom's std-shaped API; every lock acquisition is a
+    /// perturbation point.
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            chaos_point();
+            let guard = self.inner.lock();
+            chaos_point();
+            guard
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            chaos_point();
+            self.inner.try_lock()
+        }
+    }
+
+    pub mod atomic {
+        use super::chaos_point;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! chaotic_atomic {
+            ($($name:ident($std:ty, $value:ty)),* $(,)?) => {$(
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub fn new(value: $value) -> Self {
+                        Self { inner: <$std>::new(value) }
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $value {
+                        chaos_point();
+                        let value = self.inner.load(order);
+                        chaos_point();
+                        value
+                    }
+
+                    pub fn store(&self, value: $value, order: Ordering) {
+                        chaos_point();
+                        self.inner.store(value, order);
+                        chaos_point();
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        chaos_point();
+                        let result = self.inner.compare_exchange(current, new, success, failure);
+                        chaos_point();
+                        result
+                    }
+                }
+            )*};
+        }
+
+        chaotic_atomic! {
+            AtomicBool(std::sync::atomic::AtomicBool, bool),
+            AtomicU64(std::sync::atomic::AtomicU64, u64),
+        }
+
+        pub struct AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize,
+        }
+
+        impl AtomicUsize {
+            pub fn new(value: usize) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicUsize::new(value),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> usize {
+                chaos_point();
+                let value = self.inner.load(order);
+                chaos_point();
+                value
+            }
+
+            pub fn store(&self, value: usize, order: Ordering) {
+                chaos_point();
+                self.inner.store(value, order);
+                chaos_point();
+            }
+
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                chaos_point();
+                let previous = self.inner.fetch_add(value, order);
+                chaos_point();
+                previous
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                chaos_point();
+                let result = self.inner.compare_exchange(current, new, success, failure);
+                chaos_point();
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_iterations() {
+        std::env::set_var("LOOM_ITERATIONS", "8");
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::model(|| {
+            total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn threads_and_atomics_cooperate() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let guarded = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..4)
+            .map(|worker| {
+                let counter = Arc::clone(&counter);
+                let guarded = Arc::clone(&guarded);
+                super::thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    guarded.lock().expect("lock").push(worker);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("join");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(guarded.lock().expect("lock").len(), 4);
+    }
+}

@@ -1,0 +1,786 @@
+//! Deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Values deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A `Deserialize` with runtime state; mirrors serde's `DeserializeSeed`.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes using this seed.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Drives a [`Deserializer`], building the output value.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor produces.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!("unexpected bool {v}")))
+    }
+    /// Visits an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected integer"))
+    }
+    /// Visits a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected unsigned integer"))
+    }
+    /// Visits an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected float"))
+    }
+    /// Visits a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected char"))
+    }
+    /// Visits a borrowed string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected string"))
+    }
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits borrowed bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom("unexpected bytes"))
+    }
+    /// Visits owned bytes.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected none"))
+    }
+    /// Visits `Option::Some`, with the payload still in `deserializer`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom("unexpected some"))
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected unit"))
+    }
+    /// Visits a newtype struct, with the inner value in `deserializer`.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom("unexpected newtype struct"))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom("unexpected sequence"))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom("unexpected map"))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom("unexpected enum"))
+    }
+}
+
+/// A data format that can deserialize the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes whatever the input holds (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes owned bytes.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct field name or enum variant name.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over whatever the input holds.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next element with `seed`, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next key with `seed`, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value with `seed`.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key, or `None` at the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry, or `None` at the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Accessor for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant tag with `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant being deserialized.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Finishes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant's payload with `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant's payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant's payload.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant's payload.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// IntoDeserializer + primitive value deserializers
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`Deserializer`] holding a ready value.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The produced deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Converts `self` into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Value deserializers backing [`IntoDeserializer`].
+pub mod value {
+    use super::{Deserializer, Error, Visitor};
+    use std::marker::PhantomData;
+
+    macro_rules! primitive_value_deserializer {
+        ($name:ident, $ty:ty, $visit:ident) => {
+            /// A deserializer holding one ready value.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Wraps `value`.
+                pub fn new(value: $ty) -> Self {
+                    $name {
+                        value,
+                        marker: PhantomData,
+                    }
+                }
+            }
+
+            impl<'de, E: Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_value_methods!();
+            }
+        };
+    }
+
+    /// Forwards every concrete `deserialize_*` method to `deserialize_any`,
+    /// which visits the held value.
+    macro_rules! forward_value_methods {
+        () => {
+            forward_one!(deserialize_bool);
+            forward_one!(deserialize_i8);
+            forward_one!(deserialize_i16);
+            forward_one!(deserialize_i32);
+            forward_one!(deserialize_i64);
+            forward_one!(deserialize_u8);
+            forward_one!(deserialize_u16);
+            forward_one!(deserialize_u32);
+            forward_one!(deserialize_u64);
+            forward_one!(deserialize_f32);
+            forward_one!(deserialize_f64);
+            forward_one!(deserialize_char);
+            forward_one!(deserialize_str);
+            forward_one!(deserialize_string);
+            forward_one!(deserialize_bytes);
+            forward_one!(deserialize_byte_buf);
+            forward_one!(deserialize_option);
+            forward_one!(deserialize_unit);
+            forward_one!(deserialize_seq);
+            forward_one!(deserialize_map);
+            forward_one!(deserialize_identifier);
+            forward_one!(deserialize_ignored_any);
+
+            fn deserialize_unit_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+
+            fn deserialize_newtype_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+
+            fn deserialize_tuple<V: Visitor<'de>>(
+                self,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+
+            fn deserialize_tuple_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+
+            fn deserialize_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _fields: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+
+            fn deserialize_enum<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _variants: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+        };
+    }
+
+    macro_rules! forward_one {
+        ($method:ident) => {
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+                self.deserialize_any(visitor)
+            }
+        };
+    }
+
+    primitive_value_deserializer!(BoolDeserializer, bool, visit_bool);
+    primitive_value_deserializer!(U8Deserializer, u8, visit_u8);
+    primitive_value_deserializer!(U16Deserializer, u16, visit_u16);
+    primitive_value_deserializer!(U32Deserializer, u32, visit_u32);
+    primitive_value_deserializer!(U64Deserializer, u64, visit_u64);
+    primitive_value_deserializer!(I8Deserializer, i8, visit_i8);
+    primitive_value_deserializer!(I16Deserializer, i16, visit_i16);
+    primitive_value_deserializer!(I32Deserializer, i32, visit_i32);
+    primitive_value_deserializer!(I64Deserializer, i64, visit_i64);
+    primitive_value_deserializer!(StringDeserializer, String, visit_string);
+}
+
+macro_rules! impl_into_deserializer {
+    ($($ty:ty => $de:ident,)*) => {$(
+        impl<'de, E: Error> IntoDeserializer<'de, E> for $ty {
+            type Deserializer = value::$de<E>;
+            fn into_deserializer(self) -> Self::Deserializer {
+                value::$de::new(self)
+            }
+        }
+    )*};
+}
+
+impl_into_deserializer! {
+    bool => BoolDeserializer,
+    u8 => U8Deserializer,
+    u16 => U16Deserializer,
+    u32 => U32Deserializer,
+    u64 => U64Deserializer,
+    i8 => I8Deserializer,
+    i16 => I16Deserializer,
+    i32 => I32Deserializer,
+    i64 => I64Deserializer,
+    String => StringDeserializer,
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_prim {
+    ($($ty:ty => $method:ident, $visit:ident,)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimVisitor;
+                impl<'de> Visitor<'de> for PrimVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$method(PrimVisitor)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_prim! {
+    bool => deserialize_bool, visit_bool,
+    i8 => deserialize_i8, visit_i8,
+    i16 => deserialize_i16, visit_i16,
+    i32 => deserialize_i32, visit_i32,
+    i64 => deserialize_i64, visit_i64,
+    u8 => deserialize_u8, visit_u8,
+    u16 => deserialize_u16, visit_u16,
+    u32 => deserialize_u32, visit_u32,
+    u64 => deserialize_u64, visit_u64,
+    f32 => deserialize_f32, visit_f32,
+    f64 => deserialize_f64, visit_f64,
+    char => deserialize_char, visit_char,
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wide = i64::deserialize(deserializer)?;
+        isize::try_from(wide).map_err(|_| Error::custom("isize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wide = u64::deserialize(deserializer)?;
+        usize::try_from(wide).map_err(|_| Error::custom("usize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for MapVisitor<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((key, value)) = map.next_entry()? {
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some((key, value)) = map.next_entry()? {
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($($len:expr => ($($name:ident)+),)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        f.write_str(concat!("a tuple of length ", $len))
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::custom("tuple ended early"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    1 => (T0),
+    2 => (T0 T1),
+    3 => (T0 T1 T2),
+    4 => (T0 T1 T2 T3),
+    5 => (T0 T1 T2 T3 T4),
+    6 => (T0 T1 T2 T3 T4 T5),
+    7 => (T0 T1 T2 T3 T4 T5 T6),
+    8 => (T0 T1 T2 T3 T4 T5 T6 T7),
+}

@@ -1,0 +1,20 @@
+//! Offline, API-compatible subset of `serde` 1.x.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of serde's data model it uses: the `ser`/`de` trait hierarchy,
+//! impls for the std types the codec and checkpoint formats touch, and (via
+//! the sibling `serde_derive` stub) `#[derive(Serialize, Deserialize)]` for
+//! plain structs and enums without generics or field attributes.
+//!
+//! The traits keep serde's exact signatures so format implementations
+//! written against real serde — the engine's byte-counting and binary-codec
+//! serializers — compile unchanged.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,493 @@
+//! Offline `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! The build environment has no crates.io access, so this derive parses the
+//! item's token stream by hand instead of using `syn`. It supports exactly
+//! the shapes this workspace derives on:
+//!
+//! - unit / newtype / tuple / named-field structs **without generics**
+//! - enums whose variants are unit, newtype, tuple, or named-field,
+//!   **without generics or discriminants**
+//! - no `#[serde(...)]` field or container attributes
+//!
+//! Anything outside that set panics at expansion time with a clear message,
+//! which surfaces as a compile error at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported: `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive (vendored): unsupported struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive (vendored): unsupported enum body: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive (vendored): expected struct or enum, found `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Splits a field-list token stream at top-level commas, tracking angle
+/// brackets so `BTreeMap<K, V>` stays one piece. Delimited groups arrive
+/// pre-nested as single `Group` tokens, so only `<`/`>` need counting.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0isize;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    pieces.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pieces.last_mut().expect("pieces never empty").push(token);
+    }
+    if pieces.last().is_some_and(Vec::is_empty) {
+        pieces.pop(); // trailing comma
+    }
+    pieces
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut pos = 0;
+            skip_attributes_and_visibility(&piece, &mut pos);
+            expect_ident(&piece, &mut pos)
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut pos = 0;
+            skip_attributes_and_visibility(&piece, &mut pos);
+            let name = expect_ident(&piece, &mut pos);
+            let fields = match piece.get(pos) {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                other => {
+                    panic!("serde_derive (vendored): unsupported variant shape: {other:?}")
+                }
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_impl_header(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(\n\
+                 &self,\n\
+                 __serializer: __S,\n\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Tuple(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "let mut __ts = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __ts, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__ts)");
+            out
+        }
+        Fields::Named(names) => {
+            let mut out = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                names.len()
+            );
+            for field in names {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)");
+            out
+        }
+    };
+    serialize_impl_header(name, body)
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {index}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {index}u32, \"{vname}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __tv = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {n})?;\n",
+                    binders.join(", ")
+                );
+                for binder in &binders {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {binder})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(field_names) => {
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;\n",
+                    field_names.join(", "),
+                    field_names.len()
+                );
+                for field in field_names {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{field}\", {field})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    serialize_impl_header(name, format!("match self {{\n{arms}\n}}"))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn deserialize_impl_header(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(\n\
+                 __deserializer: __D,\n\
+             ) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Emits `let <binder> = next seq element or error;` lines.
+fn seq_field_lines(binders: &[String], context: &str) -> String {
+    binders
+        .iter()
+        .map(|binder| {
+            format!(
+                "let {binder} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     Some(__value) => __value,\n\
+                     None => return Err(::serde::de::Error::custom(\"{context} ended early\")),\n\
+                 }};\n"
+            )
+        })
+        .collect()
+}
+
+fn visitor_decl(visitor: &str, value: &str, expecting: &str, methods: String) -> String {
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"{expecting}\")\n\
+             }}\n\
+             {methods}\n\
+         }}\n"
+    )
+}
+
+fn visit_seq_method(binders: &[String], context: &str, construct: &str) -> String {
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\n\
+             self,\n\
+             mut __seq: __A,\n\
+         ) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {}\n\
+             Ok({construct})\n\
+         }}",
+        seq_field_lines(binders, context)
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => {
+            let methods =
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> { Ok(Self::Value {}) }"
+                    .to_string();
+            // `Self::Value {}` is invalid for unit structs; construct by name.
+            let methods = methods.replace("Self::Value {}", name);
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)",
+                visitor_decl("__Visitor", name, &format!("unit struct {name}"), methods)
+            )
+        }
+        Fields::Tuple(1) => {
+            let methods = format!(
+                "fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(\n\
+                     self,\n\
+                     __d: __D2,\n\
+                 ) -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}"
+            );
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)",
+                visitor_decl("__Visitor", name, &format!("newtype struct {name}"), methods)
+            )
+        }
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let construct = format!("{name}({})", binders.join(", "));
+            let methods = visit_seq_method(&binders, &format!("tuple struct {name}"), &construct);
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}, __Visitor)",
+                visitor_decl("__Visitor", name, &format!("tuple struct {name}"), methods)
+            )
+        }
+        Fields::Named(field_names) => {
+            let construct = format!("{name} {{ {} }}", field_names.join(", "));
+            let methods = visit_seq_method(field_names, &format!("struct {name}"), &construct);
+            let field_list: Vec<String> = field_names.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __Visitor)",
+                visitor_decl("__Visitor", name, &format!("struct {name}"), methods),
+                field_list.join(", ")
+            )
+        }
+    };
+    deserialize_impl_header(name, body)
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{index}u32 => {{\n\
+                     ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                     Ok({name}::{vname})\n\
+                 }},\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{index}u32 => Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let construct = format!("{name}::{vname}({})", binders.join(", "));
+                let inner_visitor = format!("__VariantVisitor{index}");
+                let methods = visit_seq_method(
+                    &binders,
+                    &format!("tuple variant {name}::{vname}"),
+                    &construct,
+                );
+                arms.push_str(&format!(
+                    "{index}u32 => {{\n\
+                         {}\n\
+                         ::serde::de::VariantAccess::tuple_variant(__variant, {n}, {inner_visitor})\n\
+                     }},\n",
+                    visitor_decl(
+                        &inner_visitor,
+                        name,
+                        &format!("tuple variant {name}::{vname}"),
+                        methods
+                    )
+                ));
+            }
+            Fields::Named(field_names) => {
+                let construct = format!("{name}::{vname} {{ {} }}", field_names.join(", "));
+                let inner_visitor = format!("__VariantVisitor{index}");
+                let methods = visit_seq_method(
+                    field_names,
+                    &format!("struct variant {name}::{vname}"),
+                    &construct,
+                );
+                let field_list: Vec<String> =
+                    field_names.iter().map(|f| format!("\"{f}\"")).collect();
+                arms.push_str(&format!(
+                    "{index}u32 => {{\n\
+                         {}\n\
+                         ::serde::de::VariantAccess::struct_variant(__variant, &[{}], {inner_visitor})\n\
+                     }},\n",
+                    visitor_decl(
+                        &inner_visitor,
+                        name,
+                        &format!("struct variant {name}::{vname}"),
+                        methods
+                    ),
+                    field_list.join(", ")
+                ));
+            }
+        }
+    }
+
+    let variant_list: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    let visit_enum = format!(
+        "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(\n\
+             self,\n\
+             __data: __A,\n\
+         ) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             let (__tag, __variant): (u32, __A::Variant) =\n\
+                 ::serde::de::EnumAccess::variant(__data)?;\n\
+             match __tag {{\n\
+                 {arms}\n\
+                 _ => Err(::serde::de::Error::custom(\"invalid variant index\")),\n\
+             }}\n\
+         }}"
+    );
+    let body = format!(
+        "{}\n::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], __Visitor)",
+        visitor_decl("__Visitor", name, &format!("enum {name}"), visit_enum),
+        variant_list.join(", ")
+    );
+    deserialize_impl_header(name, body)
+}
