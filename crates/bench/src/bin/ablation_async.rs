@@ -72,6 +72,7 @@ fn run_async_quality<A: StreamClustering>(algo: &A, bundle: &Bundle) -> f64 {
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Extension — asynchronous update protocol at p = {PARALLELISM}");
 
     let mut table = Table::new([

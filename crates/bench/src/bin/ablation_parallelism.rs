@@ -91,6 +91,7 @@ fn analyze<A: StreamClustering>(algo: &A, bundle: &Bundle, p: usize) -> (StepCos
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Ablation — record-based vs model-based parallelism per step (p = 8)");
 
     let mut table = Table::new([

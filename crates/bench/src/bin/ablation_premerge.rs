@@ -49,6 +49,7 @@ fn run_pair<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, n
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Ablation — pre-merge optimization (§V-C)");
 
     let mut table = Table::new([

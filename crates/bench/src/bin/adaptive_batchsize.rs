@@ -20,6 +20,7 @@ const START_BATCH: f64 = 2.0; // deliberately under-sized
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Extension — adaptive batch sizing at p = {PARALLELISM} (start {START_BATCH}s)");
 
     let mut table = Table::new([

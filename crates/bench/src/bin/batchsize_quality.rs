@@ -44,6 +44,7 @@ fn run_algo<A: StreamClustering>(
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Batch-size impact on clustering quality (order-aware, p=1)");
 
     let mut table = Table::new([

@@ -62,6 +62,7 @@ fn sweep<A: StreamClustering>(
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Figure 10 — D-Stream and ClusTree on DistStream");
 
     let mut scal = Table::new(["dataset", "algorithm", "p", "records/s", "gain"]);

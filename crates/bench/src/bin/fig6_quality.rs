@@ -83,6 +83,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Figure 6 — normalized CMM over the stream (batch 10s, p=1, rate 1K/s)");
 
     let mut summary = Table::new([

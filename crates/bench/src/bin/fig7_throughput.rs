@@ -73,6 +73,7 @@ fn run_row<A: StreamClustering>(
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Figure 7 — single-machine throughput (records/s), batch 10s, p=1");
 
     let mut table = Table::new([

@@ -64,6 +64,7 @@ fn report(
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Figure 8 — scalability (throughput gain vs parallelism degree)");
 
     let mut table = Table::new([

@@ -40,6 +40,7 @@ fn sweep<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, algo
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Figure 9 — throughput vs batch size at p = {PARALLELISM}");
 
     let mut table = Table::new(["dataset", "algorithm", "batch (s)", "records/s", ""]);

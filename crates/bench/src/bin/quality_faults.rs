@@ -57,6 +57,7 @@ fn run_pair<A: StreamClustering>(table: &mut Table, algo: &A, bundle: &Bundle, n
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Fault analysis — missed records and outlier mislabels (ordered vs unordered)");
 
     let mut table = Table::new([

@@ -9,6 +9,7 @@ use diststream_bench::{fmt_f64, print_table, Bundle, Cli, DatasetKind, Table};
 
 fn main() {
     let cli = Cli::parse();
+    let _telemetry = diststream_bench::TelemetrySession::from_cli(&cli);
     println!("# Table I — the characteristics of the three datasets");
 
     let mut table = Table::new([

@@ -1,11 +1,15 @@
 //! Minimal command-line handling shared by the experiment binaries.
 
+use std::path::PathBuf;
+
 /// Options common to every experiment binary.
 ///
 /// ```text
-/// --records N   base records per dataset (default varies per experiment)
-/// --seed S      dataset generation seed (default 42)
-/// --full        run at the real datasets' full record counts
+/// --records N        base records per dataset (default varies per experiment)
+/// --seed S           dataset generation seed (default 42)
+/// --full             run at the real datasets' full record counts
+/// --trace-out FILE   write the telemetry span journal (JSONL) to FILE
+/// --metrics-out FILE write the Prometheus-style metrics dump to FILE
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
@@ -15,6 +19,10 @@ pub struct Cli {
     pub seed: u64,
     /// Run at full Table-I record counts.
     pub full: bool,
+    /// Span-journal output path (enables tracing).
+    pub trace_out: Option<PathBuf>,
+    /// Metrics exposition output path (enables telemetry).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -29,6 +37,8 @@ impl Cli {
             records: None,
             seed: 42,
             full: false,
+            trace_out: None,
+            metrics_out: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -42,6 +52,12 @@ impl Cli {
                     }
                 }
                 "--full" => cli.full = true,
+                "--trace-out" => {
+                    cli.trace_out = iter.next().map(PathBuf::from);
+                }
+                "--metrics-out" => {
+                    cli.metrics_out = iter.next().map(PathBuf::from);
+                }
                 _ => {}
             }
         }
@@ -96,5 +112,13 @@ mod tests {
     fn ignores_unknown_flags() {
         let cli = parse(&["--whatever", "--records", "10"]);
         assert_eq!(cli.records, Some(10));
+    }
+
+    #[test]
+    fn parses_telemetry_outputs() {
+        let cli = parse(&["--trace-out", "trace.jsonl", "--metrics-out", "m.prom"]);
+        assert_eq!(cli.trace_out, Some(PathBuf::from("trace.jsonl")));
+        assert_eq!(cli.metrics_out, Some(PathBuf::from("m.prom")));
+        assert_eq!(parse(&[]).trace_out, None);
     }
 }

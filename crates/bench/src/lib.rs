@@ -15,6 +15,7 @@ mod bundle;
 mod cli;
 mod report;
 mod runner;
+mod trace;
 
 pub use bundle::{Bundle, DatasetKind};
 pub use cli::Cli;
@@ -23,3 +24,4 @@ pub use runner::{
     run_quality, run_sequential_quality, run_sequential_throughput, run_throughput,
     throughput_context, ExecutorKind, QualityOutcome, ThroughputOutcome,
 };
+pub use trace::TelemetrySession;

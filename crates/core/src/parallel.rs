@@ -2,6 +2,7 @@
 //! iteration = broadcast → assign → local update → global update.
 
 use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_telemetry as telemetry;
 use diststream_types::Result;
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
@@ -111,6 +112,10 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
     /// Propagates engine failures (task panics) as
     /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
     pub fn process_batch(&self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+        // Driver-side spans only: the journal's span multiset must not
+        // depend on the parallelism degree (per-task attribution comes
+        // from StepMetrics, which is execution-mode aware).
+        let _batch_span = telemetry::span!("batch", batch = batch.index);
         let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let records = batch.len();
         let window_start = batch.window_start;
@@ -120,7 +125,10 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         let model_bytes = bcast.payload_bytes();
 
         // Step 1: record-based parallel assignment.
-        let assignment = assign_records(self.ctx, self.algo, &bcast, batch.records)?;
+        let assignment = {
+            let _span = telemetry::span!("assignment", batch = batch.index);
+            assign_records(self.ctx, self.algo, &bcast, batch.records)?
+        };
         let assigned_existing = assignment
             .pairs
             .iter()
@@ -129,35 +137,41 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         let outlier_records = records - assigned_existing;
 
         // Step 2: model-based parallel local update.
-        let local = local_update(
-            self.ctx,
-            self.algo,
-            &bcast,
-            assignment.pairs,
-            self.ordering,
-            window_start,
-            batch_seed,
-        )?;
+        let local = {
+            let _span = telemetry::span!("local_update", batch = batch.index);
+            local_update(
+                self.ctx,
+                self.algo,
+                &bcast,
+                assignment.pairs,
+                self.ordering,
+                window_start,
+                batch_seed,
+            )?
+        };
         let local_metrics = local.metrics.clone();
         let shuffle_bytes = local.shuffle_bytes;
 
         // Step 3: global update on the driver.
-        let global = global_update(
-            self.algo,
-            model,
-            local,
-            batch.window_end,
-            self.ordering,
-            self.premerge,
-            batch_seed,
-        );
+        let global = {
+            let _span = telemetry::span!("global_update", batch = batch.index);
+            global_update(
+                self.algo,
+                model,
+                local,
+                batch.window_end,
+                self.ordering,
+                self.premerge,
+                batch_seed,
+            )
+        };
 
         let overhead_secs = self.ctx.batch_overhead_secs()
             + self.ctx.broadcast_secs(model_bytes)
             + self.ctx.shuffle_secs(shuffle_bytes)
             + self.ctx.collect_secs(global.collect_bytes);
 
-        Ok(BatchOutcome {
+        let outcome = BatchOutcome {
             metrics: BatchMetrics {
                 batch_index: batch.index,
                 records,
@@ -173,7 +187,9 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             outlier_records,
             created_micro_clusters: global.created_before_premerge,
             created_after_premerge: global.created_after_premerge,
-        })
+        };
+        outcome.metrics.emit_telemetry();
+        Ok(outcome)
     }
 }
 

@@ -2,6 +2,7 @@
 //! executor → per-batch reports.
 
 use diststream_engine::{MiniBatcher, RecordSource, StreamingContext, ThroughputMeter};
+use diststream_telemetry as telemetry;
 use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
 
 use crate::api::{StreamClustering, UpdateOrdering};
@@ -140,6 +141,12 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 model: &model,
                 outcome: &outcome,
             });
+            // Batch barrier: all worker threads of the batch have exited
+            // (their span buffers auto-flushed), so the journal drain here
+            // sees the complete batch.
+            if telemetry::enabled() {
+                telemetry::barrier_drain();
+            }
         }
         Ok(RunResult { model, meter })
     }
@@ -201,6 +208,10 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 model: &model,
                 outcome: &outcome,
             });
+            // Same per-batch journal drain as `run` (see above).
+            if telemetry::enabled() {
+                telemetry::barrier_drain();
+            }
         }
         Ok(RunResult { model, meter })
     }

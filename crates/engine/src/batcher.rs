@@ -1,5 +1,6 @@
 //! Mini-batch division of a record stream by virtual-time windows.
 
+use diststream_telemetry as telemetry;
 use diststream_types::{Record, Timestamp};
 
 use crate::source::RecordSource;
@@ -156,6 +157,15 @@ impl<S: RecordSource> Iterator for MiniBatcher<S> {
         }
         let index = self.next_index;
         self.next_index += 1;
+        if telemetry::enabled() {
+            // Batch-granular, so the registry lookup is off the hot path.
+            telemetry::histogram(
+                "diststream_batch_records",
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0],
+            )
+            .observe(records.len() as f64);
+            telemetry::gauge("diststream_batch_window_secs").set(self.batch_secs);
+        }
         Some(MiniBatch {
             index,
             window_start,

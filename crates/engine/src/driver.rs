@@ -1,5 +1,6 @@
 //! The streaming driver: execution modes and the per-step task runner.
 
+use diststream_telemetry as telemetry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -134,6 +135,10 @@ impl StreamingContext {
         O: Send,
         F: Fn(usize, I) -> O + Sync,
     {
+        // One driver-side span per parallel step, in both modes — the
+        // journal's span multiset stays independent of the parallelism
+        // degree (per-task attribution flows through StepMetrics instead).
+        let _step_span = telemetry::span!("step_tasks");
         match self.mode {
             ExecutionMode::Threads => {
                 let start = Instant::now();
@@ -163,35 +168,47 @@ impl StreamingContext {
     /// Returns 0.0 in thread mode, where real data movement (memory traffic)
     /// is already part of the measured wall time.
     pub fn network_secs(&self, bytes: u64, messages: u64) -> f64 {
-        match self.mode {
+        let secs = match self.mode {
             ExecutionMode::Threads => 0.0,
             ExecutionMode::Simulated => self.cost.network.transfer_secs(bytes, messages),
-        }
+        };
+        charge_net_telemetry("transfer", bytes, secs);
+        secs
     }
 
     /// Simulated cost of broadcasting `payload_bytes` to every task slot.
     pub fn broadcast_secs(&self, payload_bytes: u64) -> f64 {
-        match self.mode {
+        let secs = match self.mode {
             ExecutionMode::Threads => 0.0,
             ExecutionMode::Simulated => self.cost.broadcast_secs(payload_bytes, self.parallelism),
-        }
+        };
+        charge_net_telemetry(
+            "broadcast",
+            payload_bytes.saturating_mul(self.parallelism as u64),
+            secs,
+        );
+        secs
     }
 
     /// Simulated cost of the shuffle between the assignment and local-update
     /// steps.
     pub fn shuffle_secs(&self, bytes: u64) -> f64 {
-        match self.mode {
+        let secs = match self.mode {
             ExecutionMode::Threads => 0.0,
             ExecutionMode::Simulated => self.cost.shuffle_secs(bytes, self.parallelism),
-        }
+        };
+        charge_net_telemetry("shuffle", bytes, secs);
+        secs
     }
 
     /// Simulated cost of collecting `bytes` of step output onto the driver.
     pub fn collect_secs(&self, bytes: u64) -> f64 {
-        match self.mode {
+        let secs = match self.mode {
             ExecutionMode::Threads => 0.0,
             ExecutionMode::Simulated => self.cost.collect_secs(bytes, self.parallelism),
-        }
+        };
+        charge_net_telemetry("collect", bytes, secs);
+        secs
     }
 
     /// The fixed per-batch scheduling overhead (simulated mode; 0.0 in
@@ -204,6 +221,25 @@ impl StreamingContext {
             }
         }
     }
+}
+
+/// Netcost byte/seconds accounting into the telemetry registry, split by
+/// charge kind. Bytes are counted in both execution modes (data moves
+/// either way); seconds reflect the simulated charge, 0.0 in thread mode.
+/// Observation-only; no-op when telemetry is disabled.
+fn charge_net_telemetry(kind: &'static str, bytes: u64, secs: f64) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter(&format!(
+        "diststream_netcost_bytes_total{{kind=\"{kind}\"}}"
+    ))
+    .add(bytes);
+    telemetry::histogram(
+        &format!("diststream_netcost_secs{{kind=\"{kind}\"}}"),
+        &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0],
+    )
+    .observe(secs);
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Step- and batch-level performance metrics.
 
+use diststream_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The paper's straggler criterion: a task is a straggler when its execution
@@ -84,6 +85,41 @@ impl StepMetrics {
             self.straggler_count() as f64 / self.task_secs.len() as f64
         }
     }
+
+    /// Fraction of the step's wall time not covered by its longest task —
+    /// barrier/scheduling overhead the straggler criterion cannot see.
+    ///
+    /// A perfectly uniform step (every task equals the mean) reports zero
+    /// stragglers even when `wall_secs` far exceeds `max_task_secs`; this
+    /// accessor surfaces that hidden overhead. Clamped to `[0, 1]`; 0.0
+    /// for an empty or zero-wall step.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        ((self.wall_secs - self.max_task_secs()) / self.wall_secs).clamp(0.0, 1.0)
+    }
+
+    /// The step's straggler culprit: the slowest task's index and its skew
+    /// ratio (task time / mean task time), when that task crosses the
+    /// [`STRAGGLER_FACTOR`] threshold. `None` for uniform or empty steps.
+    pub fn straggler_culprit(&self) -> Option<(usize, f64)> {
+        let mean = self.mean_task_secs();
+        if mean == 0.0 {
+            return None;
+        }
+        let (index, &max) = self
+            .task_secs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let skew = max / mean;
+        if max > STRAGGLER_FACTOR * mean {
+            Some((index, skew))
+        } else {
+            None
+        }
+    }
 }
 
 /// End-to-end timing and data-movement accounting for one mini-batch.
@@ -130,6 +166,76 @@ impl BatchMetrics {
     /// Straggler tasks across both parallel steps.
     pub fn straggler_count(&self) -> usize {
         self.assignment.straggler_count() + self.local.straggler_count()
+    }
+
+    /// Critical-path breakdown: named latency components whose sum (sync
+    /// protocol) or overlap-max (async protocol) is [`total_secs`]
+    /// (`BatchMetrics::total_secs`). Shuffle/broadcast time is charged to
+    /// `overhead`; its byte volume is accounted separately.
+    pub fn breakdown(&self) -> [(&'static str, f64); 4] {
+        [
+            ("assignment", self.assignment.wall_secs()),
+            ("local", self.local.wall_secs()),
+            ("global", self.global_secs),
+            ("overhead", self.overhead_secs),
+        ]
+    }
+
+    /// Records this batch into the telemetry subsystem: one
+    /// `batch_summary` journal point carrying the full critical-path
+    /// breakdown, plus registry counters/gauges/histograms for straggler
+    /// culprits, per-step overhead fractions, and byte accounting.
+    ///
+    /// Observation-only and cheap when telemetry is disabled (one atomic
+    /// load). Called by the executor once per batch — registry lookups are
+    /// fine at barrier granularity.
+    pub fn emit_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let total = self.total_secs();
+        telemetry::emit_point(
+            "batch_summary",
+            Some(self.batch_index as u64),
+            &[
+                ("records", self.records as f64),
+                ("assignment_secs", self.assignment.wall_secs()),
+                ("local_secs", self.local.wall_secs()),
+                ("global_secs", self.global_secs),
+                ("overhead_secs", self.overhead_secs),
+                ("total_secs", total),
+                ("async_overlap", f64::from(u8::from(self.async_overlap))),
+                ("broadcast_bytes", self.broadcast_bytes as f64),
+                ("shuffle_bytes", self.shuffle_bytes as f64),
+                ("stragglers", self.straggler_count() as f64),
+            ],
+        );
+        telemetry::counter("diststream_batches_total").inc();
+        telemetry::counter("diststream_records_total").add(self.records as u64);
+        telemetry::counter("diststream_broadcast_bytes_total").add(self.broadcast_bytes);
+        telemetry::counter("diststream_shuffle_bytes_total").add(self.shuffle_bytes);
+        telemetry::counter("diststream_straggler_tasks_total").add(self.straggler_count() as u64);
+        telemetry::histogram(
+            "diststream_batch_total_secs",
+            &[1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0],
+        )
+        .observe(total);
+        for (step, metrics) in [("assignment", &self.assignment), ("local", &self.local)] {
+            telemetry::gauge(&format!(
+                "diststream_step_overhead_fraction{{step=\"{step}\"}}"
+            ))
+            .set(metrics.overhead_fraction());
+            if let Some((task, skew)) = metrics.straggler_culprit() {
+                telemetry::counter(&format!(
+                    "diststream_straggler_culprit_total{{step=\"{step}\",task=\"{task}\"}}"
+                ))
+                .inc();
+                telemetry::gauge(&format!(
+                    "diststream_straggler_skew_ratio{{step=\"{step}\"}}"
+                ))
+                .set(skew);
+            }
+        }
     }
 }
 
@@ -262,6 +368,42 @@ mod tests {
     }
 
     #[test]
+    fn uniform_step_with_slow_barrier_surfaces_overhead_fraction() {
+        // Every task equals the mean → zero stragglers, yet the barrier
+        // took 4× the longest task. straggler_count hides this; the
+        // overhead accessor must not.
+        let step = StepMetrics::new(vec![1.0; 8], 4.0);
+        assert_eq!(step.straggler_count(), 0);
+        assert!((step.overhead_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fraction_edge_cases() {
+        assert_eq!(StepMetrics::empty().overhead_fraction(), 0.0);
+        // Wall shorter than the longest task (async measurement skew)
+        // clamps to zero rather than going negative.
+        let skewed = StepMetrics::new(vec![2.0], 1.0);
+        assert_eq!(skewed.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn straggler_culprit_identifies_slowest_task() {
+        let step = StepMetrics::new(vec![1.0, 1.0, 3.0, 1.0], 3.0);
+        let (task, skew) = step.straggler_culprit().expect("culprit");
+        assert_eq!(task, 2);
+        assert!((skew - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_and_empty_steps_have_no_culprit() {
+        assert_eq!(
+            StepMetrics::new(vec![1.0; 4], 1.0).straggler_culprit(),
+            None
+        );
+        assert_eq!(StepMetrics::empty().straggler_culprit(), None);
+    }
+
+    #[test]
     fn batch_total_sums_components() {
         let batch = BatchMetrics {
             batch_index: 0,
@@ -275,6 +417,8 @@ mod tests {
             async_overlap: false,
         };
         assert_eq!(batch.total_secs(), 2.0);
+        let breakdown_sum: f64 = batch.breakdown().iter().map(|(_, secs)| secs).sum();
+        assert_eq!(breakdown_sum, batch.total_secs());
     }
 
     #[test]

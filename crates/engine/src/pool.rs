@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use diststream_telemetry as telemetry;
 use diststream_types::{DistStreamError, Result};
 use parking_lot::Mutex;
 
@@ -112,6 +113,18 @@ impl TaskPool {
                         "a task produced no output (worker died early)".into(),
                     ))
                 }
+            }
+        }
+        if telemetry::enabled() {
+            // Driver-side, once per step (after the scope joined), so the
+            // worker hot loop stays untouched.
+            telemetry::counter("diststream_pool_tasks_total").add(n as u64);
+            let task_secs = telemetry::histogram(
+                "diststream_pool_task_secs",
+                &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
+            );
+            for &secs in &durations {
+                task_secs.observe(secs);
             }
         }
         Ok((outputs, durations))

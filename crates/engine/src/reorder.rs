@@ -18,10 +18,37 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use diststream_telemetry as telemetry;
 use diststream_types::{Record, RecordId, Timestamp};
 
 use crate::source::RecordSource;
+
+/// Cached telemetry handles: registered once at construction so the
+/// per-record release path touches only lock-free atomics. Every update is
+/// gated on the global telemetry switch and strictly observational.
+#[derive(Debug)]
+struct ReorderTelemetry {
+    depth: Arc<telemetry::Gauge>,
+    stall_secs: Arc<telemetry::Histogram>,
+    dropped_late: Arc<telemetry::Counter>,
+    dropped_duplicate: Arc<telemetry::Counter>,
+}
+
+impl ReorderTelemetry {
+    fn new() -> Self {
+        ReorderTelemetry {
+            depth: telemetry::gauge("diststream_reorder_depth"),
+            stall_secs: telemetry::histogram(
+                "diststream_reorder_stall_secs",
+                &[1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0],
+            ),
+            dropped_late: telemetry::counter("diststream_reorder_dropped_late_total"),
+            dropped_duplicate: telemetry::counter("diststream_reorder_dropped_duplicate_total"),
+        }
+    }
+}
 
 /// A [`RecordSource`] adapter that restores arrival order under bounded
 /// disorder.
@@ -58,6 +85,7 @@ pub struct ReorderBuffer<S> {
     /// deduplication compares against it, which also guarantees releases
     /// are strictly increasing.
     last_released: Option<(Timestamp, RecordId)>,
+    telemetry: ReorderTelemetry,
 }
 
 /// Wrapper making `Record` usable inside the heap ordering tuple (ordering
@@ -103,6 +131,7 @@ impl<S: RecordSource> ReorderBuffer<S> {
             dropped_late: 0,
             dropped_duplicate: 0,
             last_released: None,
+            telemetry: ReorderTelemetry::new(),
         }
     }
 
@@ -136,6 +165,9 @@ impl<S: RecordSource> ReorderBuffer<S> {
                     if r.timestamp.secs() + self.max_lateness_secs < self.watermark.secs() {
                         // Too late: beyond the disorder bound.
                         self.dropped_late += 1;
+                        if telemetry::enabled() {
+                            self.telemetry.dropped_late.inc();
+                        }
                         continue;
                     }
                     self.watermark = self.watermark.max(r.timestamp);
@@ -159,6 +191,9 @@ impl<S: RecordSource> RecordSource for ReorderBuffer<S> {
                 // releasing it would break strict arrival order downstream.
                 Some(last) if key <= last => {
                     self.dropped_duplicate += 1;
+                    if telemetry::enabled() {
+                        self.telemetry.dropped_duplicate.inc();
+                    }
                     continue;
                 }
                 _ => {}
@@ -174,6 +209,17 @@ impl<S: RecordSource> RecordSource for ReorderBuffer<S> {
                 self.last_released,
             );
             self.last_released = Some(key);
+            if telemetry::enabled() {
+                // Depth after this release, and the record's *event-time*
+                // stall: how far behind the watermark it was when it got
+                // out. Both deterministic (no wall-clock reads), so
+                // tracing cannot perturb replays.
+                self.telemetry.depth.set(self.heap.len() as f64);
+                let stall = (self.watermark.secs() - record.timestamp.secs()).max(0.0);
+                if stall.is_finite() {
+                    self.telemetry.stall_secs.observe(stall);
+                }
+            }
             return Some(record);
         }
     }

@@ -1,0 +1,418 @@
+//! Typed metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metrics are identified by name; labels are encoded into the name in
+//! Prometheus style (`straggler_culprit_total{task="3"}`). Handles are
+//! `Arc`s over atomics, so hot paths register once, cache the handle, and
+//! update it lock-free; the registry lock is only taken at registration
+//! and exposition time.
+//!
+//! Floating-point gauges and histogram sums store `f64::to_bits` in an
+//! `AtomicU64` — standard lock-free float storage.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// A last-write-wins floating-point gauge that also tracks its maximum.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge, updating the running maximum.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::SeqCst);
+        // CAS loop keeps the max correct under concurrent setters.
+        let mut current = self.max_bits.load(Ordering::SeqCst);
+        while value > f64::from_bits(current) {
+            match self.max_bits.compare_exchange(
+                current,
+                value.to_bits(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+
+    /// Largest value ever set (`None` before the first `set`).
+    pub fn max(&self) -> Option<f64> {
+        let max = f64::from_bits(self.max_bits.load(Ordering::SeqCst));
+        if max == f64::NEG_INFINITY {
+            None
+        } else {
+            Some(max)
+        }
+    }
+}
+
+/// A histogram with caller-fixed upper bucket bounds plus an implicit
+/// `+Inf` bucket, tracking count and sum like Prometheus.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::SeqCst);
+        self.count.fetch_add(1, Ordering::SeqCst);
+        // CAS loop for the float sum.
+        let mut current = self.sum_bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::SeqCst))
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() / count as f64
+        }
+    }
+
+    /// Cumulative counts per bound, Prometheus `le` semantics; the final
+    /// entry is the `+Inf` bucket (== total count).
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut running = 0;
+        let mut out = Vec::with_capacity(self.bounds.len() + 1);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            running += bucket.load(Ordering::SeqCst);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+    let mut guard = match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &str) -> Arc<Counter> {
+    with_registry(|reg| {
+        let metric = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    })
+}
+
+/// Returns the gauge registered under `name`, creating it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    with_registry(|reg| {
+        let metric = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    })
+}
+
+/// Returns the histogram registered under `name`, creating it with the
+/// given upper bucket bounds on first use (later calls ignore `bounds`).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    with_registry(|reg| {
+        let metric = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    })
+}
+
+/// Clears the registry. Existing handles keep working but are no longer
+/// exported; intended for test isolation and fresh bench sessions.
+pub fn reset() {
+    with_registry(|reg| reg.clear());
+}
+
+/// Splits `name{labels}` into its base name and the full keyed form.
+fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(idx) => &name[..idx],
+        None => name,
+    }
+}
+
+fn fmt_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value}")
+    } else {
+        // `{:?}` prints the shortest round-trippable form ("0.1", not
+        // "0.100000"), matching conventional Prometheus `le` labels.
+        format!("{value:?}")
+    }
+}
+
+/// Renders every registered metric in Prometheus text exposition format.
+pub fn expose() -> String {
+    with_registry(|reg| {
+        let mut out = String::new();
+        let mut last_base: Option<String> = None;
+        for (name, metric) in reg.iter() {
+            let base = base_name(name);
+            let type_line = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if last_base.as_deref() != Some(base) {
+                out.push_str(&format!("# TYPE {base} {type_line}\n"));
+                last_base = Some(base.to_string());
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_value(g.get()))),
+                Metric::Histogram(h) => {
+                    let (base, labels) = match name.find('{') {
+                        Some(idx) => (&name[..idx], name[idx + 1..name.len() - 1].to_string()),
+                        None => (name.as_str(), String::new()),
+                    };
+                    for (bound, cumulative) in h.cumulative() {
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            fmt_value(bound)
+                        };
+                        let sep = if labels.is_empty() { "" } else { "," };
+                        out.push_str(&format!(
+                            "{base}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}\n"
+                        ));
+                    }
+                    let wrap = if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{labels}}}")
+                    };
+                    out.push_str(&format!("{base}_sum{wrap} {}\n", fmt_value(h.sum())));
+                    out.push_str(&format!("{base}_count{wrap} {}\n", h.count()));
+                }
+            }
+        }
+        out
+    })
+}
+
+/// One row of the end-of-run human summary: `(name, kind, value, detail)`.
+pub type SummaryRow = (String, &'static str, String, String);
+
+/// Snapshot of every registered metric as human-readable summary rows,
+/// sorted by name. Counters report their total, gauges last/max, and
+/// histograms count/mean.
+pub fn summary_rows() -> Vec<SummaryRow> {
+    with_registry(|reg| {
+        reg.iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => (
+                    name.clone(),
+                    "counter",
+                    format!("{}", c.get()),
+                    String::new(),
+                ),
+                Metric::Gauge(g) => (
+                    name.clone(),
+                    "gauge",
+                    fmt_value(g.get()),
+                    match g.max() {
+                        Some(max) => format!("max={}", fmt_value(max)),
+                        None => String::new(),
+                    },
+                ),
+                Metric::Histogram(h) => (
+                    name.clone(),
+                    "histogram",
+                    format!("n={}", h.count()),
+                    format!("mean={}", fmt_value(h.mean())),
+                ),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_is_shared() {
+        reset();
+        let a = counter("test_events_total");
+        let b = counter("test_events_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        reset();
+    }
+
+    #[test]
+    fn gauge_tracks_max() {
+        let g = Gauge::default();
+        assert_eq!(g.max(), None);
+        g.set(2.0);
+        g.set(7.5);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+        assert_eq!(g.max(), Some(7.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(3.0);
+        h.observe(10.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 13.5).abs() < 1e-12);
+        assert!((h.mean() - 4.5).abs() < 1e-12);
+        let cumulative = h.cumulative();
+        assert_eq!(cumulative[0], (1.0, 1));
+        assert_eq!(cumulative[1], (5.0, 2));
+        assert_eq!(cumulative[2].1, 3);
+        assert!(cumulative[2].0.is_infinite());
+    }
+
+    #[test]
+    fn expose_renders_prometheus_text() {
+        reset();
+        counter("expose_total{task=\"1\"}").add(3);
+        gauge("expose_depth").set(2.0);
+        histogram("expose_lat_secs", &[0.1]).observe(0.05);
+        let text = expose();
+        assert!(text.contains("# TYPE expose_total counter"));
+        assert!(text.contains("expose_total{task=\"1\"} 3"));
+        assert!(text.contains("expose_depth 2"));
+        assert!(text.contains("expose_lat_secs_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("expose_lat_secs_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("expose_lat_secs_count 1"));
+        reset();
+    }
+
+    #[test]
+    fn summary_rows_cover_all_kinds() {
+        reset();
+        counter("summary_a_total").inc();
+        gauge("summary_b").set(1.5);
+        histogram("summary_c", &[1.0]).observe(0.5);
+        let rows = summary_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, "counter");
+        assert_eq!(rows[1].1, "gauge");
+        assert_eq!(rows[2].1, "histogram");
+        reset();
+    }
+}

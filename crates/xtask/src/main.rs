@@ -11,9 +11,15 @@
 //! 3. a repo-relative path in `crates/xtask/allow/<rule>.txt`.
 //!
 //! See DESIGN.md § "Determinism invariants and the lint catalog".
+//!
+//! `cargo run -p xtask -- check-trace <journal.jsonl>` validates a
+//! telemetry span journal produced with `--trace-out`: schema version,
+//! per-thread span nesting and ordering, and the per-batch critical-path
+//! reconciliation. See DESIGN.md § "Telemetry".
 
 mod lexer;
 mod rules;
+mod trace_check;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -35,8 +41,47 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("check-trace") => match args.get(1) {
+            Some(path) if args.len() == 2 => check_trace(Path::new(path)),
+            _ => {
+                eprintln!("usage: cargo run -p xtask -- check-trace <journal.jsonl>");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|rules> [--root <path>]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint|rules|check-trace> \
+                 [--root <path>] [<journal.jsonl>]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_trace(path: &Path) -> ExitCode {
+    match trace_check::check_trace_file(path) {
+        Ok(stats) => {
+            println!(
+                "xtask check-trace: {} OK — {} event line(s), {} span(s) closed across \
+                 {} thread(s), {} point(s) ({} batch summaries reconciled)",
+                path.display(),
+                stats.lines,
+                stats.spans_closed,
+                stats.threads,
+                stats.points,
+                stats.batch_summaries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for error in &errors {
+                println!("{}: {error}", path.display());
+            }
+            println!(
+                "xtask check-trace: {} violation(s) in {}",
+                errors.len(),
+                path.display()
+            );
             ExitCode::FAILURE
         }
     }

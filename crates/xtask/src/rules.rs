@@ -73,18 +73,34 @@ pub fn catalog() -> Vec<Rule> {
         Rule {
             name: "wallclock-entropy",
             rationale: "wall-clock reads and RNG construction outside the driver, metrics, \
-                        and netcost modules leak nondeterminism into simulated-mode replays",
+                        netcost, and telemetry-clock modules leak nondeterminism into \
+                        simulated-mode replays",
             applies: |path| {
                 let in_scope = path.starts_with("crates/engine/src")
                     || path.starts_with("crates/core/src")
                     || path.starts_with("crates/algorithms/src")
-                    || path.starts_with("crates/datasets/src");
+                    || path.starts_with("crates/datasets/src")
+                    || path.starts_with("crates/telemetry/src");
                 let sanctioned_module = path == "crates/engine/src/driver.rs"
                     || path == "crates/engine/src/metrics.rs"
-                    || path == "crates/engine/src/netcost.rs";
+                    || path == "crates/engine/src/netcost.rs"
+                    || path == "crates/telemetry/src/clock.rs";
                 in_scope && !sanctioned_module
             },
             check: check_wallclock_entropy,
+        },
+        Rule {
+            name: "print-in-shipping",
+            rationale: "engine/core/algorithms shipping code must not write to \
+                        stdout/stderr with println!/eprintln!/print!/eprint!: output \
+                        belongs to the bench binaries, and diagnostics go through the \
+                        telemetry journal or DistStreamError",
+            applies: |path| {
+                path.starts_with("crates/engine/src")
+                    || path.starts_with("crates/core/src")
+                    || path.starts_with("crates/algorithms/src")
+            },
+            check: check_print_in_shipping,
         },
     ]
 }
@@ -196,6 +212,25 @@ fn check_no_panic(tokens: &[Token]) -> Vec<Violation> {
                     line: tokens[i].line,
                     message: format!(
                         "`{name}!` in shipping engine/core code; return DistStreamError instead"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_print_in_shipping(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if let Some(name @ ("println" | "eprintln" | "print" | "eprint")) = ident_at(tokens, i) {
+            if is_punct(tokens, i + 1, '!') {
+                out.push(Violation {
+                    rule: "print-in-shipping",
+                    line: token.line,
+                    message: format!(
+                        "`{name}!` in shipping library code; emit through the telemetry \
+                         journal or return the information to the caller"
                     ),
                 });
             }
@@ -319,5 +354,30 @@ mod tests {
         assert!(run_rule("wallclock-entropy", "crates/engine/src/driver.rs", src).is_empty());
         assert!(run_rule("wallclock-entropy", "crates/engine/src/netcost.rs", src).is_empty());
         assert!(run_rule("wallclock-entropy", "crates/quality/src/cmm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_covers_telemetry_except_clock() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let hits = run_rule("wallclock-entropy", "crates/telemetry/src/span.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(run_rule("wallclock-entropy", "crates/telemetry/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_flagged_in_shipping_library_code() {
+        let src = "fn f() {\n println!(\"x\");\n eprintln!(\"y\");\n print!(\"z\");\n}";
+        let hits = run_rule("print-in-shipping", "crates/engine/src/driver.rs", src);
+        let lines: Vec<u32> = hits.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+        // Bench binaries and telemetry are out of scope: printing is their job.
+        assert!(run_rule("print-in-shipping", "crates/bench/src/report.rs", src).is_empty());
+        assert!(run_rule("print-in-shipping", "crates/telemetry/src/journal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn print_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"debug\"); }\n}";
+        assert!(run_rule("print-in-shipping", "crates/core/src/pipeline.rs", src).is_empty());
     }
 }

@@ -1,0 +1,522 @@
+//! `xtask check-trace`: structural validation of a telemetry span journal.
+//!
+//! The journal (`--trace-out`) is JSONL with a leading `meta` line; every
+//! other line is a flat object — an `open`/`close` span event or a named
+//! `point` (see `crates/telemetry/src/journal.rs`). The checker verifies
+//! what the integrity tests verify in-process, but against the actual file
+//! an experiment produced:
+//!
+//! 1. the meta line is present and the schema version is supported;
+//! 2. every event carries its required fields with sane types;
+//! 3. per thread: sequence numbers strictly increase, timestamps never go
+//!    backwards, spans nest LIFO (each `close` matches the innermost open
+//!    span and records the same depth), and every opened span is closed;
+//! 4. every `batch_summary` point reconciles: the critical-path components
+//!    sum (sync protocol) or overlap-max (async protocol) to `total_secs`
+//!    within 5%.
+//!
+//! The parser handles exactly the flat scalar objects the journal encoder
+//! emits (string / number / null values, no nesting) — a deliberate subset
+//! so xtask needs no JSON dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Journal schema version this checker understands. Mirrors
+/// `diststream_telemetry::JOURNAL_VERSION` (xtask deliberately has no
+/// dependencies, so the constant is duplicated here).
+const SUPPORTED_VERSION: f64 = 1.0;
+
+/// Relative tolerance for the `batch_summary` critical-path reconciliation.
+const RECONCILE_REL_TOL: f64 = 0.05;
+
+/// Summary of a successful check, for the one-line report.
+#[derive(Debug, Default, PartialEq)]
+pub struct TraceStats {
+    pub lines: usize,
+    pub spans_closed: usize,
+    pub points: usize,
+    pub batch_summaries: usize,
+    pub threads: usize,
+}
+
+/// A minimal JSON scalar — everything the journal encoder can emit.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Validates the journal file at `path`. Returns run statistics, or every
+/// diagnostic found (each prefixed `line N:`).
+pub fn check_trace_file(path: &Path) -> Result<TraceStats, Vec<String>> {
+    let contents = std::fs::read_to_string(path)
+        .map_err(|err| vec![format!("cannot read {}: {err}", path.display())])?;
+    check_trace(&contents)
+}
+
+/// Validates journal contents (testable without touching the filesystem).
+pub fn check_trace(contents: &str) -> Result<TraceStats, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut stats = TraceStats::default();
+    // Per-thread checker state: (last seq, last t_us, stack of open spans
+    // as (name, depth, line number)).
+    type SpanStack = Vec<(String, f64, usize)>;
+    let mut threads: BTreeMap<u64, (f64, f64, SpanStack)> = BTreeMap::new();
+    let mut saw_meta = false;
+
+    for (idx, line) in contents.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        let fields = match parse_flat_object(line) {
+            Ok(fields) => fields,
+            Err(err) => {
+                errors.push(format!("line {lineno}: {err}"));
+                continue;
+            }
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(ev) = get("ev").and_then(Value::as_str) else {
+            errors.push(format!("line {lineno}: missing string field `ev`"));
+            continue;
+        };
+
+        if !saw_meta {
+            // The meta line must come first so readers can dispatch on the
+            // schema before touching any event.
+            if ev != "meta" {
+                errors.push(format!(
+                    "line {lineno}: journal must start with a meta line, found `{ev}`"
+                ));
+            } else {
+                match get("version").and_then(Value::as_num) {
+                    Some(v) if v == SUPPORTED_VERSION => {}
+                    Some(v) => errors.push(format!(
+                        "line {lineno}: unsupported journal version {v} (expected {SUPPORTED_VERSION})"
+                    )),
+                    None => errors.push(format!("line {lineno}: meta line lacks `version`")),
+                }
+            }
+            saw_meta = true;
+            continue;
+        }
+
+        match ev {
+            "meta" => {
+                errors.push(format!("line {lineno}: duplicate meta line"));
+            }
+            "open" | "close" => {
+                let name = get("span").and_then(Value::as_str).map(str::to_string);
+                let thread = get("thread").and_then(Value::as_num);
+                let seq = get("seq").and_then(Value::as_num);
+                let t_us = get("t_us").and_then(Value::as_num);
+                let depth = get("depth").and_then(Value::as_num);
+                let (Some(name), Some(thread), Some(seq), Some(t_us), Some(depth)) =
+                    (name, thread, seq, t_us, depth)
+                else {
+                    errors.push(format!(
+                        "line {lineno}: `{ev}` event lacks span/thread/seq/t_us/depth"
+                    ));
+                    continue;
+                };
+                let state = threads
+                    .entry(thread as u64)
+                    .or_insert((-1.0, 0.0, Vec::new()));
+                check_thread_order(state, seq, t_us, lineno, &mut errors);
+                let stack = &mut state.2;
+                if ev == "open" {
+                    if depth != stack.len() as f64 {
+                        errors.push(format!(
+                            "line {lineno}: open `{name}` records depth {depth} but thread \
+                             {thread} has {} open span(s)",
+                            stack.len()
+                        ));
+                    }
+                    stack.push((name, depth, lineno));
+                } else {
+                    if get("dur_us").and_then(Value::as_num).is_none() {
+                        errors.push(format!("line {lineno}: close `{name}` lacks `dur_us`"));
+                    }
+                    match stack.pop() {
+                        Some((open_name, open_depth, open_line)) => {
+                            if open_name != name || open_depth != depth {
+                                errors.push(format!(
+                                    "line {lineno}: close `{name}` (depth {depth}) does not \
+                                     match innermost open `{open_name}` (depth {open_depth}, \
+                                     line {open_line}) — spans must nest LIFO"
+                                ));
+                            } else {
+                                stats.spans_closed += 1;
+                            }
+                        }
+                        None => errors.push(format!(
+                            "line {lineno}: close `{name}` with no open span on thread {thread}"
+                        )),
+                    }
+                }
+            }
+            "point" => {
+                let name = get("name").and_then(Value::as_str).map(str::to_string);
+                let thread = get("thread").and_then(Value::as_num);
+                let seq = get("seq").and_then(Value::as_num);
+                let t_us = get("t_us").and_then(Value::as_num);
+                let (Some(name), Some(thread), Some(seq), Some(t_us)) = (name, thread, seq, t_us)
+                else {
+                    errors.push(format!(
+                        "line {lineno}: `point` event lacks name/thread/seq/t_us"
+                    ));
+                    continue;
+                };
+                let state = threads
+                    .entry(thread as u64)
+                    .or_insert((-1.0, 0.0, Vec::new()));
+                check_thread_order(state, seq, t_us, lineno, &mut errors);
+                stats.points += 1;
+                if name == "batch_summary" {
+                    stats.batch_summaries += 1;
+                    if let Some(err) = check_batch_summary(&get) {
+                        errors.push(format!("line {lineno}: {err}"));
+                    }
+                }
+            }
+            other => {
+                errors.push(format!("line {lineno}: unknown event kind `{other}`"));
+            }
+        }
+    }
+
+    if !saw_meta {
+        errors.push("journal is empty (no meta line)".to_string());
+    }
+    for (thread, (_, _, stack)) in &threads {
+        for (name, _, open_line) in stack {
+            errors.push(format!(
+                "line {open_line}: span `{name}` on thread {thread} is never closed"
+            ));
+        }
+    }
+    stats.threads = threads.len();
+    if errors.is_empty() {
+        Ok(stats)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Per-thread ordering: `seq` strictly increases and the monotonic
+/// timestamp never goes backwards.
+fn check_thread_order(
+    state: &mut (f64, f64, Vec<(String, f64, usize)>),
+    seq: f64,
+    t_us: f64,
+    lineno: usize,
+    errors: &mut Vec<String>,
+) {
+    let (last_seq, last_t, _) = state;
+    if seq <= *last_seq {
+        errors.push(format!(
+            "line {lineno}: seq {seq} not greater than previous {last_seq} on this thread"
+        ));
+    }
+    if t_us < *last_t {
+        errors.push(format!(
+            "line {lineno}: t_us {t_us} moves backwards (previous {last_t}) on this thread"
+        ));
+    }
+    *last_seq = seq;
+    *last_t = t_us;
+}
+
+/// The `batch_summary` reconciliation: critical-path components must
+/// reproduce `total_secs` within [`RECONCILE_REL_TOL`]. Sync protocol sums
+/// all four; async overlaps the driver-side global update with the
+/// parallel steps, so the critical path takes their max.
+fn check_batch_summary<'a>(get: &impl Fn(&str) -> Option<&'a Value>) -> Option<String> {
+    let component = |key: &str| -> Result<f64, String> {
+        get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("batch_summary lacks numeric `{key}`"))
+    };
+    let parts: Result<Vec<f64>, String> = [
+        "assignment_secs",
+        "local_secs",
+        "global_secs",
+        "overhead_secs",
+        "total_secs",
+        "async_overlap",
+    ]
+    .iter()
+    .map(|key| component(key))
+    .collect();
+    let parts = match parts {
+        Ok(parts) => parts,
+        Err(err) => return Some(err),
+    };
+    let [assignment, local, global, overhead, total, async_overlap] = parts[..] else {
+        return Some("internal: component count mismatch".to_string());
+    };
+    let parallel = assignment + local;
+    let expected = if async_overlap != 0.0 {
+        parallel.max(global) + overhead
+    } else {
+        parallel + global + overhead
+    };
+    // Relative tolerance with a small absolute floor so near-empty batches
+    // (microsecond totals) don't trip on rounding.
+    let tolerance = (expected.abs() * RECONCILE_REL_TOL).max(1e-6);
+    if (expected - total).abs() > tolerance {
+        let mut msg = String::new();
+        let _ = write!(
+            msg,
+            "batch_summary does not reconcile: components give {expected:.6}s \
+             but total_secs is {total:.6}s (tolerance {tolerance:.6}s)"
+        );
+        return Some(msg);
+    }
+    None
+}
+
+/// Parses one flat JSON object (`{"key":value,...}`) with scalar values.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let src = line.trim();
+    let mut fields = Vec::new();
+
+    let expect =
+        |chars: &mut std::iter::Peekable<std::str::CharIndices>, want: char| match chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((at, c)) => Err(format!("expected `{want}` at byte {at}, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of line")),
+        };
+
+    expect(&mut chars, '{')?;
+    if chars.peek().map(|(_, c)| *c) == Some('}') {
+        return Ok(fields);
+    }
+    loop {
+        let key = parse_string(src, &mut chars)?;
+        expect(&mut chars, ':')?;
+        let value = parse_value(src, &mut chars)?;
+        fields.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            Some((at, c)) => return Err(format!("expected `,` or `}}` at byte {at}, found `{c}`")),
+            None => return Err("unterminated object".to_string()),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(fields)
+}
+
+fn parse_string(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices>,
+) -> Result<String, String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        Some((at, c)) => return Err(format!("expected `\"` at byte {at}, found `{c}`")),
+        None => return Err("expected string, found end of line".to_string()),
+    }
+    let mut out = String::new();
+    while let Some((at, c)) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let digit = chars
+                            .next()
+                            .and_then(|(_, d)| d.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + digit;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => return Err(format!("bad escape in string at byte {at} of `{src}`")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_value(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices>,
+) -> Result<Value, String> {
+    match chars.peek() {
+        Some((_, '"')) => parse_string(src, chars).map(Value::Str),
+        Some((_, 'n')) => {
+            for want in "null".chars() {
+                match chars.next() {
+                    Some((_, c)) if c == want => {}
+                    _ => return Err("bad literal (expected `null`)".to_string()),
+                }
+            }
+            Ok(Value::Null)
+        }
+        Some((start, c)) if *c == '-' || c.is_ascii_digit() => {
+            let start = *start;
+            let mut end = start;
+            while let Some((at, c)) = chars.peek() {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    end = at + c.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            src[start..end]
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number `{}`", &src[start..end]))
+        }
+        Some((at, c)) => Err(format!(
+            "unsupported value starting with `{c}` at byte {at}"
+        )),
+        None => Err("expected value, found end of line".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = "{\"ev\":\"meta\",\"version\":1,\"clock\":\"monotonic-us\"}";
+
+    fn journal(lines: &[&str]) -> String {
+        let mut out = String::from(META);
+        for line in lines {
+            out.push('\n');
+            out.push_str(line);
+        }
+        out
+    }
+
+    #[test]
+    fn accepts_well_formed_journal() {
+        let contents = journal(&[
+            "{\"ev\":\"open\",\"span\":\"batch\",\"thread\":0,\"seq\":0,\"t_us\":10,\"depth\":0,\"batch\":0}",
+            "{\"ev\":\"open\",\"span\":\"assignment\",\"thread\":0,\"seq\":1,\"t_us\":11,\"depth\":1,\"batch\":0}",
+            "{\"ev\":\"close\",\"span\":\"assignment\",\"thread\":0,\"seq\":2,\"t_us\":20,\"depth\":1,\"dur_us\":9,\"batch\":0}",
+            "{\"ev\":\"point\",\"name\":\"batch_summary\",\"thread\":0,\"seq\":3,\"t_us\":21,\"batch\":0,\
+             \"records\":10.0,\"assignment_secs\":1.0,\"local_secs\":0.5,\"global_secs\":0.25,\
+             \"overhead_secs\":0.25,\"total_secs\":2.0,\"async_overlap\":0.0}",
+            "{\"ev\":\"close\",\"span\":\"batch\",\"thread\":0,\"seq\":4,\"t_us\":22,\"depth\":0,\"dur_us\":12,\"batch\":0}",
+        ]);
+        let stats = check_trace(&contents).expect("journal is valid");
+        assert_eq!(stats.spans_closed, 2);
+        assert_eq!(stats.points, 1);
+        assert_eq!(stats.batch_summaries, 1);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn async_overlap_reconciles_with_max_form() {
+        // total = max(1.0 + 0.5, 5.0) + 0.1 = 5.1 — the sync sum (6.6)
+        // would fail, the async max must pass.
+        let contents = journal(&[
+            "{\"ev\":\"point\",\"name\":\"batch_summary\",\"thread\":0,\"seq\":0,\"t_us\":1,\
+             \"assignment_secs\":1.0,\"local_secs\":0.5,\"global_secs\":5.0,\
+             \"overhead_secs\":0.1,\"total_secs\":5.1,\"async_overlap\":1.0}",
+        ]);
+        assert!(check_trace(&contents).is_ok());
+    }
+
+    #[test]
+    fn rejects_unclosed_and_misnested_spans() {
+        let unclosed = journal(&[
+            "{\"ev\":\"open\",\"span\":\"batch\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+        ]);
+        let errors = check_trace(&unclosed).expect_err("unclosed span");
+        assert!(errors[0].contains("never closed"), "{errors:?}");
+
+        let misnested = journal(&[
+            "{\"ev\":\"open\",\"span\":\"a\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"open\",\"span\":\"b\",\"thread\":0,\"seq\":1,\"t_us\":2,\"depth\":1}",
+            "{\"ev\":\"close\",\"span\":\"a\",\"thread\":0,\"seq\":2,\"t_us\":3,\"depth\":0,\"dur_us\":2}",
+        ]);
+        let errors = check_trace(&misnested).expect_err("misnested spans");
+        assert!(errors.iter().any(|e| e.contains("nest LIFO")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_seq_regression_and_missing_meta() {
+        let regressed = journal(&[
+            "{\"ev\":\"point\",\"name\":\"p\",\"thread\":0,\"seq\":5,\"t_us\":1}",
+            "{\"ev\":\"point\",\"name\":\"p\",\"thread\":0,\"seq\":5,\"t_us\":2}",
+        ]);
+        let errors = check_trace(&regressed).expect_err("seq regression");
+        assert!(errors.iter().any(|e| e.contains("seq")), "{errors:?}");
+
+        let no_meta = "{\"ev\":\"point\",\"name\":\"p\",\"thread\":0,\"seq\":0,\"t_us\":1}";
+        let errors = check_trace(no_meta).expect_err("missing meta");
+        assert!(errors[0].contains("meta"), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_unreconciled_batch_summary() {
+        let contents = journal(&[
+            "{\"ev\":\"point\",\"name\":\"batch_summary\",\"thread\":0,\"seq\":0,\"t_us\":1,\
+             \"assignment_secs\":1.0,\"local_secs\":1.0,\"global_secs\":1.0,\
+             \"overhead_secs\":0.0,\"total_secs\":9.0,\"async_overlap\":0.0}",
+        ]);
+        let errors = check_trace(&contents).expect_err("bad reconciliation");
+        assert!(errors[0].contains("reconcile"), "{errors:?}");
+    }
+
+    #[test]
+    fn independent_threads_have_independent_stacks() {
+        let contents = journal(&[
+            "{\"ev\":\"open\",\"span\":\"a\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"open\",\"span\":\"b\",\"thread\":1,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"close\",\"span\":\"a\",\"thread\":0,\"seq\":1,\"t_us\":2,\"depth\":0,\"dur_us\":1}",
+            "{\"ev\":\"close\",\"span\":\"b\",\"thread\":1,\"seq\":1,\"t_us\":2,\"depth\":0,\"dur_us\":1}",
+        ]);
+        let stats = check_trace(&contents).expect("two clean threads");
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.spans_closed, 2);
+    }
+
+    #[test]
+    fn parser_handles_escapes_null_and_rejects_garbage() {
+        let fields =
+            parse_flat_object("{\"a\":\"x\\\"y\",\"b\":-1.5e3,\"c\":null}").expect("parses");
+        assert_eq!(fields[0].1, Value::Str("x\"y".to_string()));
+        assert_eq!(fields[1].1, Value::Num(-1500.0));
+        assert_eq!(fields[2].1, Value::Null);
+        assert!(parse_flat_object("{\"a\":[1]}").is_err());
+        assert!(parse_flat_object("{\"a\":1").is_err());
+        assert!(parse_flat_object("not json").is_err());
+    }
+}

@@ -7,4 +7,5 @@ pub use diststream_core as core;
 pub use diststream_datasets as datasets;
 pub use diststream_engine as engine;
 pub use diststream_quality as quality;
+pub use diststream_telemetry as telemetry;
 pub use diststream_types as types;

@@ -64,6 +64,28 @@ fn denstream_model_bytes_identical_across_thread_counts() {
     }
 }
 
+/// Telemetry is observation-only: recording spans, points, and metrics
+/// must not perturb the merged model by a single bit. Runs at p=4 so the
+/// traced run exercises the per-thread buffers and barrier drains.
+#[test]
+fn model_bytes_identical_with_tracing_on_and_off() {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    let base = model_bytes(&algo, 4, ExecutionMode::Threads);
+    diststream::telemetry::set_journal_capture();
+    diststream::telemetry::set_enabled(true);
+    let traced = model_bytes(&algo, 4, ExecutionMode::Threads);
+    diststream::telemetry::set_enabled(false);
+    let events = diststream::telemetry::close_journal();
+    assert!(!events.is_empty(), "traced run recorded no events");
+    assert_eq!(
+        traced, base,
+        "merged model bytes changed when telemetry was enabled"
+    );
+}
+
 /// The `debug_invariants` acceptance replay: p=1 vs p=4 with the runtime
 /// invariant assertions (reorder monotonicity, partition completeness)
 /// armed along the whole path. Run via
