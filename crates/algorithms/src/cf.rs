@@ -203,6 +203,311 @@ impl Sketch for CfVector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SoA nearest-centroid kernel
+// ---------------------------------------------------------------------------
+
+/// Relative deflation applied to triangle-inequality screening bounds.
+///
+/// The screen `|‖c‖ − ‖x‖| ≤ ‖c − x‖` holds exactly over the reals but each
+/// side is computed in floating point; deflating the lower bound by one part
+/// in 10⁹ (orders of magnitude above the ~1e-15·dims rounding error of the
+/// norm computations) guarantees we never skip a candidate the naive scan
+/// would have selected.
+const SCREEN_DEFLATE: f64 = 1.0 - 1e-9;
+
+/// Structure-of-arrays nearest-centroid search kernel shared by the online
+/// assignment hot paths of CluStream, DenStream, ClusTree, and the offline
+/// k-means loop.
+///
+/// Centroids are flattened into one contiguous `f64` buffer with their
+/// Euclidean norms cached, so a nearest-neighbour query runs over dense rows
+/// with (a) a triangle-inequality screen against the running best and (b)
+/// early exit of the per-row summation once the monotone partial sum can no
+/// longer win. Both cuts are *value-preserving*: the winning candidate's
+/// distance is always the full in-order summation, so the returned index and
+/// distance are bit-identical to the naive per-cluster loop the kernel
+/// replaces (property-tested in this module and relied on by the
+/// `debug_invariants` p=1-vs-p=4 replay gate).
+///
+/// # Examples
+///
+/// ```
+/// use diststream_algorithms::CentroidKernel;
+/// use diststream_types::Point;
+///
+/// let mut kernel = CentroidKernel::new();
+/// kernel.push_point(10, &Point::from(vec![0.0, 0.0]));
+/// kernel.push_point(20, &Point::from(vec![3.0, 4.0]));
+/// let (idx, dist) = kernel.nearest(&Point::from(vec![2.9, 4.1])).unwrap();
+/// assert_eq!(kernel.id(idx), 20);
+/// assert!(dist < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CentroidKernel {
+    ids: Vec<u64>,
+    centers: Vec<f64>,
+    norms: Vec<f64>,
+    dims: usize,
+}
+
+impl CentroidKernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        CentroidKernel::default()
+    }
+
+    /// Creates an empty kernel with room for `rows` centroids of `dims`
+    /// dimensions.
+    pub fn with_capacity(rows: usize, dims: usize) -> Self {
+        CentroidKernel {
+            ids: Vec::with_capacity(rows),
+            centers: Vec::with_capacity(rows * dims),
+            norms: Vec::with_capacity(rows),
+            dims: 0,
+        }
+    }
+
+    /// Number of centroids held.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the kernel holds no centroids.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of the stored centroids (0 until the first push).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Removes all centroids, keeping the allocated buffers.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.centers.clear();
+        self.norms.clear();
+        self.dims = 0;
+    }
+
+    /// The caller-supplied id of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn id(&self, idx: usize) -> u64 {
+        self.ids[idx]
+    }
+
+    /// The flattened centroid coordinates of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn center(&self, idx: usize) -> &[f64] {
+        &self.centers[idx * self.dims..(idx + 1) * self.dims]
+    }
+
+    /// Appends a centroid row from an iterator of coordinates.
+    ///
+    /// The first push fixes the kernel's dimensionality; later pushes must
+    /// match it (checked with `debug_assert`).
+    pub fn push_center(&mut self, id: u64, coords: impl IntoIterator<Item = f64>) {
+        let start = self.centers.len();
+        self.centers.extend(coords);
+        if self.ids.is_empty() {
+            self.dims = self.centers.len() - start;
+        }
+        debug_assert_eq!(
+            self.centers.len() - start,
+            self.dims,
+            "kernel rows must share one dimensionality"
+        );
+        // Cached norm for the triangle-inequality screen. Accumulated in
+        // row order; only used as a conservative bound, never compared for
+        // equality, so its own rounding does not affect results.
+        let row = &self.centers[start..];
+        let norm = row.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        self.norms.push(norm);
+        self.ids.push(id);
+    }
+
+    /// Appends the centroid of `cf`, computed exactly as
+    /// [`CfVector::centroid`] computes it (one division by the weight, then
+    /// one multiply per coordinate) so the flattened row is bit-identical to
+    /// the `Point` the naive loop would have materialized.
+    pub fn push_cf(&mut self, id: u64, cf: &CfVector) {
+        if cf.weight > 0.0 {
+            let inv = 1.0 / cf.weight;
+            self.push_center(id, cf.cf1x.iter().map(|&v| v * inv));
+        } else {
+            self.push_center(id, cf.cf1x.iter().copied());
+        }
+    }
+
+    /// Appends a plain point as a centroid row.
+    pub fn push_point(&mut self, id: u64, point: &Point) {
+        self.push_center(id, point.iter().copied());
+    }
+
+    /// Nearest row to `query` by Euclidean distance, as `(row index,
+    /// distance)`. Ties keep the earliest row, and the distance bits equal
+    /// `centroid.distance(query)` of the naive scan.
+    pub fn nearest(&self, query: &Point) -> Option<(usize, f64)> {
+        self.nearest_filtered(query, |_| true)
+    }
+
+    /// Like [`CentroidKernel::nearest`], restricted to rows where
+    /// `keep(idx)` is true.
+    pub fn nearest_filtered(
+        &self,
+        query: &Point,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        let query = query.as_slice();
+        let qnorm = slice_norm(query);
+        let mut best: Option<(usize, f64, f64)> = None; // (idx, dist, dist²)
+        for idx in 0..self.ids.len() {
+            if !keep(idx) {
+                continue;
+            }
+            match best {
+                None => {
+                    let d2 = self.row_squared_distance(idx, query);
+                    best = Some((idx, d2.sqrt(), d2));
+                }
+                Some((_, best_d, best_d2)) => {
+                    let gap = self.norms[idx] - qnorm;
+                    if gap.abs() * SCREEN_DEFLATE >= best_d {
+                        continue;
+                    }
+                    if let Some(d2) = self.row_squared_distance_bounded(idx, query, best_d2) {
+                        let d = d2.sqrt();
+                        // sqrt is monotone, so d ≤ best_d here; the strict
+                        // comparison keeps the earliest row on sqrt-level
+                        // ties exactly like the naive `min_by` scan.
+                        if d < best_d {
+                            best = Some((idx, d, d2));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(idx, d, _)| (idx, d))
+    }
+
+    /// Nearest row to `query` by *squared* Euclidean distance. Ties keep the
+    /// earliest row, and the distance bits equal
+    /// `centroid.squared_distance(query)` of the naive scan.
+    pub fn nearest_squared(&self, query: &Point) -> Option<(usize, f64)> {
+        self.nearest_squared_filtered(query, |_| true)
+    }
+
+    /// Like [`CentroidKernel::nearest_squared`], restricted to rows where
+    /// `keep(idx)` is true.
+    pub fn nearest_squared_filtered(
+        &self,
+        query: &Point,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        let query = query.as_slice();
+        let qnorm = slice_norm(query);
+        let mut best: Option<(usize, f64)> = None;
+        for idx in 0..self.ids.len() {
+            if !keep(idx) {
+                continue;
+            }
+            match best {
+                None => {
+                    let d2 = self.row_squared_distance(idx, query);
+                    best = Some((idx, d2));
+                }
+                Some((_, best_sq)) => {
+                    let gap = self.norms[idx] - qnorm;
+                    if gap * gap * SCREEN_DEFLATE >= best_sq {
+                        continue;
+                    }
+                    if let Some(d2) = self.row_squared_distance_bounded(idx, query, best_sq) {
+                        best = Some((idx, d2));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Minimum Euclidean distance from row `idx` to any *other* row
+    /// (`f64::INFINITY` when no other row exists) — CluStream's
+    /// nearest-other-centroid boundary for singleton clusters. The value
+    /// bits equal the naive `fold(INFINITY, f64::min)` over
+    /// `other.distance(center)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn nearest_other_distance(&self, idx: usize) -> f64 {
+        let query_range = idx * self.dims..(idx + 1) * self.dims;
+        let qnorm = self.norms[idx];
+        let mut best_d = f64::INFINITY;
+        let mut best_d2 = f64::INFINITY;
+        for row in 0..self.ids.len() {
+            if row == idx {
+                continue;
+            }
+            let gap = self.norms[row] - qnorm;
+            if gap.abs() * SCREEN_DEFLATE >= best_d {
+                continue;
+            }
+            let query = &self.centers[query_range.clone()];
+            if let Some(d2) = self.row_squared_distance_bounded(row, query, best_d2) {
+                let d = d2.sqrt();
+                if d < best_d {
+                    best_d = d;
+                    best_d2 = d2;
+                }
+            }
+        }
+        best_d
+    }
+
+    /// Full in-order squared distance from row `idx` to `query` — the same
+    /// summation order as [`Point::squared_distance`].
+    fn row_squared_distance(&self, idx: usize, query: &[f64]) -> f64 {
+        let row = &self.centers[idx * self.dims..(idx + 1) * self.dims];
+        let mut acc = 0.0;
+        for (&c, &q) in row.iter().zip(query) {
+            let d = c - q;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// In-order squared distance with early exit: returns `None` as soon as
+    /// the running partial sum reaches `bound`. Partial sums of non-negative
+    /// terms are monotone in IEEE arithmetic, so `None` proves the full sum
+    /// would be ≥ `bound`; `Some(d2)` implies `d2 < bound` and carries the
+    /// bits of the full in-order summation.
+    fn row_squared_distance_bounded(&self, idx: usize, query: &[f64], bound: f64) -> Option<f64> {
+        let row = &self.centers[idx * self.dims..(idx + 1) * self.dims];
+        let mut acc = 0.0;
+        for (&c, &q) in row.iter().zip(query) {
+            let d = c - q;
+            acc += d * d;
+            if acc >= bound {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+}
+
+/// Euclidean norm of a coordinate slice, computed exactly like the cached
+/// row norms (in-order sum of squares, then sqrt).
+fn slice_norm(coords: &[f64]) -> f64 {
+    coords.iter().map(|&v| v * v).sum::<f64>().sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +594,189 @@ mod tests {
         let b = CfVector::from_record(&rec(1, vec![2.0], 0.0));
         Sketch::merge(&mut a, &b);
         assert_eq!(Sketch::centroid(&a).as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn kernel_push_cf_matches_centroid_bits() {
+        let mut cf = CfVector::from_record(&rec(0, vec![0.3, -1.7, 9.1], 0.0));
+        cf.insert(&rec(1, vec![2.2, 0.4, -3.0], 1.5), 0.9);
+        let mut kernel = CentroidKernel::new();
+        kernel.push_cf(7, &cf);
+        let centroid = cf.centroid();
+        assert_eq!(kernel.id(0), 7);
+        for (a, b) in kernel.center(0).iter().zip(centroid.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_clear_keeps_capacity() {
+        let mut kernel = CentroidKernel::with_capacity(4, 2);
+        kernel.push_point(0, &Point::from(vec![1.0, 2.0]));
+        kernel.push_point(1, &Point::from(vec![3.0, 4.0]));
+        let cap = kernel.centers.capacity();
+        kernel.clear();
+        assert!(kernel.is_empty());
+        assert_eq!(kernel.dims(), 0);
+        assert_eq!(kernel.centers.capacity(), cap);
+    }
+
+    #[test]
+    fn kernel_empty_returns_none() {
+        let kernel = CentroidKernel::new();
+        assert!(kernel.nearest(&Point::from(vec![1.0])).is_none());
+        assert!(kernel.nearest_squared(&Point::from(vec![1.0])).is_none());
+    }
+
+    #[test]
+    fn kernel_ties_keep_earliest_row() {
+        // Two centroids equidistant from the query: the naive min_by keeps
+        // the first, so must the kernel — in both distance domains.
+        let mut kernel = CentroidKernel::new();
+        kernel.push_point(10, &Point::from(vec![-1.0]));
+        kernel.push_point(20, &Point::from(vec![1.0]));
+        let q = Point::from(vec![0.0]);
+        assert_eq!(kernel.nearest(&q).unwrap().0, 0);
+        assert_eq!(kernel.nearest_squared(&q).unwrap().0, 0);
+    }
+
+    #[test]
+    fn kernel_nearest_other_distance_of_two_rows() {
+        let mut kernel = CentroidKernel::new();
+        kernel.push_point(0, &Point::from(vec![0.0, 0.0]));
+        kernel.push_point(1, &Point::from(vec![3.0, 4.0]));
+        assert_eq!(kernel.nearest_other_distance(0), 5.0);
+        assert_eq!(kernel.nearest_other_distance(1), 5.0);
+        let mut single = CentroidKernel::new();
+        single.push_point(0, &Point::from(vec![1.0]));
+        assert_eq!(single.nearest_other_distance(0), f64::INFINITY);
+    }
+
+    /// Strategy: a set of CF vectors (each folded from a handful of random
+    /// records, so weights and centroids are arbitrary) plus a query point,
+    /// all of one dimensionality. Coordinates are generated at the maximum
+    /// width and truncated to the drawn dimensionality (the vendored
+    /// proptest has no `prop_flat_map`).
+    fn cf_set_and_query() -> impl Strategy<Value = (Vec<CfVector>, Point)> {
+        let coords = || prop::collection::vec(-1000.0_f64..1000.0, 4usize..5);
+        let cfs = prop::collection::vec(prop::collection::vec(coords(), 1..6), 1..12);
+        (1usize..5, cfs, coords()).prop_map(|(dims, cfs, mut query)| {
+            query.truncate(dims);
+            let cfs: Vec<CfVector> = cfs
+                .into_iter()
+                .map(|points| {
+                    let mut iter = points.into_iter().enumerate();
+                    let (_, mut first) = iter.next().expect("non-empty record set");
+                    first.truncate(dims);
+                    let mut cf = CfVector::from_record(&rec(0, first, 0.0));
+                    for (i, mut p) in iter {
+                        p.truncate(dims);
+                        cf.insert(&rec(i as u64, p, i as f64), 0.97);
+                    }
+                    cf
+                })
+                .collect();
+            (cfs, Point::from(query))
+        })
+    }
+
+    proptest! {
+        /// The kernel's sqrt-domain search returns the identical winning
+        /// index and identical distance bits as the naive per-cluster loop
+        /// (`centroid().distance()` + first-min scan) it replaces.
+        #[test]
+        fn prop_kernel_nearest_matches_naive_bits(
+            (cfs, query) in cf_set_and_query(),
+        ) {
+            let mut kernel = CentroidKernel::new();
+            for (i, cf) in cfs.iter().enumerate() {
+                kernel.push_cf(i as u64, cf);
+            }
+            let naive = cfs
+                .iter()
+                .enumerate()
+                .map(|(i, cf)| (i, cf.centroid().distance(&query)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            let (idx, dist) = kernel.nearest(&query).expect("non-empty");
+            prop_assert_eq!(idx, naive.0);
+            prop_assert_eq!(dist.to_bits(), naive.1.to_bits());
+        }
+
+        /// Same bit-identity in the squared-distance domain (DenStream's
+        /// comparison space).
+        #[test]
+        fn prop_kernel_nearest_squared_matches_naive_bits(
+            (cfs, query) in cf_set_and_query(),
+        ) {
+            let mut kernel = CentroidKernel::new();
+            for (i, cf) in cfs.iter().enumerate() {
+                kernel.push_cf(i as u64, cf);
+            }
+            let naive = cfs
+                .iter()
+                .enumerate()
+                .map(|(i, cf)| (i, cf.centroid().squared_distance(&query)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            let (idx, d2) = kernel.nearest_squared(&query).expect("non-empty");
+            prop_assert_eq!(idx, naive.0);
+            prop_assert_eq!(d2.to_bits(), naive.1.to_bits());
+        }
+
+        /// Filtered squared search against the naive filtered scan, using a
+        /// role mask like DenStream's potential/outlier split.
+        #[test]
+        fn prop_kernel_filtered_matches_naive_bits(
+            (cfs, query) in cf_set_and_query(),
+            mask_seed in 0u64..1024,
+        ) {
+            let mask: Vec<bool> = (0..cfs.len())
+                .map(|i| (mask_seed >> (i % 10)) & 1 == 1)
+                .collect();
+            let mut kernel = CentroidKernel::new();
+            for (i, cf) in cfs.iter().enumerate() {
+                kernel.push_cf(i as u64, cf);
+            }
+            let naive = cfs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask[*i])
+                .map(|(i, cf)| (i, cf.centroid().squared_distance(&query)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            let got = kernel.nearest_squared_filtered(&query, |i| mask[i]);
+            match (naive, got) {
+                (None, None) => {}
+                (Some((i, d2)), Some((gi, gd2))) => {
+                    prop_assert_eq!(gi, i);
+                    prop_assert_eq!(gd2.to_bits(), d2.to_bits());
+                }
+                (naive, got) => prop_assert!(false, "mismatch: {:?} vs {:?}", naive, got),
+            }
+        }
+
+        /// `nearest_other_distance` equals the naive exclusion fold used by
+        /// CluStream's singleton boundary.
+        #[test]
+        fn prop_kernel_nearest_other_matches_naive_bits(
+            (cfs, _query) in cf_set_and_query(),
+        ) {
+            let mut kernel = CentroidKernel::new();
+            for (i, cf) in cfs.iter().enumerate() {
+                kernel.push_cf(i as u64, cf);
+            }
+            for (i, cf) in cfs.iter().enumerate() {
+                let center = cf.centroid();
+                let naive = cfs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, other)| other.centroid().distance(&center))
+                    .fold(f64::INFINITY, f64::min);
+                let got = kernel.nearest_other_distance(i);
+                prop_assert_eq!(got.to_bits(), naive.to_bits());
+            }
+        }
     }
 
     proptest! {

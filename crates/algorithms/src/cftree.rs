@@ -55,6 +55,30 @@ impl Summary {
             self.sum.clone()
         }
     }
+
+    /// Squared distance from this summary's centroid to `point`, computed
+    /// without materializing the centroid. Bit-identical to
+    /// `self.centroid().squared_distance(point)` (one division by the
+    /// weight, then the same per-dimension multiply/subtract/accumulate
+    /// order), so descent decisions are unchanged while the former
+    /// per-child-per-level `Point` allocation disappears from the lookup
+    /// hot path.
+    fn centroid_squared_distance(&self, point: &Point) -> f64 {
+        let mut acc = 0.0;
+        if self.weight > 0.0 {
+            let inv = 1.0 / self.weight;
+            for (&s, &p) in self.sum.iter().zip(point.iter()) {
+                let d = s * inv - p;
+                acc += d * d;
+            }
+        } else {
+            for (&s, &p) in self.sum.iter().zip(point.iter()) {
+                let d = s - p;
+                acc += d * d;
+            }
+        }
+        acc
+    }
 }
 
 /// A child of an internal node: its aggregate summary plus the subtree.
@@ -184,9 +208,8 @@ impl CfTree {
                     let (_, child) = children
                         .iter()
                         .min_by(|(a, _), (b, _)| {
-                            a.centroid()
-                                .squared_distance(point)
-                                .total_cmp(&b.centroid().squared_distance(point))
+                            a.centroid_squared_distance(point)
+                                .total_cmp(&b.centroid_squared_distance(point))
                         })
                         .expect("internal nodes are non-empty");
                     node = child;
@@ -229,14 +252,12 @@ fn insert_into(node: &mut Node, entry: LeafEntry, fanout: usize) -> Split {
             }
         }
         Node::Internal(children) => {
-            let target = entry.centroid.clone();
             let idx = children
                 .iter()
                 .enumerate()
                 .min_by(|(_, (a, _)), (_, (b, _))| {
-                    a.centroid()
-                        .squared_distance(&target)
-                        .total_cmp(&b.centroid().squared_distance(&target))
+                    a.centroid_squared_distance(&entry.centroid)
+                        .total_cmp(&b.centroid_squared_distance(&entry.centroid))
                 })
                 .map(|(i, _)| i)
                 .expect("internal nodes are non-empty");
@@ -377,6 +398,24 @@ mod tests {
     }
 
     proptest! {
+        /// The inline descent distance equals the materialized-centroid
+        /// computation bit for bit, so greedy descent decisions (and with
+        /// them the replay gate) are unchanged by the allocation-free path.
+        #[test]
+        fn prop_inline_descent_distance_matches_centroid_bits(
+            sums in prop::collection::vec((-1000.0_f64..1000.0, -1000.0_f64..1000.0), 1..30),
+            weight in 0.0_f64..50.0,
+            probe in prop::collection::vec(-1000.0_f64..1000.0, 2..3),
+        ) {
+            let point = Point::from(probe);
+            for &(x, y) in &sums {
+                let summary = Summary { sum: Point::from(vec![x, y]), weight };
+                let naive = summary.centroid().squared_distance(&point);
+                let inline = summary.centroid_squared_distance(&point);
+                prop_assert_eq!(inline.to_bits(), naive.to_bits());
+            }
+        }
+
         #[test]
         fn prop_all_entries_preserved(
             xs in prop::collection::vec((-1000.0_f64..1000.0, -1000.0_f64..1000.0), 1..80),

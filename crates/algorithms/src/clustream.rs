@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
 use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
 
-use crate::cf::CfVector;
+use crate::cf::{CentroidKernel, CfVector};
 use crate::offline::{kmeans, KmeansParams};
 
 /// Tuning parameters for [`CluStream`].
@@ -91,6 +91,52 @@ impl CluStreamModel {
             .filter(|(id, _)| **id != exclude)
             .map(|(_, cf)| cf.centroid().distance(point))
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Per-task search structure for [`CluStream::assign_many`]: the model's
+/// centroids flattened into a [`CentroidKernel`] plus each micro-cluster's
+/// maximum boundary, both computed once per task instead of per record.
+///
+/// Boundaries reproduce [`CluStream::max_boundary`] exactly: `t ×` RMS
+/// radius for multi-record clusters, nearest-other-centroid distance for
+/// singletons (the kernel's exclusion scan is bit-identical to the naive
+/// fold the per-record path uses).
+struct CluStreamSearcher {
+    kernel: CentroidKernel,
+    boundaries: Vec<f64>,
+}
+
+impl CluStreamSearcher {
+    fn build(model: &CluStreamModel, boundary_factor: f64) -> Self {
+        let dims = model.mcs.values().next().map_or(0, CfVector::dims);
+        let mut kernel = CentroidKernel::with_capacity(model.len(), dims);
+        // NaN marks rows whose boundary needs the full kernel (singletons).
+        let mut boundaries = Vec::with_capacity(model.len());
+        for (id, cf) in model.mcs.iter() {
+            kernel.push_cf(*id, cf);
+            let rms = cf.rms_radius();
+            if cf.weight() > 1.0 && rms > 0.0 {
+                boundaries.push(boundary_factor * rms);
+            } else {
+                boundaries.push(f64::NAN);
+            }
+        }
+        for (idx, boundary) in boundaries.iter_mut().enumerate() {
+            if boundary.is_nan() {
+                *boundary = kernel.nearest_other_distance(idx);
+            }
+        }
+        CluStreamSearcher { kernel, boundaries }
+    }
+
+    fn assign(&self, record: &Record) -> Assignment {
+        match self.kernel.nearest(&record.point) {
+            Some((idx, dist)) if dist <= self.boundaries[idx] => {
+                Assignment::Existing(self.kernel.id(idx))
+            }
+            _ => Assignment::New(record.id),
+        }
     }
 }
 
@@ -268,6 +314,11 @@ impl StreamClustering for CluStream {
         }
     }
 
+    fn assign_many(&self, model: &CluStreamModel, records: &[Record]) -> Vec<Assignment> {
+        let searcher = CluStreamSearcher::build(model, self.params.boundary_factor);
+        records.iter().map(|r| searcher.assign(r)).collect()
+    }
+
     fn sketch_of(&self, model: &CluStreamModel, id: MicroClusterId) -> CfVector {
         model.mcs[&id].clone()
     }
@@ -431,6 +482,23 @@ mod tests {
         let algo = algo(10);
         let model = seeded_model(&algo);
         assert_eq!(algo.snapshot(&model).len(), model.len());
+    }
+
+    #[test]
+    fn assign_many_matches_per_record_assign() {
+        let algo = algo(10);
+        // Mix of populated clusters and singletons so both boundary paths
+        // (t·RMS and nearest-other-distance) are exercised.
+        let mut model = seeded_model(&algo);
+        model.insert_new(CfVector::from_record(&rec(50, 20.0, 1.0)));
+        model.insert_new(CfVector::from_record(&rec(51, 22.0, 1.0)));
+        let records: Vec<Record> = (0..200)
+            .map(|i| rec(1000 + i, (i % 47) as f64 * 0.6, 2.0 + i as f64 * 0.01))
+            .collect();
+        let batched = algo.assign_many(&model, &records);
+        for (r, got) in records.iter().zip(batched) {
+            assert_eq!(got, algo.assign(&model, r), "record {:?}", r.id);
+        }
     }
 
     #[test]

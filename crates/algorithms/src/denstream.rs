@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
 use diststream_types::{DistStreamError, Record, Result, Timestamp};
 
-use crate::cf::CfVector;
+use crate::cf::{CentroidKernel, CfVector};
 
 /// Tuning parameters for [`DenStream`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -249,6 +249,39 @@ impl StreamClustering for DenStream {
         Assignment::New(record.id)
     }
 
+    fn assign_many(&self, model: &DenStreamModel, records: &[Record]) -> Vec<Assignment> {
+        // One flattened-centroid kernel per task partition, with the
+        // potential/outlier role mask alongside so the two preference passes
+        // of `assign` become filtered scans over the same dense buffer.
+        let mut kernel = CentroidKernel::with_capacity(
+            model.mcs.len(),
+            model.mcs.values().next().map_or(0, |mc| mc.cf.dims()),
+        );
+        let mut potential = Vec::with_capacity(model.mcs.len());
+        for (id, mc) in model.mcs.iter() {
+            kernel.push_cf(*id, &mc.cf);
+            potential.push(mc.potential);
+        }
+        records
+            .iter()
+            .map(|record| {
+                for want_potential in [true, false] {
+                    let candidate = kernel
+                        .nearest_squared_filtered(&record.point, |idx| {
+                            potential[idx] == want_potential
+                        })
+                        .map(|(idx, _)| kernel.id(idx));
+                    if let Some(id) = candidate {
+                        if model.mcs[&id].cf.radius_with(&record.point) <= self.params.eps {
+                            return Assignment::Existing(id);
+                        }
+                    }
+                }
+                Assignment::New(record.id)
+            })
+            .collect()
+    }
+
     fn sketch_of(&self, model: &DenStreamModel, id: MicroClusterId) -> CfVector {
         model.mcs[&id].cf.clone()
     }
@@ -380,6 +413,42 @@ mod tests {
         });
         let probe = rec(21, 0.3, 1.0);
         assert_eq!(algo.assign(&model, &probe), Assignment::Existing(p_id));
+    }
+
+    #[test]
+    fn assign_many_matches_per_record_assign() {
+        let algo = algo();
+        // Seed a model holding both potential and outlier micro-clusters at
+        // interleaved positions so probes hit every branch of `assign`.
+        let mut model = DenStreamModel::default();
+        for (k, &(x, potential)) in [
+            (0.0, true),
+            (0.4, false),
+            (2.0, true),
+            (2.6, false),
+            (5.0, false),
+            (7.0, true),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let base = (k * 30) as u64;
+            let mut cf = CfVector::from_record(&rec(base, x, 0.0));
+            if potential {
+                for j in 1..20 {
+                    cf.insert(&rec(base + j, x, 0.0), 1.0);
+                }
+            }
+            model.insert_new(DenStreamMc { cf, potential });
+        }
+        assert!(model.potential_count() > 0 && model.outlier_count() > 0);
+        let probes: Vec<Record> = (0..150)
+            .map(|i| rec(1000 + i, (i % 23) as f64 * 0.35, 4.0 + i as f64 * 0.01))
+            .collect();
+        let batched = algo.assign_many(&model, &probes);
+        for (r, got) in probes.iter().zip(batched) {
+            assert_eq!(got, algo.assign(&model, r), "record {:?}", r.id);
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use diststream_core::{Assignment, MicroClusterId, Sketch, StreamClustering, WeightedPoint};
-use diststream_engine::fnv1a_hash;
+use diststream_engine::{fnv1a_hash, Fnv1a};
 use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
 
 /// Tuning parameters for [`DStream`].
@@ -193,6 +193,23 @@ impl DStream {
         fnv1a_hash(&bytes)
     }
 
+    /// The cell id of the cell containing `point`, fused into one pass:
+    /// equivalent to `Self::cell_id(&self.cell_of(point))` but hashing each
+    /// coordinate incrementally, so the per-record grid lookup allocates
+    /// nothing.
+    pub fn cell_key(&self, point: &Point) -> MicroClusterId {
+        let dims = match self.params.grid_dims {
+            0 => point.dims(),
+            g => g.min(point.dims()),
+        };
+        let mut hash = Fnv1a::new();
+        for &x in point.iter().take(dims) {
+            let c = (x / self.params.cell_width).floor() as i64;
+            hash.write(&c.to_le_bytes());
+        }
+        hash.finish()
+    }
+
     fn lambda(&self, dt: f64) -> f64 {
         self.params.beta.powf(-dt)
     }
@@ -239,8 +256,7 @@ impl StreamClustering for DStream {
         }
         let mut model = DStreamModel::default();
         for record in records {
-            let coords = self.cell_of(&record.point);
-            let id = Self::cell_id(&coords);
+            let id = self.cell_key(&record.point);
             match model.grids.get_mut(&id) {
                 Some(grid) => {
                     let mut sketch = grid.clone();
@@ -256,9 +272,8 @@ impl StreamClustering for DStream {
     }
 
     fn assign(&self, model: &DStreamModel, record: &Record) -> Assignment {
-        // Grid mapping: O(d), no distance scan.
-        let coords = self.cell_of(&record.point);
-        let id = Self::cell_id(&coords);
+        // Grid mapping: O(d), no distance scan, no allocation.
+        let id = self.cell_key(&record.point);
         if model.grids.contains_key(&id) {
             Assignment::Existing(id)
         } else {
@@ -368,6 +383,29 @@ mod tests {
         assert_eq!(DStream::cell_id(&c1), DStream::cell_id(&c2));
         let c3 = a.cell_of(&Point::from(vec![1.1, 0.2]));
         assert_ne!(DStream::cell_id(&c1), DStream::cell_id(&c3));
+    }
+
+    #[test]
+    fn cell_key_matches_two_step_lookup() {
+        for grid_dims in [0, 1, 2] {
+            let a = DStream::new(DStreamParams {
+                grid_dims,
+                cell_width: 0.7,
+                ..Default::default()
+            });
+            for i in 0..50 {
+                let p = Point::from(vec![
+                    (i as f64) * 0.31 - 5.0,
+                    (i as f64) * -1.7,
+                    (i % 7) as f64,
+                ]);
+                assert_eq!(
+                    a.cell_key(&p),
+                    DStream::cell_id(&a.cell_of(&p)),
+                    "grid_dims={grid_dims} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod dstream;
 pub mod offline;
 mod streamkm;
 
-pub use cf::CfVector;
+pub use cf::{CentroidKernel, CfVector};
 pub use cftree::CfTree;
 pub use clustream::{CluStream, CluStreamModel, CluStreamParams};
 pub use clustree::{ClusTree, ClusTreeModel, ClusTreeParams};

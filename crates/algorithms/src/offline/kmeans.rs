@@ -8,6 +8,7 @@ use diststream_core::WeightedPoint;
 use diststream_types::Point;
 
 use super::{weighted_mean, MacroClusters};
+use crate::cf::CentroidKernel;
 
 /// Parameters for weighted k-means.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,19 +68,34 @@ pub fn kmeans(points: &[WeightedPoint], params: KmeansParams) -> MacroClusters {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut centroids = plus_plus_seeds(points, params.k, &mut rng);
 
+    // Scratch reused across Lloyd iterations: the SoA kernel holding the
+    // flattened centroids, and the per-cluster member lists. The kernel's
+    // strict-`<` index-order scan keeps the earliest of tied rows — the same
+    // winner as the `min_by(total_cmp)` reference scan (tests compare the
+    // two bit-for-bit).
+    let mut kernel = CentroidKernel::with_capacity(centroids.len(), points[0].point.dims());
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); centroids.len()];
     let mut assignment = vec![0usize; points.len()];
     for _ in 0..params.max_iters {
+        kernel.clear();
+        for (c, centroid) in centroids.iter().enumerate() {
+            kernel.push_point(c as u64, centroid);
+        }
         // Assign step.
         let mut changed = false;
         for (i, wp) in points.iter().enumerate() {
-            let nearest = nearest_centroid(&centroids, &wp.point);
+            let (nearest, _) = kernel
+                .nearest_squared(&wp.point)
+                .expect("at least one centroid");
             if assignment[i] != nearest {
                 assignment[i] = nearest;
                 changed = true;
             }
         }
         // Update step.
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); centroids.len()];
+        for m in &mut members {
+            m.clear();
+        }
         for (i, &c) in assignment.iter().enumerate() {
             members[c].push(i);
         }
@@ -106,16 +122,6 @@ pub fn kmeans(points: &[WeightedPoint], params: KmeansParams) -> MacroClusters {
         centroids: used.iter().map(|&c| centroids[c].clone()).collect(),
         assignment: assignment.into_iter().map(|c| Some(remap[&c])).collect(),
     }
-}
-
-pub(crate) fn nearest_centroid(centroids: &[Point], point: &Point) -> usize {
-    centroids
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (i, c.squared_distance(point)))
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .map(|(i, _)| i)
-        .expect("at least one centroid")
 }
 
 /// Weighted k-means++ seeding: the first seed is drawn by weight, each
@@ -170,6 +176,67 @@ mod tests {
         WeightedPoint {
             point: Point::from(vec![x]),
             weight: w,
+        }
+    }
+
+    /// The pre-kernel reference scan: index-order `min_by(total_cmp)`, which
+    /// keeps the first of equally-minimal centroids.
+    fn naive_nearest_centroid(centroids: &[Point], point: &Point) -> usize {
+        centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.squared_distance(point)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("at least one centroid")
+    }
+
+    /// The pre-kernel Lloyd loop, kept verbatim as the bit-exactness oracle
+    /// for [`kmeans`]: same seeding, naive assignment scan, fresh member
+    /// vectors per iteration.
+    fn naive_kmeans(points: &[WeightedPoint], params: KmeansParams) -> MacroClusters {
+        if points.is_empty() || params.k == 0 {
+            return MacroClusters {
+                centroids: Vec::new(),
+                assignment: vec![None; points.len()],
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut centroids = plus_plus_seeds(points, params.k, &mut rng);
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..params.max_iters {
+            let mut changed = false;
+            for (i, wp) in points.iter().enumerate() {
+                let nearest = naive_nearest_centroid(&centroids, &wp.point);
+                if assignment[i] != nearest {
+                    assignment[i] = nearest;
+                    changed = true;
+                }
+            }
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); centroids.len()];
+            for (i, &c) in assignment.iter().enumerate() {
+                members[c].push(i);
+            }
+            for (c, m) in members.iter().enumerate() {
+                if let Some(mean) = weighted_mean(points, m) {
+                    centroids[c] = mean;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut used: Vec<usize> = assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        let remap: std::collections::BTreeMap<usize, usize> = used
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        MacroClusters {
+            centroids: used.iter().map(|&c| centroids[c].clone()).collect(),
+            assignment: assignment.into_iter().map(|c| Some(remap[&c])).collect(),
         }
     }
 
@@ -235,6 +302,28 @@ mod tests {
                 prop_assert!(a < out.len());
             }
             prop_assert!(out.len() <= k);
+        }
+
+        #[test]
+        fn prop_kernel_lloyd_matches_naive_reference_bits(
+            xs in prop::collection::vec(-50.0_f64..50.0, 2..40),
+            k in 1usize..5,
+        ) {
+            let pts: Vec<WeightedPoint> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| wp(x, 1.0 + (i % 3) as f64))
+                .collect();
+            let params = KmeansParams::new(k);
+            let fast = kmeans(&pts, params);
+            let naive = naive_kmeans(&pts, params);
+            prop_assert_eq!(&fast.assignment, &naive.assignment);
+            prop_assert_eq!(fast.centroids.len(), naive.centroids.len());
+            for (a, b) in fast.centroids.iter().zip(naive.centroids.iter()) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
 
         #[test]

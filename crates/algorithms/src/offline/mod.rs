@@ -60,22 +60,24 @@ pub(crate) fn weighted_mean(points: &[WeightedPoint], members: &[usize]) -> Opti
         let wp = &points[i];
         total += wp.weight;
         match &mut sum {
-            Some(s) => s.add_in_place(&wp.point.scaled(wp.weight)),
+            // `a + b*w` in place: bit-identical to adding `point.scaled(w)`
+            // without allocating the scaled copy per member.
+            Some(s) => s.add_scaled_in_place(&wp.point, wp.weight),
             None => sum = Some(wp.point.scaled(wp.weight)),
         }
     }
-    sum.map(|s| {
+    sum.map(|mut s| {
         if total > 0.0 {
-            s.scaled(1.0 / total)
-        } else {
-            s
+            s.scale_in_place(1.0 / total);
         }
+        s
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn nearest_picks_closest_centroid() {
@@ -96,6 +98,43 @@ mod tests {
         };
         assert!(mc.is_empty());
         assert_eq!(mc.nearest(&Point::from(vec![0.0])), None);
+    }
+
+    proptest! {
+        /// The in-place mean must be bit-identical to the allocating form it
+        /// replaced: `sum += point.scaled(w)` then `sum.scaled(1/total)`.
+        #[test]
+        fn prop_weighted_mean_matches_allocating_form_bits(
+            xs in prop::collection::vec(-100.0_f64..100.0, 1..20),
+        ) {
+            let points: Vec<WeightedPoint> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| WeightedPoint {
+                    point: Point::from(vec![x, -x * 0.5]),
+                    weight: 0.25 + (i % 4) as f64,
+                })
+                .collect();
+            let members: Vec<usize> = (0..points.len()).collect();
+
+            let mut total = 0.0;
+            let mut sum: Option<Point> = None;
+            for &i in &members {
+                let wp = &points[i];
+                total += wp.weight;
+                match &mut sum {
+                    Some(s) => s.add_in_place(&wp.point.scaled(wp.weight)),
+                    None => sum = Some(wp.point.scaled(wp.weight)),
+                }
+            }
+            let reference = sum.map(|s| if total > 0.0 { s.scaled(1.0 / total) } else { s });
+
+            let fast = weighted_mean(&points, &members);
+            let (fast, reference) = (fast.unwrap(), reference.unwrap());
+            for (a, b) in fast.iter().zip(reference.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

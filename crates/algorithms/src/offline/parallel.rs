@@ -19,8 +19,9 @@ use diststream_core::WeightedPoint;
 use diststream_engine::{RoundRobinPartitioner, StreamingContext};
 use diststream_types::{Point, Result};
 
-use super::kmeans::{nearest_centroid, plus_plus_seeds};
+use super::kmeans::plus_plus_seeds;
 use super::{KmeansParams, MacroClusters};
+use crate::cf::CentroidKernel;
 
 /// Data-parallel weighted k-means over the engine's task slots.
 ///
@@ -76,11 +77,20 @@ pub fn parallel_kmeans(
     let partitions = RoundRobinPartitioner.split(indices, ctx.parallelism());
 
     let mut assignment = vec![0usize; points.len()];
+    // The flattened-centroid kernel is rebuilt once per Lloyd iteration and
+    // shared read-only across tasks; its strict-`<` index-order scan returns
+    // the same centroid index as the sequential reference.
+    let mut kernel = CentroidKernel::with_capacity(centroids.len(), dims);
     for _ in 0..params.max_iters {
+        kernel.clear();
+        for (c, centroid) in centroids.iter().enumerate() {
+            kernel.push_point(c as u64, centroid);
+        }
         // Parallel assignment step: each task assigns its partition and
         // accumulates per-centroid weighted sums.
         type TaskOut = (Vec<(usize, usize)>, Vec<(Point, f64)>);
         let centroids_ref = &centroids;
+        let kernel_ref = &kernel;
         let (outputs, _metrics) =
             ctx.run_tasks(partitions.clone(), |_task, idxs: Vec<usize>| -> TaskOut {
                 let mut assigned = Vec::with_capacity(idxs.len());
@@ -90,9 +100,11 @@ pub fn parallel_kmeans(
                     .collect();
                 for i in idxs {
                     let wp = &points[i];
-                    let c = nearest_centroid(centroids_ref, &wp.point);
+                    let (c, _) = kernel_ref
+                        .nearest_squared(&wp.point)
+                        .expect("at least one centroid");
                     assigned.push((i, c));
-                    partial[c].0.add_in_place(&wp.point.scaled(wp.weight));
+                    partial[c].0.add_scaled_in_place(&wp.point, wp.weight);
                     partial[c].1 += wp.weight;
                 }
                 (assigned, partial)

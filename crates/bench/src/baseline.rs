@@ -1,0 +1,390 @@
+//! The committed performance baseline: records/sec and per-phase times for
+//! all four algorithms at p ∈ {1, 4}.
+//!
+//! The `bench_baseline` binary runs this and writes `BENCH_BASELINE.json`;
+//! `cargo run -p xtask -- bench-check` re-runs it and compares the fresh
+//! numbers against the committed file (see DESIGN.md §9 for the regression
+//! policy). Measurements use [`ExecutionMode::Simulated`] with a *zero* cost
+//! model: every task body really executes and is individually wall-timed,
+//! and the reported step latency is the barrier makespan of those measured
+//! times over `p` slots with no simulated overheads. That keeps the signal
+//! meaningful on small CI runners (including single-core ones), where real
+//! `p = 4` threads would only measure oversubscription noise.
+
+use std::time::Instant;
+
+use diststream_core::{DistStreamJob, StreamClustering};
+use diststream_engine::{ExecutionMode, RepeatSource, SimCostModel, StreamingContext};
+use diststream_types::{ClusteringConfig, Result};
+
+use crate::bundle::{Bundle, DatasetKind};
+use crate::report::{fmt_f64, print_table, Table};
+
+/// Repo-relative path of the committed baseline file (default workload).
+pub const BASELINE_PATH: &str = "BENCH_BASELINE.json";
+
+/// Repo-relative path of the committed `--quick` baseline file (the
+/// workload the CI `bench-gate` job measures on every PR).
+pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
+
+/// Schema version stamped into the JSON (bump on incompatible change).
+pub const BASELINE_SCHEMA: u32 = 1;
+
+/// Parallelism degrees measured for every algorithm.
+pub const PARALLELISMS: [usize; 2] = [1, 4];
+
+/// Mini-batch width used by every baseline run.
+pub const BATCH_SECS: f64 = 1.0;
+
+/// Workload parameters for one baseline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineSpec {
+    /// `--quick`: the scaled-down workload CI runs on every PR.
+    pub quick: bool,
+    /// Generated records in the base stream.
+    pub records: usize,
+    /// Stream replays per run (as the paper's `large-*` stress sets do).
+    pub rounds: usize,
+    /// Dataset generation seed.
+    pub seed: u64,
+}
+
+impl BaselineSpec {
+    /// The default (committed-baseline) or `--quick` (CI gate) workload.
+    pub fn new(quick: bool) -> BaselineSpec {
+        if quick {
+            BaselineSpec {
+                quick,
+                records: 4_000,
+                rounds: 1,
+                seed: 42,
+            }
+        } else {
+            BaselineSpec {
+                quick,
+                records: 12_000,
+                rounds: 3,
+                seed: 42,
+            }
+        }
+    }
+
+    /// Mode label stored in the JSON.
+    pub fn mode(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "default"
+        }
+    }
+}
+
+/// One measured `(algorithm, parallelism)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Algorithm key (`clustream`, `denstream`, `dstream`, `clustree`).
+    pub algo: String,
+    /// Parallelism degree of the run.
+    pub parallelism: usize,
+    /// Records processed (post-initialization).
+    pub records: usize,
+    /// End-to-end throughput over the batch critical path.
+    pub records_per_sec: f64,
+    /// Sum of assignment-step makespans.
+    pub assignment_secs: f64,
+    /// Sum of local-update-step makespans.
+    pub local_secs: f64,
+    /// Sum of *per-task measured* local-update seconds (CPU work, not
+    /// makespan) — the denominator for the per-core hot-path signal.
+    pub local_cpu_secs: f64,
+    /// Sum of driver-side global-update seconds.
+    pub global_secs: f64,
+    /// Sum of batch critical-path seconds.
+    pub total_secs: f64,
+}
+
+impl BaselineEntry {
+    /// Local-update throughput over the step makespan.
+    pub fn local_records_per_sec(&self) -> f64 {
+        if self.local_secs > 0.0 {
+            self.records as f64 / self.local_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full baseline run: workload spec, calibration score, and all cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// JSON schema version.
+    pub schema: u32,
+    /// `"quick"` or `"default"`.
+    pub mode: String,
+    /// Dataset name (Table-I analog driving the workload).
+    pub dataset: String,
+    /// Generated records in the base stream.
+    pub records: usize,
+    /// Stream replays per run.
+    pub rounds: usize,
+    /// Mini-batch width in virtual seconds.
+    pub batch_secs: f64,
+    /// Machine-speed score from [`calibration_score`], for cross-machine
+    /// normalization in `bench-check`.
+    pub calibration_score: f64,
+    /// One cell per `(algorithm, parallelism)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Measures a fixed synthetic floating-point workload (the same
+/// subtract-square-accumulate mix as the distance kernel) and returns its
+/// element rate. `bench-check` uses the ratio of two calibration scores to
+/// normalize throughput comparisons across machines of different speeds.
+pub fn calibration_score() -> f64 {
+    const N: usize = 1 << 16;
+    const REPS: usize = 64;
+    let data: Vec<f64> = (0..N).map(|i| (i % 1024) as f64 * 1e-3).collect();
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for rep in 0..REPS {
+        let q = rep as f64 * 0.5;
+        for &v in &data {
+            let d = v - q;
+            acc += d * d;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    (N * REPS) as f64 / secs
+}
+
+fn run_one<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    p: usize,
+    spec: &BaselineSpec,
+) -> Result<BaselineEntry> {
+    let ctx = StreamingContext::with_cost_model(p, ExecutionMode::Simulated, SimCostModel::zero())?;
+    let config = ClusteringConfig::builder().batch_secs(BATCH_SECS).build()?;
+    let mut job = DistStreamJob::new(algo, &ctx, config);
+    job.init_records(bundle.init_records());
+    let mut assignment_secs = 0.0;
+    let mut local_secs = 0.0;
+    let mut local_cpu_secs = 0.0;
+    let mut global_secs = 0.0;
+    let base = bundle.stress_records();
+    let result = job.run(RepeatSource::new(base, spec.rounds), |report| {
+        let m = &report.outcome.metrics;
+        assignment_secs += m.assignment.wall_secs();
+        local_secs += m.local.wall_secs();
+        local_cpu_secs += m.local.task_secs().iter().sum::<f64>();
+        global_secs += m.global_secs;
+    })?;
+    let records = result.meter.records();
+    let total_secs = result.meter.secs();
+    Ok(BaselineEntry {
+        algo: algo.name().to_string(),
+        parallelism: p,
+        records,
+        records_per_sec: if total_secs > 0.0 {
+            records as f64 / total_secs
+        } else {
+            0.0
+        },
+        assignment_secs,
+        local_secs,
+        local_cpu_secs,
+        global_secs,
+        total_secs,
+    })
+}
+
+/// Runs the full baseline matrix: four algorithms × [`PARALLELISMS`].
+///
+/// # Errors
+///
+/// Propagates engine failures and empty-stream errors.
+pub fn run_baseline(spec: &BaselineSpec) -> Result<BaselineReport> {
+    let kind = DatasetKind::Kdd99;
+    let bundle = Bundle::new(kind, spec.records, spec.seed);
+    let mut entries = Vec::new();
+    for &p in &PARALLELISMS {
+        entries.push(run_one(&bundle.clustream(), &bundle, p, spec)?);
+        entries.push(run_one(&bundle.denstream(), &bundle, p, spec)?);
+        entries.push(run_one(&bundle.dstream(), &bundle, p, spec)?);
+        entries.push(run_one(&bundle.clustree(), &bundle, p, spec)?);
+    }
+    Ok(BaselineReport {
+        schema: BASELINE_SCHEMA,
+        mode: spec.mode().to_string(),
+        dataset: kind.name().to_string(),
+        records: spec.records,
+        rounds: spec.rounds,
+        batch_secs: BATCH_SECS,
+        calibration_score: calibration_score(),
+        entries,
+    })
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        // Rust's `Display` for f64 prints the shortest round-trip decimal.
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serializes a report as pretty-printed JSON (no serde_json in this
+/// workspace; the schema is flat enough to write by hand).
+pub fn baseline_to_json(report: &BaselineReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", report.schema));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    out.push_str(&format!("  \"dataset\": \"{}\",\n", report.dataset));
+    out.push_str(&format!("  \"records\": {},\n", report.records));
+    out.push_str(&format!("  \"rounds\": {},\n", report.rounds));
+    out.push_str(&format!(
+        "  \"batch_secs\": {},\n",
+        json_f64(report.batch_secs)
+    ));
+    out.push_str(&format!(
+        "  \"calibration_score\": {},\n",
+        json_f64(report.calibration_score)
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        let sep = if i + 1 == report.entries.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"parallelism\": {}, \"records\": {}, \
+             \"records_per_sec\": {}, \"assignment_secs\": {}, \"local_secs\": {}, \
+             \"local_cpu_secs\": {}, \"global_secs\": {}, \"total_secs\": {}}}{}\n",
+            e.algo,
+            e.parallelism,
+            e.records,
+            json_f64(e.records_per_sec),
+            json_f64(e.assignment_secs),
+            json_f64(e.local_secs),
+            json_f64(e.local_cpu_secs),
+            json_f64(e.global_secs),
+            json_f64(e.total_secs),
+            sep,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the human-readable baseline table.
+pub fn print_baseline(report: &BaselineReport) {
+    let mut table = Table::new([
+        "algorithm",
+        "p",
+        "records",
+        "records/s",
+        "local rec/s",
+        "assign s",
+        "local s",
+        "global s",
+    ]);
+    for e in &report.entries {
+        table.row([
+            e.algo.clone(),
+            e.parallelism.to_string(),
+            e.records.to_string(),
+            fmt_f64(e.records_per_sec, 1),
+            fmt_f64(e.local_records_per_sec(), 1),
+            fmt_f64(e.assignment_secs, 3),
+            fmt_f64(e.local_secs, 3),
+            fmt_f64(e.global_secs, 3),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Performance baseline ({} mode, {} on {} records x {} rounds, calibration {:.0})",
+            report.mode, report.dataset, report.records, report.rounds, report.calibration_score
+        ),
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_spec_is_smaller_than_default() {
+        let quick = BaselineSpec::new(true);
+        let full = BaselineSpec::new(false);
+        assert!(quick.records < full.records);
+        assert!(quick.rounds <= full.rounds);
+        assert_eq!(quick.mode(), "quick");
+        assert_eq!(full.mode(), "default");
+    }
+
+    #[test]
+    fn calibration_score_is_positive() {
+        assert!(calibration_score() > 0.0);
+    }
+
+    #[test]
+    fn json_serialization_contains_all_cells() {
+        let report = BaselineReport {
+            schema: BASELINE_SCHEMA,
+            mode: "quick".into(),
+            dataset: "KDD-99".into(),
+            records: 100,
+            rounds: 1,
+            batch_secs: 1.0,
+            calibration_score: 1e7,
+            entries: vec![BaselineEntry {
+                algo: "clustream".into(),
+                parallelism: 4,
+                records: 90,
+                records_per_sec: 1234.5,
+                assignment_secs: 0.01,
+                local_secs: 0.02,
+                local_cpu_secs: 0.03,
+                global_secs: 0.005,
+                total_secs: 0.035,
+            }],
+        };
+        let json = baseline_to_json(&report);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"algo\": \"clustream\""));
+        assert!(json.contains("\"parallelism\": 4"));
+        assert!(json.contains("\"records_per_sec\": 1234.5"));
+        // Valid JSON must not end entries with a trailing comma.
+        assert!(!json.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn tiny_baseline_run_produces_full_matrix() {
+        let spec = BaselineSpec {
+            quick: true,
+            records: 600,
+            rounds: 1,
+            seed: 7,
+        };
+        let report = run_baseline(&spec).unwrap();
+        assert_eq!(report.entries.len(), 4 * PARALLELISMS.len());
+        for e in &report.entries {
+            assert!(e.records > 0, "{} p={} empty", e.algo, e.parallelism);
+            assert!(e.records_per_sec > 0.0);
+        }
+        // Every algorithm appears at every parallelism degree.
+        for &p in &PARALLELISMS {
+            for algo in ["clustream", "denstream", "dstream", "clustree"] {
+                assert!(report
+                    .entries
+                    .iter()
+                    .any(|e| e.algo == algo && e.parallelism == p));
+            }
+        }
+    }
+}

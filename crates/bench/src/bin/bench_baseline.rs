@@ -1,0 +1,69 @@
+//! Performance-baseline runner: measures records/sec and per-phase times for
+//! all four algorithms at p ∈ {1, 4} and writes `BENCH_BASELINE.json`.
+//!
+//! ```text
+//! bench_baseline [--quick] [--out FILE] [--records N] [--rounds N] [--seed S]
+//!                [--trace-out FILE] [--metrics-out FILE]
+//! ```
+//!
+//! `--quick` runs the scaled-down workload the CI `bench-gate` job uses;
+//! the default workload is the one blessed into the committed baseline.
+//! See DESIGN.md §9 for the regression policy.
+
+use std::path::PathBuf;
+
+use diststream_bench::{
+    baseline_to_json, print_baseline, run_baseline, BaselineSpec, Cli, TelemetrySession,
+    BASELINE_PATH, BASELINE_QUICK_PATH,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = Cli::from_args(args.iter().cloned());
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = PathBuf::from(if quick {
+        BASELINE_QUICK_PATH
+    } else {
+        BASELINE_PATH
+    });
+    let mut rounds = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(path) = iter.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--rounds" => {
+                rounds = iter.next().and_then(|v| v.parse().ok());
+            }
+            _ => {}
+        }
+    }
+
+    let _telemetry = TelemetrySession::from_cli(&cli);
+    let mut spec = BaselineSpec::new(quick);
+    spec.seed = cli.seed;
+    if let Some(records) = cli.records {
+        spec.records = records;
+    }
+    if let Some(rounds) = rounds {
+        spec.rounds = rounds;
+    }
+
+    let report = match run_baseline(&spec) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("bench_baseline: {err}");
+            std::process::exit(1);
+        }
+    };
+    print_baseline(&report);
+    let json = baseline_to_json(&report);
+    if let Err(err) = std::fs::write(&out, json) {
+        eprintln!("bench_baseline: cannot write {}: {err}", out.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out.display());
+}

@@ -11,12 +11,18 @@
 //! the record count), so per-batch dynamics match the paper at a fraction of
 //! the compute. Pass `--records N` or `--full` to any binary to change that.
 
+mod baseline;
 mod bundle;
 mod cli;
 mod report;
 mod runner;
 mod trace;
 
+pub use baseline::{
+    baseline_to_json, calibration_score, print_baseline, run_baseline, BaselineEntry,
+    BaselineReport, BaselineSpec, BASELINE_PATH, BASELINE_QUICK_PATH, BASELINE_SCHEMA, BATCH_SECS,
+    PARALLELISMS,
+};
 pub use bundle::{Bundle, DatasetKind};
 pub use cli::Cli;
 pub use report::{fmt_f64, print_table, Table};

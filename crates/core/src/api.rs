@@ -109,6 +109,18 @@ pub trait StreamClustering: Send + Sync {
     /// check against its maximum boundary.
     fn assign(&self, model: &Self::Model, record: &Record) -> Assignment;
 
+    /// **API: distance computation, batched.** Assigns every record of a
+    /// task partition against one stale model snapshot. Must return exactly
+    /// `records.len()` assignments, element `i` equal to what
+    /// [`StreamClustering::assign`] returns for `records[i]` — the
+    /// assignment step relies on this equivalence for its determinism
+    /// guarantees. Algorithms override the default (a plain `assign` loop)
+    /// to amortize per-call search structures such as flattened centroid
+    /// buffers across the partition's records.
+    fn assign_many(&self, model: &Self::Model, records: &[Record]) -> Vec<Assignment> {
+        records.iter().map(|r| self.assign(model, r)).collect()
+    }
+
     /// Detaches a copy of micro-cluster `id` from the model for local
     /// update.
     ///

@@ -40,12 +40,11 @@ pub fn assign_records<A: StreamClustering>(
     let partitions = RoundRobinPartitioner.split(records, ctx.parallelism());
     let (outputs, metrics) = ctx.run_tasks(partitions, |_task, recs: Vec<Record>| {
         let model = model.handle();
-        recs.into_iter()
-            .map(|r| {
-                let a = algo.assign(&model, &r);
-                (r, a)
-            })
-            .collect::<Vec<_>>()
+        // Batched distance computation: one searcher build per task
+        // amortizes the model scan structures across the partition.
+        let assignments = algo.assign_many(&model, &recs);
+        debug_assert_eq!(assignments.len(), recs.len());
+        recs.into_iter().zip(assignments).collect::<Vec<_>>()
     })?;
     let pairs = RoundRobinPartitioner.interleave(outputs);
     Ok(AssignmentOutcome {

@@ -60,7 +60,9 @@ pub use api::{
 };
 pub use assignment::{assign_records, AssignmentOutcome};
 pub use global::{global_update, GlobalOutcome};
-pub use local::{local_update, CreatedSketch, LocalOutcome, UpdatedSketch};
+pub use local::{
+    local_update, local_update_with, CreatedSketch, LocalOutcome, LocalScratch, UpdatedSketch,
+};
 pub use parallel::{BatchOutcome, DistStreamExecutor};
 pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
 pub use pipelined::PipelinedExecutor;

@@ -69,6 +69,16 @@ fn group_key(assignment: Assignment) -> (u64, u64) {
     }
 }
 
+/// Reusable scratch for [`local_update_with`].
+///
+/// Holds the keyed-pair buffer built per batch before `groupByKey`; reusing
+/// it across batches means the grouping step's per-batch `Vec` is allocated
+/// once and then recycled at steady state.
+#[derive(Debug, Default)]
+pub struct LocalScratch {
+    keyed: Vec<((u64, u64), Record)>,
+}
+
 /// Runs step 2: groups records by their chosen micro-cluster, distributes
 /// the groups across tasks, and folds each group into a detached sketch in
 /// the configured [`UpdateOrdering`].
@@ -93,12 +103,46 @@ pub fn local_update<A: StreamClustering>(
     window_start: Timestamp,
     shuffle_seed: u64,
 ) -> Result<LocalOutcome<A::Sketch>> {
+    let mut scratch = LocalScratch::default();
+    local_update_with(
+        ctx,
+        algo,
+        model,
+        pairs,
+        ordering,
+        window_start,
+        shuffle_seed,
+        &mut scratch,
+    )
+}
+
+/// [`local_update`] with a caller-owned [`LocalScratch`], for drivers that
+/// run many batches and want the keyed buffer reused across them. Produces
+/// exactly the same outcome as [`local_update`].
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+#[allow(clippy::too_many_arguments)] // local_update's signature plus the scratch handle
+pub fn local_update_with<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    pairs: Vec<(Record, Assignment)>,
+    ordering: UpdateOrdering,
+    window_start: Timestamp,
+    shuffle_seed: u64,
+    scratch: &mut LocalScratch,
+) -> Result<LocalOutcome<A::Sketch>> {
     let record_bytes = pairs.first().map_or(0, |(r, _)| serialized_size(r) + 16);
     let shuffle_bytes = record_bytes * pairs.len() as u64;
 
-    let keyed: Vec<((u64, u64), Record)> =
-        pairs.into_iter().map(|(r, a)| (group_key(a), r)).collect();
-    let partitions = group_by_key(keyed, ctx.parallelism());
+    scratch.keyed.clear();
+    scratch
+        .keyed
+        .extend(pairs.into_iter().map(|(r, a)| (group_key(a), r)));
+    let partitions = group_by_key(scratch.keyed.drain(..), ctx.parallelism());
 
     type TaskOut<S> = (Vec<UpdatedSketch<S>>, Vec<CreatedSketch<S>>);
     let (outputs, metrics) = ctx.run_tasks(

@@ -8,7 +8,7 @@ use diststream_types::Result;
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
 use crate::assignment::assign_records;
 use crate::global::global_update;
-use crate::local::local_update;
+use crate::local::{local_update_with, LocalScratch};
 
 /// Per-batch statistics reported by [`DistStreamExecutor::process_batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +48,7 @@ pub struct BatchOutcome {
 ///
 /// let algo = NaiveClustering::new(1.0);
 /// let ctx = StreamingContext::new(4, ExecutionMode::Simulated)?;
-/// let exec = DistStreamExecutor::new(&algo, &ctx);
+/// let mut exec = DistStreamExecutor::new(&algo, &ctx);
 /// let mut model = algo.init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])?;
 /// let batch = MiniBatch {
 ///     index: 0,
@@ -67,6 +67,9 @@ pub struct DistStreamExecutor<'a, A: StreamClustering> {
     ordering: UpdateOrdering,
     premerge: bool,
     base_seed: u64,
+    // Per-batch scratch reused across process_batch calls (the reason
+    // process_batch takes &mut self).
+    scratch: LocalScratch,
 }
 
 impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
@@ -79,6 +82,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             ordering: UpdateOrdering::OrderAware,
             premerge: true,
             base_seed: 0x0B5E55ED,
+            scratch: LocalScratch::default(),
         }
     }
 
@@ -111,7 +115,11 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
     ///
     /// Propagates engine failures (task panics) as
     /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
-    pub fn process_batch(&self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+    pub fn process_batch(
+        &mut self,
+        model: &mut A::Model,
+        batch: MiniBatch,
+    ) -> Result<BatchOutcome> {
         // Driver-side spans only: the journal's span multiset must not
         // depend on the parallelism degree (per-task attribution comes
         // from StepMetrics, which is execution-mode aware).
@@ -139,7 +147,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // Step 2: model-based parallel local update.
         let local = {
             let _span = telemetry::span!("local_update", batch = batch.index);
-            local_update(
+            local_update_with(
                 self.ctx,
                 self.algo,
                 &bcast,
@@ -147,6 +155,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 self.ordering,
                 window_start,
                 batch_seed,
+                &mut self.scratch,
             )?
         };
         let local_metrics = local.metrics.clone();
@@ -220,7 +229,7 @@ mod tests {
     fn batch_advances_model() {
         let algo = NaiveClustering::new(1.0);
         let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
-        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let mut exec = DistStreamExecutor::new(&algo, &ctx);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let outcome = exec
             .process_batch(
@@ -243,7 +252,7 @@ mod tests {
             .collect();
         let run = |p: usize| {
             let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
-            let exec = DistStreamExecutor::new(&algo, &ctx);
+            let mut exec = DistStreamExecutor::new(&algo, &ctx);
             let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
             // Two batches of 100.
             exec.process_batch(&mut model, batch(0, records[..100].to_vec()))
@@ -266,7 +275,7 @@ mod tests {
             .collect();
         let run = |mode: ExecutionMode| {
             let ctx = StreamingContext::new(4, mode).unwrap();
-            let exec = DistStreamExecutor::new(&algo, &ctx);
+            let mut exec = DistStreamExecutor::new(&algo, &ctx);
             let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
             exec.process_batch(&mut model, batch(0, records.clone()))
                 .unwrap();
@@ -304,7 +313,7 @@ mod tests {
             .collect();
         let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let mut exec = DistStreamExecutor::new(&algo, &ctx);
         let outcome = exec.process_batch(&mut model, batch(0, records)).unwrap();
         assert_eq!(outcome.created_micro_clusters, 19);
         assert_eq!(outcome.created_after_premerge, 1);
@@ -314,7 +323,7 @@ mod tests {
     fn empty_batch_is_noop_for_assignments() {
         let algo = NaiveClustering::new(1.0);
         let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
-        let exec = DistStreamExecutor::new(&algo, &ctx);
+        let mut exec = DistStreamExecutor::new(&algo, &ctx);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let outcome = exec.process_batch(&mut model, batch(0, vec![])).unwrap();
         assert_eq!(outcome.assigned_existing, 0);

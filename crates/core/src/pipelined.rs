@@ -21,7 +21,7 @@ use diststream_types::{Result, Timestamp};
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
 use crate::assignment::assign_records;
 use crate::global::global_update;
-use crate::local::{local_update, LocalOutcome};
+use crate::local::{local_update_with, LocalOutcome, LocalScratch};
 use crate::parallel::BatchOutcome;
 
 struct PendingGlobal<S> {
@@ -76,6 +76,8 @@ pub struct PipelinedExecutor<'a, A: StreamClustering> {
     premerge: bool,
     base_seed: u64,
     pending: Option<PendingGlobal<A::Sketch>>,
+    // Per-batch scratch reused across process_batch calls.
+    scratch: LocalScratch,
 }
 
 impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
@@ -88,6 +90,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             premerge: true,
             base_seed: 0x0B5E55ED,
             pending: None,
+            scratch: LocalScratch::default(),
         }
     }
 
@@ -152,7 +155,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             .filter(|(_, a)| matches!(a, Assignment::Existing(_)))
             .count();
         let outlier_records = records - assigned_existing;
-        let local = local_update(
+        let local = local_update_with(
             self.ctx,
             self.algo,
             &bcast,
@@ -160,6 +163,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             self.ordering,
             window_start,
             batch_seed,
+            &mut self.scratch,
         )?;
         let local_metrics = local.metrics.clone();
         let shuffle_bytes = local.shuffle_bytes;
@@ -283,7 +287,7 @@ mod tests {
         let (a, b) = recs.split_at(20);
 
         let mut sync_model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        let sync = DistStreamExecutor::new(&algo, &ctx);
+        let mut sync = DistStreamExecutor::new(&algo, &ctx);
         sync.process_batch(&mut sync_model, batch(0, a.to_vec()))
             .unwrap();
 

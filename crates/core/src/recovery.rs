@@ -12,7 +12,7 @@
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use diststream_engine::{decode, encode, MiniBatch};
+use diststream_engine::{decode, encode, encode_into, MiniBatch};
 use diststream_types::{DistStreamError, Result};
 
 use crate::api::StreamClustering;
@@ -28,14 +28,41 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serialized size in bytes.
+    /// Serialized size in bytes: the `u64` batch-index header a persisted
+    /// checkpoint carries plus the encoded model payload. (An earlier
+    /// version reported only the payload length, under-counting every
+    /// checkpoint by the header size.)
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        std::mem::size_of::<u64>() + self.bytes.len()
     }
 
-    /// Whether the checkpoint payload is empty.
+    /// Whether the checkpoint holds no model payload.
+    ///
+    /// The batch-index header is deliberately ignored: a checkpoint with an
+    /// empty payload cannot restore a model no matter what its index says,
+    /// so it counts as empty even though [`Checkpoint::len`] is never zero.
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
+    }
+
+    /// Validates that the checkpoint is structurally restorable.
+    ///
+    /// Restore paths call this before decoding so that an empty or
+    /// obviously-truncated checkpoint fails with a typed error instead of a
+    /// generic decode failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::CorruptCheckpoint`] when the payload is
+    /// empty.
+    pub fn validate(&self) -> Result<()> {
+        if self.bytes.is_empty() {
+            return Err(DistStreamError::CorruptCheckpoint {
+                batch_index: self.batch_index,
+                reason: "empty payload".to_string(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -151,10 +178,12 @@ where
 
     /// Forces a checkpoint of the current model and truncates the log.
     pub fn take_checkpoint(&mut self, batch_index: usize) {
-        self.checkpoint = Checkpoint {
-            batch_index,
-            bytes: encode(&self.model),
-        };
+        // Recycle the previous checkpoint's buffer: encode_into clears it
+        // but keeps its capacity, so steady-state checkpointing stops
+        // allocating once the model size stabilizes.
+        let mut bytes = std::mem::take(&mut self.checkpoint.bytes);
+        encode_into(&self.model, &mut bytes);
+        self.checkpoint = Checkpoint { batch_index, bytes };
         self.replay_log.clear();
         self.since_checkpoint = 0;
     }
@@ -164,12 +193,16 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`DistStreamError::Engine`] if the checkpoint fails to
-    /// decode, and propagates replay failures.
+    /// Returns [`DistStreamError::CorruptCheckpoint`] if the checkpoint is
+    /// empty or fails to decode, and propagates replay failures.
     pub fn recover(&self) -> Result<A::Model> {
-        let mut model: A::Model = decode(&self.checkpoint.bytes)
-            .map_err(|e| DistStreamError::Engine(format!("checkpoint corrupt: {e}")))?;
-        let exec = DistStreamExecutor::new(self.algo, self.ctx);
+        self.checkpoint.validate()?;
+        let mut model: A::Model =
+            decode(&self.checkpoint.bytes).map_err(|e| DistStreamError::CorruptCheckpoint {
+                batch_index: self.checkpoint.batch_index,
+                reason: e.to_string(),
+            })?;
+        let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
         for batch in &self.replay_log {
             exec.process_batch(&mut model, batch.clone())?;
         }
@@ -250,7 +283,46 @@ mod tests {
         let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
         let mut d = driver(&algo, &ctx, 10);
         d.checkpoint.bytes.truncate(d.checkpoint.bytes.len() / 2);
-        assert!(matches!(d.recover(), Err(DistStreamError::Engine(_))));
+        assert!(matches!(
+            d.recover(),
+            Err(DistStreamError::CorruptCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_checkpoint_fails_validation_and_restore() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let mut d = driver(&algo, &ctx, 10);
+        d.checkpoint.bytes.clear();
+        assert!(d.checkpoint().is_empty());
+        let err = d.checkpoint().validate().unwrap_err();
+        assert!(
+            matches!(err, DistStreamError::CorruptCheckpoint { batch_index: 0, ref reason } if reason.contains("empty")),
+            "unexpected error: {err}"
+        );
+        assert!(matches!(
+            d.recover(),
+            Err(DistStreamError::CorruptCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_len_counts_header_and_payload() {
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let d = driver(&algo, &ctx, 10);
+        let cp = d.checkpoint();
+        assert!(!cp.is_empty());
+        assert!(cp.validate().is_ok());
+        assert_eq!(cp.len(), 8 + cp.bytes.len());
+        // Even a payload-less checkpoint reports its header bytes.
+        let hollow = Checkpoint {
+            batch_index: 3,
+            bytes: Vec::new(),
+        };
+        assert!(hollow.is_empty());
+        assert_eq!(hollow.len(), 8);
     }
 
     #[test]

@@ -34,12 +34,40 @@ use diststream_types::{DistStreamError, Result};
 /// assert_eq!(back, value);
 /// ```
 pub fn encode<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
-    let mut out = Encoder { bytes: Vec::new() };
+    let mut bytes = Vec::new();
+    encode_into(value, &mut bytes);
+    bytes
+}
+
+/// Encodes `value` into `buf`, clearing it first but keeping its capacity.
+///
+/// The scratch-buffer form of [`encode`] for per-batch callers (e.g.
+/// checkpointing) that would otherwise allocate a fresh `Vec` on every call.
+/// The resulting bytes are identical to `encode(value)`.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{encode, encode_into};
+///
+/// let mut buf = Vec::new();
+/// encode_into(&vec![1u32, 2, 3], &mut buf);
+/// assert_eq!(buf, encode(&vec![1u32, 2, 3]));
+/// let cap = buf.capacity();
+/// encode_into(&vec![4u32], &mut buf);
+/// assert_eq!(buf, encode(&vec![4u32]));
+/// assert!(buf.capacity() >= cap);
+/// ```
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut out = Encoder {
+        bytes: std::mem::take(buf),
+    };
     value
         .serialize(&mut out)
         // lint:allow(no-panic) Encoder writes to an in-memory Vec and never errors
         .expect("in-memory encoding cannot fail");
-    out.bytes
+    *buf = out.bytes;
 }
 
 /// Decodes a value previously produced by [`encode`].

@@ -60,11 +60,11 @@ mod source;
 
 pub use batcher::{MiniBatch, MiniBatcher};
 pub use broadcast::Broadcast;
-pub use codec::{decode, encode};
+pub use codec::{decode, encode, encode_into};
 pub use driver::{ExecutionMode, StreamingContext};
 pub use metrics::{BatchMetrics, StepMetrics, ThroughputMeter};
 pub use netcost::{NetworkModel, SimCostModel, StragglerModel};
-pub use partition::{fnv1a_hash, group_by_key, HashPartitioner, RoundRobinPartitioner};
+pub use partition::{fnv1a_hash, group_by_key, Fnv1a, HashPartitioner, RoundRobinPartitioner};
 pub use pool::TaskPool;
 pub use reorder::ReorderBuffer;
 pub use sizeof::serialized_size;

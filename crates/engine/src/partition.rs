@@ -18,14 +18,60 @@ use std::hash::Hash;
 /// assert_ne!(fnv1a_hash(b"abc"), fnv1a_hash(b"abd"));
 /// ```
 pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a hasher.
+///
+/// FNV-1a folds one byte at a time, so feeding a value in chunks produces
+/// the same hash as feeding the concatenated bytes — which lets hot paths
+/// hash composite keys (e.g. a grid cell's coordinate vector) without
+/// materializing an intermediate byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{fnv1a_hash, Fnv1a};
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"ab");
+/// h.write(b"c");
+/// assert_eq!(h.finish(), fnv1a_hash(b"abc"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
+
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
     }
-    h
+
+    /// Folds `bytes` into the hash state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
 }
 
 /// Splits records across `p` tasks in round-robin order (§V-A).
@@ -164,6 +210,10 @@ impl KeyBytes for (u64, u64) {
 /// Within a partition, groups appear in first-occurrence order of their key
 /// and values keep their input order, so the result is fully deterministic.
 ///
+/// Accepts any `(key, value)` iterator, so callers can feed a drained scratch
+/// buffer (`buf.drain(..)`) and keep its capacity across batches instead of
+/// rebuilding a `Vec` every time.
+///
 /// # Panics
 ///
 /// Panics if `partitions` is zero.
@@ -177,18 +227,25 @@ impl KeyBytes for (u64, u64) {
 /// let parts = group_by_key(pairs, 1);
 /// assert_eq!(parts[0], vec![(1, vec!["a", "c"]), (2, vec!["b"])]);
 /// ```
-pub fn group_by_key<K, V>(pairs: Vec<(K, V)>, partitions: usize) -> Vec<Vec<(K, Vec<V>)>>
+pub fn group_by_key<K, V>(
+    pairs: impl IntoIterator<Item = (K, V)>,
+    partitions: usize,
+) -> Vec<Vec<(K, Vec<V>)>>
 where
     K: Eq + Hash + Clone + KeyBytes,
 {
     assert!(partitions > 0, "partition count must be at least 1");
     let partitioner = HashPartitioner;
     #[cfg(feature = "debug_invariants")]
-    let input_len = pairs.len();
+    let mut input_len = 0usize;
     // key -> (partition, position within partition)
     let mut slots: HashMap<K, (usize, usize)> = HashMap::new();
     let mut out: Vec<Vec<(K, Vec<V>)>> = (0..partitions).map(|_| Vec::new()).collect();
     for (key, value) in pairs {
+        #[cfg(feature = "debug_invariants")]
+        {
+            input_len += 1;
+        }
         match slots.get(&key) {
             Some(&(p, idx)) => out[p][idx].1.push(value),
             None => {

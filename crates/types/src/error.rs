@@ -33,6 +33,14 @@ pub enum DistStreamError {
     InvalidConfig(String),
     /// The distributed engine failed (worker panic, channel closed, ...).
     Engine(String),
+    /// A model checkpoint failed validation and cannot be restored
+    /// (empty, truncated, or otherwise malformed payload).
+    CorruptCheckpoint {
+        /// Index of the last batch folded into the rejected checkpoint.
+        batch_index: usize,
+        /// Why validation rejected it.
+        reason: String,
+    },
     /// The model has not been initialized (no initial micro-clusters).
     Uninitialized,
 }
@@ -46,6 +54,12 @@ impl fmt::Display for DistStreamError {
             DistStreamError::EmptyStream => write!(f, "stream produced no records"),
             DistStreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DistStreamError::Engine(msg) => write!(f, "engine failure: {msg}"),
+            DistStreamError::CorruptCheckpoint {
+                batch_index,
+                reason,
+            } => {
+                write!(f, "checkpoint after batch {batch_index} corrupt: {reason}")
+            }
             DistStreamError::Uninitialized => {
                 write!(f, "model not initialized with initial micro-clusters")
             }

@@ -103,6 +103,28 @@ impl Point {
         }
     }
 
+    /// Adds `other * factor` into `self` in place.
+    ///
+    /// Each element is updated as `self[i] + (other[i] * factor)` — the same
+    /// operation order as `self.add_in_place(&other.scaled(factor))`, so the
+    /// result is bit-identical to that allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled_in_place(&mut self, other: &Point, factor: f64) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "point dimension mismatch: {} vs {}",
+            self.dims(),
+            other.dims()
+        );
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b * factor;
+        }
+    }
+
     /// Dot product with `other`.
     ///
     /// # Panics

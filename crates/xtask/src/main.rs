@@ -16,7 +16,14 @@
 //! telemetry span journal produced with `--trace-out`: schema version,
 //! per-thread span nesting and ordering, and the per-batch critical-path
 //! reconciliation. See DESIGN.md § "Telemetry".
+//!
+//! `cargo run -p xtask -- bench-check [--quick]` re-measures the
+//! performance baseline and fails on a >15% calibration-normalized
+//! throughput regression against the committed `BENCH_BASELINE.json`
+//! (`BENCH_BASELINE_QUICK.json` with `--quick`). See DESIGN.md §9.
 
+mod bench_check;
+mod json;
 mod lexer;
 mod rules;
 mod trace_check;
@@ -48,10 +55,37 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench-check") => match bench_check::parse_args(&args[1..]) {
+            Ok((quick, root_override)) => {
+                let root = match root_override {
+                    Some(root) => root,
+                    None => match parse_root(&[]) {
+                        Ok(root) => root,
+                        Err(msg) => {
+                            eprintln!("xtask bench-check: {msg}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                };
+                match bench_check::run_gate(&root, quick) {
+                    Ok(true) => ExitCode::SUCCESS,
+                    Ok(false) => ExitCode::FAILURE,
+                    Err(msg) => {
+                        eprintln!("xtask bench-check: {msg}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(msg) => {
+                eprintln!("xtask bench-check: {msg}");
+                eprintln!("usage: cargo run -p xtask -- bench-check [--quick] [--root <path>]");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|rules|check-trace> \
-                 [--root <path>] [<journal.jsonl>]"
+                "usage: cargo run -p xtask -- <lint|rules|check-trace|bench-check> \
+                 [--root <path>] [--quick] [<journal.jsonl>]"
             );
             ExitCode::FAILURE
         }

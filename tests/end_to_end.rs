@@ -124,7 +124,7 @@ fn single_record_batches_equal_sequential_execution() {
         }
 
         let ctx = StreamingContext::new(4, ExecutionMode::Simulated).expect("context");
-        let exec = DistStreamExecutor::new(algo, &ctx);
+        let mut exec = DistStreamExecutor::new(algo, &ctx);
         let mut batch_model = algo.init(&recs[..init]).expect("init");
         for (i, r) in recs[init..].iter().enumerate() {
             let batch = MiniBatch {

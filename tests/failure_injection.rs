@@ -23,7 +23,7 @@ fn dimension_mismatch_panics_in_thread_mode_as_engine_error() {
     // and the executor reports an engine error.
     let algo = NaiveClustering::new(1.0);
     let ctx = StreamingContext::new(2, ExecutionMode::Threads).expect("context");
-    let exec = DistStreamExecutor::new(&algo, &ctx);
+    let mut exec = DistStreamExecutor::new(&algo, &ctx);
     let mut model = algo
         .init(&[Record::new(0, Point::from(vec![0.0, 0.0]), Timestamp::ZERO)])
         .expect("init");
@@ -47,7 +47,7 @@ fn executor_survives_after_a_failed_batch() {
     // lost, the model is last-known-good).
     let algo = NaiveClustering::new(1.0);
     let ctx = StreamingContext::new(2, ExecutionMode::Threads).expect("context");
-    let exec = DistStreamExecutor::new(&algo, &ctx);
+    let mut exec = DistStreamExecutor::new(&algo, &ctx);
     let mut model = algo
         .init(&[Record::new(0, Point::from(vec![0.0]), Timestamp::ZERO)])
         .expect("init");
