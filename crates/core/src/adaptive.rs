@@ -74,7 +74,9 @@ impl AdaptiveBatchSizer {
             current_secs: start,
             min_secs,
             max_secs,
-            step_secs: start * 0.25,
+            // A step larger than the feasible span is useless: one move
+            // already crosses the whole range.
+            step_secs: (start * 0.25).min(max_secs - min_secs),
             direction: 1.0,
             last_throughput: None,
         }
@@ -101,8 +103,13 @@ impl AdaptiveBatchSizer {
         let throughput = records as f64 / secs;
         if let Some(previous) = self.last_throughput {
             if throughput >= previous {
-                // Keep climbing, slightly faster.
-                self.step_secs *= Self::GROWTH;
+                // Keep climbing, slightly faster — but never let the step
+                // outgrow the feasible `[min, max]` span. While the width is
+                // pinned at a clamp bound, throughput often keeps "improving"
+                // batch after batch, and unbounded growth compounds the step
+                // toward infinity; the first reversal would then slam the
+                // width from one bound straight to the other.
+                self.step_secs = (self.step_secs * Self::GROWTH).min(self.max_secs - self.min_secs);
             } else {
                 // Overshot: reverse with a damped step.
                 self.direction = -self.direction;
@@ -173,6 +180,29 @@ mod tests {
             (width - 20.0).abs() < 6.0,
             "hill climb ended far from the peak: {width}"
         );
+    }
+
+    #[test]
+    fn step_stays_bounded_while_pinned_at_a_clamp_bound() {
+        let cfg = config(10.0);
+        let mut sizer = AdaptiveBatchSizer::new(&cfg, 1.0);
+        // Hundreds of consecutive "improving" batches with the width pinned
+        // at the quality bound: the pre-fix step grew by 1.2× each time
+        // (×10^31 after 400 batches), so the first reversal slammed the
+        // width from max straight to min.
+        for i in 0..400 {
+            sizer.observe(1000, 1.0 / (i + 1) as f64);
+        }
+        let max = sizer.max_secs();
+        assert_eq!(sizer.batch_secs(), max, "width should be pinned at max");
+        // One degrading batch: the damped reversal must move at most half
+        // the feasible span, never across the whole range.
+        let width = sizer.observe(1, 1000.0);
+        assert!(
+            width >= max - (max - 1.0) * 0.5 - 1e-9,
+            "reversal overshot: width {width} after max {max}"
+        );
+        assert!(width > 1.0, "width slammed to the minimum");
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod pipelined;
 mod recovery;
 pub mod reference;
 mod sequential;
+mod store;
 
 pub use adaptive::AdaptiveBatchSizer;
 pub use api::{
@@ -66,5 +67,6 @@ pub use local::{
 pub use parallel::{BatchOutcome, DistStreamExecutor};
 pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
 pub use pipelined::PipelinedExecutor;
-pub use recovery::{Checkpoint, CheckpointingDriver};
+pub use recovery::{BatchDisposition, Checkpoint, CheckpointingDriver};
 pub use sequential::{SequentialExecutor, SequentialSummary};
+pub use store::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};

@@ -124,6 +124,9 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // depend on the parallelism degree (per-task attribution comes
         // from StepMetrics, which is execution-mode aware).
         let _batch_span = telemetry::span!("batch", batch = batch.index);
+        // Scope any installed fault plan's (task, attempt) coordinates to
+        // this batch before the parallel steps run.
+        self.ctx.begin_batch(batch.index);
         let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let records = batch.len();
         let window_start = batch.window_start;

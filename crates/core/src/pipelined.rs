@@ -20,7 +20,7 @@ use diststream_types::{Result, Timestamp};
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
 use crate::assignment::assign_records;
-use crate::global::global_update;
+use crate::global::{global_update, GlobalOutcome};
 use crate::local::{local_update_with, LocalOutcome, LocalScratch};
 use crate::parallel::BatchOutcome;
 
@@ -110,15 +110,26 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
     /// against the current (one-update-stale) model while applying the
     /// *previous* batch's global update, then queues this batch's outcome.
     ///
+    /// Like `global_secs`, the returned `created_micro_clusters` /
+    /// `created_after_premerge` counts describe the global update *applied*
+    /// during this call — batch `B−1`'s, one batch behind the records just
+    /// assigned (the first batch reports zeros; the final batch's counts
+    /// surface from [`PipelinedExecutor::flush`]). An earlier version
+    /// reported this batch's pre-merge local count in both fields, so
+    /// premerge looked like a no-op in async runs.
+    ///
     /// # Errors
     ///
     /// Propagates engine failures (task panics) as
-    /// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+    /// [`DistStreamError::TaskFailed`](diststream_types::DistStreamError::TaskFailed).
     pub fn process_batch(
         &mut self,
         model: &mut A::Model,
         batch: MiniBatch,
     ) -> Result<BatchOutcome> {
+        // Scope any installed fault plan's (task, attempt) coordinates to
+        // this batch before the parallel steps run.
+        self.ctx.begin_batch(batch.index);
         let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let records = batch.len();
         let window_start = batch.window_start;
@@ -131,21 +142,17 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
 
         // Driver side (conceptually concurrent): apply batch B−1's global
         // update to the authoritative model.
-        let applied_global_secs = match self.pending.take() {
-            Some(pending) => {
-                let outcome = global_update(
-                    self.algo,
-                    model,
-                    pending.local,
-                    pending.window_end,
-                    self.ordering,
-                    self.premerge,
-                    pending.seed,
-                );
-                outcome.global_secs
-            }
-            None => 0.0,
-        };
+        let applied = self.pending.take().map(|pending| {
+            global_update(
+                self.algo,
+                model,
+                pending.local,
+                pending.window_end,
+                self.ordering,
+                self.premerge,
+                pending.seed,
+            )
+        });
 
         // Parallel side: steps 1 and 2 against the stale snapshot.
         let assignment = assign_records(self.ctx, self.algo, &bcast, batch.records)?;
@@ -167,7 +174,6 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         )?;
         let local_metrics = local.metrics.clone();
         let shuffle_bytes = local.shuffle_bytes;
-        let created = local.created.len();
 
         let overhead_secs = self.ctx.batch_overhead_secs()
             + self.ctx.broadcast_secs(model_bytes)
@@ -186,7 +192,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                 records,
                 assignment: assignment.metrics,
                 local: local_metrics,
-                global_secs: applied_global_secs,
+                global_secs: applied.as_ref().map_or(0.0, |g| g.global_secs),
                 overhead_secs,
                 broadcast_bytes: model_bytes * self.ctx.parallelism() as u64,
                 shuffle_bytes,
@@ -194,29 +200,27 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             },
             assigned_existing,
             outlier_records,
-            created_micro_clusters: created,
-            created_after_premerge: created,
+            created_micro_clusters: applied.as_ref().map_or(0, |g| g.created_before_premerge),
+            created_after_premerge: applied.as_ref().map_or(0, |g| g.created_after_premerge),
         })
     }
 
     /// Applies the last pending global update (call at stream end).
-    /// Returns the measured driver seconds, or 0.0 if nothing was pending.
-    pub fn flush(&mut self, model: &mut A::Model) -> f64 {
-        match self.pending.take() {
-            Some(pending) => {
-                global_update(
-                    self.algo,
-                    model,
-                    pending.local,
-                    pending.window_end,
-                    self.ordering,
-                    self.premerge,
-                    pending.seed,
-                )
-                .global_secs
-            }
-            None => 0.0,
-        }
+    /// Returns the applied update's [`GlobalOutcome`] — driver seconds and
+    /// the final batch's creation/premerge counts — or `None` if nothing
+    /// was pending.
+    pub fn flush(&mut self, model: &mut A::Model) -> Option<GlobalOutcome> {
+        self.pending.take().map(|pending| {
+            global_update(
+                self.algo,
+                model,
+                pending.local,
+                pending.window_end,
+                self.ordering,
+                self.premerge,
+                pending.seed,
+            )
+        })
     }
 }
 
@@ -270,9 +274,49 @@ mod tests {
 
         // Flush applies the final pending update.
         let snapshot = model.clone();
-        exec.flush(&mut model);
+        assert!(exec.flush(&mut model).is_some());
         assert_ne!(model, snapshot);
-        assert_eq!(exec.flush(&mut model), 0.0, "second flush is a no-op");
+        assert!(exec.flush(&mut model).is_none(), "second flush is a no-op");
+    }
+
+    #[test]
+    fn metrics_report_applied_premerge_counts_one_batch_behind() {
+        // Batch 0 drops three outliers far from the model, two of them close
+        // enough together to premerge — so its applied global update must
+        // report created=3, after-premerge=2. Those counts surface on batch
+        // 1's outcome (the async one-batch lag). The pre-fix code reported
+        // batch 1's own pre-merge local count in BOTH fields, so they could
+        // never differ.
+        let algo = NaiveClustering::new(1.0);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let mut exec = PipelinedExecutor::new(&algo, &ctx);
+        let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+
+        let out0 = exec
+            .process_batch(
+                &mut model,
+                batch(
+                    0,
+                    vec![rec(1, 10.0, 1.0), rec(2, 10.4, 1.1), rec(3, 50.0, 1.2)],
+                ),
+            )
+            .unwrap();
+        assert_eq!(out0.created_micro_clusters, 0, "nothing applied yet");
+        assert_eq!(out0.created_after_premerge, 0);
+
+        let out1 = exec
+            .process_batch(&mut model, batch(1, vec![rec(4, 0.1, 2.0)]))
+            .unwrap();
+        assert_eq!(out1.created_micro_clusters, 3, "batch 0's applied count");
+        assert_eq!(
+            out1.created_after_premerge, 2,
+            "premerge collapsed two nearby outliers; the fields must differ"
+        );
+
+        // Batch 1 created nothing, and flush reports exactly that.
+        let final_outcome = exec.flush(&mut model).unwrap();
+        assert_eq!(final_outcome.created_before_premerge, 0);
+        assert_eq!(final_outcome.created_after_premerge, 0);
     }
 
     #[test]

@@ -13,10 +13,12 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use diststream_engine::{decode, encode, encode_into, MiniBatch};
+use diststream_telemetry as telemetry;
 use diststream_types::{DistStreamError, Result};
 
 use crate::api::StreamClustering;
 use crate::parallel::{BatchOutcome, DistStreamExecutor};
+use crate::store::CheckpointStore;
 
 /// A serialized model checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +109,32 @@ pub struct CheckpointingDriver<'a, A: StreamClustering> {
     interval: usize,
     since_checkpoint: usize,
     checkpoint: Checkpoint,
+    /// Replay cursor of the current checkpoint: index of the first batch
+    /// *not* folded into it. Starts at 0 (the initial checkpoint holds the
+    /// pre-stream model), becomes `batch_index + 1` on every checkpoint —
+    /// this is the key stored checkpoints are filed under, and it keeps the
+    /// initial checkpoint distinguishable from one taken after batch 0.
+    cursor: usize,
     replay_log: Vec<MiniBatch>,
+    store: Option<Box<dyn CheckpointStore>>,
+}
+
+/// What happened to a batch handed to
+/// [`CheckpointingDriver::process_batch_or_skip`].
+#[derive(Debug)]
+pub enum BatchDisposition {
+    /// The batch folded into the model normally.
+    Processed(BatchOutcome),
+    /// Every retry of some task failed, so the batch was dropped without
+    /// touching the model (task failures happen in the parallel steps,
+    /// before the driver's global update mutates anything) and the stream
+    /// continues from the last-known-good model.
+    Skipped {
+        /// Index of the dropped batch.
+        batch_index: usize,
+        /// The exhausted-retries error that condemned it.
+        error: DistStreamError,
+    },
 }
 
 impl<'a, A> CheckpointingDriver<'a, A>
@@ -140,8 +167,39 @@ where
             interval,
             since_checkpoint: 0,
             checkpoint,
+            cursor: 0,
             replay_log: Vec::new(),
+            store: None,
         }
+    }
+
+    /// Attaches a stable-storage [`CheckpointStore`] and persists the
+    /// current checkpoint into it immediately.
+    ///
+    /// With a store attached, the replay log retains every batch needed to
+    /// replay from the *oldest* retained checkpoint (not just the newest),
+    /// and [`CheckpointingDriver::recover`] walks the store's manifest
+    /// newest-first, falling back past checkpoints that fail CRC/structural
+    /// validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::Storage`] if the initial persist fails.
+    pub fn with_store(mut self, store: Box<dyn CheckpointStore>) -> Result<Self> {
+        self.store = Some(store);
+        self.persist_checkpoint()?;
+        Ok(self)
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&dyn CheckpointStore> {
+        self.store.as_deref()
+    }
+
+    /// Mutable access to the attached store — intended for harness code
+    /// (e.g. fault-injection tests scripting corruption directly).
+    pub fn store_mut(&mut self) -> Option<&mut (dyn CheckpointStore + 'static)> {
+        self.store.as_deref_mut()
     }
 
     /// The current (authoritative) model.
@@ -164,46 +222,159 @@ where
     /// # Errors
     ///
     /// Propagates engine failures; the failed batch stays in the replay log
-    /// so [`CheckpointingDriver::recover`] retries it.
+    /// so [`CheckpointingDriver::recover`] retries it. Use
+    /// [`CheckpointingDriver::process_batch_or_skip`] for the degradation
+    /// policy that drops a batch whose retries are exhausted.
     pub fn process_batch(&mut self, batch: MiniBatch) -> Result<BatchOutcome> {
         // Write-ahead: log the batch before touching the model.
         self.replay_log.push(batch.clone());
         let outcome = self.exec.process_batch(&mut self.model, batch)?;
         self.since_checkpoint += 1;
         if self.since_checkpoint >= self.interval {
-            self.take_checkpoint(outcome.metrics.batch_index);
+            self.take_checkpoint(outcome.metrics.batch_index)?;
         }
         Ok(outcome)
     }
 
-    /// Forces a checkpoint of the current model and truncates the log.
-    pub fn take_checkpoint(&mut self, batch_index: usize) {
+    /// [`CheckpointingDriver::process_batch`] with Spark-style graceful
+    /// degradation: when a task exhausts its retry budget
+    /// ([`DistStreamError::TaskFailed`]), the poisoned batch is dropped —
+    /// removed from the replay log, counted in
+    /// `diststream_batches_skipped_total` — and the stream continues from
+    /// the last-known-good model, which the failure never touched (task
+    /// failures surface from the parallel steps, before the driver-side
+    /// global update mutates the model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates every error other than [`DistStreamError::TaskFailed`]
+    /// (those reflect driver-side problems, not a poisoned batch).
+    pub fn process_batch_or_skip(&mut self, batch: MiniBatch) -> Result<BatchDisposition> {
+        let batch_index = batch.index;
+        match self.process_batch(batch) {
+            Ok(outcome) => Ok(BatchDisposition::Processed(outcome)),
+            Err(error @ DistStreamError::TaskFailed { .. }) => {
+                // The batch was write-ahead logged before it failed; drop it
+                // so recovery does not replay the poison forever.
+                self.replay_log.retain(|b| b.index != batch_index);
+                if telemetry::enabled() {
+                    telemetry::counter("diststream_batches_skipped_total").inc();
+                }
+                Ok(BatchDisposition::Skipped { batch_index, error })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Forces a checkpoint of the current model, persists it to the store
+    /// (when one is attached), and prunes the replay log down to what the
+    /// retained checkpoints still need.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistStreamError::Storage`] if persisting to the attached
+    /// store fails; the in-memory checkpoint is still updated.
+    pub fn take_checkpoint(&mut self, batch_index: usize) -> Result<()> {
         // Recycle the previous checkpoint's buffer: encode_into clears it
         // but keeps its capacity, so steady-state checkpointing stops
         // allocating once the model size stabilizes.
         let mut bytes = std::mem::take(&mut self.checkpoint.bytes);
         encode_into(&self.model, &mut bytes);
         self.checkpoint = Checkpoint { batch_index, bytes };
-        self.replay_log.clear();
+        self.cursor = batch_index + 1;
         self.since_checkpoint = 0;
+        self.persist_checkpoint()?;
+        self.prune_replay_log();
+        Ok(())
     }
 
-    /// Simulates driver recovery: decodes the last checkpoint and replays
-    /// the logged batches on a fresh executor, returning the rebuilt model.
+    /// Writes the current checkpoint into the attached store under its
+    /// replay cursor, then applies any fault-plan corruption scripted for
+    /// this batch (damage lands *after* the durable write, the way real
+    /// storage rot would).
+    fn persist_checkpoint(&mut self) -> Result<()> {
+        let cursor = self.cursor;
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let _span = telemetry::span!("checkpoint_write");
+        let stored = Checkpoint {
+            batch_index: cursor,
+            bytes: self.checkpoint.bytes.clone(),
+        };
+        store.persist(&stored)?;
+        if cursor > 0 && self.ctx.take_checkpoint_corruption(cursor - 1) {
+            store.inject_corruption(cursor)?;
+        }
+        Ok(())
+    }
+
+    /// Drops logged batches no retained checkpoint needs: everything before
+    /// the oldest manifest entry's replay cursor (without a store, before
+    /// the current checkpoint's cursor — i.e. the whole log).
+    fn prune_replay_log(&mut self) {
+        let oldest_cursor = self
+            .store
+            .as_deref()
+            .and_then(|store| store.manifest().last().copied())
+            .unwrap_or(self.cursor);
+        self.replay_log.retain(|b| b.index >= oldest_cursor);
+    }
+
+    /// Simulates driver recovery: restores the newest checkpoint that
+    /// validates and replays the logged batches after it on a fresh
+    /// executor, returning the rebuilt model.
+    ///
+    /// Without a store this is the classic single-checkpoint path. With a
+    /// store, the manifest is walked newest-first and entries that fail CRC
+    /// or structural validation are skipped (counted in
+    /// `diststream_checkpoint_fallbacks_total`) — the graceful-degradation
+    /// leg of Spark's stable-storage checkpointing.
     ///
     /// # Errors
     ///
-    /// Returns [`DistStreamError::CorruptCheckpoint`] if the checkpoint is
-    /// empty or fails to decode, and propagates replay failures.
+    /// Returns [`DistStreamError::CorruptCheckpoint`] if every candidate
+    /// checkpoint is damaged, and propagates replay failures.
     pub fn recover(&self) -> Result<A::Model> {
-        self.checkpoint.validate()?;
+        let _span = telemetry::span!("checkpoint_restore");
+        let Some(store) = self.store.as_deref() else {
+            // The in-memory log holds exactly the post-checkpoint batches.
+            return self.replay_from(&self.checkpoint, 0);
+        };
+        let mut fallbacks = 0u64;
+        let mut last_err =
+            DistStreamError::Storage("checkpoint store has an empty manifest".into());
+        for cursor in store.manifest() {
+            let attempt = store
+                .load(cursor)
+                .and_then(|checkpoint| self.replay_from(&checkpoint, cursor));
+            match attempt {
+                Ok(model) => {
+                    if fallbacks > 0 && telemetry::enabled() {
+                        telemetry::counter("diststream_checkpoint_fallbacks_total").add(fallbacks);
+                    }
+                    return Ok(model);
+                }
+                Err(e) => {
+                    fallbacks += 1;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Decodes `checkpoint` and replays every logged batch with index
+    /// `>= from_cursor` on a fresh executor.
+    fn replay_from(&self, checkpoint: &Checkpoint, from_cursor: usize) -> Result<A::Model> {
+        checkpoint.validate()?;
         let mut model: A::Model =
-            decode(&self.checkpoint.bytes).map_err(|e| DistStreamError::CorruptCheckpoint {
-                batch_index: self.checkpoint.batch_index,
+            decode(&checkpoint.bytes).map_err(|e| DistStreamError::CorruptCheckpoint {
+                batch_index: checkpoint.batch_index,
                 reason: e.to_string(),
             })?;
         let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
-        for batch in &self.replay_log {
+        for batch in self.replay_log.iter().filter(|b| b.index >= from_cursor) {
             exec.process_batch(&mut model, batch.clone())?;
         }
         Ok(model)
@@ -331,7 +502,7 @@ mod tests {
         let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
         let mut d = driver(&algo, &ctx, 100);
         d.process_batch(batch(0, vec![rec(1, 5.0, 0.5)])).unwrap();
-        d.take_checkpoint(0);
+        d.take_checkpoint(0).unwrap();
         assert_eq!(&d.recover().unwrap(), d.model());
         assert_eq!(d.replay_log_len(), 0);
     }

@@ -112,9 +112,33 @@ impl<S: RecordSource> MiniBatcher<S> {
         self.origin = None;
     }
 
+    /// Window index of `t`, honouring the half-open `[start, end)` window
+    /// semantics on float boundaries.
+    ///
+    /// Plain division truncation is wrong on boundaries for non-dyadic
+    /// widths (`0.3 / 0.1 = 2.999…` puts a t = 0.3 record in window 2, the
+    /// *previous* window). The division is therefore only an estimate,
+    /// corrected by comparing `elapsed` against the actual window edges,
+    /// with values within a few ULPs of an edge treated as exactly on it —
+    /// that is the tightest test that fixes `0.3 / 0.1` without moving
+    /// records that genuinely sit just inside a window.
     fn window_of(&self, t: Timestamp, origin: Timestamp) -> u64 {
         let elapsed = t.saturating_since(origin);
-        (elapsed / self.batch_secs) as u64
+        let width = self.batch_secs;
+        let edge = |i: u64| i as f64 * width;
+        let on_edge = |a: f64, b: f64| (a - b).abs() <= 4.0 * f64::EPSILON * a.abs().max(b.abs());
+        let mut idx = (elapsed / width) as u64;
+        // Estimate came out low: elapsed is at (or within ULPs of) the next
+        // edge, which starts the next window.
+        while elapsed >= edge(idx + 1) || on_edge(elapsed, edge(idx + 1)) {
+            idx += 1;
+        }
+        // Estimate came out high: elapsed sits strictly before this
+        // window's own start edge.
+        while idx > 0 && elapsed < edge(idx) && !on_edge(elapsed, edge(idx)) {
+            idx -= 1;
+        }
+        idx
     }
 }
 
@@ -134,8 +158,16 @@ impl<S: RecordSource> Iterator for MiniBatcher<S> {
         };
         let origin = *self.origin.get_or_insert(first.timestamp);
         let window = self.window_of(first.timestamp, origin);
-        let window_start = origin + window as f64 * self.batch_secs;
-        let window_end = window_start + self.batch_secs;
+        let nominal_start = origin + window as f64 * self.batch_secs;
+        // A boundary record snapped up into this window can sit a few ULPs
+        // before the nominal edge; clamp so `window_start <= t` holds for
+        // every record in the batch.
+        let window_start = if first.timestamp < nominal_start {
+            first.timestamp
+        } else {
+            nominal_start
+        };
+        let window_end = origin + (window + 1) as f64 * self.batch_secs;
 
         let mut records = Vec::with_capacity(self.source.len_hint().map_or(16, |n| {
             // Rough pre-size: assume uniform density across remaining stream.
@@ -256,5 +288,51 @@ mod tests {
         let recs = vec![rec(0, 0.0), rec(1, 1.0)];
         let batches = batch_all(recs, 1.0);
         assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn boundary_records_split_for_non_dyadic_widths() {
+        // 0.3 / 0.1 = 2.999… in f64, so the old division-truncation
+        // implementation dropped the t = 0.3 record into the *previous*
+        // window, silently merging two batches. Every record here sits
+        // exactly on a window edge and must open its own batch.
+        let recs = vec![rec(0, 0.0), rec(1, 0.1), rec(2, 0.2), rec(3, 0.3)];
+        let batches = batch_all(recs, 0.1);
+        assert_eq!(
+            batches.len(),
+            4,
+            "each boundary record must start its own window"
+        );
+    }
+
+    #[test]
+    fn boundary_records_split_across_awkward_widths() {
+        for width in [0.1, 0.3, 0.7, 2.5] {
+            let recs: Vec<Record> = (0..20).map(|i| rec(i, i as f64 * width)).collect();
+            let batches = batch_all(recs, width);
+            assert_eq!(batches.len(), 20, "width {width}: windows merged");
+            for b in &batches {
+                for r in &b.records {
+                    assert!(
+                        b.window_start <= r.timestamp && r.timestamp < b.window_end,
+                        "width {width}: t={:?} outside [{:?}, {:?})",
+                        r.timestamp,
+                        b.window_start,
+                        b.window_end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_boundary_records_are_not_snapped() {
+        // A record genuinely short of the edge (far beyond ULP noise) must
+        // stay in the earlier window.
+        let recs = vec![rec(0, 0.0), rec(1, 0.299_999_99)];
+        let batches = batch_all(recs, 0.1);
+        // 0.29999999 lies in window 2, separate from window 0.
+        assert_eq!(batches.len(), 2);
+        assert!(batches[1].window_start.secs() < 0.299_999_99);
     }
 }

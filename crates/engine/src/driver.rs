@@ -8,9 +8,10 @@ use std::time::Instant;
 
 use diststream_types::Result;
 
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::StepMetrics;
 use crate::netcost::SimCostModel;
-use crate::pool::TaskPool;
+use crate::pool::{execute_with_retry, TaskPool};
 
 /// How a step's tasks are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,7 @@ pub struct StreamingContext {
     pool: TaskPool,
     cost: SimCostModel,
     rng: Mutex<StdRng>,
+    faults: Mutex<Option<FaultState>>,
 }
 
 impl StreamingContext {
@@ -93,6 +95,7 @@ impl StreamingContext {
             pool: TaskPool::new(parallelism),
             cost,
             rng: Mutex::new(StdRng::seed_from_u64(Self::DEFAULT_SEED)),
+            faults: Mutex::new(None),
         })
     }
 
@@ -116,6 +119,57 @@ impl StreamingContext {
         &self.cost
     }
 
+    /// Sets the per-task retry budget (Spark's `spark.task.maxFailures`):
+    /// the number of times a single task may execute, initial attempt
+    /// included, before the step fails with
+    /// [`DistStreamError::TaskFailed`]. Default is 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    ///
+    /// [`DistStreamError::TaskFailed`]: diststream_types::DistStreamError::TaskFailed
+    pub fn set_max_task_failures(&mut self, max: usize) {
+        self.pool = self.pool.with_max_task_failures(max);
+    }
+
+    /// The per-task retry budget currently in force.
+    pub fn max_task_failures(&self) -> usize {
+        self.pool.max_task_failures()
+    }
+
+    /// Installs a deterministic [`FaultPlan`]; it replaces any plan already
+    /// installed. Executors scope the plan's `(batch, task, attempt)`
+    /// coordinates by calling [`StreamingContext::begin_batch`].
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.lock() = Some(FaultState::new(plan));
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// Reports that processing of mini-batch `index` is starting, scoping
+    /// subsequent fault-plan coordinates to that batch. A no-op without an
+    /// installed plan.
+    pub fn begin_batch(&self, index: usize) {
+        if let Some(state) = self.faults.lock().as_mut() {
+            state.set_batch(index);
+        }
+    }
+
+    /// Consumes a scripted checkpoint corruption for `batch_index`, if the
+    /// installed plan has one armed. Checkpointing drivers call this right
+    /// after persisting a checkpoint and damage the stored copy when it
+    /// returns `true`.
+    pub fn take_checkpoint_corruption(&self, batch_index: usize) -> bool {
+        self.faults
+            .lock()
+            .as_mut()
+            .is_some_and(|state| state.take_checkpoint_corruption(batch_index))
+    }
+
     /// Executes one parallel step: runs `f` over every input and returns the
     /// outputs in task order plus the step's timing.
     ///
@@ -124,14 +178,21 @@ impl StreamingContext {
     /// [`ExecutionMode::Simulated`] the tasks run serially (each timed) and
     /// `wall_secs` is the simulated barrier makespan.
     ///
+    /// A panicking task (genuine or injected via [`FaultPlan`]) is retried
+    /// on its retained input, in both modes, up to
+    /// [`StreamingContext::max_task_failures`] total attempts. Retries
+    /// recompute the same pure function over the same input, so they cannot
+    /// perturb the computed data — only the reported timings.
+    ///
     /// # Errors
     ///
-    /// Returns [`DistStreamError::Engine`] if a task panics in thread mode.
+    /// Returns [`DistStreamError::TaskFailed`] if a task panics on all of
+    /// its permitted attempts.
     ///
-    /// [`DistStreamError::Engine`]: diststream_types::DistStreamError::Engine
+    /// [`DistStreamError::TaskFailed`]: diststream_types::DistStreamError::TaskFailed
     pub fn run_tasks<I, O, F>(&self, inputs: Vec<I>, f: F) -> Result<(Vec<O>, StepMetrics)>
     where
-        I: Send,
+        I: Send + Clone,
         O: Send,
         F: Fn(usize, I) -> O + Sync,
     {
@@ -139,20 +200,45 @@ impl StreamingContext {
         // journal's span multiset stays independent of the parallelism
         // degree (per-task attribution flows through StepMetrics instead).
         let _step_span = telemetry::span!("step_tasks");
+        // The hook locks the fault mutex per attempt, so only pay for it
+        // when a plan is actually installed (plans are installed before the
+        // run, never mid-step).
+        let faulting = self.faults.lock().is_some();
+        let hook = |task: usize, attempt: usize| -> f64 {
+            match self.faults.lock().as_mut() {
+                Some(state) => state.before_attempt(task, attempt),
+                None => 0.0,
+            }
+        };
+        let hook: Option<&(dyn Fn(usize, usize) -> f64 + Sync)> =
+            if faulting { Some(&hook) } else { None };
         match self.mode {
             ExecutionMode::Threads => {
                 let start = Instant::now();
-                let (outputs, task_secs) = self.pool.run(inputs, &f)?;
+                let (outputs, task_secs) = self.pool.run_hooked(inputs, &f, hook)?;
                 let wall = start.elapsed().as_secs_f64();
                 Ok((outputs, StepMetrics::new(task_secs, wall)))
             }
             ExecutionMode::Simulated => {
+                let max_attempts = self.pool.max_task_failures();
                 let mut outputs = Vec::with_capacity(inputs.len());
                 let mut measured = Vec::with_capacity(inputs.len());
+                let mut retried = 0usize;
                 for (idx, input) in inputs.into_iter().enumerate() {
-                    let start = Instant::now();
-                    outputs.push(f(idx, input));
-                    measured.push(start.elapsed().as_secs_f64());
+                    // Injected straggler delays are charged numerically
+                    // (sleep_delays = false): the simulation's virtual clock
+                    // should see them without the host actually waiting.
+                    match execute_with_retry(idx, input, max_attempts, false, &f, hook) {
+                        Ok((output, secs, retries)) => {
+                            retried += retries;
+                            outputs.push(output);
+                            measured.push(secs);
+                        }
+                        Err(failure) => return Err(failure.into_error()),
+                    }
+                }
+                if telemetry::enabled() && retried > 0 {
+                    telemetry::counter("diststream_tasks_retried_total").add(retried as u64);
                 }
                 let mut rng = self.rng.lock();
                 let (effective, makespan) =
@@ -315,6 +401,75 @@ mod tests {
         assert_eq!(first, second);
         // And the pattern really contains some inflated tasks.
         assert!(first.0.iter().any(|&t| t > 1.0));
+    }
+
+    #[test]
+    fn injected_panic_is_retried_transparently_in_both_modes() {
+        for mode in [ExecutionMode::Threads, ExecutionMode::Simulated] {
+            let ctx = StreamingContext::new(2, mode).unwrap();
+            ctx.install_fault_plan(FaultPlan::new().panic_on(3, 1, 0));
+            ctx.begin_batch(3);
+            let (outs, step) = ctx
+                .run_tasks((0..4).collect::<Vec<u64>>(), |_, x| x * 7)
+                .unwrap();
+            assert_eq!(outs, vec![0, 7, 14, 21], "retry must not change data");
+            assert_eq!(step.task_count(), 4);
+        }
+    }
+
+    #[test]
+    fn injected_panic_on_every_attempt_exhausts_budget() {
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        let plan = (0..ctx.max_task_failures())
+            .fold(FaultPlan::new(), |p, attempt| p.panic_on(0, 0, attempt));
+        ctx.install_fault_plan(plan);
+        ctx.begin_batch(0);
+        let result = ctx.run_tasks(vec![1u8], |_, x| x);
+        assert!(matches!(
+            result,
+            Err(diststream_types::DistStreamError::TaskFailed { task: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn injected_delay_is_charged_in_simulated_mode() {
+        let ctx =
+            StreamingContext::with_cost_model(2, ExecutionMode::Simulated, SimCostModel::zero())
+                .unwrap();
+        ctx.install_fault_plan(FaultPlan::new().delay_on(0, 1, 0, 5.0));
+        ctx.begin_batch(0);
+        let (_, step) = ctx.run_tasks(vec![(), (), ()], |_, ()| ()).unwrap();
+        assert!(
+            step.task_secs()[1] >= 5.0,
+            "straggler charge missing: {:?}",
+            step.task_secs()
+        );
+        assert!(step.task_secs()[0] < 5.0 && step.task_secs()[2] < 5.0);
+    }
+
+    #[test]
+    fn cleared_plan_stops_firing() {
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        ctx.install_fault_plan(
+            FaultPlan::new()
+                .panic_on(0, 0, 0)
+                .panic_on(0, 0, 1)
+                .panic_on(0, 0, 2)
+                .panic_on(0, 0, 3),
+        );
+        ctx.clear_fault_plan();
+        ctx.begin_batch(0);
+        let (outs, _) = ctx.run_tasks(vec![9u8], |_, x| x).unwrap();
+        assert_eq!(outs, vec![9]);
+    }
+
+    #[test]
+    fn checkpoint_corruption_faults_are_consumed_through_the_context() {
+        let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+        ctx.install_fault_plan(FaultPlan::new().corrupt_checkpoint_after(2));
+        assert!(!ctx.take_checkpoint_corruption(1));
+        assert!(ctx.take_checkpoint_corruption(2));
+        assert!(!ctx.take_checkpoint_corruption(2), "fires exactly once");
     }
 
     #[test]

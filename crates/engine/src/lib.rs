@@ -50,6 +50,7 @@ mod batcher;
 mod broadcast;
 mod codec;
 mod driver;
+mod faults;
 mod metrics;
 mod netcost;
 mod partition;
@@ -62,10 +63,11 @@ pub use batcher::{MiniBatch, MiniBatcher};
 pub use broadcast::Broadcast;
 pub use codec::{decode, encode, encode_into};
 pub use driver::{ExecutionMode, StreamingContext};
+pub use faults::FaultPlan;
 pub use metrics::{BatchMetrics, StepMetrics, ThroughputMeter};
 pub use netcost::{NetworkModel, SimCostModel, StragglerModel};
 pub use partition::{fnv1a_hash, group_by_key, Fnv1a, HashPartitioner, RoundRobinPartitioner};
-pub use pool::TaskPool;
+pub use pool::{TaskPool, DEFAULT_MAX_TASK_FAILURES};
 pub use reorder::ReorderBuffer;
 pub use sizeof::serialized_size;
 pub use source::{RateStampedSource, RecordSource, RepeatSource, VecSource};

@@ -3,11 +3,15 @@
 //! [`ExecutionMode::Threads`]: crate::ExecutionMode::Threads
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use diststream_telemetry as telemetry;
 use diststream_types::{DistStreamError, Result};
 use parking_lot::Mutex;
+
+/// Spark's `spark.task.maxFailures` default: a task may execute up to four
+/// times (one initial attempt plus three retries) before the step fails.
+pub const DEFAULT_MAX_TASK_FAILURES: usize = 4;
 
 /// A bounded pool of OS worker threads that executes a step's tasks.
 ///
@@ -15,6 +19,13 @@ use parking_lot::Mutex;
 /// threads — the same dynamic task-to-slot scheduling a Spark executor pool
 /// performs. Outputs are returned in task order together with each task's
 /// measured execution seconds.
+///
+/// A panicking task is caught at a `catch_unwind` boundary and re-executed
+/// on its retained input, up to [`TaskPool::max_task_failures`] total
+/// attempts (Spark's `spark.task.maxFailures`), before the step surfaces
+/// [`DistStreamError::TaskFailed`]. Because a retry recomputes the same
+/// pure function over the same retained input, retries cannot change any
+/// task's output — replay stays byte-identical across parallelism degrees.
 ///
 /// # Examples
 ///
@@ -30,17 +41,34 @@ use parking_lot::Mutex;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskPool {
     threads: usize,
+    max_task_failures: usize,
 }
 
 impl TaskPool {
-    /// Creates a pool with `threads` worker threads.
+    /// Creates a pool with `threads` worker threads and the default retry
+    /// budget ([`DEFAULT_MAX_TASK_FAILURES`]).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be at least 1");
-        TaskPool { threads }
+        TaskPool {
+            threads,
+            max_task_failures: DEFAULT_MAX_TASK_FAILURES,
+        }
+    }
+
+    /// Sets the retry budget: the maximum number of times a single task may
+    /// execute (initial attempt included) before the step fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero (every task needs at least one attempt).
+    pub fn with_max_task_failures(mut self, max: usize) -> Self {
+        assert!(max > 0, "max task failures must be at least 1");
+        self.max_task_failures = max;
+        self
     }
 
     /// Number of worker threads.
@@ -48,16 +76,44 @@ impl TaskPool {
         self.threads
     }
 
+    /// Maximum executions per task (initial attempt plus retries).
+    pub fn max_task_failures(&self) -> usize {
+        self.max_task_failures
+    }
+
     /// Runs `f` over every input on the pool, returning outputs in task
     /// order plus each task's measured execution time in seconds.
     ///
     /// # Errors
     ///
-    /// Returns [`DistStreamError::Engine`] if any task panics; remaining
-    /// tasks may or may not have run.
+    /// Returns [`DistStreamError::TaskFailed`] if any task panics on all of
+    /// its [`TaskPool::max_task_failures`] attempts; remaining tasks may or
+    /// may not have run.
     pub fn run<I, O, F>(&self, inputs: Vec<I>, f: &F) -> Result<(Vec<O>, Vec<f64>)>
     where
-        I: Send,
+        I: Send + Clone,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        self.run_hooked(inputs, f, None)
+    }
+
+    /// [`TaskPool::run`] with an optional per-attempt hook.
+    ///
+    /// The hook is called as `hook(task, attempt)` immediately before each
+    /// execution attempt (attempt 0 = the first). It returns extra seconds
+    /// of straggler delay to impose on the attempt, and may panic to inject
+    /// a task fault — the panic is caught at the same retry boundary as a
+    /// genuine task panic. This is the engine half of deterministic fault
+    /// injection (see [`FaultPlan`](crate::FaultPlan)).
+    pub(crate) fn run_hooked<I, O, F>(
+        &self,
+        inputs: Vec<I>,
+        f: &F,
+        hook: Option<&(dyn Fn(usize, usize) -> f64 + Sync)>,
+    ) -> Result<(Vec<O>, Vec<f64>)>
+    where
+        I: Send + Clone,
         O: Send,
         F: Fn(usize, I) -> O + Sync,
     {
@@ -69,6 +125,8 @@ impl TaskPool {
             inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let results: Vec<Mutex<Option<(O, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let retried = AtomicUsize::new(0);
+        let failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
 
         let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..self.threads.min(n) {
@@ -87,17 +145,34 @@ impl TaskPool {
                     let Some(input) = slots[idx].lock().take() else {
                         continue;
                     };
-                    let start = Instant::now(); // lint:allow(wallclock-entropy) task timing feeds straggler metrics only
-                    let output = f(idx, input);
-                    let secs = start.elapsed().as_secs_f64();
-                    *results[idx].lock() = Some((output, secs));
+                    match execute_with_retry(idx, input, self.max_task_failures, true, f, hook) {
+                        Ok((output, secs, retries)) => {
+                            if retries > 0 {
+                                retried.fetch_add(retries, Ordering::SeqCst);
+                            }
+                            *results[idx].lock() = Some((output, secs));
+                        }
+                        Err(failure) => failures.lock().push(failure),
+                    }
                 });
             }
         });
         if scope_result.is_err() {
             return Err(DistStreamError::Engine(
-                "a worker task panicked during step execution".into(),
+                "a worker thread died outside the task retry boundary".into(),
             ));
+        }
+
+        let retried = retried.into_inner();
+        if telemetry::enabled() && retried > 0 {
+            telemetry::counter("diststream_tasks_retried_total").add(retried as u64);
+        }
+        let mut failures = failures.into_inner();
+        // Workers push failures in completion order; report the lowest task
+        // index so the surfaced error is schedule-independent.
+        failures.sort_by_key(|failure| failure.task);
+        if let Some(failure) = failures.into_iter().next() {
+            return Err(failure.into_error());
         }
 
         let mut outputs = Vec::with_capacity(n);
@@ -128,6 +203,107 @@ impl TaskPool {
             }
         }
         Ok((outputs, durations))
+    }
+}
+
+/// A task that exhausted its retry budget.
+#[derive(Debug)]
+pub(crate) struct TaskFailure {
+    pub(crate) task: usize,
+    pub(crate) attempts: usize,
+    pub(crate) reason: String,
+}
+
+impl TaskFailure {
+    pub(crate) fn into_error(self) -> DistStreamError {
+        DistStreamError::TaskFailed {
+            task: self.task,
+            attempts: self.attempts,
+            reason: self.reason,
+        }
+    }
+}
+
+/// Executes one task with the retry protocol shared by both execution
+/// modes: the input is retained (cloned per attempt) until an attempt
+/// succeeds, and only the final permitted attempt consumes it.
+///
+/// `sleep_delays` selects how hook-injected straggler seconds are imposed:
+/// thread mode really holds the worker (`true`), simulated mode charges
+/// them numerically onto the measured time (`false`) so simulations stay
+/// fast.
+///
+/// On success returns `(output, secs, retries)` where `retries` counts the
+/// failed attempts that preceded the success.
+pub(crate) fn execute_with_retry<I, O, F>(
+    idx: usize,
+    input: I,
+    max_attempts: usize,
+    sleep_delays: bool,
+    f: &F,
+    hook: Option<&(dyn Fn(usize, usize) -> f64 + Sync)>,
+) -> std::result::Result<(O, f64, usize), TaskFailure>
+where
+    I: Clone,
+    F: Fn(usize, I) -> O,
+{
+    let mut master = Some(input);
+    for attempt in 0..max_attempts {
+        let last = attempt + 1 >= max_attempts;
+        // Clone while retries remain so a panicking attempt cannot take the
+        // input with it; the final permitted attempt moves the original.
+        let retained = if last { master.take() } else { master.clone() };
+        let Some(attempt_input) = retained else {
+            break;
+        };
+        let start = Instant::now(); // lint:allow(wallclock-entropy) task timing feeds straggler metrics only
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut injected = 0.0;
+            if let Some(hook) = hook {
+                injected = hook(idx, attempt);
+                if sleep_delays && injected > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(injected));
+                }
+            }
+            (f(idx, attempt_input), injected)
+        }));
+        match outcome {
+            Ok((output, injected)) => {
+                let mut secs = start.elapsed().as_secs_f64();
+                if !sleep_delays {
+                    secs += injected;
+                }
+                return Ok((output, secs, attempt));
+            }
+            Err(payload) => {
+                if last {
+                    return Err(TaskFailure {
+                        task: idx,
+                        attempts: attempt + 1,
+                        reason: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+    // Unreachable by construction (the input is only consumed on the final
+    // attempt, which returns either way); kept as a typed error rather than
+    // an assertion so an impossible state cannot take the driver down.
+    Err(TaskFailure {
+        task: idx,
+        attempts: 0,
+        reason: "retry loop made no attempt".into(),
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -173,15 +349,83 @@ mod tests {
     }
 
     #[test]
-    fn task_panic_becomes_engine_error() {
+    fn task_panic_exhausts_retries_then_surfaces_typed_error() {
         let pool = TaskPool::new(2);
+        let attempts_seen = AtomicU64::new(0);
         let result = pool.run(vec![0, 1, 2], &|_, x: i32| {
             if x == 1 {
+                attempts_seen.fetch_add(1, Ordering::SeqCst);
                 panic!("boom");
             }
             x
         });
-        assert!(matches!(result, Err(DistStreamError::Engine(_))));
+        match result {
+            Err(DistStreamError::TaskFailed {
+                task,
+                attempts,
+                reason,
+            }) => {
+                assert_eq!(task, 1);
+                assert_eq!(attempts, DEFAULT_MAX_TASK_FAILURES);
+                assert!(reason.contains("boom"), "reason was {reason:?}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+        assert_eq!(
+            attempts_seen.load(Ordering::SeqCst),
+            DEFAULT_MAX_TASK_FAILURES as u64,
+            "the poisoned task must be attempted exactly max-failures times"
+        );
+    }
+
+    #[test]
+    fn flaky_task_succeeds_via_retry() {
+        let pool = TaskPool::new(2);
+        let failures_left = AtomicU64::new(2);
+        let (outs, secs) = pool
+            .run(vec![10, 20, 30], &|_, x: i32| {
+                if x == 20 && failures_left.load(Ordering::SeqCst) > 0 {
+                    failures_left.fetch_sub(1, Ordering::SeqCst);
+                    panic!("transient");
+                }
+                x * 2
+            })
+            .unwrap();
+        assert_eq!(outs, vec![20, 40, 60], "retry must not change any output");
+        assert_eq!(secs.len(), 3);
+        assert_eq!(failures_left.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn retry_budget_of_one_fails_on_first_panic() {
+        let pool = TaskPool::new(2).with_max_task_failures(1);
+        let result = pool.run(vec![0, 1], &|_, x: i32| {
+            if x == 1 {
+                panic!("no second chances");
+            }
+            x
+        });
+        assert!(matches!(
+            result,
+            Err(DistStreamError::TaskFailed { attempts: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn lowest_failing_task_is_reported() {
+        // Several tasks poisoned: whichever worker finishes last, the error
+        // must name the lowest failing index for schedule independence.
+        let pool = TaskPool::new(4).with_max_task_failures(1);
+        let result = pool.run((0..16).collect::<Vec<i32>>(), &|_, x| {
+            if x >= 5 {
+                panic!("poisoned");
+            }
+            x
+        });
+        assert!(matches!(
+            result,
+            Err(DistStreamError::TaskFailed { task: 5, .. })
+        ));
     }
 
     #[test]
@@ -195,5 +439,21 @@ mod tests {
     #[should_panic(expected = "thread count")]
     fn zero_threads_panics() {
         let _ = TaskPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max task failures")]
+    fn zero_retry_budget_panics() {
+        let _ = TaskPool::new(1).with_max_task_failures(0);
+    }
+
+    #[test]
+    fn hook_delay_is_charged_numerically_when_not_sleeping() {
+        let hook: &(dyn Fn(usize, usize) -> f64 + Sync) = &|_, _| 2.5;
+        let (out, secs, retries) =
+            execute_with_retry(0, 7u64, 4, false, &|_, x| x + 1, Some(hook)).unwrap();
+        assert_eq!(out, 8);
+        assert!(secs >= 2.5, "injected delay must be charged, got {secs}");
+        assert_eq!(retries, 0);
     }
 }

@@ -224,8 +224,21 @@ impl<S: RecordSource> RecordSource for ReorderBuffer<S> {
         }
     }
 
+    /// Upper bound on the records still to come: buffered records may yet
+    /// be dropped as duplicates, so the hint can over-count — it never
+    /// under-counts.
+    ///
+    /// Once the inner source is exhausted its missing hint no longer
+    /// matters: everything left lives in the heap, and `Some(heap.len())`
+    /// is reported instead of hiding those records behind a `None` (the
+    /// pre-fix behavior, which made downstream pre-sizing treat a full
+    /// buffer as an unknown-length stream).
     fn len_hint(&self) -> Option<usize> {
-        self.inner.len_hint().map(|n| n + self.heap.len())
+        match self.inner.len_hint() {
+            Some(n) => Some(n + self.heap.len()),
+            None if self.inner_exhausted => Some(self.heap.len()),
+            None => None,
+        }
     }
 }
 
@@ -251,6 +264,60 @@ mod tests {
         let recs: Vec<Record> = (0..50).map(|i| rec(i, i as f64)).collect();
         let out = drain(ReorderBuffer::new(VecSource::new(recs.clone()), 5.0));
         assert_eq!(out, recs);
+    }
+
+    /// A source that refuses to estimate its remaining length, like a
+    /// socket-backed stream would.
+    struct NoHintSource(VecSource);
+
+    impl RecordSource for NoHintSource {
+        fn next_record(&mut self) -> Option<Record> {
+            self.0.next_record()
+        }
+        // len_hint left at the trait default: None.
+    }
+
+    #[test]
+    fn len_hint_counts_heap_once_inner_is_exhausted() {
+        // Large lateness bound: the buffer swallows the entire inner source
+        // before releasing anything, so after one pull the heap holds all
+        // remaining records while the inner hint is None. The pre-fix hint
+        // returned None here, hiding a full buffer from downstream
+        // pre-sizing.
+        let recs: Vec<Record> = (0..10).map(|i| rec(i, i as f64)).collect();
+        let mut buf = ReorderBuffer::new(NoHintSource(VecSource::new(recs)), 1e9);
+        assert_eq!(buf.len_hint(), None, "nothing buffered, nothing known");
+        let first = buf.next_record().unwrap();
+        assert_eq!(first.id, 0);
+        assert_eq!(
+            buf.len_hint(),
+            Some(9),
+            "inner exhausted: the heap is everything that remains"
+        );
+        let rest = drain(buf);
+        assert_eq!(rest.len(), 9, "hint must not under-count");
+    }
+
+    #[test]
+    fn len_hint_is_an_upper_bound_under_duplicates() {
+        // Record 3 is delivered twice; the second copy will be dropped as a
+        // duplicate at release time, so the hint may over-count but never
+        // under-count.
+        let mut recs: Vec<Record> = (0..6).map(|i| rec(i, i as f64)).collect();
+        recs.insert(4, rec(3, 3.0));
+        let mut buf = ReorderBuffer::new(NoHintSource(VecSource::new(recs)), 1e9);
+        let mut released = Vec::new();
+        while let Some(r) = {
+            let hint = buf.len_hint();
+            let next = buf.next_record();
+            if let (Some(h), Some(_)) = (hint, next.as_ref()) {
+                assert!(h >= 1, "hint under-counted with a record available");
+            }
+            next
+        } {
+            released.push(r.id);
+        }
+        assert_eq!(released, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

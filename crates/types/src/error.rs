@@ -33,6 +33,22 @@ pub enum DistStreamError {
     InvalidConfig(String),
     /// The distributed engine failed (worker panic, channel closed, ...).
     Engine(String),
+    /// A task kept failing after its configured retry budget was spent.
+    ///
+    /// Produced by the engine's task-retry layer: a panicking task is
+    /// re-executed on its retained input up to `max_task_failures` times
+    /// (the Spark `spark.task.maxFailures` analog) before this error
+    /// surfaces to the driver.
+    TaskFailed {
+        /// Step-local index of the failing task.
+        task: usize,
+        /// Number of attempts made (initial execution plus retries).
+        attempts: usize,
+        /// Panic message of the final attempt, where recoverable.
+        reason: String,
+    },
+    /// Stable-storage checkpoint I/O failed (write, rename, manifest).
+    Storage(String),
     /// A model checkpoint failed validation and cannot be restored
     /// (empty, truncated, or otherwise malformed payload).
     CorruptCheckpoint {
@@ -54,6 +70,14 @@ impl fmt::Display for DistStreamError {
             DistStreamError::EmptyStream => write!(f, "stream produced no records"),
             DistStreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DistStreamError::Engine(msg) => write!(f, "engine failure: {msg}"),
+            DistStreamError::TaskFailed {
+                task,
+                attempts,
+                reason,
+            } => {
+                write!(f, "task {task} failed after {attempts} attempts: {reason}")
+            }
+            DistStreamError::Storage(msg) => write!(f, "checkpoint storage failure: {msg}"),
             DistStreamError::CorruptCheckpoint {
                 batch_index,
                 reason,
@@ -89,6 +113,12 @@ mod tests {
             DistStreamError::EmptyStream,
             DistStreamError::InvalidConfig("beta".into()),
             DistStreamError::Engine("worker died".into()),
+            DistStreamError::TaskFailed {
+                task: 2,
+                attempts: 4,
+                reason: "boom".into(),
+            },
+            DistStreamError::Storage("rename failed".into()),
             DistStreamError::Uninitialized,
         ];
         for err in cases {
