@@ -13,7 +13,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
+use diststream_core::{
+    Assignment, MicroClusterId, Searcher, Sketch, StreamClustering, WeightedPoint,
+};
 use diststream_types::{DistStreamError, Point, Record, Result, Timestamp};
 
 use crate::cf::{CentroidKernel, CfVector};
@@ -314,9 +316,9 @@ impl StreamClustering for CluStream {
         }
     }
 
-    fn assign_many(&self, model: &CluStreamModel, records: &[Record]) -> Vec<Assignment> {
+    fn searcher<'m>(&'m self, model: &'m CluStreamModel) -> Searcher<'m> {
         let searcher = CluStreamSearcher::build(model, self.params.boundary_factor);
-        records.iter().map(|r| searcher.assign(r)).collect()
+        Box::new(move |record| searcher.assign(record))
     }
 
     fn sketch_of(&self, model: &CluStreamModel, id: MicroClusterId) -> CfVector {
@@ -343,17 +345,52 @@ impl StreamClustering for CluStream {
         created: Vec<CfVector>,
         now: Timestamp,
     ) {
+        // An update's target may have died between the assignment snapshot
+        // and now: under the asynchronous protocol the snapshot is one
+        // global update stale, and the intervening capacity enforcement may
+        // have merged the cluster away. Re-inserting the dead id would
+        // resurrect it alongside the survivor that already carries its mass
+        // and push the model over budget, costing one extra O(n²·d)
+        // closest-pair merge per orphan. Instead, orphaned updates take the
+        // same absorb-or-insert placement as created micro-clusters below
+        // (ahead of them, preserving the update-then-create order).
+        let mut orphaned: Vec<CfVector> = Vec::new();
         for (id, cf) in updated {
-            model.mcs.insert(id, cf);
+            match model.mcs.get_mut(&id) {
+                Some(slot) => *slot = cf,
+                None => orphaned.push(cf),
+            }
         }
         // New micro-clusters are placed one at a time, restoring the budget
         // after each insertion — deletion and merging are irreversible, so
         // the order in which new micro-clusters arrive here decides which
         // old ones die (§IV-C2). The framework hands `created` in
         // creation-time order (order-aware) or shuffled (unordered).
-        for cf in created {
-            model.insert_new(cf);
-            self.enforce_capacity(model, now);
+        //
+        // Placement re-checks absorption against the *authoritative* model
+        // first: assignment ran against a stale broadcast (one batch stale
+        // under the asynchronous protocol), so a "new" micro-cluster may by
+        // now sit inside an existing cluster's maximum boundary — absorbing
+        // it is CluStream's own rule for such points and costs one O(n·d)
+        // scan instead of an O(n²·d) capacity merge.
+        for cf in orphaned.into_iter().chain(created) {
+            let centroid = cf.centroid();
+            let closest = model
+                .mcs
+                .iter()
+                .map(|(id, mc)| (*id, mc.centroid().distance(&centroid)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match closest {
+                Some((id, dist)) if dist <= self.max_boundary(model, id, &model.mcs[&id]) => {
+                    if let Some(mc) = model.mcs.get_mut(&id) {
+                        mc.merge(&cf);
+                    }
+                }
+                _ => {
+                    model.insert_new(cf);
+                    self.enforce_capacity(model, now);
+                }
+            }
         }
         self.enforce_capacity(model, now);
     }

@@ -269,8 +269,33 @@ impl StreamClustering for ClusTree {
         created: Vec<CfVector>,
         now: Timestamp,
     ) {
+        // An update's target may have been capacity-merged or pruned away
+        // since the (possibly one-update-stale) assignment snapshot.
+        // Re-inserting the dead id would resurrect an entry the tree index
+        // no longer knows about and push the model over budget, forcing an
+        // extra O(n²·d) closest-pair merge per orphan; folding the orphan
+        // into its nearest surviving entry sends the mass where the
+        // capacity merge sent it, at one O(n·d) scan.
         for (id, cf) in updated {
-            model.entries.insert(id, cf);
+            match model.entries.get_mut(&id) {
+                Some(slot) => *slot = cf,
+                None => {
+                    let centroid = cf.centroid();
+                    let nearest = model
+                        .entries
+                        .iter()
+                        .map(|(eid, e)| (*eid, e.centroid().squared_distance(&centroid)))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(eid, _)| eid);
+                    if let Some(eid) = nearest {
+                        model
+                            .entries
+                            .get_mut(&eid)
+                            .expect("nearest exists")
+                            .add(&cf);
+                    }
+                }
+            }
         }
         // Insert one at a time, restoring the budget after each insertion:
         // merges are irreversible, so application order matters (§IV-C2).

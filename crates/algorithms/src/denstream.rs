@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use diststream_core::{Assignment, MicroClusterId, StreamClustering, WeightedPoint};
+use diststream_core::{Assignment, MicroClusterId, Searcher, StreamClustering, WeightedPoint};
 use diststream_types::{DistStreamError, Record, Result, Timestamp};
 
 use crate::cf::{CentroidKernel, CfVector};
@@ -249,8 +249,8 @@ impl StreamClustering for DenStream {
         Assignment::New(record.id)
     }
 
-    fn assign_many(&self, model: &DenStreamModel, records: &[Record]) -> Vec<Assignment> {
-        // One flattened-centroid kernel per task partition, with the
+    fn searcher<'m>(&'m self, model: &'m DenStreamModel) -> Searcher<'m> {
+        // One flattened-centroid kernel per model snapshot, with the
         // potential/outlier role mask alongside so the two preference passes
         // of `assign` become filtered scans over the same dense buffer.
         let mut kernel = CentroidKernel::with_capacity(
@@ -262,24 +262,19 @@ impl StreamClustering for DenStream {
             kernel.push_cf(*id, &mc.cf);
             potential.push(mc.potential);
         }
-        records
-            .iter()
-            .map(|record| {
-                for want_potential in [true, false] {
-                    let candidate = kernel
-                        .nearest_squared_filtered(&record.point, |idx| {
-                            potential[idx] == want_potential
-                        })
-                        .map(|(idx, _)| kernel.id(idx));
-                    if let Some(id) = candidate {
-                        if model.mcs[&id].cf.radius_with(&record.point) <= self.params.eps {
-                            return Assignment::Existing(id);
-                        }
+        Box::new(move |record| {
+            for want_potential in [true, false] {
+                let candidate = kernel
+                    .nearest_squared_filtered(&record.point, |idx| potential[idx] == want_potential)
+                    .map(|(idx, _)| kernel.id(idx));
+                if let Some(id) = candidate {
+                    if model.mcs[&id].cf.radius_with(&record.point) <= self.params.eps {
+                        return Assignment::Existing(id);
                     }
                 }
-                Assignment::New(record.id)
-            })
-            .collect()
+            }
+            Assignment::New(record.id)
+        })
     }
 
     fn sketch_of(&self, model: &DenStreamModel, id: MicroClusterId) -> CfVector {

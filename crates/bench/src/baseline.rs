@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use diststream_core::{DistStreamJob, StreamClustering};
+use diststream_core::{DistStreamJob, PipelineOptions, StreamClustering};
 use diststream_engine::{ExecutionMode, RepeatSource, SimCostModel, StreamingContext};
 use diststream_types::{ClusteringConfig, Result};
 
@@ -28,7 +28,16 @@ pub const BASELINE_PATH: &str = "BENCH_BASELINE.json";
 pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
 
 /// Schema version stamped into the JSON (bump on incompatible change).
-pub const BASELINE_SCHEMA: u32 = 1;
+/// v2: entries carry a `pipeline` label (`sync` / `overlapped`) and the
+/// matrix measures both pipelines per `(algorithm, parallelism)`.
+pub const BASELINE_SCHEMA: u32 = 2;
+
+/// Pipeline label for the paper's synchronous configuration.
+pub const PIPELINE_SYNC: &str = "sync";
+
+/// Pipeline label for the overlapped configuration (prefetch + combine +
+/// chunk scheduling + asynchronous update protocol, unless toggled off).
+pub const PIPELINE_OVERLAPPED: &str = "overlapped";
 
 /// Parallelism degrees measured for every algorithm.
 pub const PARALLELISMS: [usize; 2] = [1, 4];
@@ -84,6 +93,8 @@ impl BaselineSpec {
 pub struct BaselineEntry {
     /// Algorithm key (`clustream`, `denstream`, `dstream`, `clustree`).
     pub algo: String,
+    /// Pipeline label ([`PIPELINE_SYNC`] or [`PIPELINE_OVERLAPPED`]).
+    pub pipeline: String,
     /// Parallelism degree of the run.
     pub parallelism: usize,
     /// Records processed (post-initialization).
@@ -163,11 +174,13 @@ fn run_one<A: StreamClustering>(
     bundle: &Bundle,
     p: usize,
     spec: &BaselineSpec,
+    pipeline_label: &str,
+    options: PipelineOptions,
 ) -> Result<BaselineEntry> {
     let ctx = StreamingContext::with_cost_model(p, ExecutionMode::Simulated, SimCostModel::zero())?;
     let config = ClusteringConfig::builder().batch_secs(BATCH_SECS).build()?;
     let mut job = DistStreamJob::new(algo, &ctx, config);
-    job.init_records(bundle.init_records());
+    job.init_records(bundle.init_records()).pipeline(options);
     let mut assignment_secs = 0.0;
     let mut local_secs = 0.0;
     let mut local_cpu_secs = 0.0;
@@ -184,6 +197,7 @@ fn run_one<A: StreamClustering>(
     let total_secs = result.meter.secs();
     Ok(BaselineEntry {
         algo: algo.name().to_string(),
+        pipeline: pipeline_label.to_string(),
         parallelism: p,
         records,
         records_per_sec: if total_secs > 0.0 {
@@ -199,20 +213,71 @@ fn run_one<A: StreamClustering>(
     })
 }
 
-/// Runs the full baseline matrix: four algorithms × [`PARALLELISMS`].
+/// Runs the full baseline matrix: four algorithms × [`PARALLELISMS`] ×
+/// both pipelines (synchronous, and overlapped with prefetch + combine +
+/// chunk scheduling all on).
 ///
 /// # Errors
 ///
 /// Propagates engine failures and empty-stream errors.
 pub fn run_baseline(spec: &BaselineSpec) -> Result<BaselineReport> {
+    run_baseline_pipelines(
+        spec,
+        &[
+            (PIPELINE_SYNC, PipelineOptions::sync()),
+            (PIPELINE_OVERLAPPED, PipelineOptions::all()),
+        ],
+    )
+}
+
+/// [`run_baseline`] over an explicit pipeline-variant list (the
+/// `bench_baseline` binary's `--pipeline` / `--no-*` toggles).
+///
+/// # Errors
+///
+/// Propagates engine failures and empty-stream errors.
+pub fn run_baseline_pipelines(
+    spec: &BaselineSpec,
+    pipelines: &[(&str, PipelineOptions)],
+) -> Result<BaselineReport> {
     let kind = DatasetKind::Kdd99;
     let bundle = Bundle::new(kind, spec.records, spec.seed);
     let mut entries = Vec::new();
     for &p in &PARALLELISMS {
-        entries.push(run_one(&bundle.clustream(), &bundle, p, spec)?);
-        entries.push(run_one(&bundle.denstream(), &bundle, p, spec)?);
-        entries.push(run_one(&bundle.dstream(), &bundle, p, spec)?);
-        entries.push(run_one(&bundle.clustree(), &bundle, p, spec)?);
+        for &(label, options) in pipelines {
+            entries.push(run_one(
+                &bundle.clustream(),
+                &bundle,
+                p,
+                spec,
+                label,
+                options,
+            )?);
+            entries.push(run_one(
+                &bundle.denstream(),
+                &bundle,
+                p,
+                spec,
+                label,
+                options,
+            )?);
+            entries.push(run_one(
+                &bundle.dstream(),
+                &bundle,
+                p,
+                spec,
+                label,
+                options,
+            )?);
+            entries.push(run_one(
+                &bundle.clustree(),
+                &bundle,
+                p,
+                spec,
+                label,
+                options,
+            )?);
+        }
     }
     Ok(BaselineReport {
         schema: BASELINE_SCHEMA,
@@ -261,10 +326,12 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
             ","
         };
         out.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"parallelism\": {}, \"records\": {}, \
+            "    {{\"algo\": \"{}\", \"pipeline\": \"{}\", \"parallelism\": {}, \
+             \"records\": {}, \
              \"records_per_sec\": {}, \"assignment_secs\": {}, \"local_secs\": {}, \
              \"local_cpu_secs\": {}, \"global_secs\": {}, \"total_secs\": {}}}{}\n",
             e.algo,
+            e.pipeline,
             e.parallelism,
             e.records,
             json_f64(e.records_per_sec),
@@ -284,6 +351,7 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
 pub fn print_baseline(report: &BaselineReport) {
     let mut table = Table::new([
         "algorithm",
+        "pipeline",
         "p",
         "records",
         "records/s",
@@ -295,6 +363,7 @@ pub fn print_baseline(report: &BaselineReport) {
     for e in &report.entries {
         table.row([
             e.algo.clone(),
+            e.pipeline.clone(),
             e.parallelism.to_string(),
             e.records.to_string(),
             fmt_f64(e.records_per_sec, 1),
@@ -344,6 +413,7 @@ mod tests {
             calibration_score: 1e7,
             entries: vec![BaselineEntry {
                 algo: "clustream".into(),
+                pipeline: PIPELINE_OVERLAPPED.into(),
                 parallelism: 4,
                 records: 90,
                 records_per_sec: 1234.5,
@@ -355,8 +425,9 @@ mod tests {
             }],
         };
         let json = baseline_to_json(&report);
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"algo\": \"clustream\""));
+        assert!(json.contains("\"pipeline\": \"overlapped\""));
         assert!(json.contains("\"parallelism\": 4"));
         assert!(json.contains("\"records_per_sec\": 1234.5"));
         // Valid JSON must not end entries with a trailing comma.
@@ -372,18 +443,21 @@ mod tests {
             seed: 7,
         };
         let report = run_baseline(&spec).unwrap();
-        assert_eq!(report.entries.len(), 4 * PARALLELISMS.len());
+        assert_eq!(report.entries.len(), 4 * PARALLELISMS.len() * 2);
         for e in &report.entries {
             assert!(e.records > 0, "{} p={} empty", e.algo, e.parallelism);
             assert!(e.records_per_sec > 0.0);
         }
-        // Every algorithm appears at every parallelism degree.
+        // Every algorithm appears at every parallelism degree, in both
+        // pipelines.
         for &p in &PARALLELISMS {
             for algo in ["clustream", "denstream", "dstream", "clustree"] {
-                assert!(report
-                    .entries
-                    .iter()
-                    .any(|e| e.algo == algo && e.parallelism == p));
+                for pipeline in [PIPELINE_SYNC, PIPELINE_OVERLAPPED] {
+                    assert!(report
+                        .entries
+                        .iter()
+                        .any(|e| e.algo == algo && e.parallelism == p && e.pipeline == pipeline));
+                }
             }
         }
     }

@@ -3,19 +3,26 @@
 //!
 //! ```text
 //! bench_baseline [--quick] [--out FILE] [--records N] [--rounds N] [--seed S]
+//!                [--pipeline sync|overlapped|both]
+//!                [--no-prefetch] [--no-combine] [--no-chunking]
 //!                [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! `--quick` runs the scaled-down workload the CI `bench-gate` job uses;
 //! the default workload is the one blessed into the committed baseline.
-//! See DESIGN.md §9 for the regression policy.
+//! `--pipeline` selects which pipeline variants to measure (default both:
+//! the paper's synchronous configuration and the overlapped one), and the
+//! `--no-*` flags toggle individual overlapped-pipeline features off for
+//! ablation runs. See DESIGN.md §9 for the regression policy and §11 for
+//! the overlapped pipeline.
 
 use std::path::PathBuf;
 
 use diststream_bench::{
-    baseline_to_json, print_baseline, run_baseline, BaselineSpec, Cli, TelemetrySession,
-    BASELINE_PATH, BASELINE_QUICK_PATH,
+    baseline_to_json, print_baseline, run_baseline_pipelines, BaselineSpec, Cli, TelemetrySession,
+    BASELINE_PATH, BASELINE_QUICK_PATH, PIPELINE_OVERLAPPED, PIPELINE_SYNC,
 };
+use diststream_core::PipelineOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +34,8 @@ fn main() {
         BASELINE_PATH
     });
     let mut rounds = None;
+    let mut pipeline = "both".to_string();
+    let mut overlapped = PipelineOptions::all();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -38,9 +47,29 @@ fn main() {
             "--rounds" => {
                 rounds = iter.next().and_then(|v| v.parse().ok());
             }
+            "--pipeline" => {
+                if let Some(which) = iter.next() {
+                    pipeline = which.clone();
+                }
+            }
+            "--no-prefetch" => overlapped.prefetch = false,
+            "--no-combine" => overlapped.combine = false,
+            "--no-chunking" => overlapped.chunking = false,
             _ => {}
         }
     }
+    let pipelines: Vec<(&str, PipelineOptions)> = match pipeline.as_str() {
+        "sync" => vec![(PIPELINE_SYNC, PipelineOptions::sync())],
+        "overlapped" => vec![(PIPELINE_OVERLAPPED, overlapped)],
+        "both" => vec![
+            (PIPELINE_SYNC, PipelineOptions::sync()),
+            (PIPELINE_OVERLAPPED, overlapped),
+        ],
+        other => {
+            eprintln!("bench_baseline: unknown --pipeline '{other}' (sync|overlapped|both)");
+            std::process::exit(2);
+        }
+    };
 
     let _telemetry = TelemetrySession::from_cli(&cli);
     let mut spec = BaselineSpec::new(quick);
@@ -52,7 +81,7 @@ fn main() {
         spec.rounds = rounds;
     }
 
-    let report = match run_baseline(&spec) {
+    let report = match run_baseline_pipelines(&spec, &pipelines) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("bench_baseline: {err}");

@@ -19,9 +19,9 @@ mod runner;
 mod trace;
 
 pub use baseline::{
-    baseline_to_json, calibration_score, print_baseline, run_baseline, BaselineEntry,
-    BaselineReport, BaselineSpec, BASELINE_PATH, BASELINE_QUICK_PATH, BASELINE_SCHEMA, BATCH_SECS,
-    PARALLELISMS,
+    baseline_to_json, calibration_score, print_baseline, run_baseline, run_baseline_pipelines,
+    BaselineEntry, BaselineReport, BaselineSpec, BASELINE_PATH, BASELINE_QUICK_PATH,
+    BASELINE_SCHEMA, BATCH_SECS, PARALLELISMS, PIPELINE_OVERLAPPED, PIPELINE_SYNC,
 };
 pub use bundle::{Bundle, DatasetKind};
 pub use cli::Cli;

@@ -24,6 +24,13 @@ use diststream_types::{Point, Record, Result, Timestamp};
 /// Identifier of a micro-cluster within a model.
 pub type MicroClusterId = u64;
 
+/// A prepared assignment function over one broadcast model snapshot: calling
+/// it returns exactly what [`StreamClustering::assign`] returns for the same
+/// record, with any per-model search structure (flattened centroid buffers,
+/// precomputed boundaries) built once up front instead of per call. Shared
+/// read-only across every assignment task of a batch.
+pub type Searcher<'m> = Box<dyn Fn(&Record) -> Assignment + Send + Sync + 'm>;
+
 /// Step-1 decision for one record (distance computation + outlier check).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Assignment {
@@ -109,16 +116,29 @@ pub trait StreamClustering: Send + Sync {
     /// check against its maximum boundary.
     fn assign(&self, model: &Self::Model, record: &Record) -> Assignment;
 
+    /// **API: distance computation, prepared.** Builds a [`Searcher`] over
+    /// one stale model snapshot. The returned function must be equivalent to
+    /// [`StreamClustering::assign`] on the same model — the assignment step
+    /// relies on this equivalence for its determinism guarantees — and must
+    /// be safe to share read-only across tasks. Algorithms override the
+    /// default (a plain `assign` closure) to hoist per-model search
+    /// structures such as flattened centroid buffers out of the per-record
+    /// path; the framework builds the searcher **once per batch** and reuses
+    /// it across every task chunk, so the build cost is amortized over the
+    /// whole batch rather than paid per task.
+    fn searcher<'m>(&'m self, model: &'m Self::Model) -> Searcher<'m> {
+        Box::new(move |record| self.assign(model, record))
+    }
+
     /// **API: distance computation, batched.** Assigns every record of a
     /// task partition against one stale model snapshot. Must return exactly
     /// `records.len()` assignments, element `i` equal to what
-    /// [`StreamClustering::assign`] returns for `records[i]` — the
-    /// assignment step relies on this equivalence for its determinism
-    /// guarantees. Algorithms override the default (a plain `assign` loop)
-    /// to amortize per-call search structures such as flattened centroid
-    /// buffers across the partition's records.
+    /// [`StreamClustering::assign`] returns for `records[i]`. The default
+    /// builds one [`StreamClustering::searcher`] and maps it over the
+    /// partition.
     fn assign_many(&self, model: &Self::Model, records: &[Record]) -> Vec<Assignment> {
-        records.iter().map(|r| self.assign(model, r)).collect()
+        let searcher = self.searcher(model);
+        records.iter().map(searcher).collect()
     }
 
     /// Detaches a copy of micro-cluster `id` from the model for local

@@ -1,7 +1,9 @@
 //! Step 1 — finding the closest micro-cluster with record-based parallelism
 //! (paper §V-A).
 
-use diststream_engine::{Broadcast, RoundRobinPartitioner, StepMetrics, StreamingContext};
+use diststream_engine::{
+    chunk_size, split_chunks, Broadcast, RoundRobinPartitioner, StepMetrics, StreamingContext,
+};
 use diststream_types::{Record, Result};
 
 use crate::api::{Assignment, StreamClustering};
@@ -37,16 +39,68 @@ pub fn assign_records<A: StreamClustering>(
     model: &Broadcast<A::Model>,
     records: Vec<Record>,
 ) -> Result<AssignmentOutcome> {
-    let partitions = RoundRobinPartitioner.split(records, ctx.parallelism());
-    let (outputs, metrics) = ctx.run_tasks(partitions, |_task, recs: Vec<Record>| {
-        let model = model.handle();
-        // Batched distance computation: one searcher build per task
-        // amortizes the model scan structures across the partition.
-        let assignments = algo.assign_many(&model, &recs);
-        debug_assert_eq!(assignments.len(), recs.len());
-        recs.into_iter().zip(assignments).collect::<Vec<_>>()
+    assign_records_scheduled(ctx, algo, model, records, false)
+}
+
+/// [`assign_records`] with selectable task layout: the static round-robin
+/// split (`chunking == false`), or deterministic size-aware chunk
+/// scheduling (`chunking == true`).
+///
+/// Under chunk scheduling, records are cut into contiguous fixed-size
+/// chunks ([`chunk_size`]) claimed by workers from the pool's shared
+/// deterministic queue, so a slow slot sheds load at chunk granularity
+/// instead of holding the step barrier on the largest static partition.
+/// Chunk outputs land in chunk-indexed result slots and are concatenated in
+/// chunk order, which restores arrival order exactly — per-record
+/// assignment is a pure function of `(model, record)`, so `pairs` is
+/// byte-identical to the round-robin layout at every parallelism degree no
+/// matter which worker claimed which chunk.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+pub fn assign_records_scheduled<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    records: Vec<Record>,
+    chunking: bool,
+) -> Result<AssignmentOutcome> {
+    let partitions = if chunking {
+        let chunk = chunk_size(records.len(), ctx.parallelism());
+        split_chunks(records, chunk)
+    } else {
+        RoundRobinPartitioner.split(records, ctx.parallelism())
+    };
+    // Batched distance computation: the searcher (the algorithm's per-model
+    // scan structure) is built once per batch and shared read-only by every
+    // task, so its build cost is paid once per worker slot instead of once
+    // per claimed chunk — the property that keeps over-partitioned chunk
+    // scheduling as cheap as the static split.
+    let snapshot = model.handle();
+    let build_start = std::time::Instant::now(); // lint:allow(wallclock-entropy) searcher-build timing feeds step metrics only
+    let searcher = algo.searcher(&snapshot);
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let (outputs, mut metrics) = ctx.run_tasks(partitions, |_task, recs: Vec<Record>| {
+        recs.into_iter()
+            .map(|rec| {
+                let assignment = searcher(&rec);
+                (rec, assignment)
+            })
+            .collect::<Vec<_>>()
     })?;
-    let pairs = RoundRobinPartitioner.interleave(outputs);
+    drop(searcher);
+    // Every slot builds the searcher once, concurrently, right after the
+    // broadcast lands.
+    metrics.charge_setup(build_secs);
+    let pairs = if chunking {
+        // Contiguous chunks: concatenation in chunk order is the inverse
+        // of the split.
+        outputs.concat()
+    } else {
+        RoundRobinPartitioner.interleave(outputs)
+    };
     Ok(AssignmentOutcome {
         pairs,
         metrics,
@@ -99,6 +153,31 @@ mod tests {
         let out = assign_records(&ctx, &algo, &bcast, records).unwrap();
         let ids: Vec<u64> = out.pairs.iter().map(|(r, _)| r.id).collect();
         assert_eq!(ids, (2..30).collect::<Vec<u64>>());
+    }
+
+    /// Chunk scheduling changes the task layout, never the output: pairs
+    /// must be byte-identical to the round-robin layout at every
+    /// parallelism degree, and in arrival order.
+    #[test]
+    fn chunked_assignment_equals_round_robin() {
+        let (algo, model) = setup();
+        let records: Vec<Record> = (2..300).map(|i| rec(i, (i % 13) as f64)).collect();
+        let reference = {
+            let ctx = StreamingContext::new(1, ExecutionMode::Simulated).unwrap();
+            let bcast = Broadcast::new(model.clone());
+            assign_records(&ctx, &algo, &bcast, records.clone())
+                .unwrap()
+                .pairs
+        };
+        for p in [1, 3, 4, 8] {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let bcast = Broadcast::new(model.clone());
+            let out = assign_records_scheduled(&ctx, &algo, &bcast, records.clone(), true).unwrap();
+            assert_eq!(out.pairs, reference, "parallelism {p}");
+            // With 298 records and MIN_CHUNK_SIZE = 32, chunking produces
+            // more tasks than slots at low p — the balance lever.
+            assert!(out.metrics.task_count() >= p.min(298 / 32), "p={p}");
+        }
     }
 
     #[test]

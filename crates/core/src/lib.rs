@@ -57,15 +57,16 @@ mod store;
 
 pub use adaptive::AdaptiveBatchSizer;
 pub use api::{
-    Assignment, MicroClusterId, Sketch, StreamClustering, UpdateOrdering, WeightedPoint,
+    Assignment, MicroClusterId, Searcher, Sketch, StreamClustering, UpdateOrdering, WeightedPoint,
 };
-pub use assignment::{assign_records, AssignmentOutcome};
+pub use assignment::{assign_records, assign_records_scheduled, AssignmentOutcome};
 pub use global::{global_update, GlobalOutcome};
 pub use local::{
-    local_update, local_update_with, CreatedSketch, LocalOutcome, LocalScratch, UpdatedSketch,
+    local_update, local_update_combined, local_update_with, CreatedSketch, LocalOutcome,
+    LocalScratch, UpdatedSketch, SHUFFLE_KEY_BYTES,
 };
 pub use parallel::{BatchOutcome, DistStreamExecutor};
-pub use pipeline::{take_records, BatchReport, DistStreamJob, RunResult};
+pub use pipeline::{take_records, BatchReport, DistStreamJob, PipelineOptions, RunResult};
 pub use pipelined::PipelinedExecutor;
 pub use recovery::{BatchDisposition, Checkpoint, CheckpointingDriver};
 pub use sequential::{SequentialExecutor, SequentialSummary};

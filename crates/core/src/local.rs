@@ -14,11 +14,19 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use diststream_engine::{
-    fnv1a_hash, group_by_key, serialized_size, Broadcast, StepMetrics, StreamingContext,
+    chunk_size, combine_by_key, fnv1a_hash, group_by_key, serialized_size, split_chunks,
+    AppendCombiner, Broadcast, StepMetrics, StreamingContext,
 };
+use diststream_telemetry as telemetry;
 use diststream_types::{Record, RecordId, Result, Timestamp};
 
 use crate::api::{Assignment, MicroClusterId, StreamClustering, UpdateOrdering};
+
+/// Bytes a shuffle message's key envelope occupies on the wire: the
+/// `(kind, key)` group key, two `u64`s. Charged once per shuffle message —
+/// per record on the uncombined path, per distinct `(map task, key)` entry
+/// after the map-side combine.
+pub const SHUFFLE_KEY_BYTES: u64 = 16;
 
 /// A micro-cluster that existed in `Q_t` and absorbed records this batch.
 #[derive(Debug, Clone)]
@@ -116,6 +124,50 @@ pub fn local_update<A: StreamClustering>(
     )
 }
 
+/// [`local_update_with`] with the map-side combine enabled when `combine`
+/// is true.
+///
+/// The combine stage groups each map task's `(key, record)` pairs locally
+/// before they cross the hash shuffle, so records destined for the same
+/// micro-cluster travel as one keyed entry per map task instead of one per
+/// record. Map tasks are modeled as the same contiguous chunks the
+/// size-aware scheduler uses ([`chunk_size`]), and chunk partials merge in
+/// ascending chunk order — which makes the combined grouping *exactly*
+/// equal to the uncombined `groupByKey` (keys in first-occurrence order,
+/// values in arrival order; see [`combine_by_key`]). Both update orderings
+/// therefore produce bit-identical sketches with the combine on or off;
+/// only the charged shuffle bytes change. The savings are counted in
+/// `diststream_shuffle_bytes_saved_total`.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+#[allow(clippy::too_many_arguments)] // local_update's signature plus scratch and the combine flag
+pub fn local_update_combined<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    pairs: Vec<(Record, Assignment)>,
+    ordering: UpdateOrdering,
+    window_start: Timestamp,
+    shuffle_seed: u64,
+    scratch: &mut LocalScratch,
+    combine: bool,
+) -> Result<LocalOutcome<A::Sketch>> {
+    local_update_impl(
+        ctx,
+        algo,
+        model,
+        pairs,
+        ordering,
+        window_start,
+        shuffle_seed,
+        scratch,
+        combine,
+    )
+}
+
 /// [`local_update`] with a caller-owned [`LocalScratch`], for drivers that
 /// run many batches and want the keyed buffer reused across them. Produces
 /// exactly the same outcome as [`local_update`].
@@ -135,14 +187,65 @@ pub fn local_update_with<A: StreamClustering>(
     shuffle_seed: u64,
     scratch: &mut LocalScratch,
 ) -> Result<LocalOutcome<A::Sketch>> {
-    let record_bytes = pairs.first().map_or(0, |(r, _)| serialized_size(r) + 16);
-    let shuffle_bytes = record_bytes * pairs.len() as u64;
+    local_update_impl(
+        ctx,
+        algo,
+        model,
+        pairs,
+        ordering,
+        window_start,
+        shuffle_seed,
+        scratch,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn local_update_impl<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    pairs: Vec<(Record, Assignment)>,
+    ordering: UpdateOrdering,
+    window_start: Timestamp,
+    shuffle_seed: u64,
+    scratch: &mut LocalScratch,
+    combine: bool,
+) -> Result<LocalOutcome<A::Sketch>> {
+    // Shuffle accounting: each record's serialized payload crosses the wire
+    // exactly once (to its key's destination partition), plus one key
+    // envelope per shuffle message. An earlier version charged the *first*
+    // record's size for every record, misbilling mixed-size batches.
+    let record_count = pairs.len() as u64;
+    let payload_bytes: u64 = pairs.iter().map(|(r, _)| serialized_size(r)).sum();
+    let uncombined_bytes = payload_bytes + SHUFFLE_KEY_BYTES * record_count;
 
     scratch.keyed.clear();
     scratch
         .keyed
         .extend(pairs.into_iter().map(|(r, a)| (group_key(a), r)));
-    let partitions = group_by_key(scratch.keyed.drain(..), ctx.parallelism());
+    let (partitions, shuffle_bytes) = if combine {
+        let _span = telemetry::span!("combine");
+        let keyed: Vec<((u64, u64), Record)> = scratch.keyed.drain(..).collect();
+        let chunk = chunk_size(keyed.len(), ctx.parallelism());
+        let chunks = split_chunks(keyed, chunk);
+        let (partitions, stats) = combine_by_key(chunks, ctx.parallelism(), &AppendCombiner);
+        // Post-combine the payloads are unchanged; only the key envelopes
+        // collapse to one per (map task, key) entry. Never double-charge a
+        // combined delta: combined_entries ≤ input pairs by construction.
+        let combined_bytes = payload_bytes
+            + SHUFFLE_KEY_BYTES * stats.combined_entries.min(stats.input_pairs) as u64;
+        if telemetry::enabled() {
+            telemetry::counter("diststream_shuffle_bytes_saved_total")
+                .add(uncombined_bytes - combined_bytes);
+        }
+        (partitions, combined_bytes)
+    } else {
+        (
+            group_by_key(scratch.keyed.drain(..), ctx.parallelism()),
+            uncombined_bytes,
+        )
+    };
 
     type TaskOut<S> = (Vec<UpdatedSketch<S>>, Vec<CreatedSketch<S>>);
     let (outputs, metrics) = ctx.run_tasks(
@@ -229,7 +332,7 @@ mod tests {
     use crate::api::Sketch;
     use crate::reference::NaiveClustering;
     use diststream_engine::ExecutionMode;
-    use diststream_types::Point;
+    use diststream_types::{ClassId, Point};
 
     fn rec(id: u64, x: f64, t: f64) -> Record {
         Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
@@ -360,6 +463,119 @@ mod tests {
         let out = run_local(1, UpdateOrdering::OrderAware, pairs);
         assert!(out.shuffle_bytes > 0);
         assert_eq!(out.shuffle_bytes % 10, 0);
+    }
+
+    fn run_local_combined(
+        p: usize,
+        ordering: UpdateOrdering,
+        pairs: Vec<(Record, Assignment)>,
+    ) -> LocalOutcome<crate::reference::NaiveSketch> {
+        let algo = NaiveClustering::new(1.0);
+        let model = algo.init(&[rec(0, 0.0, 0.0), rec(1, 10.0, 0.0)]).unwrap();
+        let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+        let bcast = Broadcast::new(model);
+        let mut scratch = LocalScratch::default();
+        local_update_combined(
+            &ctx,
+            &algo,
+            &bcast,
+            pairs,
+            ordering,
+            Timestamp::ZERO,
+            7,
+            &mut scratch,
+            true,
+        )
+        .unwrap()
+    }
+
+    /// Satellite regression: the shuffle must charge each record's
+    /// serialized payload exactly once. The pre-fix accounting charged the
+    /// *first* record's size for every record, so a batch of mixed-width
+    /// points was misbilled.
+    #[test]
+    fn shuffle_bytes_charge_each_payload_exactly_once() {
+        let labeled = Record::labeled(
+            3,
+            Point::from(vec![0.3]),
+            Timestamp::from_secs(3.0),
+            ClassId(1),
+        );
+        let pairs = vec![
+            (rec(2, 0.2, 2.0), Assignment::Existing(0)),
+            (labeled.clone(), Assignment::Existing(0)),
+        ];
+        let expected: u64 = pairs
+            .iter()
+            .map(|(r, _)| serialized_size(r) + SHUFFLE_KEY_BYTES)
+            .sum();
+        // Exact counts: a 1-dim unlabeled record is 33 bytes (id 8 + vec
+        // header 8 + 1×8 coords + timestamp 8 + label tag 1), a labeled one
+        // 37 (tag + u32 class); plus one 16-byte key envelope each. Unequal
+        // sizes catch the old first-record-size × n accounting.
+        assert_eq!(serialized_size(&pairs[0].0), 33);
+        assert_eq!(serialized_size(&labeled), 37);
+        assert_eq!(expected, (33 + 16) + (37 + 16));
+        let out = run_local(1, UpdateOrdering::OrderAware, pairs);
+        assert_eq!(out.shuffle_bytes, expected);
+    }
+
+    /// Post-combine accounting: payloads are charged once and key
+    /// envelopes once per distinct (map task, key) entry — combined deltas
+    /// are never double-charged.
+    #[test]
+    fn combined_shuffle_bytes_charge_envelope_once_per_entry() {
+        // 6 identical 1-dim records, 2 distinct keys, all in one chunk at
+        // p = 1: 6 payloads + 2 envelopes.
+        let pairs: Vec<(Record, Assignment)> = (0..6)
+            .map(|i| (rec(i + 2, 0.5, i as f64), Assignment::Existing(i % 2)))
+            .collect();
+        let out = run_local_combined(1, UpdateOrdering::OrderAware, pairs.clone());
+        assert_eq!(out.shuffle_bytes, 6 * 33 + 2 * SHUFFLE_KEY_BYTES);
+        // At p = 2 the six pairs split into two chunks of three, each
+        // holding both keys: 4 (chunk, key) envelopes.
+        let split = run_local_combined(2, UpdateOrdering::OrderAware, pairs.clone());
+        assert_eq!(split.shuffle_bytes, 6 * 33 + 4 * SHUFFLE_KEY_BYTES);
+        // Uncombined charges an envelope per record.
+        let uncombined = run_local(2, UpdateOrdering::OrderAware, pairs);
+        assert_eq!(uncombined.shuffle_bytes, 6 * (33 + SHUFFLE_KEY_BYTES));
+    }
+
+    /// The combined grouping is exactly the uncombined grouping, so both
+    /// orderings — including the shuffle-order-sensitive Unordered
+    /// baseline — produce identical sketches with the combine on.
+    #[test]
+    fn combine_produces_identical_sketches_in_both_orderings() {
+        let pairs: Vec<(Record, Assignment)> = (2..80)
+            .map(|i| {
+                let a = if i % 7 == 0 {
+                    Assignment::New(i)
+                } else {
+                    Assignment::Existing(i % 2)
+                };
+                (rec(i, (i % 10) as f64 / 10.0, i as f64), a)
+            })
+            .collect();
+        for ordering in [UpdateOrdering::OrderAware, UpdateOrdering::Unordered] {
+            for p in [1, 4] {
+                let plain = run_local(p, ordering, pairs.clone());
+                let combined = run_local_combined(p, ordering, pairs.clone());
+                let key = |o: &LocalOutcome<crate::reference::NaiveSketch>| {
+                    let mut u: Vec<_> =
+                        o.updated.iter().map(|u| (u.id, u.sketch.clone())).collect();
+                    u.sort_by_key(|(id, _)| *id);
+                    let mut c: Vec<_> = o
+                        .created
+                        .iter()
+                        .map(|c| (c.first_arrival, c.sketch.clone()))
+                        .collect();
+                    c.sort_by_key(|(arrival, _)| *arrival);
+                    (u, c)
+                };
+                assert_eq!(key(&plain), key(&combined), "{ordering:?} p={p}");
+                assert!(combined.shuffle_bytes <= plain.shuffle_bytes);
+            }
+        }
     }
 
     #[test]

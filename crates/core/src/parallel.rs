@@ -6,9 +6,9 @@ use diststream_telemetry as telemetry;
 use diststream_types::Result;
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
-use crate::assignment::assign_records;
+use crate::assignment::assign_records_scheduled;
 use crate::global::global_update;
-use crate::local::{local_update_with, LocalScratch};
+use crate::local::{local_update_combined, LocalScratch};
 
 /// Per-batch statistics reported by [`DistStreamExecutor::process_batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +66,8 @@ pub struct DistStreamExecutor<'a, A: StreamClustering> {
     ctx: &'a StreamingContext,
     ordering: UpdateOrdering,
     premerge: bool,
+    combine: bool,
+    chunking: bool,
     base_seed: u64,
     // Per-batch scratch reused across process_batch calls (the reason
     // process_batch takes &mut self).
@@ -81,9 +83,29 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             ctx,
             ordering: UpdateOrdering::OrderAware,
             premerge: true,
+            combine: false,
+            chunking: false,
             base_seed: 0x0B5E55ED,
             scratch: LocalScratch::default(),
         }
+    }
+
+    /// Enables or disables the map-side combine before the shuffle. The
+    /// combined grouping equals the uncombined one exactly (see
+    /// [`local_update_combined`](crate::local_update_combined)), so this
+    /// changes charged shuffle bytes, never the model.
+    pub fn combine(&mut self, combine: bool) -> &mut Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Enables or disables deterministic size-aware chunk scheduling for
+    /// the assignment split (see
+    /// [`assign_records_scheduled`](crate::assign_records_scheduled)).
+    /// Changes the task layout, never the assignment pairs.
+    pub fn chunking(&mut self, chunking: bool) -> &mut Self {
+        self.chunking = chunking;
+        self
     }
 
     /// Selects order-aware or unordered-baseline execution.
@@ -138,7 +160,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // Step 1: record-based parallel assignment.
         let assignment = {
             let _span = telemetry::span!("assignment", batch = batch.index);
-            assign_records(self.ctx, self.algo, &bcast, batch.records)?
+            assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
         };
         let assigned_existing = assignment
             .pairs
@@ -150,7 +172,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // Step 2: model-based parallel local update.
         let local = {
             let _span = telemetry::span!("local_update", batch = batch.index);
-            local_update_with(
+            local_update_combined(
                 self.ctx,
                 self.algo,
                 &bcast,
@@ -159,6 +181,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 window_start,
                 batch_seed,
                 &mut self.scratch,
+                self.combine,
             )?
         };
         let local_metrics = local.metrics.clone();
@@ -267,6 +290,58 @@ mod tests {
         let m1 = run(1);
         for p in [2, 4, 8, 32] {
             assert_eq!(run(p), m1, "model diverged at parallelism {p}");
+        }
+    }
+
+    /// The tentpole determinism gate at executor level: combine + chunk
+    /// scheduling leave the model bit-identical to the plain pipeline at
+    /// every parallelism degree, in both orderings.
+    #[test]
+    fn combine_and_chunking_preserve_model_at_every_parallelism() {
+        let algo = NaiveClustering::new(1.0);
+        let records: Vec<Record> = (1..300)
+            .map(|i| rec(i, (i % 17) as f64 * 0.7, i as f64 * 0.1))
+            .collect();
+        for ordering in [UpdateOrdering::OrderAware, UpdateOrdering::Unordered] {
+            let run = |p: usize, combine: bool, chunking: bool| {
+                let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+                let mut exec = DistStreamExecutor::new(&algo, &ctx);
+                exec.ordering(ordering).combine(combine).chunking(chunking);
+                let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+                exec.process_batch(&mut model, batch(0, records[..150].to_vec()))
+                    .unwrap();
+                exec.process_batch(&mut model, batch(1, records[150..].to_vec()))
+                    .unwrap();
+                model
+            };
+            for p in [1, 4, 8] {
+                // Combine and chunk scheduling never change the model the
+                // plain pipeline produces at the same parallelism — even in
+                // Unordered mode, where the baseline itself is
+                // p-*dependent* (global applies groups in p-shaped
+                // partition order; that sensitivity is the paper's
+                // motivation and must not be masked here).
+                let reference = run(p, false, false);
+                assert_eq!(run(p, true, true), reference, "{ordering:?} p={p}");
+                assert_eq!(
+                    run(p, true, false),
+                    reference,
+                    "{ordering:?} p={p} combine-only"
+                );
+                assert_eq!(
+                    run(p, false, true),
+                    reference,
+                    "{ordering:?} p={p} chunk-only"
+                );
+            }
+            // And in OrderAware mode the full feature set stays
+            // p-*invariant*: bit-identical to the p=1 plain pipeline.
+            if ordering == UpdateOrdering::OrderAware {
+                let base = run(1, false, false);
+                for p in [4, 8] {
+                    assert_eq!(run(p, true, true), base, "p-invariance lost at p={p}");
+                }
+            }
         }
     }
 

@@ -1,12 +1,80 @@
 //! High-level job wiring: source → initialization → mini-batcher →
 //! executor → per-batch reports.
 
-use diststream_engine::{MiniBatcher, RecordSource, StreamingContext, ThroughputMeter};
+use diststream_engine::{
+    prefetch_batches, MiniBatch, MiniBatcher, RecordSource, StreamingContext, ThroughputMeter,
+};
 use diststream_telemetry as telemetry;
 use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
 
 use crate::api::{StreamClustering, UpdateOrdering};
 use crate::parallel::{BatchOutcome, DistStreamExecutor};
+use crate::pipelined::PipelinedExecutor;
+
+/// Toggles for the overlapped batch pipeline — the three ingest-to-update
+/// optimizations plus the asynchronous update protocol, all off by default
+/// (the paper's synchronous configuration).
+///
+/// None of the first three change the model: prefetch only moves the
+/// source drain off the critical path, combining only changes the charged
+/// shuffle bytes, and chunk scheduling only changes the task layout.
+/// `overlap` switches to the [`PipelinedExecutor`] protocol, which trades
+/// one batch of model staleness for throughput — a *different* (but still
+/// parallelism-invariant) model than the synchronous protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Double-buffered ingest: a worker drains the source for batch `N+1`
+    /// while batch `N` processes.
+    pub prefetch: bool,
+    /// Map-side combine before the hash shuffle.
+    pub combine: bool,
+    /// Deterministic size-aware chunk scheduling for the assignment step.
+    pub chunking: bool,
+    /// Asynchronous update protocol ([`PipelinedExecutor`]).
+    pub overlap: bool,
+}
+
+impl PipelineOptions {
+    /// The synchronous paper configuration (everything off).
+    pub fn sync() -> Self {
+        PipelineOptions::default()
+    }
+
+    /// The fully overlapped pipeline (everything on).
+    pub fn all() -> Self {
+        PipelineOptions {
+            prefetch: true,
+            combine: true,
+            chunking: true,
+            overlap: true,
+        }
+    }
+}
+
+/// Either executor behind one per-batch interface, so the job's drive loop
+/// is written once.
+enum AnyExec<'a, A: StreamClustering> {
+    Sync(DistStreamExecutor<'a, A>),
+    Overlap(PipelinedExecutor<'a, A>),
+}
+
+impl<'a, A: StreamClustering> AnyExec<'a, A> {
+    fn process_batch(&mut self, model: &mut A::Model, batch: MiniBatch) -> Result<BatchOutcome> {
+        match self {
+            AnyExec::Sync(exec) => exec.process_batch(model, batch),
+            AnyExec::Overlap(exec) => exec.process_batch(model, batch),
+        }
+    }
+
+    /// Applies any pending global update and returns its driver seconds
+    /// (the synchronous executor never has one pending).
+    fn flush_secs(&mut self, model: &mut A::Model) -> Option<f64> {
+        match self {
+            AnyExec::Sync(_) => None,
+            AnyExec::Overlap(exec) => exec.flush(model).map(|g| g.global_secs),
+        }
+    }
+}
 
 /// Everything a per-batch observer gets to see: the batch outcome plus the
 /// post-update model (e.g. for offline clustering and quality evaluation at
@@ -66,6 +134,7 @@ pub struct DistStreamJob<'a, A: StreamClustering> {
     init_records: usize,
     ordering: UpdateOrdering,
     premerge: bool,
+    pipeline: PipelineOptions,
 }
 
 impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
@@ -79,6 +148,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
             init_records: 100,
             ordering: UpdateOrdering::OrderAware,
             premerge: true,
+            pipeline: PipelineOptions::sync(),
         }
     }
 
@@ -100,8 +170,38 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
         self
     }
 
+    /// Selects the overlapped-pipeline feature set (default:
+    /// [`PipelineOptions::sync`]).
+    pub fn pipeline(&mut self, pipeline: PipelineOptions) -> &mut Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    fn make_exec(&self) -> AnyExec<'a, A> {
+        if self.pipeline.overlap {
+            let mut exec = PipelinedExecutor::new(self.algo, self.ctx);
+            exec.ordering(self.ordering)
+                .premerge(self.premerge)
+                .combine(self.pipeline.combine)
+                .chunking(self.pipeline.chunking);
+            AnyExec::Overlap(exec)
+        } else {
+            let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
+            exec.ordering(self.ordering)
+                .premerge(self.premerge)
+                .combine(self.pipeline.combine)
+                .chunking(self.pipeline.chunking);
+            AnyExec::Sync(exec)
+        }
+    }
+
     /// Runs the job to stream exhaustion, invoking `on_batch` after every
     /// global update.
+    ///
+    /// With [`PipelineOptions::overlap`] set, reports lag one global update
+    /// behind (the asynchronous protocol applies batch `B`'s update while
+    /// batch `B+1`'s parallel steps run); the final pending update is
+    /// flushed — and its driver time metered — before this returns.
     ///
     /// # Errors
     ///
@@ -110,7 +210,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
     /// engine failures.
     pub fn run<S, F>(&self, mut source: S, mut on_batch: F) -> Result<RunResult<A::Model>>
     where
-        S: RecordSource,
+        S: RecordSource + Send,
         F: FnMut(BatchReport<'_, A::Model>),
     {
         let mut init = Vec::with_capacity(self.init_records.max(1));
@@ -125,28 +225,17 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
         }
         let mut model = self.algo.init(&init)?;
 
-        let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
-        exec.ordering(self.ordering).premerge(self.premerge);
-
+        let mut exec = self.make_exec();
         let mut meter = ThroughputMeter::new();
-        let batcher = MiniBatcher::new(&mut source, self.config.batch_secs());
-        for batch in batcher {
-            let batch_index = batch.index;
-            let window_end = batch.window_end;
-            let outcome = exec.process_batch(&mut model, batch)?;
-            meter.observe(&outcome.metrics);
-            on_batch(BatchReport {
-                batch_index,
-                window_end,
-                model: &model,
-                outcome: &outcome,
-            });
-            // Batch barrier: all worker threads of the batch have exited
-            // (their span buffers auto-flushed), so the journal drain here
-            // sees the complete batch.
-            if telemetry::enabled() {
-                telemetry::barrier_drain();
-            }
+        if self.pipeline.prefetch {
+            // Initialization records were already drained synchronously
+            // above, so the worker stages exactly the post-init batches.
+            prefetch_batches(source, self.config.batch_secs(), |batches| {
+                drive_batches(&mut exec, &mut model, batches, &mut meter, &mut on_batch)
+            })?;
+        } else {
+            let batcher = MiniBatcher::new(&mut source, self.config.batch_secs());
+            drive_batches(&mut exec, &mut model, batcher, &mut meter, &mut on_batch)?;
         }
         Ok(RunResult { model, meter })
     }
@@ -156,7 +245,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
     /// # Errors
     ///
     /// Same as [`DistStreamJob::run`].
-    pub fn run_to_end<S: RecordSource>(&self, source: S) -> Result<RunResult<A::Model>> {
+    pub fn run_to_end<S: RecordSource + Send>(&self, source: S) -> Result<RunResult<A::Model>> {
         self.run(source, |_| {})
     }
 
@@ -164,6 +253,11 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
     /// work): after every batch the controller observes the achieved
     /// throughput and retunes the next window width within the §IV-D
     /// quality bound.
+    ///
+    /// [`PipelineOptions::prefetch`] is ignored here: retuning must feed
+    /// the next window width back into the batcher *between* pulls, which
+    /// a prefetch worker staging ahead of the feedback loop cannot honor.
+    /// The other pipeline options apply as in [`DistStreamJob::run`].
     ///
     /// # Errors
     ///
@@ -190,9 +284,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
         }
         let mut model = self.algo.init(&init)?;
 
-        let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
-        exec.ordering(self.ordering).premerge(self.premerge);
-
+        let mut exec = self.make_exec();
         let mut meter = ThroughputMeter::new();
         let mut batcher = MiniBatcher::new(&mut source, sizer.batch_secs());
         while let Some(batch) = batcher.next() {
@@ -213,8 +305,56 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 telemetry::barrier_drain();
             }
         }
+        if let Some(flush_secs) = exec.flush_secs(&mut model) {
+            meter.observe_flush(flush_secs);
+            if telemetry::enabled() {
+                telemetry::barrier_drain();
+            }
+        }
         Ok(RunResult { model, meter })
     }
+}
+
+/// The shared per-batch drive loop: process, meter, report, drain the span
+/// journal at the batch barrier, and flush any pending overlapped update at
+/// stream end.
+fn drive_batches<A, I, F>(
+    exec: &mut AnyExec<'_, A>,
+    model: &mut A::Model,
+    batches: I,
+    meter: &mut ThroughputMeter,
+    on_batch: &mut F,
+) -> Result<()>
+where
+    A: StreamClustering,
+    I: Iterator<Item = MiniBatch>,
+    F: FnMut(BatchReport<'_, A::Model>),
+{
+    for batch in batches {
+        let batch_index = batch.index;
+        let window_end = batch.window_end;
+        let outcome = exec.process_batch(model, batch)?;
+        meter.observe(&outcome.metrics);
+        on_batch(BatchReport {
+            batch_index,
+            window_end,
+            model,
+            outcome: &outcome,
+        });
+        // Batch barrier: all worker threads of the batch have exited
+        // (their span buffers auto-flushed), so the journal drain here
+        // sees the complete batch.
+        if telemetry::enabled() {
+            telemetry::barrier_drain();
+        }
+    }
+    if let Some(flush_secs) = exec.flush_secs(model) {
+        meter.observe_flush(flush_secs);
+        if telemetry::enabled() {
+            telemetry::barrier_drain();
+        }
+    }
+    Ok(())
 }
 
 /// Consumes `count` records from a source into a vector (initialization
@@ -330,5 +470,58 @@ mod tests {
         let baseline = run(1);
         assert_eq!(run(4), baseline);
         assert_eq!(run(16), baseline);
+    }
+
+    fn run_with(p: usize, pipeline: PipelineOptions) -> RunResult<crate::reference::NaiveModel> {
+        let algo = NaiveClustering::new(1.5);
+        let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+        DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .init_records(8)
+            .pipeline(pipeline)
+            .run_to_end(VecSource::new(recs(300)))
+            .unwrap()
+    }
+
+    /// Prefetch, combine, and chunk scheduling are pure optimizations:
+    /// the synchronous model is bit-identical with them on or off.
+    #[test]
+    fn non_overlap_options_do_not_change_sync_model() {
+        let plain = run_with(4, PipelineOptions::sync());
+        let tuned = run_with(
+            4,
+            PipelineOptions {
+                prefetch: true,
+                combine: true,
+                chunking: true,
+                overlap: false,
+            },
+        );
+        assert_eq!(tuned.model, plain.model);
+        assert_eq!(tuned.meter.records(), plain.meter.records());
+        assert_eq!(tuned.meter.batches(), plain.meter.batches());
+    }
+
+    /// The tentpole gate at job level: the fully overlapped pipeline is
+    /// bit-identical at every parallelism degree.
+    #[test]
+    fn full_pipeline_is_parallelism_invariant() {
+        let base = run_with(1, PipelineOptions::all());
+        for p in [4, 16] {
+            let got = run_with(p, PipelineOptions::all());
+            assert_eq!(got.model, base.model, "p={p}");
+            assert_eq!(got.meter.records(), base.meter.records());
+        }
+        // All post-init records processed despite the one-batch lag.
+        assert_eq!(base.meter.records(), 292);
+    }
+
+    /// Overlapped runs flush the last pending global update, and its
+    /// driver time is metered (secs, not batches).
+    #[test]
+    fn overlapped_flush_time_is_metered() {
+        let overlapped = run_with(2, PipelineOptions::all());
+        assert!(overlapped.meter.batches() >= 2);
+        assert!(!overlapped.model.is_empty());
+        assert!(overlapped.meter.secs() > 0.0);
     }
 }

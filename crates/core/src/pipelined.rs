@@ -16,15 +16,17 @@
 //! and micro-clusters still apply in creation order, just one batch later.
 
 use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_telemetry as telemetry;
 use diststream_types::{Result, Timestamp};
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
-use crate::assignment::assign_records;
+use crate::assignment::assign_records_scheduled;
 use crate::global::{global_update, GlobalOutcome};
-use crate::local::{local_update_with, LocalOutcome, LocalScratch};
+use crate::local::{local_update_combined, LocalOutcome, LocalScratch};
 use crate::parallel::BatchOutcome;
 
 struct PendingGlobal<S> {
+    batch_index: usize,
     local: LocalOutcome<S>,
     window_end: Timestamp,
     seed: u64,
@@ -74,6 +76,8 @@ pub struct PipelinedExecutor<'a, A: StreamClustering> {
     ctx: &'a StreamingContext,
     ordering: UpdateOrdering,
     premerge: bool,
+    combine: bool,
+    chunking: bool,
     base_seed: u64,
     pending: Option<PendingGlobal<A::Sketch>>,
     // Per-batch scratch reused across process_batch calls.
@@ -88,6 +92,8 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             ctx,
             ordering: UpdateOrdering::OrderAware,
             premerge: true,
+            combine: false,
+            chunking: false,
             base_seed: 0x0B5E55ED,
             pending: None,
             scratch: LocalScratch::default(),
@@ -103,6 +109,21 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
     /// Enables or disables the pre-merge optimization.
     pub fn premerge(&mut self, premerge: bool) -> &mut Self {
         self.premerge = premerge;
+        self
+    }
+
+    /// Enables or disables map-side combining before the hash shuffle
+    /// (default off). Never changes the model — only the charged shuffle
+    /// bytes.
+    pub fn combine(&mut self, combine: bool) -> &mut Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Enables or disables deterministic size-aware chunk scheduling for
+    /// the assignment step (default off — static round-robin split).
+    pub fn chunking(&mut self, chunking: bool) -> &mut Self {
+        self.chunking = chunking;
         self
     }
 
@@ -127,6 +148,12 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         model: &mut A::Model,
         batch: MiniBatch,
     ) -> Result<BatchOutcome> {
+        // Driver-side spans only, mirroring the synchronous executor: the
+        // journal's span multiset must not depend on the parallelism
+        // degree. The global_update span carries the *applied* batch's
+        // index (B−1), not this one's — the async lag is visible in the
+        // trace.
+        let _batch_span = telemetry::span!("batch", batch = batch.index);
         // Scope any installed fault plan's (task, attempt) coordinates to
         // this batch before the parallel steps run.
         self.ctx.begin_batch(batch.index);
@@ -143,6 +170,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         // Driver side (conceptually concurrent): apply batch B−1's global
         // update to the authoritative model.
         let applied = self.pending.take().map(|pending| {
+            let _span = telemetry::span!("global_update", batch = pending.batch_index);
             global_update(
                 self.algo,
                 model,
@@ -155,23 +183,30 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         });
 
         // Parallel side: steps 1 and 2 against the stale snapshot.
-        let assignment = assign_records(self.ctx, self.algo, &bcast, batch.records)?;
+        let assignment = {
+            let _span = telemetry::span!("assignment", batch = batch.index);
+            assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
+        };
         let assigned_existing = assignment
             .pairs
             .iter()
             .filter(|(_, a)| matches!(a, Assignment::Existing(_)))
             .count();
         let outlier_records = records - assigned_existing;
-        let local = local_update_with(
-            self.ctx,
-            self.algo,
-            &bcast,
-            assignment.pairs,
-            self.ordering,
-            window_start,
-            batch_seed,
-            &mut self.scratch,
-        )?;
+        let local = {
+            let _span = telemetry::span!("local_update", batch = batch.index);
+            local_update_combined(
+                self.ctx,
+                self.algo,
+                &bcast,
+                assignment.pairs,
+                self.ordering,
+                window_start,
+                batch_seed,
+                &mut self.scratch,
+                self.combine,
+            )?
+        };
         let local_metrics = local.metrics.clone();
         let shuffle_bytes = local.shuffle_bytes;
 
@@ -181,12 +216,13 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
 
         // Queue this batch's outcome for the next iteration's driver side.
         self.pending = Some(PendingGlobal {
+            batch_index: batch.index,
             local,
             window_end,
             seed: batch_seed,
         });
 
-        Ok(BatchOutcome {
+        let outcome = BatchOutcome {
             metrics: BatchMetrics {
                 batch_index: batch.index,
                 records,
@@ -202,7 +238,9 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             outlier_records,
             created_micro_clusters: applied.as_ref().map_or(0, |g| g.created_before_premerge),
             created_after_premerge: applied.as_ref().map_or(0, |g| g.created_after_premerge),
-        })
+        };
+        outcome.metrics.emit_telemetry();
+        Ok(outcome)
     }
 
     /// Applies the last pending global update (call at stream end).
@@ -211,6 +249,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
     /// was pending.
     pub fn flush(&mut self, model: &mut A::Model) -> Option<GlobalOutcome> {
         self.pending.take().map(|pending| {
+            let _span = telemetry::span!("global_update", batch = pending.batch_index);
             global_update(
                 self.algo,
                 model,
@@ -363,6 +402,31 @@ mod tests {
         let base = run(1);
         assert_eq!(run(4), base);
         assert_eq!(run(16), base);
+    }
+
+    /// The async protocol stays bit-identical across parallelism with the
+    /// full overlapped feature set (combine + chunk scheduling) enabled —
+    /// and matches the plain async pipeline, which already matched p=1.
+    #[test]
+    fn combine_and_chunking_deterministic_across_parallelism() {
+        let algo = NaiveClustering::new(1.0);
+        let recs = stream(200);
+        let run = |p: usize, combine: bool, chunking: bool| {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let mut exec = PipelinedExecutor::new(&algo, &ctx);
+            exec.combine(combine).chunking(chunking);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            for (i, chunk) in recs.chunks(50).enumerate() {
+                exec.process_batch(&mut model, batch(i, chunk.to_vec()))
+                    .unwrap();
+            }
+            exec.flush(&mut model);
+            model
+        };
+        let base = run(1, false, false);
+        for p in [1, 4, 16] {
+            assert_eq!(run(p, true, true), base, "p={p}");
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod metrics;
 mod netcost;
 mod partition;
 mod pool;
+mod prefetch;
 mod reorder;
 mod sizeof;
 mod source;
@@ -66,8 +67,15 @@ pub use driver::{ExecutionMode, StreamingContext};
 pub use faults::FaultPlan;
 pub use metrics::{BatchMetrics, StepMetrics, ThroughputMeter};
 pub use netcost::{NetworkModel, SimCostModel, StragglerModel};
-pub use partition::{fnv1a_hash, group_by_key, Fnv1a, HashPartitioner, RoundRobinPartitioner};
-pub use pool::{TaskPool, DEFAULT_MAX_TASK_FAILURES};
+pub use partition::{
+    combine_by_key, fnv1a_hash, group_by_key, AppendCombiner, CombineStats, Combiner, Fnv1a,
+    HashPartitioner, KeyBytes, RoundRobinPartitioner,
+};
+pub use pool::{
+    chunk_size, split_chunks, TaskPool, CHUNK_OVERPARTITION, DEFAULT_MAX_TASK_FAILURES,
+    MIN_CHUNK_SIZE,
+};
+pub use prefetch::{prefetch_batches, PrefetchedBatches, PREFETCH_DEPTH};
 pub use reorder::ReorderBuffer;
 pub use sizeof::serialized_size;
 pub use source::{RateStampedSource, RecordSource, RepeatSource, VecSource};

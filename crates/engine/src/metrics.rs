@@ -35,6 +35,17 @@ impl StepMetrics {
         StepMetrics::default()
     }
 
+    /// Charges a once-per-slot setup cost to the step: work every worker
+    /// performs exactly once per step regardless of how many tasks it
+    /// claims — e.g. building a per-model search structure after receiving
+    /// the broadcast. All slots set up concurrently, so the barrier latency
+    /// grows by `secs` once; per-task durations are untouched (setup is not
+    /// attributable to any single task, and inflating each task would charge
+    /// the cost once per claimed chunk).
+    pub fn charge_setup(&mut self, secs: f64) {
+        self.wall_secs += secs;
+    }
+
     /// Number of tasks in the step.
     pub fn task_count(&self) -> usize {
         self.task_secs.len()
@@ -280,6 +291,15 @@ impl ThroughputMeter {
         self.total_tasks += batch.assignment.task_count() + batch.local.task_count();
     }
 
+    /// Folds stream-end flush time into the totals without counting a
+    /// batch: the overlapped pipeline's final pending global update runs
+    /// after the last batch's barrier, and dropping it would overstate the
+    /// async protocol's throughput by one global update.
+    pub fn observe_flush(&mut self, global_secs: f64) {
+        self.secs += global_secs;
+        self.global_secs += global_secs;
+    }
+
     /// Total records observed.
     pub fn records(&self) -> usize {
         self.records
@@ -464,6 +484,12 @@ mod tests {
         assert_eq!(meter.records_per_sec(), 100.0);
         assert_eq!(meter.micros_per_record(), 10_000.0);
         assert!((meter.global_micros_per_record() - 2500.0).abs() < 1e-9);
+        // Flush time lands in secs/global_secs but is not a batch.
+        meter.observe_flush(1.0);
+        assert_eq!(meter.batches(), 3);
+        assert_eq!(meter.records(), 300);
+        assert_eq!(meter.secs(), 4.0);
+        assert!((meter.records_per_sec() - 75.0).abs() < 1e-9);
     }
 
     #[test]

@@ -280,6 +280,157 @@ where
     out
 }
 
+/// A map-side combiner: merges shuffle values for the same key task-locally
+/// before they cross the hash shuffle (Spark's `combineByKey` role).
+///
+/// `lift` turns a single shuffle value into a partial aggregate; `merge`
+/// folds one partial into another. [`combine_by_key`] merges partials for
+/// the same key in a fixed order — ascending map-partition index, with each
+/// map partition contributing at most one partial per key — so the result
+/// is deterministic regardless of which worker produced which partial.
+pub trait Combiner<V> {
+    /// The per-key partial aggregate that crosses the shuffle.
+    type Partial;
+    /// Wraps one value into a fresh partial.
+    fn lift(&self, value: V) -> Self::Partial;
+    /// Folds `other` into `acc`. Called in ascending map-partition order.
+    fn merge(&self, acc: &mut Self::Partial, other: Self::Partial);
+}
+
+/// The identity combiner: partials are plain value vectors and merging is
+/// concatenation. Combining with this is *exactly* `groupByKey` — when the
+/// map partitions are contiguous slices of the input, the combined output
+/// is byte-identical to [`group_by_key`] over the flattened input (verified
+/// by property test), which is what lets the shuffle combine ride the
+/// order-aware path without perturbing the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendCombiner;
+
+impl<V> Combiner<V> for AppendCombiner {
+    type Partial = Vec<V>;
+    fn lift(&self, value: V) -> Vec<V> {
+        vec![value]
+    }
+    fn merge(&self, acc: &mut Vec<V>, mut other: Vec<V>) {
+        acc.append(&mut other);
+    }
+}
+
+/// What the map-side combine saved: entry counts before and after the
+/// task-local merge, for the network-cost model's post-combine accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombineStats {
+    /// Total `(key, value)` pairs fed in — the uncombined shuffle message
+    /// count.
+    pub input_pairs: usize,
+    /// Distinct `(map partition, key)` entries — the combined shuffle
+    /// message count (each entry crosses the wire once).
+    pub combined_entries: usize,
+}
+
+/// Grouped shuffle partitions plus the [`CombineStats`] of the map-side
+/// combine that produced them.
+pub type CombinedShuffle<K, P> = (Vec<Vec<(K, P)>>, CombineStats);
+
+/// `group_by_key` with a map-side combine stage (§V-B with Spark's
+/// map-side-combine optimization).
+///
+/// Each map partition is first combined task-locally: values for the same
+/// key within a partition collapse into one partial via [`Combiner::lift`]
+/// and [`Combiner::merge`], in first-occurrence order. The partials then
+/// cross the shuffle and merge into the final grouped output in ascending
+/// map-partition index — a fixed merge order, so the result is independent
+/// of task scheduling. Group placement follows the same first-occurrence
+/// rule as [`group_by_key`]: with the [`AppendCombiner`] and map partitions
+/// that are contiguous slices of an input list, the output equals
+/// `group_by_key(flattened input)` exactly.
+///
+/// Returns the grouped shuffle partitions plus [`CombineStats`] for
+/// post-combine byte accounting.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{combine_by_key, group_by_key, AppendCombiner};
+///
+/// let chunks = vec![vec![(1u64, "a"), (2, "b")], vec![(1, "c")]];
+/// let (parts, stats) = combine_by_key(chunks.clone(), 1, &AppendCombiner);
+/// assert_eq!(parts, group_by_key(chunks.into_iter().flatten(), 1));
+/// assert_eq!(stats.input_pairs, 3);
+/// assert_eq!(stats.combined_entries, 3); // no intra-chunk duplicates here
+/// ```
+pub fn combine_by_key<K, V, C>(
+    map_partitions: Vec<Vec<(K, V)>>,
+    partitions: usize,
+    combiner: &C,
+) -> CombinedShuffle<K, C::Partial>
+where
+    K: Eq + Hash + Clone + KeyBytes,
+    C: Combiner<V>,
+{
+    assert!(partitions > 0, "partition count must be at least 1");
+    let partitioner = HashPartitioner;
+    let mut stats = CombineStats::default();
+    // key -> (partition, position) in the final grouped output.
+    let mut slots: HashMap<K, (usize, usize)> = HashMap::new();
+    let mut out: Vec<Vec<(K, C::Partial)>> = (0..partitions).map(|_| Vec::new()).collect();
+    // Scratch for one map partition's local combine; keyed by position so
+    // the chunk's first-occurrence order is preserved into the merge.
+    let mut local_slots: HashMap<K, usize> = HashMap::new();
+    for chunk in map_partitions {
+        // Map side: combine within the chunk, first-occurrence order.
+        local_slots.clear();
+        let mut local: Vec<(K, C::Partial)> = Vec::new();
+        for (key, value) in chunk {
+            stats.input_pairs += 1;
+            match local_slots.get(&key) {
+                Some(&idx) => {
+                    let lifted = combiner.lift(value);
+                    combiner.merge(&mut local[idx].1, lifted);
+                }
+                None => {
+                    local_slots.insert(key.clone(), local.len());
+                    local.push((key, combiner.lift(value)));
+                }
+            }
+        }
+        stats.combined_entries += local.len();
+        // Reduce side: each chunk contributes at most one partial per key,
+        // and chunks are consumed in ascending index — the fixed merge
+        // order that makes the grouped result schedule-independent.
+        for (key, partial) in local {
+            match slots.get(&key) {
+                Some(&(p, idx)) => combiner.merge(&mut out[p][idx].1, partial),
+                None => {
+                    let p = partitioner.partition_of(&key, partitions);
+                    let idx = out[p].len();
+                    out[p].push((key.clone(), partial));
+                    slots.insert(key, (p, idx));
+                }
+            }
+        }
+    }
+    #[cfg(feature = "debug_invariants")]
+    {
+        let mut seen_keys = std::collections::BTreeSet::new();
+        for (key, _) in out.iter().flatten() {
+            assert!(
+                seen_keys.insert(fnv1a_hash(&key.key_bytes())),
+                "debug_invariants: combine_by_key emitted a key twice",
+            );
+        }
+        assert!(
+            stats.combined_entries <= stats.input_pairs,
+            "debug_invariants: combine cannot create entries",
+        );
+    }
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +509,44 @@ mod tests {
     }
 
     #[test]
+    fn combine_by_key_collapses_intra_chunk_duplicates() {
+        let chunks = vec![
+            vec![(7u64, 1), (7, 2), (3, 3)],
+            vec![(3, 4), (7, 5), (7, 6)],
+        ];
+        let (parts, stats) = combine_by_key(chunks, 2, &AppendCombiner);
+        assert_eq!(stats.input_pairs, 6);
+        // chunk 0: {7: [1,2], 3: [3]} = 2 entries; chunk 1: {3: [4], 7: [5,6]} = 2.
+        assert_eq!(stats.combined_entries, 4);
+        let all: Vec<(u64, Vec<i32>)> = parts.into_iter().flatten().collect();
+        let seven = all.iter().find(|(k, _)| *k == 7).unwrap();
+        assert_eq!(seven.1, vec![1, 2, 5, 6]);
+        let three = all.iter().find(|(k, _)| *k == 3).unwrap();
+        assert_eq!(three.1, vec![3, 4]);
+    }
+
+    /// A lossy combiner (sum) must still merge partials in fixed
+    /// chunk-index order: sums are order-independent, but the first-seen
+    /// group placement must match the flattened first occurrence.
+    #[test]
+    fn combine_by_key_supports_reducing_combiners() {
+        struct Sum;
+        impl Combiner<i64> for Sum {
+            type Partial = i64;
+            fn lift(&self, v: i64) -> i64 {
+                v
+            }
+            fn merge(&self, acc: &mut i64, other: i64) {
+                *acc += other;
+            }
+        }
+        let chunks = vec![vec![(2u64, 10), (1, 1)], vec![(1, 2), (2, 30)]];
+        let (parts, stats) = combine_by_key(chunks, 1, &Sum);
+        assert_eq!(parts[0], vec![(2, 40), (1, 3)]);
+        assert_eq!(stats.combined_entries, 4);
+    }
+
+    #[test]
     fn fnv_known_vector() {
         // FNV-1a of empty input is the offset basis.
         assert_eq!(fnv1a_hash(b""), 0xcbf2_9ce4_8422_2325);
@@ -385,6 +574,42 @@ mod tests {
             collected.sort_unstable();
             expected.sort_unstable();
             prop_assert_eq!(collected, expected);
+        }
+
+        /// The satellite property: map-side combine with the append
+        /// combiner and a fixed merge order produces *byte-identical*
+        /// grouped values to the uncombined shuffle, for arbitrary
+        /// key/value multisets and any contiguous chunking.
+        #[test]
+        fn prop_combine_equals_uncombined_shuffle(
+            pairs in prop::collection::vec((0u64..12, 0i32..1000), 0..200),
+            p in 1usize..6,
+            chunk_size in 1usize..40,
+        ) {
+            let chunks: Vec<Vec<(u64, i32)>> =
+                pairs.chunks(chunk_size).map(<[_]>::to_vec).collect();
+            let (combined, stats) = combine_by_key(chunks, p, &AppendCombiner);
+            let uncombined = group_by_key(pairs.clone(), p);
+            prop_assert_eq!(combined, uncombined);
+            prop_assert_eq!(stats.input_pairs, pairs.len());
+            prop_assert!(stats.combined_entries <= stats.input_pairs);
+        }
+
+        /// Chunk boundaries change how much the combine saves, never what
+        /// it produces.
+        #[test]
+        fn prop_combine_is_chunking_invariant(
+            pairs in prop::collection::vec((0u64..8, 0i32..100), 0..120),
+            p in 1usize..5,
+            a in 1usize..30,
+            b in 1usize..30,
+        ) {
+            let chunk = |size: usize| -> Vec<Vec<(u64, i32)>> {
+                pairs.chunks(size).map(<[_]>::to_vec).collect()
+            };
+            let (ga, _) = combine_by_key(chunk(a), p, &AppendCombiner);
+            let (gb, _) = combine_by_key(chunk(b), p, &AppendCombiner);
+            prop_assert_eq!(ga, gb);
         }
 
         #[test]

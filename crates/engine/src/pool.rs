@@ -206,6 +206,100 @@ impl TaskPool {
     }
 }
 
+/// Over-partitioning factor for size-aware chunk scheduling: each worker
+/// slot's share of a record split is cut into this many chunks, so the
+/// pool's shared claim counter can rebalance work away from a slow slot at
+/// chunk granularity instead of stalling the step barrier on the largest
+/// static partition.
+pub const CHUNK_OVERPARTITION: usize = 4;
+
+/// Floor on records per scheduling chunk. Below this, per-task dispatch
+/// overhead (claim traffic, result-slot bookkeeping, simulated per-task
+/// overhead) outweighs any balance win, so small batches degrade gracefully
+/// toward one chunk per slot — and ultimately one chunk total.
+pub const MIN_CHUNK_SIZE: usize = 32;
+
+/// The fixed chunk size for splitting `n` records across `slots` worker
+/// slots under size-aware scheduling.
+///
+/// The chunk count is always a multiple of `slots` — `slots × k` chunks
+/// with `k` the largest factor in `1..=CHUNK_OVERPARTITION` that keeps
+/// chunks at least [`MIN_CHUNK_SIZE`] records. Large batches get
+/// `CHUNK_OVERPARTITION` claimable chunks per slot (the balance lever);
+/// small batches degrade to exactly one balanced chunk per slot, whose
+/// makespan matches the static round-robin split instead of leaving one
+/// slot a `MIN_CHUNK_SIZE`-sized straggler chunk.
+///
+/// Purely arithmetic in `(n, slots)` — no load measurement, no clock — so
+/// the chunk layout is reproducible run-to-run. The layout *may* differ
+/// across parallelism degrees; that is harmless because chunk outputs are
+/// written to chunk-indexed slots and concatenated in chunk order
+/// (see [`split_chunks`]), making the reassembled result independent of
+/// both the schedule and the chunk count.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{chunk_size, CHUNK_OVERPARTITION, MIN_CHUNK_SIZE};
+///
+/// // Large batch: CHUNK_OVERPARTITION chunks per slot.
+/// assert_eq!(chunk_size(4000, 4), 4000usize.div_ceil(4 * CHUNK_OVERPARTITION));
+/// // Small batch: one balanced chunk per slot (25/25/25/25, not 32/32/32/4).
+/// assert_eq!(chunk_size(100, 4), 25);
+/// assert_eq!(chunk_size(1, 4), 1);
+/// assert_eq!(chunk_size(0, 4), 1); // degenerate, still valid
+/// ```
+pub fn chunk_size(n: usize, slots: usize) -> usize {
+    let slots = slots.max(1);
+    let per_slot = (n / (slots * MIN_CHUNK_SIZE)).clamp(1, CHUNK_OVERPARTITION);
+    n.div_ceil(slots * per_slot).max(1)
+}
+
+/// Splits `items` into contiguous chunks of `chunk` items (the final chunk
+/// may be shorter) — the input layout for size-aware chunk scheduling.
+///
+/// Unlike the round-robin split, chunks are contiguous slices of the input,
+/// so concatenating the per-chunk outputs in chunk index order restores the
+/// original arrival order exactly — no interleave step, and no dependence
+/// on which worker claimed which chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::split_chunks;
+///
+/// let chunks = split_chunks(vec![1, 2, 3, 4, 5], 2);
+/// assert_eq!(chunks, vec![vec![1, 2], vec![3, 4], vec![5]]);
+/// assert_eq!(chunks.concat(), vec![1, 2, 3, 4, 5]);
+/// ```
+pub fn split_chunks<T>(items: Vec<T>, chunk: usize) -> Vec<Vec<T>> {
+    assert!(chunk > 0, "chunk size must be at least 1");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    #[cfg(feature = "debug_invariants")]
+    let input_len = items.len();
+    let chunks = items.len().div_ceil(chunk);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut it = items.into_iter();
+    for _ in 0..chunks {
+        let mut piece = Vec::with_capacity(chunk);
+        piece.extend(it.by_ref().take(chunk));
+        out.push(piece);
+    }
+    #[cfg(feature = "debug_invariants")]
+    assert_eq!(
+        out.iter().map(Vec::len).sum::<usize>(),
+        input_len,
+        "debug_invariants: chunk split lost or duplicated items",
+    );
+    out
+}
+
 /// A task that exhausted its retry budget.
 #[derive(Debug)]
 pub(crate) struct TaskFailure {
@@ -445,6 +539,53 @@ mod tests {
     #[should_panic(expected = "max task failures")]
     fn zero_retry_budget_panics() {
         let _ = TaskPool::new(1).with_max_task_failures(0);
+    }
+
+    #[test]
+    fn split_chunks_is_contiguous_and_concat_restores_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for chunk in [1, 7, 32, 103, 200] {
+            let chunks = split_chunks(items.clone(), chunk);
+            assert!(chunks.iter().all(|c| c.len() <= chunk));
+            assert!(chunks.iter().rev().skip(1).all(|c| c.len() == chunk));
+            assert_eq!(chunks.concat(), items, "chunk={chunk}");
+        }
+        assert!(split_chunks(Vec::<u32>::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn chunk_size_floors_and_overpartitions() {
+        // Large batch: each of the 4 slots gets CHUNK_OVERPARTITION chunks.
+        let size = chunk_size(12_000, 4);
+        assert_eq!(size, 12_000usize.div_ceil(4 * CHUNK_OVERPARTITION));
+        assert_eq!(12_000usize.div_ceil(size), 4 * CHUNK_OVERPARTITION);
+        // Small batch: one balanced chunk per slot, never a tiny straggler
+        // chunk behind MIN_CHUNK_SIZE-sized ones.
+        assert_eq!(chunk_size(10, 8), 2);
+        assert_eq!(chunk_size(100, 4), 25);
+        // Mid-size batch: the per-slot factor grows only while chunks stay
+        // at least MIN_CHUNK_SIZE.
+        let mid = chunk_size(4 * MIN_CHUNK_SIZE * 2, 4);
+        assert_eq!(mid, MIN_CHUNK_SIZE);
+        // Chunk sizes never drop below MIN_CHUNK_SIZE once a slot has more
+        // than one chunk.
+        for n in [1usize, 10, 100, 129, 1000, 12_000] {
+            for slots in [1usize, 3, 4, 8] {
+                let c = chunk_size(n, slots);
+                assert!(c >= 1);
+                if n.div_ceil(c) > slots {
+                    assert!(c >= MIN_CHUNK_SIZE, "n={n} slots={slots} c={c}");
+                }
+            }
+        }
+        // Deterministic: same inputs, same layout.
+        assert_eq!(chunk_size(4999, 3), chunk_size(4999, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_panics() {
+        let _ = split_chunks(vec![1], 0);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Ingest/reorder prefetch — the double-buffered batch stage.
+//!
+//! Synchronously, the driver drains the source (and any [`ReorderBuffer`]
+//! wrapped around it) for batch *N+1* only after batch *N*'s global update
+//! finishes, so source decode and order-recovery cost sits on the batch
+//! critical path. [`prefetch_batches`] moves that drain onto a dedicated
+//! worker: while the driver processes batch *N*, the worker stages batch
+//! *N+1* into a bounded channel ([`PREFETCH_DEPTH`] slots — a double
+//! buffer), and the driver's next pull is a channel receive instead of a
+//! source drain.
+//!
+//! **Determinism.** The worker runs the same [`MiniBatcher`] the
+//! synchronous path would, over the same source, producing the identical
+//! batch sequence; only *when* batches are materialized changes. Batches
+//! are consumed strictly in order through a FIFO channel, so everything
+//! downstream (task layout, fault coordinates, checkpoint cursors) is
+//! untouched.
+//!
+//! **Fault transparency.** A panic while draining the source (including
+//! one injected into the batcher) is caught on the worker, shipped through
+//! the channel, and re-raised on the consumer thread at the same pull that
+//! would have panicked synchronously — so a faulted prefetched batch is
+//! observably identical to a faulted synchronous one. Task-level
+//! [`FaultPlan`](crate::FaultPlan) panics are unaffected either way: they
+//! fire inside `run_tasks`, which prefetching does not touch.
+//!
+//! [`ReorderBuffer`]: crate::ReorderBuffer
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+
+use diststream_telemetry as telemetry;
+
+use crate::batcher::{MiniBatch, MiniBatcher};
+use crate::source::RecordSource;
+
+/// Staged-batch channel capacity: one batch in flight while one is being
+/// consumed — the classic double buffer. Deeper prefetch would only grow
+/// memory residency; the worker can never be more than one batch ahead of
+/// the critical path anyway.
+pub const PREFETCH_DEPTH: usize = 1;
+
+/// What the prefetch worker ships to the consumer.
+enum Staged {
+    /// The next mini-batch, drained and reordered off the critical path.
+    Batch(MiniBatch),
+    /// The worker's drain panicked; the payload is re-raised at the
+    /// consumer's matching pull.
+    Poisoned(Box<dyn std::any::Any + Send>),
+}
+
+/// The consumer's handle: an ordered iterator over prefetched batches.
+///
+/// Yields exactly the batches the synchronous [`MiniBatcher`] would yield,
+/// in the same order. If the worker's source drain panicked, the panic
+/// resumes here — on the pull that would have panicked synchronously.
+pub struct PrefetchedBatches {
+    rx: mpsc::Receiver<Staged>,
+}
+
+impl Iterator for PrefetchedBatches {
+    type Item = MiniBatch;
+
+    fn next(&mut self) -> Option<MiniBatch> {
+        match self.rx.recv() {
+            Ok(Staged::Batch(batch)) => Some(batch),
+            // Same observable behavior as the synchronous drain panicking.
+            Ok(Staged::Poisoned(payload)) => panic::resume_unwind(payload),
+            // Worker exhausted the source and hung up.
+            Err(mpsc::RecvError) => None,
+        }
+    }
+}
+
+/// Runs `consume` over the mini-batches of `source`, drained by a
+/// dedicated prefetch worker that stays one batch ahead of the consumer.
+///
+/// Equivalent to `consume` iterating `MiniBatcher::new(source, batch_secs)`
+/// directly — same batches, same order, same panics — but with the source
+/// drain overlapped against whatever `consume` does between pulls. The
+/// worker is joined before this function returns, so no work outlives the
+/// call.
+///
+/// Each staged drain is recorded as a `prefetch` telemetry span on the
+/// worker thread (never nested inside a `batch` span — the batch spans
+/// live on the driver thread; `xtask check-trace` enforces this).
+///
+/// # Panics
+///
+/// Re-raises any panic from draining the source, at the consumer's
+/// matching pull (see [`PrefetchedBatches::next`]).
+///
+/// # Examples
+///
+/// ```
+/// use diststream_engine::{prefetch_batches, VecSource};
+/// use diststream_types::{Point, Record, Timestamp};
+///
+/// let records: Vec<Record> = (0..10)
+///     .map(|i| Record::new(i, Point::zeros(1), Timestamp::from_secs(i as f64 * 0.1)))
+///     .collect();
+/// let batches = prefetch_batches(VecSource::new(records), 0.5, |batches| {
+///     batches.collect::<Vec<_>>()
+/// });
+/// assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 10);
+/// ```
+pub fn prefetch_batches<S, T, F>(source: S, batch_secs: f64, consume: F) -> T
+where
+    S: RecordSource + Send,
+    F: FnOnce(PrefetchedBatches) -> T,
+{
+    // Construct the batcher on the caller thread so argument validation
+    // panics synchronously, exactly like the non-prefetched path.
+    let mut batcher = MiniBatcher::new(source, batch_secs);
+    let (tx, rx) = mpsc::sync_channel::<Staged>(PREFETCH_DEPTH);
+    let scope_result = crossbeam::thread::scope(move |s| {
+        s.spawn(move |_| {
+            loop {
+                // Catch the drain's panic here and forward it so the
+                // consumer observes it at the same pull as the sync path;
+                // a raw worker panic would instead surface as a scope
+                // error with the payload's pull position lost.
+                let staged = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _span = telemetry::span!("prefetch");
+                    batcher.next()
+                }));
+                match staged {
+                    // A send error means the consumer hung up early (it
+                    // stopped on an error); just stop staging.
+                    Ok(Some(batch)) => {
+                        if tx.send(Staged::Batch(batch)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(payload) => {
+                        let _ = tx.send(Staged::Poisoned(payload));
+                        break;
+                    }
+                }
+            }
+        });
+        consume(PrefetchedBatches { rx })
+    });
+    match scope_result {
+        Ok(out) => out,
+        // Unreachable by construction — the worker catches its own panics —
+        // but re-raise rather than assert so an impossible state cannot
+        // mask the original panic.
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use diststream_types::{Point, Record, Timestamp};
+
+    fn records(n: u64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i, Point::zeros(1), Timestamp::from_secs(i as f64 * 0.25)))
+            .collect()
+    }
+
+    #[test]
+    fn prefetched_batches_equal_synchronous_batches() {
+        let sync: Vec<MiniBatch> = MiniBatcher::new(VecSource::new(records(57)), 1.0).collect();
+        let prefetched =
+            prefetch_batches(VecSource::new(records(57)), 1.0, |b| b.collect::<Vec<_>>());
+        assert_eq!(prefetched, sync);
+        assert!(sync.len() > 1, "test needs multiple batches");
+    }
+
+    #[test]
+    fn empty_source_yields_no_batches() {
+        let batches = prefetch_batches(VecSource::new(Vec::new()), 1.0, |b| b.count());
+        assert_eq!(batches, 0);
+    }
+
+    #[test]
+    fn consumer_may_stop_early() {
+        // Dropping the handle after one batch must not wedge the worker.
+        let first = prefetch_batches(VecSource::new(records(100)), 1.0, |mut b| b.next());
+        assert!(first.is_some());
+    }
+
+    /// A source that panics mid-stream, standing in for a poisoned ingest.
+    struct PoisonedSource {
+        yielded: u64,
+        panic_at: u64,
+    }
+
+    impl RecordSource for PoisonedSource {
+        fn next_record(&mut self) -> Option<Record> {
+            if self.yielded == self.panic_at {
+                // lint:allow(no-panic) scripted test fault
+                panic!("poisoned ingest at record {}", self.yielded);
+            }
+            let i = self.yielded;
+            self.yielded += 1;
+            Some(Record::new(
+                i,
+                Point::zeros(1),
+                Timestamp::from_secs(i as f64),
+            ))
+        }
+    }
+
+    #[test]
+    fn ingest_panic_resumes_on_consumer_at_matching_pull() {
+        // Panic at record 6 with 1s batches: batches 0..=5 hold one record
+        // each; the pull for the next batch panics — same as synchronous.
+        let sync_count = {
+            let mut batcher = MiniBatcher::new(
+                PoisonedSource {
+                    yielded: 0,
+                    panic_at: 6,
+                },
+                1.0,
+            );
+            let mut n = 0;
+            while let Ok(Some(_)) = panic::catch_unwind(AssertUnwindSafe(|| batcher.next())) {
+                n += 1;
+            }
+            n
+        };
+        let mut prefetched_count = 0;
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            prefetch_batches(
+                PoisonedSource {
+                    yielded: 0,
+                    panic_at: 6,
+                },
+                1.0,
+                |batches| {
+                    for _ in batches {
+                        prefetched_count += 1;
+                    }
+                },
+            );
+        }));
+        let payload = caught.expect_err("ingest panic must propagate to the consumer");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("poisoned ingest"), "payload: {message:?}");
+        assert_eq!(
+            prefetched_count, sync_count,
+            "panic must land at the same pull as the synchronous path"
+        );
+    }
+}

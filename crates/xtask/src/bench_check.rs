@@ -4,7 +4,11 @@
 //! numbers against the committed baseline (`BENCH_BASELINE.json`, or
 //! `BENCH_BASELINE_QUICK.json` with `--quick` — the two workloads have
 //! different warmup fractions and model shapes, so cross-mode comparison
-//! would be meaningless). See DESIGN.md §9 for the policy.
+//! would be meaningless). Fresh measurements land in a mode-namespaced
+//! output (`BENCH_CURRENT_QUICK.json` / `BENCH_CURRENT_DEFAULT.json`) so a
+//! quick gate and a full run never clobber each other's artifacts, and any
+//! file whose recorded `mode` does not match the requested workload is
+//! refused. See DESIGN.md §9 for the policy.
 //!
 //! Machine-speed normalization: each baseline file records a
 //! `calibration_score` (element rate of a fixed subtract-square-accumulate
@@ -16,6 +20,13 @@
 //! that the FLOP-bound calibration loop does not see), the measurement is
 //! retried up to [`MAX_ATTEMPTS`] times keeping the best rate per cell, and
 //! stops early once everything passes.
+//!
+//! Overlap win: the overlapped pipeline exists to beat the synchronous one,
+//! so the gate additionally requires CluStream at p = 4 to run at least
+//! [`OVERLAP_WIN_FACTOR`]× faster overlapped than sync — checked on the
+//! committed file (a hard error: a blessed baseline without the win is
+//! stale) and on the fresh measurement (retryable like any cell failure).
+//! The ratio compares two cells of the same run, so calibration cancels.
 //!
 //! Scaling loss — a cell whose `p=4 / p=1` speedup fell below half its
 //! committed value — is *reported* but does not fail the gate: on small
@@ -36,27 +47,40 @@ pub const SCALING_LOSS_FACTOR: f64 = 2.0;
 /// Fresh-measurement attempts before declaring a regression real.
 pub const MAX_ATTEMPTS: usize = 3;
 
+/// Required overlapped-over-sync throughput factor for CluStream at
+/// [`OVERLAP_WIN_PARALLELISM`] (the ISSUE's acceptance bar).
+pub const OVERLAP_WIN_FACTOR: f64 = 1.25;
+
+/// Parallelism degree the overlap-win gate checks.
+pub const OVERLAP_WIN_PARALLELISM: u64 = 4;
+
+/// Algorithm the overlap-win gate checks.
+pub const OVERLAP_WIN_ALGO: &str = "clustream";
+
 /// Baseline schema version this checker understands (mirrors
 /// `diststream_bench::BASELINE_SCHEMA`; xtask has no dependencies).
-const SUPPORTED_SCHEMA: f64 = 1.0;
+const SUPPORTED_SCHEMA: f64 = 2.0;
 
-/// One `(algorithm, parallelism)` throughput cell.
+/// A throughput cell key: `(algorithm, pipeline, parallelism)`.
+pub type CellKey = (String, String, u64);
+
+/// One parsed baseline report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Baseline {
     /// `"quick"` or `"default"`.
     pub mode: String,
     /// Machine-speed score recorded alongside the measurements.
     pub calibration: f64,
-    /// `(algo, parallelism) -> records_per_sec`.
-    pub cells: BTreeMap<(String, u64), f64>,
+    /// `(algo, pipeline, parallelism) -> records_per_sec`.
+    pub cells: BTreeMap<CellKey, f64>,
 }
 
 /// Outcome of comparing one fresh measurement set against the baseline.
 #[derive(Debug, Default, PartialEq)]
 pub struct Comparison {
-    /// `(algo, p, committed rate, best normalized fresh rate)` per cell.
-    pub rows: Vec<(String, u64, f64, f64)>,
-    /// Human-readable failures (regressed or missing cells).
+    /// `(algo, pipeline, p, committed rate, best normalized fresh rate)`.
+    pub rows: Vec<(String, String, u64, f64, f64)>,
+    /// Human-readable failures (regressed, missing, or overlap-win cells).
     pub failures: Vec<String>,
     /// Non-fatal p4/p1 scaling-loss reports.
     pub scaling_warnings: Vec<String>,
@@ -97,6 +121,10 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
             .get("algo")
             .and_then(Json::as_str)
             .ok_or(format!("entry {i}: missing string `algo`"))?;
+        let pipeline = entry
+            .get("pipeline")
+            .and_then(Json::as_str)
+            .ok_or(format!("entry {i}: missing string `pipeline`"))?;
         let p = entry
             .get("parallelism")
             .and_then(Json::as_num)
@@ -110,7 +138,7 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
                 "entry {i}: records_per_sec {rate} must be positive"
             ));
         }
-        cells.insert((algo.to_string(), p as u64), rate);
+        cells.insert((algo.to_string(), pipeline.to_string(), p as u64), rate);
     }
     if cells.is_empty() {
         return Err("baseline has no entries".to_string());
@@ -122,49 +150,86 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     })
 }
 
+/// The overlapped/sync throughput ratio for the overlap-win gate's cell, if
+/// both pipelines are present in `cells`.
+pub fn overlap_win_ratio(cells: &BTreeMap<CellKey, f64>) -> Option<f64> {
+    let key = |pipeline: &str| {
+        (
+            OVERLAP_WIN_ALGO.to_string(),
+            pipeline.to_string(),
+            OVERLAP_WIN_PARALLELISM,
+        )
+    };
+    let sync = cells.get(&key("sync"))?;
+    let overlapped = cells.get(&key("overlapped"))?;
+    Some(overlapped / sync)
+}
+
 /// Compares best-per-cell normalized fresh rates against the committed
 /// baseline. `best` holds the running per-cell maximum across attempts.
-pub fn compare(committed: &Baseline, best: &BTreeMap<(String, u64), f64>) -> Comparison {
+pub fn compare(committed: &Baseline, best: &BTreeMap<CellKey, f64>) -> Comparison {
     let mut cmp = Comparison::default();
-    for ((algo, p), &committed_rate) in &committed.cells {
-        match best.get(&(algo.clone(), *p)) {
+    for ((algo, pipeline, p), &committed_rate) in &committed.cells {
+        match best.get(&(algo.clone(), pipeline.clone(), *p)) {
             Some(&fresh_rate) => {
-                cmp.rows
-                    .push((algo.clone(), *p, committed_rate, fresh_rate));
+                cmp.rows.push((
+                    algo.clone(),
+                    pipeline.clone(),
+                    *p,
+                    committed_rate,
+                    fresh_rate,
+                ));
                 if fresh_rate < committed_rate * (1.0 - REGRESSION_TOLERANCE) {
                     cmp.failures.push(format!(
-                        "{algo} p={p}: {fresh_rate:.0} rec/s is {:.1}% below the committed \
-                         {committed_rate:.0} rec/s (tolerance {:.0}%)",
+                        "{algo} {pipeline} p={p}: {fresh_rate:.0} rec/s is {:.1}% below the \
+                         committed {committed_rate:.0} rec/s (tolerance {:.0}%)",
                         (1.0 - fresh_rate / committed_rate) * 100.0,
                         REGRESSION_TOLERANCE * 100.0
                     ));
                 }
             }
-            None => cmp
-                .failures
-                .push(format!("{algo} p={p}: missing from the fresh measurement")),
+            None => cmp.failures.push(format!(
+                "{algo} {pipeline} p={p}: missing from the fresh measurement"
+            )),
         }
     }
-    // p4/p1 scaling loss, per algorithm present at both degrees in both
-    // sets. The calibration factor cancels in the ratio.
-    let algos: Vec<&String> = committed.cells.keys().map(|(algo, _)| algo).collect();
-    for algo in algos {
-        let committed_scaling = match (
-            committed.cells.get(&(algo.clone(), 4)),
-            committed.cells.get(&(algo.clone(), 1)),
-        ) {
+    // Overlap win on the fresh measurement. The ratio compares two cells of
+    // the same runs, so the calibration factor cancels.
+    match overlap_win_ratio(best) {
+        Some(ratio) if ratio < OVERLAP_WIN_FACTOR => cmp.failures.push(format!(
+            "{OVERLAP_WIN_ALGO} p={OVERLAP_WIN_PARALLELISM}: overlapped is only {ratio:.2}x \
+             sync (gate requires {OVERLAP_WIN_FACTOR}x)"
+        )),
+        Some(_) => {}
+        None if overlap_win_ratio(&committed.cells).is_some() => cmp.failures.push(format!(
+            "{OVERLAP_WIN_ALGO} p={OVERLAP_WIN_PARALLELISM}: overlap-win cells missing from \
+             the fresh measurement"
+        )),
+        None => {}
+    }
+    // p4/p1 scaling loss, per (algorithm, pipeline) present at both degrees
+    // in both sets. The calibration factor cancels in the ratio.
+    let lanes: Vec<(&String, &String)> = committed
+        .cells
+        .keys()
+        .map(|(algo, pipeline, _)| (algo, pipeline))
+        .collect();
+    for (algo, pipeline) in lanes {
+        let key = |p: u64| (algo.clone(), pipeline.clone(), p);
+        let committed_scaling = match (committed.cells.get(&key(4)), committed.cells.get(&key(1))) {
             (Some(&r4), Some(&r1)) => r4 / r1,
             _ => continue,
         };
-        let fresh_scaling = match (best.get(&(algo.clone(), 4)), best.get(&(algo.clone(), 1))) {
+        let fresh_scaling = match (best.get(&key(4)), best.get(&key(1))) {
             (Some(&r4), Some(&r1)) => r4 / r1,
             _ => continue,
         };
+        let tag = format!("{algo} {pipeline}");
         if fresh_scaling * SCALING_LOSS_FACTOR < committed_scaling
-            && !cmp.scaling_warnings.iter().any(|w| w.starts_with(algo))
+            && !cmp.scaling_warnings.iter().any(|w| w.starts_with(&tag))
         {
             cmp.scaling_warnings.push(format!(
-                "{algo}: p4/p1 scaling fell from {committed_scaling:.2}x to \
+                "{tag}: p4/p1 scaling fell from {committed_scaling:.2}x to \
                  {fresh_scaling:.2}x (more than {SCALING_LOSS_FACTOR}x loss)"
             ));
         }
@@ -174,7 +239,7 @@ pub fn compare(committed: &Baseline, best: &BTreeMap<(String, u64), f64>) -> Com
 
 /// Folds one fresh run into the per-cell best map, normalizing by the
 /// calibration ratio so machine speed cancels.
-pub fn fold_best(committed: &Baseline, fresh: &Baseline, best: &mut BTreeMap<(String, u64), f64>) {
+pub fn fold_best(committed: &Baseline, fresh: &Baseline, best: &mut BTreeMap<CellKey, f64>) {
     let scale = committed.calibration / fresh.calibration;
     for (key, &rate) in &fresh.cells {
         let normalized = rate * scale;
@@ -194,6 +259,16 @@ pub fn committed_path(quick: bool) -> &'static str {
     }
 }
 
+/// Repo-relative fresh-measurement output path for a mode. Namespaced per
+/// workload so `--quick` gates and full runs never overwrite each other.
+pub fn fresh_path(quick: bool) -> &'static str {
+    if quick {
+        "BENCH_CURRENT_QUICK.json"
+    } else {
+        "BENCH_CURRENT_DEFAULT.json"
+    }
+}
+
 /// Runs the full gate: load committed baseline, measure fresh (retrying up
 /// to [`MAX_ATTEMPTS`] times, early exit on pass), print the comparison.
 /// Returns `Ok(true)` on pass, `Ok(false)` on regression.
@@ -206,20 +281,43 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
     let expected_mode = if quick { "quick" } else { "default" };
     if committed.mode != expected_mode {
         return Err(format!(
-            "{}: mode is `{}` but this gate runs the `{expected_mode}` workload",
+            "{}: mode is `{}` but this gate runs the `{expected_mode}` workload — \
+             refusing the mismatched baseline",
             committed_file.display(),
             committed.mode
         ));
     }
+    // A blessed baseline must itself demonstrate the overlap win; failing
+    // here is a hard error, not a flaky measurement.
+    match overlap_win_ratio(&committed.cells) {
+        Some(ratio) if ratio < OVERLAP_WIN_FACTOR => {
+            return Err(format!(
+                "{}: committed overlapped/sync ratio for {OVERLAP_WIN_ALGO} \
+                 p={OVERLAP_WIN_PARALLELISM} is {ratio:.2}x, below the required \
+                 {OVERLAP_WIN_FACTOR}x — re-bless from a run that meets the bar",
+                committed_file.display()
+            ))
+        }
+        Some(_) => {}
+        None => {
+            return Err(format!(
+                "{}: missing {OVERLAP_WIN_ALGO} p={OVERLAP_WIN_PARALLELISM} sync/overlapped \
+                 cells for the overlap-win gate",
+                committed_file.display()
+            ))
+        }
+    }
 
-    let fresh_file = root.join("BENCH_CURRENT.json");
-    let mut best: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    let fresh_file = root.join(fresh_path(quick));
+    let mut best: BTreeMap<CellKey, f64> = BTreeMap::new();
     let mut comparison = Comparison::default();
     for attempt in 1..=MAX_ATTEMPTS {
         let fresh = measure_fresh(root, quick, &fresh_file)?;
         if fresh.mode != expected_mode {
             return Err(format!(
-                "fresh measurement ran in `{}` mode, expected `{expected_mode}`",
+                "{}: fresh measurement ran in `{}` mode, expected `{expected_mode}` — \
+                 refusing the mismatched workload",
+                fresh_file.display(),
                 fresh.mode
             ));
         }
@@ -241,11 +339,17 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
         expected_mode,
         committed_file.display()
     );
-    for (algo, p, committed_rate, fresh_rate) in &comparison.rows {
+    for (algo, pipeline, p, committed_rate, fresh_rate) in &comparison.rows {
         println!(
-            "  {algo:<10} p={p}  committed {committed_rate:>12.0} rec/s  \
+            "  {algo:<10} {pipeline:<10} p={p}  committed {committed_rate:>12.0} rec/s  \
              fresh {fresh_rate:>12.0} rec/s  ({:+.1}%)",
             (fresh_rate / committed_rate - 1.0) * 100.0
+        );
+    }
+    if let Some(ratio) = overlap_win_ratio(&best) {
+        println!(
+            "  overlap win: {OVERLAP_WIN_ALGO} p={OVERLAP_WIN_PARALLELISM} overlapped/sync = \
+             {ratio:.2}x (required {OVERLAP_WIN_FACTOR}x)"
         );
     }
     for warning in &comparison.scaling_warnings {
@@ -324,18 +428,20 @@ pub fn parse_args(args: &[String]) -> Result<(bool, Option<PathBuf>), String> {
 mod tests {
     use super::*;
 
-    fn baseline(mode: &str, calibration: f64, cells: &[(&str, u64, f64)]) -> Baseline {
+    fn baseline(mode: &str, calibration: f64, cells: &[(&str, &str, u64, f64)]) -> Baseline {
         Baseline {
             mode: mode.to_string(),
             calibration,
             cells: cells
                 .iter()
-                .map(|(algo, p, rate)| ((algo.to_string(), *p), *rate))
+                .map(|(algo, pipeline, p, rate)| {
+                    ((algo.to_string(), pipeline.to_string(), *p), *rate)
+                })
                 .collect(),
         }
     }
 
-    fn best_of(committed: &Baseline, fresh: &Baseline) -> BTreeMap<(String, u64), f64> {
+    fn best_of(committed: &Baseline, fresh: &Baseline) -> BTreeMap<CellKey, f64> {
         let mut best = BTreeMap::new();
         fold_best(committed, fresh, &mut best);
         best
@@ -344,7 +450,7 @@ mod tests {
     #[test]
     fn parses_real_baseline_json() {
         let contents = r#"{
-  "schema": 1,
+  "schema": 2,
   "mode": "default",
   "dataset": "KDD-99",
   "records": 12000,
@@ -352,7 +458,7 @@ mod tests {
   "batch_secs": 1,
   "calibration_score": 1500000000.5,
   "entries": [
-    {"algo": "clustream", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "total_secs": 0.33}
+    {"algo": "clustream", "pipeline": "sync", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "total_secs": 0.33}
   ]
 }
 "#;
@@ -360,42 +466,74 @@ mod tests {
         assert_eq!(parsed.mode, "default");
         assert_eq!(parsed.calibration, 1_500_000_000.5);
         assert_eq!(
-            parsed.cells.get(&("clustream".to_string(), 1)),
+            parsed
+                .cells
+                .get(&("clustream".to_string(), "sync".to_string(), 1)),
             Some(&106_935.4)
         );
     }
 
     #[test]
-    fn rejects_bad_schema_and_empty_entries() {
+    fn rejects_bad_schema_missing_pipeline_and_empty_entries() {
         let bad_schema =
-            r#"{"schema": 2, "mode": "default", "calibration_score": 1, "entries": []}"#;
+            r#"{"schema": 1, "mode": "default", "calibration_score": 1, "entries": []}"#;
         assert!(parse_baseline(bad_schema).unwrap_err().contains("schema"));
-        let empty = r#"{"schema": 1, "mode": "default", "calibration_score": 1, "entries": []}"#;
+        let empty = r#"{"schema": 2, "mode": "default", "calibration_score": 1, "entries": []}"#;
         assert!(parse_baseline(empty).unwrap_err().contains("no entries"));
+        let no_pipeline = r#"{"schema": 2, "mode": "default", "calibration_score": 1,
+            "entries": [{"algo": "clustream", "parallelism": 1, "records_per_sec": 10.0}]}"#;
+        assert!(parse_baseline(no_pipeline)
+            .unwrap_err()
+            .contains("pipeline"));
     }
 
     #[test]
     fn equal_rates_pass_within_tolerance() {
-        let committed = baseline("quick", 1e9, &[("clustream", 1, 100_000.0)]);
-        let fresh = baseline("quick", 1e9, &[("clustream", 1, 90_000.0)]);
+        let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
+        let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 90_000.0)]);
         let cmp = compare(&committed, &best_of(&committed, &fresh));
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
 
     #[test]
     fn regression_beyond_tolerance_fails() {
-        let committed = baseline("quick", 1e9, &[("clustream", 1, 100_000.0)]);
-        let fresh = baseline("quick", 1e9, &[("clustream", 1, 80_000.0)]);
+        let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
+        let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 80_000.0)]);
         let cmp = compare(&committed, &best_of(&committed, &fresh));
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("clustream"), "{:?}", cmp.failures);
     }
 
     #[test]
+    fn pipelines_are_distinct_cells() {
+        // A regression in the overlapped lane is caught even when the sync
+        // lane at the same (algo, p) is healthy.
+        let committed = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 1, 100_000.0),
+                ("clustream", "overlapped", 1, 150_000.0),
+            ],
+        );
+        let fresh = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 1, 100_000.0),
+                ("clustream", "overlapped", 1, 100_000.0),
+            ],
+        );
+        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains("overlapped"), "{:?}", cmp.failures);
+    }
+
+    #[test]
     fn calibration_ratio_normalizes_slow_machines() {
         // Half-speed machine: raw rate halves, calibration halves — no fail.
-        let committed = baseline("quick", 2e9, &[("clustream", 1, 100_000.0)]);
-        let fresh = baseline("quick", 1e9, &[("clustream", 1, 50_000.0)]);
+        let committed = baseline("quick", 2e9, &[("clustream", "sync", 1, 100_000.0)]);
+        let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 50_000.0)]);
         let cmp = compare(&committed, &best_of(&committed, &fresh));
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
@@ -405,9 +543,12 @@ mod tests {
         let committed = baseline(
             "quick",
             1e9,
-            &[("clustream", 1, 100_000.0), ("dstream", 1, 100_000.0)],
+            &[
+                ("clustream", "sync", 1, 100_000.0),
+                ("dstream", "sync", 1, 100_000.0),
+            ],
         );
-        let fresh = baseline("quick", 1e9, &[("clustream", 1, 100_000.0)]);
+        let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
         let cmp = compare(&committed, &best_of(&committed, &fresh));
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("dstream"));
@@ -415,9 +556,9 @@ mod tests {
 
     #[test]
     fn best_of_retries_keeps_per_cell_maximum() {
-        let committed = baseline("quick", 1e9, &[("clustream", 1, 100_000.0)]);
-        let slow = baseline("quick", 1e9, &[("clustream", 1, 40_000.0)]);
-        let fast = baseline("quick", 1e9, &[("clustream", 1, 99_000.0)]);
+        let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
+        let slow = baseline("quick", 1e9, &[("clustream", "sync", 1, 40_000.0)]);
+        let fast = baseline("quick", 1e9, &[("clustream", "sync", 1, 99_000.0)]);
         let mut best = BTreeMap::new();
         fold_best(&committed, &slow, &mut best);
         assert_eq!(compare(&committed, &best).failures.len(), 1);
@@ -426,17 +567,74 @@ mod tests {
     }
 
     #[test]
+    fn overlap_win_below_factor_fails_fresh_comparison() {
+        let committed = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 4, 100_000.0),
+                ("clustream", "overlapped", 4, 150_000.0),
+            ],
+        );
+        // Both cells within tolerance individually, but the ratio collapsed
+        // to 1.04x < 1.25x.
+        let fresh = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 4, 125_000.0),
+                ("clustream", "overlapped", 4, 130_000.0),
+            ],
+        );
+        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        assert_eq!(cmp.failures.len(), 1, "{:?}", cmp.failures);
+        assert!(cmp.failures[0].contains("1.25"), "{:?}", cmp.failures);
+
+        let healthy = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 4, 100_000.0),
+                ("clustream", "overlapped", 4, 140_000.0),
+            ],
+        );
+        let cmp = compare(&committed, &best_of(&committed, &healthy));
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn overlap_win_ratio_needs_both_pipelines() {
+        let committed = baseline("quick", 1e9, &[("clustream", "sync", 4, 100_000.0)]);
+        assert_eq!(overlap_win_ratio(&committed.cells), None);
+        let both = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 4, 100_000.0),
+                ("clustream", "overlapped", 4, 150_000.0),
+            ],
+        );
+        assert_eq!(overlap_win_ratio(&both.cells), Some(1.5));
+    }
+
+    #[test]
     fn scaling_loss_is_reported_but_not_fatal() {
         let committed = baseline(
             "quick",
             1e9,
-            &[("clustream", 1, 100_000.0), ("clustream", 4, 400_000.0)],
+            &[
+                ("clustream", "sync", 1, 100_000.0),
+                ("clustream", "sync", 4, 400_000.0),
+            ],
         );
         // p1 improves, p4 flat: scaling 4.0x -> 1.0x, rates themselves fine.
         let fresh = baseline(
             "quick",
             1e9,
-            &[("clustream", 1, 400_000.0), ("clustream", 4, 400_000.0)],
+            &[
+                ("clustream", "sync", 1, 400_000.0),
+                ("clustream", "sync", 4, 400_000.0),
+            ],
         );
         let cmp = compare(&committed, &best_of(&committed, &fresh));
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
@@ -457,8 +655,10 @@ mod tests {
     }
 
     #[test]
-    fn committed_path_depends_on_mode() {
+    fn output_paths_depend_on_mode() {
         assert_eq!(committed_path(false), "BENCH_BASELINE.json");
         assert_eq!(committed_path(true), "BENCH_BASELINE_QUICK.json");
+        assert_eq!(fresh_path(false), "BENCH_CURRENT_DEFAULT.json");
+        assert_eq!(fresh_path(true), "BENCH_CURRENT_QUICK.json");
     }
 }

@@ -13,7 +13,12 @@
 //!    span and records the same depth), and every opened span is closed;
 //! 4. every `batch_summary` point reconciles: the critical-path components
 //!    sum (sync protocol) or overlap-max (async protocol) to `total_secs`
-//!    within 5%.
+//!    within 5%;
+//! 5. pipeline spans sit where the overlapped pipeline puts them: a
+//!    `prefetch` span never nests inside a `batch` span (ingest runs on its
+//!    own worker thread, off the driver's batch loop), and a `combine` span
+//!    always nests inside a `local_update` span (the map-side combine is
+//!    part of step 2).
 //!
 //! The parser handles exactly the flat scalar objects the journal encoder
 //! emits (string / number / null values, no nesting) — a deliberate subset
@@ -151,6 +156,18 @@ pub fn check_trace(contents: &str) -> Result<TraceStats, Vec<String>> {
                             "line {lineno}: open `{name}` records depth {depth} but thread \
                              {thread} has {} open span(s)",
                             stack.len()
+                        ));
+                    }
+                    if name == "prefetch" && stack.iter().any(|(n, _, _)| n == "batch") {
+                        errors.push(format!(
+                            "line {lineno}: `prefetch` span opened inside a `batch` span — \
+                             ingest prefetch must run off the driver's batch loop"
+                        ));
+                    }
+                    if name == "combine" && !stack.iter().any(|(n, _, _)| n == "local_update") {
+                        errors.push(format!(
+                            "line {lineno}: `combine` span opened outside a `local_update` \
+                             span — the map-side combine belongs to step 2"
                         ));
                     }
                     stack.push((name, depth, lineno));
@@ -506,6 +523,44 @@ mod tests {
         let stats = check_trace(&contents).expect("two clean threads");
         assert_eq!(stats.threads, 2);
         assert_eq!(stats.spans_closed, 2);
+    }
+
+    #[test]
+    fn prefetch_span_must_not_nest_inside_batch() {
+        // Correct placement: prefetch on its own (worker) thread.
+        let ok = journal(&[
+            "{\"ev\":\"open\",\"span\":\"prefetch\",\"thread\":1,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"close\",\"span\":\"prefetch\",\"thread\":1,\"seq\":1,\"t_us\":2,\"depth\":0,\"dur_us\":1}",
+        ]);
+        assert!(check_trace(&ok).is_ok());
+
+        // Wrong placement: prefetch inside the driver's batch span.
+        let bad = journal(&[
+            "{\"ev\":\"open\",\"span\":\"batch\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"open\",\"span\":\"prefetch\",\"thread\":0,\"seq\":1,\"t_us\":2,\"depth\":1}",
+            "{\"ev\":\"close\",\"span\":\"prefetch\",\"thread\":0,\"seq\":2,\"t_us\":3,\"depth\":1,\"dur_us\":1}",
+            "{\"ev\":\"close\",\"span\":\"batch\",\"thread\":0,\"seq\":3,\"t_us\":4,\"depth\":0,\"dur_us\":3}",
+        ]);
+        let errors = check_trace(&bad).expect_err("prefetch inside batch");
+        assert!(errors.iter().any(|e| e.contains("prefetch")), "{errors:?}");
+    }
+
+    #[test]
+    fn combine_span_must_nest_inside_local_update() {
+        let ok = journal(&[
+            "{\"ev\":\"open\",\"span\":\"local_update\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"open\",\"span\":\"combine\",\"thread\":0,\"seq\":1,\"t_us\":2,\"depth\":1}",
+            "{\"ev\":\"close\",\"span\":\"combine\",\"thread\":0,\"seq\":2,\"t_us\":3,\"depth\":1,\"dur_us\":1}",
+            "{\"ev\":\"close\",\"span\":\"local_update\",\"thread\":0,\"seq\":3,\"t_us\":4,\"depth\":0,\"dur_us\":3}",
+        ]);
+        assert!(check_trace(&ok).is_ok());
+
+        let bad = journal(&[
+            "{\"ev\":\"open\",\"span\":\"combine\",\"thread\":0,\"seq\":0,\"t_us\":1,\"depth\":0}",
+            "{\"ev\":\"close\",\"span\":\"combine\",\"thread\":0,\"seq\":1,\"t_us\":2,\"depth\":0,\"dur_us\":1}",
+        ]);
+        let errors = check_trace(&bad).expect_err("combine outside local_update");
+        assert!(errors.iter().any(|e| e.contains("combine")), "{errors:?}");
     }
 
     #[test]

@@ -5,14 +5,14 @@
 
 use diststream::core::reference::NaiveClustering;
 use diststream::core::{
-    BatchDisposition, CheckpointingDriver, DistStreamExecutor, FileCheckpointStore,
-    MemoryCheckpointStore, StreamClustering,
+    BatchDisposition, CheckpointingDriver, DistStreamExecutor, DistStreamJob, FileCheckpointStore,
+    MemoryCheckpointStore, PipelineOptions, StreamClustering,
 };
 use diststream::engine::{
-    encode, ExecutionMode, FaultPlan, MiniBatch, StreamingContext, TaskPool,
-    DEFAULT_MAX_TASK_FAILURES,
+    encode, prefetch_batches, ExecutionMode, FaultPlan, MiniBatch, MiniBatcher, StreamingContext,
+    TaskPool, VecSource, DEFAULT_MAX_TASK_FAILURES,
 };
-use diststream::types::{DistStreamError, Point, Record, Timestamp};
+use diststream::types::{ClusteringConfig, DistStreamError, Point, Record, Timestamp};
 
 fn rec(id: u64, x: f64, t: f64) -> Record {
     Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
@@ -338,6 +338,118 @@ fn exhausted_retries_skip_the_batch_and_the_stream_continues() {
     // removed from the write-ahead log.
     assert_eq!(&driver.recover().unwrap(), driver.model());
     ctx.clear_fault_plan();
+}
+
+// ---------------------------------------------------------------------------
+// Prefetched ingest under faults
+// ---------------------------------------------------------------------------
+
+/// The same deterministic stream as [`batches`]`(6, 20)`, flattened so it
+/// can be re-batched by the engine's own ingest paths (sync `MiniBatcher`
+/// pull vs. staged `prefetch_batches`).
+fn stream_records() -> Vec<Record> {
+    batches(6, 20).into_iter().flat_map(|b| b.records).collect()
+}
+
+#[test]
+fn prefetched_poisoned_batch_skips_and_replays_like_sync_ingest() {
+    // Acceptance: a batch that exhausts its retries after being staged by
+    // the prefetch worker is skipped exactly like the synchronous-ingest
+    // path — same skipped index, same surviving model, and the checkpoint
+    // replay cursor (the store manifest) lands in the same place.
+    let algo = NaiveClustering::new(1.0);
+    // Panic batch 2's task 0 on every permitted attempt.
+    let plan = (0..DEFAULT_MAX_TASK_FAILURES)
+        .fold(FaultPlan::new(), |p, attempt| p.panic_on(2, 0, attempt));
+
+    // Sync ingest: the MiniBatcher pulls the source on the driver thread.
+    let sync_ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    sync_ctx.install_fault_plan(plan.clone());
+    let model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let mut sync_driver = CheckpointingDriver::new(&algo, &sync_ctx, model, 2)
+        .with_store(Box::new(MemoryCheckpointStore::new(8)))
+        .unwrap();
+    let mut sync_skipped = Vec::new();
+    let mut source = VecSource::new(stream_records());
+    for b in MiniBatcher::new(&mut source, 1.0) {
+        match sync_driver.process_batch_or_skip(b).unwrap() {
+            BatchDisposition::Processed(_) => {}
+            BatchDisposition::Skipped { batch_index, .. } => sync_skipped.push(batch_index),
+        }
+    }
+    sync_ctx.clear_fault_plan();
+
+    // Prefetched ingest: a worker thread stages batches ahead while the
+    // driver consumes. Task-level faults fire inside run_tasks on the
+    // consumer side, so retry exhaustion and skipping must be unaffected
+    // by where the batch was cut.
+    let pre_ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    pre_ctx.install_fault_plan(plan);
+    let model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let mut pre_driver = CheckpointingDriver::new(&algo, &pre_ctx, model, 2)
+        .with_store(Box::new(MemoryCheckpointStore::new(8)))
+        .unwrap();
+    let pre_skipped = prefetch_batches(VecSource::new(stream_records()), 1.0, |staged| {
+        let mut skipped = Vec::new();
+        for b in staged {
+            match pre_driver.process_batch_or_skip(b).unwrap() {
+                BatchDisposition::Processed(_) => {}
+                BatchDisposition::Skipped { batch_index, .. } => skipped.push(batch_index),
+            }
+        }
+        skipped
+    });
+    pre_ctx.clear_fault_plan();
+
+    assert_eq!(sync_skipped, vec![2], "sync path dropped the wrong batch");
+    assert_eq!(pre_skipped, sync_skipped, "prefetch changed skip behavior");
+    assert_eq!(
+        encode(pre_driver.model()),
+        encode(sync_driver.model()),
+        "prefetch changed the surviving model"
+    );
+    assert_eq!(
+        pre_driver.store().unwrap().manifest(),
+        sync_driver.store().unwrap().manifest(),
+        "prefetch moved the checkpoint cursor"
+    );
+    // Both write-ahead logs replay to their live models.
+    assert_eq!(&sync_driver.recover().unwrap(), sync_driver.model());
+    assert_eq!(&pre_driver.recover().unwrap(), pre_driver.model());
+}
+
+#[test]
+fn overlapped_pipeline_with_faults_is_parallelism_invariant() {
+    // Acceptance: the fully overlapped pipeline (prefetch + combine +
+    // chunking + async updates) stays bit-identical across parallelism
+    // degrees even with first-attempt task panics absorbed by retries.
+    let algo = NaiveClustering::new(1.0);
+    let plan = FaultPlan::new().panic_on(1, 0, 0).panic_on(3, 0, 0);
+    let run = |p: usize, plan: Option<FaultPlan>| {
+        let config = ClusteringConfig::default().with_batch_secs(1.0).unwrap();
+        let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+        match plan {
+            Some(plan) => ctx.install_fault_plan(plan),
+            None => ctx.clear_fault_plan(),
+        }
+        let result = DistStreamJob::new(&algo, &ctx, config)
+            .init_records(8)
+            .pipeline(PipelineOptions::all())
+            .run_to_end(VecSource::new(stream_records()))
+            .unwrap();
+        encode(&result.model)
+    };
+    let clean = run(1, None);
+    assert_eq!(
+        run(1, Some(plan.clone())),
+        clean,
+        "retry changed the p=1 overlapped model"
+    );
+    assert_eq!(
+        run(4, Some(plan)),
+        clean,
+        "fault plan broke overlapped parallelism invariance"
+    );
 }
 
 #[test]
