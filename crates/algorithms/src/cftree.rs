@@ -205,13 +205,13 @@ impl CfTree {
                         .min_by(|a, b| a.1.total_cmp(&b.1));
                 }
                 Node::Internal(children) => {
-                    let (_, child) = children
-                        .iter()
-                        .min_by(|(a, _), (b, _)| {
-                            a.centroid_squared_distance(point)
-                                .total_cmp(&b.centroid_squared_distance(point))
-                        })
-                        .expect("internal nodes are non-empty");
+                    // A structurally-valid tree never has an empty internal
+                    // node; treat the degenerate case as "no neighbor"
+                    // rather than panicking the search path.
+                    let (_, child) = children.iter().min_by(|(a, _), (b, _)| {
+                        a.centroid_squared_distance(point)
+                            .total_cmp(&b.centroid_squared_distance(point))
+                    })?;
                     node = child;
                 }
             }
@@ -239,6 +239,12 @@ impl CfTree {
 }
 
 fn insert_into(node: &mut Node, entry: LeafEntry, fanout: usize) -> Split {
+    // A structurally-valid tree never has an empty internal node (splits
+    // always produce two children); collapse the degenerate case to a leaf
+    // so the descent below cannot hit an empty child list.
+    if matches!(node, Node::Internal(children) if children.is_empty()) {
+        *node = Node::Leaf(Vec::new());
+    }
     match node {
         Node::Leaf(entries) => {
             entries.push(entry);
@@ -260,7 +266,7 @@ fn insert_into(node: &mut Node, entry: LeafEntry, fanout: usize) -> Split {
                         .total_cmp(&b.centroid_squared_distance(&entry.centroid))
                 })
                 .map(|(i, _)| i)
-                .expect("internal nodes are non-empty");
+                .unwrap_or(0);
             let split = insert_into(&mut children[idx].1, entry, fanout);
             match split {
                 None => {

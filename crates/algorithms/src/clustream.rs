@@ -207,7 +207,7 @@ impl CluStream {
     /// Centroids are cached across merge iterations so a burst of new
     /// micro-clusters costs `O(overage · n · d)` rather than
     /// `O(overage · n² · d)`.
-    fn enforce_capacity(&self, model: &mut CluStreamModel, now: Timestamp) {
+    fn enforce_capacity(&self, model: &mut CluStreamModel, now: Timestamp) -> Result<()> {
         let recency_threshold = now.secs() - self.params.horizon_secs;
         // Phase 1: delete least-recent micro-clusters past the horizon.
         while model.len() > self.params.max_micro_clusters {
@@ -224,7 +224,7 @@ impl CluStream {
             }
         }
         if model.len() <= self.params.max_micro_clusters {
-            return;
+            return Ok(());
         }
         // Phase 2: merge closest pairs over cached centroids, so each merge
         // costs one O(n²·d) pair scan without recomputing CF centroids.
@@ -245,13 +245,20 @@ impl CluStream {
             }
             let (i, j, _) = best;
             let (fold_id, _, _) = items.swap_remove(j);
-            let folded = model.mcs.remove(&fold_id).expect("pair ids exist");
+            let folded = model
+                .mcs
+                .remove(&fold_id)
+                .ok_or(DistStreamError::UnknownMicroCluster { id: fold_id })?;
             let keep_id = items[i].0;
-            let keep = model.mcs.get_mut(&keep_id).expect("pair ids exist");
+            let keep = model
+                .mcs
+                .get_mut(&keep_id)
+                .ok_or(DistStreamError::UnknownMicroCluster { id: keep_id })?;
             keep.add(&folded);
             items[i].1 = keep.centroid();
             items[i].2 = keep.weight();
         }
+        Ok(())
     }
 }
 
@@ -283,7 +290,9 @@ impl StreamClustering for CluStream {
         let mut model = CluStreamModel::default();
         let mut cf_by_cluster: BTreeMap<usize, CfVector> = BTreeMap::new();
         for (record, assigned) in records.iter().zip(clusters.assignment.iter()) {
-            let c = assigned.expect("k-means assigns every point");
+            let c = assigned.ok_or_else(|| {
+                DistStreamError::Invariant("k-means left an init point unassigned".into())
+            })?;
             match cf_by_cluster.get_mut(&c) {
                 Some(cf) => cf.insert(record, 1.0),
                 None => {
@@ -344,7 +353,7 @@ impl StreamClustering for CluStream {
         updated: Vec<(MicroClusterId, CfVector)>,
         created: Vec<CfVector>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         // An update's target may have died between the assignment snapshot
         // and now: under the asynchronous protocol the snapshot is one
         // global update stale, and the intervening capacity enforcement may
@@ -388,11 +397,11 @@ impl StreamClustering for CluStream {
                 }
                 _ => {
                     model.insert_new(cf);
-                    self.enforce_capacity(model, now);
+                    self.enforce_capacity(model, now)?;
                 }
             }
         }
-        self.enforce_capacity(model, now);
+        self.enforce_capacity(model, now)
     }
 
     fn snapshot(&self, model: &CluStreamModel) -> Vec<WeightedPoint> {
@@ -471,7 +480,8 @@ mod tests {
             CfVector::from_record(&rec(200, 100.0, 5.0)),
             CfVector::from_record(&rec(201, 200.0, 5.0)),
         ];
-        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(5.0));
+        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(5.0))
+            .unwrap();
         assert!(model.len() <= 2);
     }
 
@@ -488,7 +498,8 @@ mod tests {
             vec![],
             vec![fresh_a, fresh_b],
             Timestamp::from_secs(1000.0),
-        );
+        )
+        .unwrap();
         assert_eq!(model.len(), 2);
         let centroids: Vec<f64> = model.iter().map(|(_, cf)| cf.centroid()[0]).collect();
         assert!(centroids.contains(&100.0));

@@ -163,7 +163,7 @@ impl ClusTree {
         );
     }
 
-    fn enforce_capacity(&self, model: &mut ClusTreeModel) {
+    fn enforce_capacity(&self, model: &mut ClusTreeModel) -> Result<()> {
         while model.entries.len() > self.params.max_micro_clusters {
             // Merge the closest pair of leaf micro-clusters.
             let items: Vec<(MicroClusterId, diststream_types::Point)> = model
@@ -181,13 +181,17 @@ impl ClusTree {
                 }
             }
             let Some((keep, fold, _)) = best else { break };
-            let folded = model.entries.remove(&fold).expect("pair ids exist");
+            let folded = model
+                .entries
+                .remove(&fold)
+                .ok_or(DistStreamError::UnknownMicroCluster { id: fold })?;
             model
                 .entries
                 .get_mut(&keep)
-                .expect("pair ids exist")
+                .ok_or(DistStreamError::UnknownMicroCluster { id: keep })?
                 .add(&folded);
         }
+        Ok(())
     }
 }
 
@@ -212,7 +216,10 @@ impl StreamClustering for ClusTree {
         for record in records {
             match self.assign(&model, record) {
                 Assignment::Existing(id) => {
-                    let cf = model.entries.get_mut(&id).expect("assigned id exists");
+                    let cf = model
+                        .entries
+                        .get_mut(&id)
+                        .ok_or(DistStreamError::UnknownMicroCluster { id })?;
                     let dt = record.timestamp.saturating_since(cf.updated_at());
                     let lambda = self.lambda(dt);
                     cf.insert(record, lambda);
@@ -226,7 +233,7 @@ impl StreamClustering for ClusTree {
                 }
             }
         }
-        self.enforce_capacity(&mut model);
+        self.enforce_capacity(&mut model)?;
         self.rebuild_tree(&mut model);
         Ok(model)
     }
@@ -268,7 +275,7 @@ impl StreamClustering for ClusTree {
         updated: Vec<(MicroClusterId, CfVector)>,
         created: Vec<CfVector>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         // An update's target may have been capacity-merged or pruned away
         // since the (possibly one-update-stale) assignment snapshot.
         // Re-inserting the dead id would resurrect an entry the tree index
@@ -291,7 +298,7 @@ impl StreamClustering for ClusTree {
                         model
                             .entries
                             .get_mut(&eid)
-                            .expect("nearest exists")
+                            .ok_or(DistStreamError::UnknownMicroCluster { id: eid })?
                             .add(&cf);
                     }
                 }
@@ -306,7 +313,7 @@ impl StreamClustering for ClusTree {
             model.next_id += 1;
             model.tree.insert(id, cf.centroid(), cf.weight());
             model.entries.insert(id, cf);
-            self.enforce_capacity(model);
+            self.enforce_capacity(model)?;
         }
         // Periodic maintenance: decay sweep, pruning, and a fresh index.
         // Doing this on every call would charge the one-record-at-a-time
@@ -320,10 +327,11 @@ impl StreamClustering for ClusTree {
             }
             let min_weight = self.params.min_weight;
             model.entries.retain(|_, cf| cf.weight() >= min_weight);
-            self.enforce_capacity(model);
+            self.enforce_capacity(model)?;
             self.rebuild_tree(model);
             model.last_maintenance_secs = now.secs();
         }
+        Ok(())
     }
 
     fn snapshot(&self, model: &ClusTreeModel) -> Vec<WeightedPoint> {
@@ -388,7 +396,8 @@ mod tests {
             CfVector::from_record(&rec(2, 103.0, 1.0)),
             CfVector::from_record(&rec(3, 106.0, 1.0)),
         ];
-        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(1.0));
+        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(1.0))
+            .unwrap();
         assert_eq!(model.len(), 2);
         // The far-apart 0.0 cluster survives; the 100-ish ones merged.
         let centroids: Vec<f64> = model.iter().map(|(_, cf)| cf.centroid()[0]).collect();
@@ -399,7 +408,8 @@ mod tests {
     fn decayed_entries_dropped() {
         let a = algo();
         let mut model = a.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0))
+            .unwrap();
         assert!(model.is_empty());
         assert_eq!(model.tree_height(), 0);
     }
@@ -411,7 +421,8 @@ mod tests {
         let created: Vec<CfVector> = (1..10)
             .map(|i| CfVector::from_record(&rec(i, i as f64 * 30.0, 0.5)))
             .collect();
-        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(0.5));
+        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(0.5))
+            .unwrap();
         assert_eq!(model.len(), 10);
         assert!(model.tree_height() >= 2);
         // Greedy descent is approximate: most entries must resolve to

@@ -207,7 +207,10 @@ impl StreamClustering for DenStream {
         for record in records {
             match self.assign(&model, record) {
                 Assignment::Existing(id) => {
-                    let mc = model.mcs.get_mut(&id).expect("assigned id exists");
+                    let mc = model
+                        .mcs
+                        .get_mut(&id)
+                        .ok_or(DistStreamError::UnknownMicroCluster { id })?;
                     let dt = record.timestamp.saturating_since(mc.cf.updated_at());
                     let lambda = self.lambda(dt);
                     mc.cf.insert(record, lambda);
@@ -301,7 +304,7 @@ impl StreamClustering for DenStream {
         updated: Vec<(MicroClusterId, CfVector)>,
         created: Vec<CfVector>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         for (id, cf) in updated {
             if let Some(mc) = model.mcs.get_mut(&id) {
                 mc.cf = cf;
@@ -334,6 +337,7 @@ impl StreamClustering for DenStream {
             }
             self.prune(model, now);
         }
+        Ok(())
     }
 
     fn snapshot(&self, model: &DenStreamModel) -> Vec<WeightedPoint> {
@@ -480,10 +484,12 @@ mod tests {
         for i in 1..5 {
             heavy.insert(&rec(i, 0.0, 0.0), 1.0);
         }
-        algo.apply_global(&mut model, vec![(id, heavy)], vec![], Timestamp::ZERO);
+        algo.apply_global(&mut model, vec![(id, heavy)], vec![], Timestamp::ZERO)
+            .unwrap();
         assert_eq!(model.potential_count(), 1);
         // Long silence decays it below threshold → demoted/pruned.
-        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(50.0));
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(50.0))
+            .unwrap();
         assert_eq!(model.potential_count(), 0);
     }
 
@@ -496,7 +502,8 @@ mod tests {
             potential: false,
         });
         // Far beyond T_p with weight ~0 → pruned by the ξ bound.
-        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0))
+            .unwrap();
         assert!(model.is_empty());
     }
 
@@ -516,7 +523,8 @@ mod tests {
         let algo = algo();
         let mut model = DenStreamModel::default();
         let created = vec![CfVector::from_record(&rec(0, 0.0, 10.0))];
-        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(10.0));
+        algo.apply_global(&mut model, vec![], created, Timestamp::from_secs(10.0))
+            .unwrap();
         assert_eq!(model.len(), 1);
     }
 

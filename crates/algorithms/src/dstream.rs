@@ -310,7 +310,7 @@ impl StreamClustering for DStream {
         updated: Vec<(MicroClusterId, GridSketch)>,
         created: Vec<GridSketch>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         for (id, sketch) in updated {
             model.grids.insert(id, sketch);
         }
@@ -340,6 +340,7 @@ impl StreamClustering for DStream {
             model.grids.retain(|_, g| g.density >= sparse);
             model.last_prune_secs = now.secs();
         }
+        Ok(())
     }
 
     fn snapshot(&self, model: &DStreamModel) -> Vec<WeightedPoint> {
@@ -437,7 +438,8 @@ mod tests {
         let mut model = a.init(&[rec(0, vec![0.5], 0.0)]).unwrap();
         let g1 = a.create(&rec(1, vec![5.5], 1.0));
         let g2 = a.create(&rec(2, vec![5.6], 1.0));
-        a.apply_global(&mut model, vec![], vec![g1, g2], Timestamp::from_secs(1.0));
+        a.apply_global(&mut model, vec![], vec![g1, g2], Timestamp::from_secs(1.0))
+            .unwrap();
         assert_eq!(model.len(), 2);
         let merged = model
             .iter()
@@ -452,7 +454,8 @@ mod tests {
         let mut model = a.init(&[rec(0, vec![0.5], 0.0)]).unwrap();
         // Far in the future, past the prune period: density has decayed to
         // ~0, below the sparse threshold.
-        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(200.0));
+        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(200.0))
+            .unwrap();
         assert!(model.is_empty());
     }
 

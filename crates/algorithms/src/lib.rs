@@ -37,6 +37,8 @@
 //! # Ok::<(), diststream_types::DistStreamError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cf;
 mod cftree;
 mod clustream;

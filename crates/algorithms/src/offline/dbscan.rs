@@ -1,6 +1,7 @@
 //! Weighted DBSCAN over micro-cluster centroids.
 
 use diststream_core::WeightedPoint;
+use diststream_types::Point;
 
 use super::{weighted_mean, MacroClusters};
 
@@ -83,9 +84,13 @@ pub fn dbscan(points: &[WeightedPoint], params: DbscanParams) -> MacroClusters {
         clusters.push(members);
     }
 
+    // Every cluster holds at least its core point, so `weighted_mean` is
+    // always `Some`; the zero-point fallback keeps centroid indices aligned
+    // with the `assignment` cluster ids without a panic path.
+    let dims = points.first().map_or(0, |wp| wp.point.dims());
     let centroids = clusters
         .iter()
-        .map(|members| weighted_mean(points, members).expect("clusters are non-empty"))
+        .map(|members| weighted_mean(points, members).unwrap_or_else(|| Point::zeros(dims)))
         .collect();
     MacroClusters {
         centroids,

@@ -9,6 +9,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use diststream_core::{Sketch, WeightedPoint};
+use diststream_types::Point;
 
 use super::{weighted_mean, MacroClusters};
 use crate::dstream::DStreamModel;
@@ -93,9 +94,13 @@ pub fn adjacent_grid_clusters(model: &DStreamModel, min_density: f64) -> MacroCl
         clusters.push(members);
     }
 
+    // Every cluster holds at least its seed cell, so `weighted_mean` is
+    // always `Some`; the zero-point fallback keeps centroid indices aligned
+    // with the `assignment` cluster ids without a panic path.
+    let dims = points.first().map_or(0, |wp| wp.point.dims());
     let centroids = clusters
         .iter()
-        .map(|members| weighted_mean(&points, members).expect("clusters are non-empty"))
+        .map(|members| weighted_mean(&points, members).unwrap_or_else(|| Point::zeros(dims)))
         .collect();
     MacroClusters {
         centroids,

@@ -84,9 +84,11 @@ pub fn kmeans(points: &[WeightedPoint], params: KmeansParams) -> MacroClusters {
         // Assign step.
         let mut changed = false;
         for (i, wp) in points.iter().enumerate() {
-            let (nearest, _) = kernel
-                .nearest_squared(&wp.point)
-                .expect("at least one centroid");
+            // k >= 1 and points is non-empty here, so the kernel always has
+            // a centroid; keep the previous assignment if it somehow does not.
+            let Some((nearest, _)) = kernel.nearest_squared(&wp.point) else {
+                continue;
+            };
             if assignment[i] != nearest {
                 assignment[i] = nearest;
                 changed = true;

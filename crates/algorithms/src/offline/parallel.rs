@@ -100,9 +100,11 @@ pub fn parallel_kmeans(
                     .collect();
                 for i in idxs {
                     let wp = &points[i];
-                    let (c, _) = kernel_ref
-                        .nearest_squared(&wp.point)
-                        .expect("at least one centroid");
+                    // Same guard as the sequential assign step: the kernel
+                    // always holds k >= 1 centroids here.
+                    let Some((c, _)) = kernel_ref.nearest_squared(&wp.point) else {
+                        continue;
+                    };
                     assigned.push((i, c));
                     partial[c].0.add_scaled_in_place(&wp.point, wp.weight);
                     partial[c].1 += wp.weight;

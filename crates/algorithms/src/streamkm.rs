@@ -120,7 +120,7 @@ impl StreamKMeans {
         self.params.beta.powf(-dt)
     }
 
-    fn enforce_capacity(&self, model: &mut StreamKMeansModel) {
+    fn enforce_capacity(&self, model: &mut StreamKMeansModel) -> Result<()> {
         while model.centroids.len() > self.params.max_centroids {
             let items: Vec<(MicroClusterId, Point)> = model
                 .centroids
@@ -136,13 +136,17 @@ impl StreamKMeans {
                     }
                 }
             }
-            let folded = model.centroids.remove(&best.1).expect("pair ids exist");
+            let folded = model
+                .centroids
+                .remove(&best.1)
+                .ok_or(DistStreamError::UnknownMicroCluster { id: best.1 })?;
             model
                 .centroids
                 .get_mut(&best.0)
-                .expect("pair ids exist")
+                .ok_or(DistStreamError::UnknownMicroCluster { id: best.0 })?
                 .add(&folded);
         }
+        Ok(())
     }
 }
 
@@ -171,7 +175,9 @@ impl StreamClustering for StreamKMeans {
         let mut model = StreamKMeansModel::default();
         let mut by_cluster: BTreeMap<usize, CfVector> = BTreeMap::new();
         for (record, assigned) in records.iter().zip(clusters.assignment.iter()) {
-            let c = assigned.expect("k-means assigns every point");
+            let c = assigned.ok_or_else(|| {
+                DistStreamError::Invariant("k-means left an init point unassigned".into())
+            })?;
             match by_cluster.get_mut(&c) {
                 Some(cf) => cf.insert(record, 1.0),
                 None => {
@@ -223,7 +229,7 @@ impl StreamClustering for StreamKMeans {
         updated: Vec<(MicroClusterId, CfVector)>,
         created: Vec<CfVector>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         for (id, cf) in updated {
             model.centroids.insert(id, cf);
         }
@@ -231,7 +237,7 @@ impl StreamClustering for StreamKMeans {
             let id = model.next_id;
             model.next_id += 1;
             model.centroids.insert(id, cf);
-            self.enforce_capacity(model);
+            self.enforce_capacity(model)?;
         }
         for cf in model.centroids.values_mut() {
             let dt = now.saturating_since(cf.updated_at());
@@ -241,6 +247,7 @@ impl StreamClustering for StreamKMeans {
         }
         let min_weight = self.params.min_weight;
         model.centroids.retain(|_, cf| cf.weight() >= min_weight);
+        Ok(())
     }
 
     fn snapshot(&self, model: &StreamKMeansModel) -> Vec<WeightedPoint> {
@@ -313,7 +320,8 @@ mod tests {
         });
         let mut model = a.init(&[rec(0, 0.0, 0.0), rec(1, 10.0, 0.0)]).unwrap();
         let created = vec![CfVector::from_record(&rec(2, 20.0, 1.0))];
-        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(1.0));
+        a.apply_global(&mut model, vec![], created, Timestamp::from_secs(1.0))
+            .unwrap();
         assert!(model.len() <= 2);
     }
 
@@ -321,7 +329,8 @@ mod tests {
     fn stale_centroids_decay_away() {
         let a = algo();
         let mut model = a.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        a.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0))
+            .unwrap();
         assert!(model.is_empty());
     }
 
@@ -333,7 +342,7 @@ mod tests {
         let seq = SequentialExecutor::new(&a);
         let mut model = a.init(&records[..40]).unwrap();
         for r in &records[40..] {
-            seq.process_record(&mut model, r);
+            seq.process_record(&mut model, r).unwrap();
         }
         assert!(!model.is_empty());
         // Mini-batch executor, parallelism invariance included.

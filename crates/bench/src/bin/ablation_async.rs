@@ -37,7 +37,7 @@ fn run_async_throughput<A: StreamClustering>(
         let outcome = exec.process_batch(&mut model, batch).expect("batch");
         meter.observe(&outcome.metrics);
     }
-    exec.flush(&mut model);
+    exec.flush(&mut model).expect("flush");
     meter
 }
 
@@ -66,7 +66,7 @@ fn run_async_quality<A: StreamClustering>(algo: &A, bundle: &Bundle) -> f64 {
             nearest_assignment_bounded(window, &macros.centroids, bundle.coverage_bound());
         cmms.push(cmm(window, &assignment, window_end, &params).cmm);
     }
-    exec.flush(&mut model);
+    exec.flush(&mut model).expect("flush");
     cmms.iter().sum::<f64>() / cmms.len().max(1) as f64
 }
 

@@ -11,6 +11,8 @@
 //! the record count), so per-batch dynamics match the paper at a fraction of
 //! the compute. Pass `--records N` or `--full` to any binary to change that.
 
+#![forbid(unsafe_code)]
+
 mod baseline;
 mod bundle;
 mod cli;

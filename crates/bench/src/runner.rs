@@ -176,7 +176,8 @@ pub fn run_sequential_quality<A: StreamClustering>(
         .get(init)
         .map_or(Timestamp::ZERO, |r| r.timestamp + batch_secs);
     for (i, record) in records.iter().enumerate().skip(init) {
-        exec.process_record(&mut model, record);
+        exec.process_record(&mut model, record)
+            .expect("sequential quality run");
         if record.timestamp >= next_eval || i == records.len() - 1 {
             let snapshot = algo.snapshot(&model);
             let out = evaluate(bundle, &records, i + 1, &snapshot, record.timestamp);

@@ -123,7 +123,7 @@ mod tests {
             let session = TelemetrySession::start(Some(path.clone()), None);
             assert!(session.active());
             assert!(telemetry::enabled());
-            let _span = telemetry::span!("session_test");
+            let _span = telemetry::span!(telemetry::names::SPAN_SESSION_TEST);
         }
         assert!(!telemetry::enabled());
         let journal = std::fs::read_to_string(&path).expect("journal written");

@@ -175,13 +175,22 @@ pub trait StreamClustering: Send + Sync {
     /// according to the active [`UpdateOrdering`]; implementations should
     /// apply them in the given order because deletion/merging are
     /// irreversible (§IV-C2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DistStreamError`](diststream_types::DistStreamError)
+    /// — e.g. `UnknownMicroCluster` for an update whose target id the
+    /// algorithm cannot place, or `Invariant` for a violated internal
+    /// invariant — instead of panicking, so the driver's fault model can
+    /// contain the failure (the panic-path audit bans `unwrap`/`expect` in
+    /// shipping algorithm code).
     fn apply_global(
         &self,
         model: &mut Self::Model,
         updated: Vec<(MicroClusterId, Self::Sketch)>,
         created: Vec<Self::Sketch>,
         now: Timestamp,
-    );
+    ) -> Result<()>;
 
     /// Exports the model's micro-clusters for the offline phase.
     fn snapshot(&self, model: &Self::Model) -> Vec<WeightedPoint>;

@@ -8,7 +8,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use diststream_engine::serialized_size;
-use diststream_types::Timestamp;
+use diststream_types::{Result, Timestamp};
 
 use crate::api::{Sketch, StreamClustering, UpdateOrdering};
 use crate::local::{CreatedSketch, LocalOutcome, UpdatedSketch};
@@ -41,6 +41,10 @@ pub struct GlobalOutcome {
 /// micro-cluster is merged into the earliest previously-created one that the
 /// algorithm's [`StreamClustering::can_premerge`] accepts, reducing the
 /// number of outlier micro-clusters the global update must place.
+///
+/// # Errors
+///
+/// Propagates the algorithm's [`StreamClustering::apply_global`] error.
 pub fn global_update<A: StreamClustering>(
     algo: &A,
     model: &mut A::Model,
@@ -49,7 +53,7 @@ pub fn global_update<A: StreamClustering>(
     ordering: UpdateOrdering,
     premerge: bool,
     shuffle_seed: u64,
-) -> GlobalOutcome {
+) -> Result<GlobalOutcome> {
     let LocalOutcome {
         mut updated,
         mut created,
@@ -80,14 +84,14 @@ pub fn global_update<A: StreamClustering>(
     let created_after_premerge = created_sketches.len();
 
     let updated_pairs: Vec<_> = updated.into_iter().map(|u| (u.id, u.sketch)).collect();
-    algo.apply_global(model, updated_pairs, created_sketches, now);
+    algo.apply_global(model, updated_pairs, created_sketches, now)?;
 
-    GlobalOutcome {
+    Ok(GlobalOutcome {
         global_secs: start.elapsed().as_secs_f64(),
         created_before_premerge,
         created_after_premerge,
         collect_bytes,
-    }
+    })
 }
 
 /// Merges each new outlier micro-cluster into the earliest compatible
@@ -173,7 +177,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             true,
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(g.created_before_premerge, 3);
         assert_eq!(g.created_after_premerge, 2);
     }
@@ -194,7 +199,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             false,
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(g.created_after_premerge, 2);
     }
 
@@ -216,7 +222,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             true,
             0,
-        );
+        )
+        .unwrap();
         // Merged sketch exists with weight 2 (decayed alignment applies).
         let merged = model.iter().find(|(_, s)| s.weight > 1.1).unwrap();
         assert!(merged.1.weight <= 2.0);
@@ -242,7 +249,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             true,
             0,
-        );
+        )
+        .unwrap();
         // Premerge target should be the t=1 sketch (earliest creation).
         assert_eq!(model.len(), 2);
     }
@@ -268,7 +276,8 @@ mod tests {
                 UpdateOrdering::Unordered,
                 true,
                 seed,
-            );
+            )
+            .unwrap();
             format!("{model:?}")
         };
         assert_eq!(run(11), run(11));
@@ -287,7 +296,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             false,
             0,
-        );
+        )
+        .unwrap();
         assert!(g.collect_bytes > 0);
     }
 
@@ -314,7 +324,8 @@ mod tests {
             UpdateOrdering::OrderAware,
             true,
             0,
-        );
+        )
+        .unwrap();
         let (_, stored) = model.iter().next().unwrap();
         assert_eq!(stored, &sketch);
     }

@@ -42,6 +42,8 @@
 //! # Ok::<(), diststream_types::DistStreamError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adaptive;
 mod api;
 mod assignment;

@@ -225,7 +225,7 @@ fn local_update_impl<A: StreamClustering>(
         .keyed
         .extend(pairs.into_iter().map(|(r, a)| (group_key(a), r)));
     let (partitions, shuffle_bytes) = if combine {
-        let _span = telemetry::span!("combine");
+        let _span = telemetry::span!(telemetry::names::SPAN_COMBINE);
         let keyed: Vec<((u64, u64), Record)> = scratch.keyed.drain(..).collect();
         let chunk = chunk_size(keyed.len(), ctx.parallelism());
         let chunks = split_chunks(keyed, chunk);
@@ -236,7 +236,7 @@ fn local_update_impl<A: StreamClustering>(
         let combined_bytes = payload_bytes
             + SHUFFLE_KEY_BYTES * stats.combined_entries.min(stats.input_pairs) as u64;
         if telemetry::enabled() {
-            telemetry::counter("diststream_shuffle_bytes_saved_total")
+            telemetry::counter(telemetry::names::METRIC_SHUFFLE_BYTES_SAVED_TOTAL)
                 .add(uncombined_bytes - combined_bytes);
         }
         (partitions, combined_bytes)

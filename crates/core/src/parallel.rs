@@ -145,7 +145,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // Driver-side spans only: the journal's span multiset must not
         // depend on the parallelism degree (per-task attribution comes
         // from StepMetrics, which is execution-mode aware).
-        let _batch_span = telemetry::span!("batch", batch = batch.index);
+        let _batch_span = telemetry::span!(telemetry::names::SPAN_BATCH, batch = batch.index);
         // Scope any installed fault plan's (task, attempt) coordinates to
         // this batch before the parallel steps run.
         self.ctx.begin_batch(batch.index);
@@ -159,7 +159,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
 
         // Step 1: record-based parallel assignment.
         let assignment = {
-            let _span = telemetry::span!("assignment", batch = batch.index);
+            let _span = telemetry::span!(telemetry::names::SPAN_ASSIGNMENT, batch = batch.index);
             assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
         };
         let assigned_existing = assignment
@@ -171,7 +171,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
 
         // Step 2: model-based parallel local update.
         let local = {
-            let _span = telemetry::span!("local_update", batch = batch.index);
+            let _span = telemetry::span!(telemetry::names::SPAN_LOCAL_UPDATE, batch = batch.index);
             local_update_combined(
                 self.ctx,
                 self.algo,
@@ -189,7 +189,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
 
         // Step 3: global update on the driver.
         let global = {
-            let _span = telemetry::span!("global_update", batch = batch.index);
+            let _span = telemetry::span!(telemetry::names::SPAN_GLOBAL_UPDATE, batch = batch.index);
             global_update(
                 self.algo,
                 model,
@@ -198,7 +198,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 self.ordering,
                 self.premerge,
                 batch_seed,
-            )
+            )?
         };
 
         let overhead_secs = self.ctx.batch_overhead_secs()

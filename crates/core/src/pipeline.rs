@@ -68,10 +68,10 @@ impl<'a, A: StreamClustering> AnyExec<'a, A> {
 
     /// Applies any pending global update and returns its driver seconds
     /// (the synchronous executor never has one pending).
-    fn flush_secs(&mut self, model: &mut A::Model) -> Option<f64> {
+    fn flush_secs(&mut self, model: &mut A::Model) -> Result<Option<f64>> {
         match self {
-            AnyExec::Sync(_) => None,
-            AnyExec::Overlap(exec) => exec.flush(model).map(|g| g.global_secs),
+            AnyExec::Sync(_) => Ok(None),
+            AnyExec::Overlap(exec) => Ok(exec.flush(model)?.map(|g| g.global_secs)),
         }
     }
 }
@@ -305,7 +305,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 telemetry::barrier_drain();
             }
         }
-        if let Some(flush_secs) = exec.flush_secs(&mut model) {
+        if let Some(flush_secs) = exec.flush_secs(&mut model)? {
             meter.observe_flush(flush_secs);
             if telemetry::enabled() {
                 telemetry::barrier_drain();
@@ -348,7 +348,7 @@ where
             telemetry::barrier_drain();
         }
     }
-    if let Some(flush_secs) = exec.flush_secs(model) {
+    if let Some(flush_secs) = exec.flush_secs(model)? {
         meter.observe_flush(flush_secs);
         if telemetry::enabled() {
             telemetry::barrier_drain();

@@ -153,7 +153,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         // degree. The global_update span carries the *applied* batch's
         // index (B−1), not this one's — the async lag is visible in the
         // trace.
-        let _batch_span = telemetry::span!("batch", batch = batch.index);
+        let _batch_span = telemetry::span!(telemetry::names::SPAN_BATCH, batch = batch.index);
         // Scope any installed fault plan's (task, attempt) coordinates to
         // this batch before the parallel steps run.
         self.ctx.begin_batch(batch.index);
@@ -169,22 +169,28 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
 
         // Driver side (conceptually concurrent): apply batch B−1's global
         // update to the authoritative model.
-        let applied = self.pending.take().map(|pending| {
-            let _span = telemetry::span!("global_update", batch = pending.batch_index);
-            global_update(
-                self.algo,
-                model,
-                pending.local,
-                pending.window_end,
-                self.ordering,
-                self.premerge,
-                pending.seed,
-            )
-        });
+        let applied = match self.pending.take() {
+            Some(pending) => {
+                let _span = telemetry::span!(
+                    telemetry::names::SPAN_GLOBAL_UPDATE,
+                    batch = pending.batch_index
+                );
+                Some(global_update(
+                    self.algo,
+                    model,
+                    pending.local,
+                    pending.window_end,
+                    self.ordering,
+                    self.premerge,
+                    pending.seed,
+                )?)
+            }
+            None => None,
+        };
 
         // Parallel side: steps 1 and 2 against the stale snapshot.
         let assignment = {
-            let _span = telemetry::span!("assignment", batch = batch.index);
+            let _span = telemetry::span!(telemetry::names::SPAN_ASSIGNMENT, batch = batch.index);
             assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
         };
         let assigned_existing = assignment
@@ -194,7 +200,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             .count();
         let outlier_records = records - assigned_existing;
         let local = {
-            let _span = telemetry::span!("local_update", batch = batch.index);
+            let _span = telemetry::span!(telemetry::names::SPAN_LOCAL_UPDATE, batch = batch.index);
             local_update_combined(
                 self.ctx,
                 self.algo,
@@ -247,19 +253,30 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
     /// Returns the applied update's [`GlobalOutcome`] — driver seconds and
     /// the final batch's creation/premerge counts — or `None` if nothing
     /// was pending.
-    pub fn flush(&mut self, model: &mut A::Model) -> Option<GlobalOutcome> {
-        self.pending.take().map(|pending| {
-            let _span = telemetry::span!("global_update", batch = pending.batch_index);
-            global_update(
-                self.algo,
-                model,
-                pending.local,
-                pending.window_end,
-                self.ordering,
-                self.premerge,
-                pending.seed,
-            )
-        })
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`StreamClustering::apply_global`] error.
+    pub fn flush(&mut self, model: &mut A::Model) -> Result<Option<GlobalOutcome>> {
+        match self.pending.take() {
+            Some(pending) => {
+                let _span = telemetry::span!(
+                    telemetry::names::SPAN_GLOBAL_UPDATE,
+                    batch = pending.batch_index
+                );
+                global_update(
+                    self.algo,
+                    model,
+                    pending.local,
+                    pending.window_end,
+                    self.ordering,
+                    self.premerge,
+                    pending.seed,
+                )
+                .map(Some)
+            }
+            None => Ok(None),
+        }
     }
 }
 
@@ -313,9 +330,12 @@ mod tests {
 
         // Flush applies the final pending update.
         let snapshot = model.clone();
-        assert!(exec.flush(&mut model).is_some());
+        assert!(exec.flush(&mut model).unwrap().is_some());
         assert_ne!(model, snapshot);
-        assert!(exec.flush(&mut model).is_none(), "second flush is a no-op");
+        assert!(
+            exec.flush(&mut model).unwrap().is_none(),
+            "second flush is a no-op"
+        );
     }
 
     #[test]
@@ -353,7 +373,7 @@ mod tests {
         );
 
         // Batch 1 created nothing, and flush reports exactly that.
-        let final_outcome = exec.flush(&mut model).unwrap();
+        let final_outcome = exec.flush(&mut model).unwrap().unwrap();
         assert_eq!(final_outcome.created_before_premerge, 0);
         assert_eq!(final_outcome.created_after_premerge, 0);
     }
@@ -379,7 +399,7 @@ mod tests {
         pipelined
             .process_batch(&mut async_model, batch(0, a.to_vec()))
             .unwrap();
-        pipelined.flush(&mut async_model);
+        pipelined.flush(&mut async_model).unwrap();
         assert_eq!(async_model, sync_model);
         let _ = b;
     }
@@ -396,7 +416,7 @@ mod tests {
                 exec.process_batch(&mut model, batch(i, chunk.to_vec()))
                     .unwrap();
             }
-            exec.flush(&mut model);
+            exec.flush(&mut model).unwrap();
             model
         };
         let base = run(1);
@@ -420,7 +440,7 @@ mod tests {
                 exec.process_batch(&mut model, batch(i, chunk.to_vec()))
                     .unwrap();
             }
-            exec.flush(&mut model);
+            exec.flush(&mut model).unwrap();
             model
         };
         let base = run(1, false, false);

@@ -258,7 +258,7 @@ where
                 // so recovery does not replay the poison forever.
                 self.replay_log.retain(|b| b.index != batch_index);
                 if telemetry::enabled() {
-                    telemetry::counter("diststream_batches_skipped_total").inc();
+                    telemetry::counter(telemetry::names::METRIC_BATCHES_SKIPPED_TOTAL).inc();
                 }
                 Ok(BatchDisposition::Skipped { batch_index, error })
             }
@@ -297,7 +297,7 @@ where
         let Some(store) = self.store.as_mut() else {
             return Ok(());
         };
-        let _span = telemetry::span!("checkpoint_write");
+        let _span = telemetry::span!(telemetry::names::SPAN_CHECKPOINT_WRITE);
         let stored = Checkpoint {
             batch_index: cursor,
             bytes: self.checkpoint.bytes.clone(),
@@ -336,7 +336,7 @@ where
     /// Returns [`DistStreamError::CorruptCheckpoint`] if every candidate
     /// checkpoint is damaged, and propagates replay failures.
     pub fn recover(&self) -> Result<A::Model> {
-        let _span = telemetry::span!("checkpoint_restore");
+        let _span = telemetry::span!(telemetry::names::SPAN_CHECKPOINT_RESTORE);
         let Some(store) = self.store.as_deref() else {
             // The in-memory log holds exactly the post-checkpoint batches.
             return self.replay_from(&self.checkpoint, 0);
@@ -351,7 +351,8 @@ where
             match attempt {
                 Ok(model) => {
                     if fallbacks > 0 && telemetry::enabled() {
-                        telemetry::counter("diststream_checkpoint_fallbacks_total").add(fallbacks);
+                        telemetry::counter(telemetry::names::METRIC_CHECKPOINT_FALLBACKS_TOTAL)
+                            .add(fallbacks);
                     }
                     return Ok(model);
                 }

@@ -202,7 +202,7 @@ impl StreamClustering for NaiveClustering {
         updated: Vec<(MicroClusterId, NaiveSketch)>,
         created: Vec<NaiveSketch>,
         now: Timestamp,
-    ) {
+    ) -> Result<()> {
         for (id, sketch) in updated {
             model.sketches.insert(id, sketch);
         }
@@ -215,6 +215,7 @@ impl StreamClustering for NaiveClustering {
             sketch.decay_to(now);
         }
         model.sketches.retain(|_, s| s.weight >= MIN_WEIGHT);
+        Ok(())
     }
 
     fn snapshot(&self, model: &NaiveModel) -> Vec<WeightedPoint> {
@@ -286,7 +287,8 @@ mod tests {
     fn global_update_deletes_stale_sketches() {
         let algo = NaiveClustering::new(1.0);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0));
+        algo.apply_global(&mut model, vec![], vec![], Timestamp::from_secs(100.0))
+            .unwrap();
         assert!(model.is_empty());
     }
 
@@ -295,7 +297,8 @@ mod tests {
         let algo = NaiveClustering::new(1.0);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
         let created = algo.create(&rec(1, 9.0, 0.5));
-        algo.apply_global(&mut model, vec![], vec![created], Timestamp::from_secs(0.5));
+        algo.apply_global(&mut model, vec![], vec![created], Timestamp::from_secs(0.5))
+            .unwrap();
         assert_eq!(model.len(), 2);
     }
 

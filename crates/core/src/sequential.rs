@@ -68,18 +68,22 @@ impl<'a, A: StreamClustering> SequentialExecutor<'a, A> {
 
     /// Processes one record through the full one-by-one feedback loop:
     /// assign → local update → global update.
-    pub fn process_record(&self, model: &mut A::Model, record: &Record) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`StreamClustering::apply_global`] error.
+    pub fn process_record(&self, model: &mut A::Model, record: &Record) -> Result<()> {
         match self.algo.assign(model, record) {
             Assignment::Existing(id) => {
                 let mut sketch = self.algo.sketch_of(model, id);
                 self.algo.update(&mut sketch, record);
                 self.algo
-                    .apply_global(model, vec![(id, sketch)], vec![], record.timestamp);
+                    .apply_global(model, vec![(id, sketch)], vec![], record.timestamp)
             }
             Assignment::New(_) => {
                 let sketch = self.algo.create(record);
                 self.algo
-                    .apply_global(model, vec![], vec![sketch], record.timestamp);
+                    .apply_global(model, vec![], vec![sketch], record.timestamp)
             }
         }
     }
@@ -89,8 +93,8 @@ impl<'a, A: StreamClustering> SequentialExecutor<'a, A> {
     ///
     /// # Errors
     ///
-    /// Currently infallible for well-formed sources; returns `Result` for
-    /// signature stability with the parallel executors.
+    /// Propagates the algorithm's [`StreamClustering::apply_global`] error
+    /// for any record.
     pub fn process_stream<S: RecordSource>(
         &self,
         model: &mut A::Model,
@@ -99,7 +103,7 @@ impl<'a, A: StreamClustering> SequentialExecutor<'a, A> {
         let mut records = 0;
         let start = Instant::now(); // lint:allow(wallclock-entropy) throughput reporting only, never touches model state
         while let Some(record) = source.next_record() {
-            self.process_record(model, &record);
+            self.process_record(model, &record)?;
             records += 1;
         }
         Ok(SequentialSummary {
@@ -125,10 +129,11 @@ mod tests {
         let algo = NaiveClustering::new(1.0);
         let exec = SequentialExecutor::new(&algo);
         let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
-        exec.process_record(&mut model, &rec(1, 8.0, 1.0));
+        exec.process_record(&mut model, &rec(1, 8.0, 1.0)).unwrap();
         assert_eq!(model.len(), 2);
         // A record far in the future decays everything else away.
-        exec.process_record(&mut model, &rec(2, 100.0, 500.0));
+        exec.process_record(&mut model, &rec(2, 100.0, 500.0))
+            .unwrap();
         assert_eq!(model.len(), 1);
     }
 

@@ -21,6 +21,8 @@
 //! assert_eq!(records.len(), 5_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod catalog;
 mod normalize;
 mod synth;

@@ -192,11 +192,11 @@ impl<S: RecordSource> Iterator for MiniBatcher<S> {
         if telemetry::enabled() {
             // Batch-granular, so the registry lookup is off the hot path.
             telemetry::histogram(
-                "diststream_batch_records",
+                telemetry::names::METRIC_BATCH_RECORDS,
                 &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0],
             )
             .observe(records.len() as f64);
-            telemetry::gauge("diststream_batch_window_secs").set(self.batch_secs);
+            telemetry::gauge(telemetry::names::METRIC_BATCH_WINDOW_SECS).set(self.batch_secs);
         }
         Some(MiniBatch {
             index,

@@ -199,7 +199,7 @@ impl StreamingContext {
         // One driver-side span per parallel step, in both modes — the
         // journal's span multiset stays independent of the parallelism
         // degree (per-task attribution flows through StepMetrics instead).
-        let _step_span = telemetry::span!("step_tasks");
+        let _step_span = telemetry::span!(telemetry::names::SPAN_STEP_TASKS);
         // The hook locks the fault mutex per attempt, so only pay for it
         // when a plan is actually installed (plans are installed before the
         // run, never mid-step).
@@ -238,7 +238,8 @@ impl StreamingContext {
                     }
                 }
                 if telemetry::enabled() && retried > 0 {
-                    telemetry::counter("diststream_tasks_retried_total").add(retried as u64);
+                    telemetry::counter(telemetry::names::METRIC_TASKS_RETRIED_TOTAL)
+                        .add(retried as u64);
                 }
                 let mut rng = self.rng.lock();
                 let (effective, makespan) =
@@ -318,11 +319,15 @@ fn charge_net_telemetry(kind: &'static str, bytes: u64, secs: f64) {
         return;
     }
     telemetry::counter(&format!(
-        "diststream_netcost_bytes_total{{kind=\"{kind}\"}}"
+        "{}{{kind=\"{kind}\"}}",
+        telemetry::names::METRIC_NETCOST_BYTES_TOTAL
     ))
     .add(bytes);
     telemetry::histogram(
-        &format!("diststream_netcost_secs{{kind=\"{kind}\"}}"),
+        &format!(
+            "{}{{kind=\"{kind}\"}}",
+            telemetry::names::METRIC_NETCOST_SECS
+        ),
         &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0],
     )
     .observe(secs);

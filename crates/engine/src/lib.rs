@@ -46,6 +46,8 @@
 //! # Ok::<(), diststream_types::DistStreamError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod batcher;
 mod broadcast;
 mod codec;

@@ -206,7 +206,7 @@ impl BatchMetrics {
         }
         let total = self.total_secs();
         telemetry::emit_point(
-            "batch_summary",
+            telemetry::names::POINT_BATCH_SUMMARY,
             Some(self.batch_index as u64),
             &[
                 ("records", self.records as f64),
@@ -221,28 +221,33 @@ impl BatchMetrics {
                 ("stragglers", self.straggler_count() as f64),
             ],
         );
-        telemetry::counter("diststream_batches_total").inc();
-        telemetry::counter("diststream_records_total").add(self.records as u64);
-        telemetry::counter("diststream_broadcast_bytes_total").add(self.broadcast_bytes);
-        telemetry::counter("diststream_shuffle_bytes_total").add(self.shuffle_bytes);
-        telemetry::counter("diststream_straggler_tasks_total").add(self.straggler_count() as u64);
+        telemetry::counter(telemetry::names::METRIC_BATCHES_TOTAL).inc();
+        telemetry::counter(telemetry::names::METRIC_RECORDS_TOTAL).add(self.records as u64);
+        telemetry::counter(telemetry::names::METRIC_BROADCAST_BYTES_TOTAL)
+            .add(self.broadcast_bytes);
+        telemetry::counter(telemetry::names::METRIC_SHUFFLE_BYTES_TOTAL).add(self.shuffle_bytes);
+        telemetry::counter(telemetry::names::METRIC_STRAGGLER_TASKS_TOTAL)
+            .add(self.straggler_count() as u64);
         telemetry::histogram(
-            "diststream_batch_total_secs",
+            telemetry::names::METRIC_BATCH_TOTAL_SECS,
             &[1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0],
         )
         .observe(total);
         for (step, metrics) in [("assignment", &self.assignment), ("local", &self.local)] {
             telemetry::gauge(&format!(
-                "diststream_step_overhead_fraction{{step=\"{step}\"}}"
+                "{}{{step=\"{step}\"}}",
+                telemetry::names::METRIC_STEP_OVERHEAD_FRACTION
             ))
             .set(metrics.overhead_fraction());
             if let Some((task, skew)) = metrics.straggler_culprit() {
                 telemetry::counter(&format!(
-                    "diststream_straggler_culprit_total{{step=\"{step}\",task=\"{task}\"}}"
+                    "{}{{step=\"{step}\",task=\"{task}\"}}",
+                    telemetry::names::METRIC_STRAGGLER_CULPRIT_TOTAL
                 ))
                 .inc();
                 telemetry::gauge(&format!(
-                    "diststream_straggler_skew_ratio{{step=\"{step}\"}}"
+                    "{}{{step=\"{step}\"}}",
+                    telemetry::names::METRIC_STRAGGLER_SKEW_RATIO
                 ))
                 .set(skew);
             }

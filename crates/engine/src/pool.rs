@@ -165,7 +165,7 @@ impl TaskPool {
 
         let retried = retried.into_inner();
         if telemetry::enabled() && retried > 0 {
-            telemetry::counter("diststream_tasks_retried_total").add(retried as u64);
+            telemetry::counter(telemetry::names::METRIC_TASKS_RETRIED_TOTAL).add(retried as u64);
         }
         let mut failures = failures.into_inner();
         // Workers push failures in completion order; report the lowest task
@@ -193,9 +193,9 @@ impl TaskPool {
         if telemetry::enabled() {
             // Driver-side, once per step (after the scope joined), so the
             // worker hot loop stays untouched.
-            telemetry::counter("diststream_pool_tasks_total").add(n as u64);
+            telemetry::counter(telemetry::names::METRIC_POOL_TASKS_TOTAL).add(n as u64);
             let task_secs = telemetry::histogram(
-                "diststream_pool_task_secs",
+                telemetry::names::METRIC_POOL_TASK_SECS,
                 &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
             );
             for &secs in &durations {

@@ -121,7 +121,7 @@ where
                 // a raw worker panic would instead surface as a scope
                 // error with the payload's pull position lost.
                 let staged = panic::catch_unwind(AssertUnwindSafe(|| {
-                    let _span = telemetry::span!("prefetch");
+                    let _span = telemetry::span!(telemetry::names::SPAN_PREFETCH);
                     batcher.next()
                 }));
                 match staged {

@@ -39,13 +39,15 @@ struct ReorderTelemetry {
 impl ReorderTelemetry {
     fn new() -> Self {
         ReorderTelemetry {
-            depth: telemetry::gauge("diststream_reorder_depth"),
+            depth: telemetry::gauge(telemetry::names::METRIC_REORDER_DEPTH),
             stall_secs: telemetry::histogram(
-                "diststream_reorder_stall_secs",
+                telemetry::names::METRIC_REORDER_STALL_SECS,
                 &[1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0],
             ),
-            dropped_late: telemetry::counter("diststream_reorder_dropped_late_total"),
-            dropped_duplicate: telemetry::counter("diststream_reorder_dropped_duplicate_total"),
+            dropped_late: telemetry::counter(telemetry::names::METRIC_REORDER_DROPPED_LATE_TOTAL),
+            dropped_duplicate: telemetry::counter(
+                telemetry::names::METRIC_REORDER_DROPPED_DUPLICATE_TOTAL,
+            ),
         }
     }
 }

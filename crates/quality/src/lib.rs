@@ -26,6 +26,8 @@
 //! assert_eq!(score.cmm, 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod batch_metrics;
 mod cmm;
 mod external;

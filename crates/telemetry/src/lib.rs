@@ -31,9 +31,12 @@
 //! Enabled: two `Instant` reads and two `Vec` pushes per span, amortized
 //! buffer drains at batch barriers only.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod journal;
 pub mod metrics;
+pub mod names;
 pub mod span;
 
 pub use journal::{

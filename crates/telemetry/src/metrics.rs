@@ -183,11 +183,25 @@ fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
     f(&mut guard)
 }
 
+/// Records a name/type registration conflict without leaving the registry
+/// lock: bumps [`crate::names::METRIC_NAME_CONFLICTS_TOTAL`] directly in
+/// `reg`. Telemetry is observation-only, so a conflicting registration must
+/// degrade (detached handle + conflict count), never panic the pipeline.
+fn record_conflict(reg: &mut BTreeMap<String, Metric>) {
+    let conflict = reg
+        .entry(crate::names::METRIC_NAME_CONFLICTS_TOTAL.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+    if let Metric::Counter(c) = conflict {
+        c.inc();
+    }
+}
+
 /// Returns the counter registered under `name`, creating it on first use.
 ///
-/// # Panics
-///
-/// Panics if `name` is already registered as a different metric type.
+/// If `name` is already registered as a different metric type, the conflict
+/// is counted in `diststream_telemetry_name_conflicts_total` and a fresh
+/// *detached* counter is returned: updates through it keep working but are
+/// not exported, and the originally registered metric is untouched.
 pub fn counter(name: &str) -> Arc<Counter> {
     with_registry(|reg| {
         let metric = reg
@@ -195,16 +209,18 @@ pub fn counter(name: &str) -> Arc<Counter> {
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
         match metric {
             Metric::Counter(c) => Arc::clone(c),
-            _ => panic!("metric {name:?} already registered with a different type"),
+            _ => {
+                record_conflict(reg);
+                Arc::new(Counter::default())
+            }
         }
     })
 }
 
 /// Returns the gauge registered under `name`, creating it on first use.
 ///
-/// # Panics
-///
-/// Panics if `name` is already registered as a different metric type.
+/// On a name/type conflict, counts it and returns a fresh detached gauge —
+/// see [`counter`] for the degradation contract.
 pub fn gauge(name: &str) -> Arc<Gauge> {
     with_registry(|reg| {
         let metric = reg
@@ -212,7 +228,10 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
         match metric {
             Metric::Gauge(g) => Arc::clone(g),
-            _ => panic!("metric {name:?} already registered with a different type"),
+            _ => {
+                record_conflict(reg);
+                Arc::new(Gauge::default())
+            }
         }
     })
 }
@@ -220,9 +239,8 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// Returns the histogram registered under `name`, creating it with the
 /// given upper bucket bounds on first use (later calls ignore `bounds`).
 ///
-/// # Panics
-///
-/// Panics if `name` is already registered as a different metric type.
+/// On a name/type conflict, counts it and returns a fresh detached
+/// histogram — see [`counter`] for the degradation contract.
 pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
     with_registry(|reg| {
         let metric = reg
@@ -230,7 +248,10 @@ pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
         match metric {
             Metric::Histogram(h) => Arc::clone(h),
-            _ => panic!("metric {name:?} already registered with a different type"),
+            _ => {
+                record_conflict(reg);
+                Arc::new(Histogram::new(bounds))
+            }
         }
     })
 }
@@ -357,6 +378,24 @@ mod tests {
         b.add(4);
         assert_eq!(a.get(), 5);
         reset();
+    }
+
+    #[test]
+    fn name_type_conflict_degrades_instead_of_panicking() {
+        let c = counter("conflict_probe_total");
+        c.inc();
+        // Same name, different type: must not panic. The handle is fresh
+        // and detached; the original registration is untouched.
+        let g = gauge("conflict_probe_total");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(counter("conflict_probe_total").get(), 1);
+        let conflicts = counter(crate::names::METRIC_NAME_CONFLICTS_TOTAL).get();
+        assert!(conflicts >= 1, "conflict not counted: {conflicts}");
+        // A conflicting histogram degrades the same way.
+        let h = histogram("conflict_probe_total", &[1.0]);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Single source of truth for every telemetry name in the workspace.
+//!
+//! Span names, point-event names, and metric base names used anywhere in
+//! DistStream are declared here and nowhere else. Call sites reference the
+//! constants (compile-time safety); `cargo xtask analyze` additionally
+//! verifies that every string literal reaching `span!`, `emit_point`,
+//! [`counter`](crate::counter), [`gauge`](crate::gauge), or
+//! [`histogram`](crate::histogram) resolves against this catalog — catching
+//! typos in label-formatted names the type system cannot see — and that no
+//! catalog entry is dead (declared but never emitted).
+//!
+//! Conventions:
+//!
+//! - span and point names are short snake_case phase names (they appear in
+//!   the JSONL journal, once per event);
+//! - metric names carry the `diststream_` prefix and Prometheus unit
+//!   suffixes (`_total` for counters, `_secs` for time);
+//! - labels are encoded Prometheus-style into the registered name
+//!   (`name{key="value"}`); only the base name (up to `{`) is cataloged.
+
+// --- Span names (open/close pairs in the journal) ---
+
+/// One mini-batch end to end on the driver.
+pub const SPAN_BATCH: &str = "batch";
+/// Step 1: distance computation / assignment over the stale model.
+pub const SPAN_ASSIGNMENT: &str = "assignment";
+/// Step 2: order-aware local update (fold records into sketches).
+pub const SPAN_LOCAL_UPDATE: &str = "local_update";
+/// Step 3: global update on the driver.
+pub const SPAN_GLOBAL_UPDATE: &str = "global_update";
+/// One parallel task step inside the engine (TaskPool or thread mode).
+pub const SPAN_STEP_TASKS: &str = "step_tasks";
+/// Background ingest/reorder of the next batch (overlapped pipeline).
+pub const SPAN_PREFETCH: &str = "prefetch";
+/// Map-side combine of same-key updates before the shuffle.
+pub const SPAN_COMBINE: &str = "combine";
+/// Durable checkpoint frame write (encode + store persist).
+pub const SPAN_CHECKPOINT_WRITE: &str = "checkpoint_write";
+/// Checkpoint recovery walk (manifest scan + frame decode).
+pub const SPAN_CHECKPOINT_RESTORE: &str = "checkpoint_restore";
+/// Synthetic span emitted by the `trace_smoke` bench session self-test.
+pub const SPAN_SESSION_TEST: &str = "session_test";
+
+/// Every span name, for conformance checks and journal validators.
+pub const ALL_SPANS: &[&str] = &[
+    SPAN_BATCH,
+    SPAN_ASSIGNMENT,
+    SPAN_LOCAL_UPDATE,
+    SPAN_GLOBAL_UPDATE,
+    SPAN_STEP_TASKS,
+    SPAN_PREFETCH,
+    SPAN_COMBINE,
+    SPAN_CHECKPOINT_WRITE,
+    SPAN_CHECKPOINT_RESTORE,
+    SPAN_SESSION_TEST,
+];
+
+// --- Point-event names (single journal events with numeric fields) ---
+
+/// Per-batch critical-path breakdown emitted once per mini-batch.
+pub const POINT_BATCH_SUMMARY: &str = "batch_summary";
+
+/// Every point-event name.
+pub const ALL_POINTS: &[&str] = &[POINT_BATCH_SUMMARY];
+
+// --- Metric base names (registry counters/gauges/histograms) ---
+
+/// Counter: mini-batches completed.
+pub const METRIC_BATCHES_TOTAL: &str = "diststream_batches_total";
+/// Counter: records folded into the model.
+pub const METRIC_RECORDS_TOTAL: &str = "diststream_records_total";
+/// Counter: model-broadcast bytes shipped driver → tasks.
+pub const METRIC_BROADCAST_BYTES_TOTAL: &str = "diststream_broadcast_bytes_total";
+/// Counter: shuffle bytes shipped between assignment and local update.
+pub const METRIC_SHUFFLE_BYTES_TOTAL: &str = "diststream_shuffle_bytes_total";
+/// Counter: shuffle bytes avoided by the map-side combine.
+pub const METRIC_SHUFFLE_BYTES_SAVED_TOTAL: &str = "diststream_shuffle_bytes_saved_total";
+/// Counter: tasks whose wall time crossed the straggler threshold.
+pub const METRIC_STRAGGLER_TASKS_TOTAL: &str = "diststream_straggler_tasks_total";
+/// Counter (labels `step`, `task`): straggler culprit attribution.
+pub const METRIC_STRAGGLER_CULPRIT_TOTAL: &str = "diststream_straggler_culprit_total";
+/// Gauge (label `step`): slowest-task / mean-task skew ratio.
+pub const METRIC_STRAGGLER_SKEW_RATIO: &str = "diststream_straggler_skew_ratio";
+/// Gauge (label `step`): non-compute fraction of a step's wall time.
+pub const METRIC_STEP_OVERHEAD_FRACTION: &str = "diststream_step_overhead_fraction";
+/// Histogram: end-to-end seconds per mini-batch.
+pub const METRIC_BATCH_TOTAL_SECS: &str = "diststream_batch_total_secs";
+/// Counter: tasks re-executed by the retry layer.
+pub const METRIC_TASKS_RETRIED_TOTAL: &str = "diststream_tasks_retried_total";
+/// Counter: tasks executed by the TaskPool.
+pub const METRIC_POOL_TASKS_TOTAL: &str = "diststream_pool_tasks_total";
+/// Histogram: per-task wall seconds in the TaskPool.
+pub const METRIC_POOL_TASK_SECS: &str = "diststream_pool_task_secs";
+/// Gauge: configured mini-batch window seconds.
+pub const METRIC_BATCH_WINDOW_SECS: &str = "diststream_batch_window_secs";
+/// Histogram: records per mini-batch.
+pub const METRIC_BATCH_RECORDS: &str = "diststream_batch_records";
+/// Gauge: reorder-buffer depth at release points.
+pub const METRIC_REORDER_DEPTH: &str = "diststream_reorder_depth";
+/// Histogram: event-time stall seconds in the reorder buffer.
+pub const METRIC_REORDER_STALL_SECS: &str = "diststream_reorder_stall_secs";
+/// Counter: records dropped for arriving past the lateness bound.
+pub const METRIC_REORDER_DROPPED_LATE_TOTAL: &str = "diststream_reorder_dropped_late_total";
+/// Counter: duplicate deliveries dropped at the release point.
+pub const METRIC_REORDER_DROPPED_DUPLICATE_TOTAL: &str =
+    "diststream_reorder_dropped_duplicate_total";
+/// Counter (label `kind`): simulated network bytes by transfer kind.
+pub const METRIC_NETCOST_BYTES_TOTAL: &str = "diststream_netcost_bytes_total";
+/// Gauge (label `kind`): simulated network seconds by transfer kind.
+pub const METRIC_NETCOST_SECS: &str = "diststream_netcost_secs";
+/// Counter: poisoned batches skipped after retry exhaustion.
+pub const METRIC_BATCHES_SKIPPED_TOTAL: &str = "diststream_batches_skipped_total";
+/// Counter: corrupt checkpoint frames skipped during recovery.
+pub const METRIC_CHECKPOINT_FALLBACKS_TOTAL: &str = "diststream_checkpoint_fallbacks_total";
+/// Counter: metric registrations rejected for a name/type conflict.
+pub const METRIC_NAME_CONFLICTS_TOTAL: &str = "diststream_telemetry_name_conflicts_total";
+
+/// Every metric base name.
+pub const ALL_METRICS: &[&str] = &[
+    METRIC_BATCHES_TOTAL,
+    METRIC_RECORDS_TOTAL,
+    METRIC_BROADCAST_BYTES_TOTAL,
+    METRIC_SHUFFLE_BYTES_TOTAL,
+    METRIC_SHUFFLE_BYTES_SAVED_TOTAL,
+    METRIC_STRAGGLER_TASKS_TOTAL,
+    METRIC_STRAGGLER_CULPRIT_TOTAL,
+    METRIC_STRAGGLER_SKEW_RATIO,
+    METRIC_STEP_OVERHEAD_FRACTION,
+    METRIC_BATCH_TOTAL_SECS,
+    METRIC_TASKS_RETRIED_TOTAL,
+    METRIC_POOL_TASKS_TOTAL,
+    METRIC_POOL_TASK_SECS,
+    METRIC_BATCH_WINDOW_SECS,
+    METRIC_BATCH_RECORDS,
+    METRIC_REORDER_DEPTH,
+    METRIC_REORDER_STALL_SECS,
+    METRIC_REORDER_DROPPED_LATE_TOTAL,
+    METRIC_REORDER_DROPPED_DUPLICATE_TOTAL,
+    METRIC_NETCOST_BYTES_TOTAL,
+    METRIC_NETCOST_SECS,
+    METRIC_BATCHES_SKIPPED_TOTAL,
+    METRIC_CHECKPOINT_FALLBACKS_TOTAL,
+    METRIC_NAME_CONFLICTS_TOTAL,
+];
+
+/// Whether `name` is a cataloged span name.
+pub fn is_span(name: &str) -> bool {
+    ALL_SPANS.contains(&name)
+}
+
+/// Whether `name` is a cataloged point-event name.
+pub fn is_point(name: &str) -> bool {
+    ALL_POINTS.contains(&name)
+}
+
+/// Whether `name` — with any `{label="…"}` suffix stripped — is a cataloged
+/// metric base name.
+pub fn is_metric(name: &str) -> bool {
+    let base = match name.find('{') {
+        Some(idx) => &name[..idx],
+        None => name,
+    };
+    ALL_METRICS.contains(&base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_duplicate_free_and_sorted_membership_works() {
+        for list in [ALL_SPANS, ALL_POINTS, ALL_METRICS] {
+            let mut seen = std::collections::BTreeSet::new();
+            for name in list {
+                assert!(seen.insert(*name), "duplicate catalog entry {name:?}");
+            }
+        }
+        assert!(is_span("batch"));
+        assert!(!is_span("diststream_batches_total"));
+        assert!(is_point("batch_summary"));
+        assert!(is_metric("diststream_batches_total"));
+        assert!(!is_metric("batch"));
+    }
+
+    #[test]
+    fn metric_names_follow_conventions() {
+        for name in ALL_METRICS {
+            assert!(
+                name.starts_with("diststream_"),
+                "{name:?} lacks the diststream_ prefix"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name:?} has non-snake_case characters"
+            );
+        }
+        for name in ALL_SPANS.iter().chain(ALL_POINTS) {
+            assert!(
+                !name.starts_with("diststream_"),
+                "span/point {name:?} must not carry the metric prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_names_resolve_to_base() {
+        assert!(is_metric(
+            "diststream_netcost_bytes_total{kind=\"broadcast\"}"
+        ));
+        assert!(is_metric(
+            "diststream_straggler_culprit_total{step=\"assignment\",task=\"3\"}"
+        ));
+        assert!(!is_metric("diststream_netcost_bytes_totale{kind=\"x\"}"));
+    }
+}

@@ -59,6 +59,18 @@ pub enum DistStreamError {
     },
     /// The model has not been initialized (no initial micro-clusters).
     Uninitialized,
+    /// A micro-cluster id referenced by a global update does not exist in
+    /// the model (and the algorithm has no orphan-placement fallback).
+    UnknownMicroCluster {
+        /// The missing micro-cluster id.
+        id: u64,
+    },
+    /// An internal invariant did not hold. Produced where the panic-path
+    /// audit converted an `unwrap()`/`expect()` into a typed error: the
+    /// condition indicates a framework bug, but surfacing it as an error
+    /// lets the fault model (retry, batch skip) contain it instead of
+    /// tearing down the worker.
+    Invariant(String),
 }
 
 impl fmt::Display for DistStreamError {
@@ -86,6 +98,12 @@ impl fmt::Display for DistStreamError {
             }
             DistStreamError::Uninitialized => {
                 write!(f, "model not initialized with initial micro-clusters")
+            }
+            DistStreamError::UnknownMicroCluster { id } => {
+                write!(f, "unknown micro-cluster id {id} in global update")
+            }
+            DistStreamError::Invariant(msg) => {
+                write!(f, "internal invariant violated: {msg}")
             }
         }
     }
@@ -120,6 +138,8 @@ mod tests {
             },
             DistStreamError::Storage("rename failed".into()),
             DistStreamError::Uninitialized,
+            DistStreamError::UnknownMicroCluster { id: 9 },
+            DistStreamError::Invariant("k-means left a point unassigned".into()),
         ];
         for err in cases {
             let msg = err.to_string();

@@ -29,6 +29,8 @@
 //! assert_eq!(record.dims(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod error;
 mod point;

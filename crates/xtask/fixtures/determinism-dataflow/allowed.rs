@@ -1,0 +1,10 @@
+//! Fixture: an inline allow suppresses the `determinism-dataflow` rule.
+
+fn centroid_ids(clusters: &HashMap<u64, Cluster>) -> Vec<u64> {
+    let mut ids = Vec::new();
+    // lint:allow(determinism-dataflow) order is re-established downstream
+    for (id, _) in clusters {
+        ids.push(*id);
+    }
+    ids
+}

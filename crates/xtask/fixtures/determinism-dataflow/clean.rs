@@ -1,0 +1,18 @@
+//! Fixture: the sink is sorted after the loop, restoring determinism.
+
+fn centroid_ids(clusters: &HashMap<u64, Cluster>) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for (id, _) in clusters {
+        ids.push(*id);
+    }
+    ids.sort_unstable();
+    ids
+}
+
+fn btree_is_ordered(clusters: &BTreeMap<u64, Cluster>) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for (id, _) in clusters {
+        ids.push(*id);
+    }
+    ids
+}

@@ -1,0 +1,9 @@
+//! Fixture: hash iteration order leaking into an ordered output.
+
+fn centroid_ids(clusters: &HashMap<u64, Cluster>) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for (id, _) in clusters {
+        ids.push(*id);
+    }
+    ids
+}

@@ -1,0 +1,7 @@
+//! Fixture: an inline allow suppresses the `guard-across-boundary` rule.
+
+fn publish(model: &Mutex<Model>, tx: &Sender<Update>) {
+    let guard = model.lock().unwrap();
+    // lint:allow(guard-across-boundary) the channel is unbounded; no deadlock
+    tx.send(guard.snapshot());
+}

@@ -1,0 +1,16 @@
+//! Fixture: the guard is confined or dropped before the boundary.
+
+fn publish_scoped(model: &Mutex<Model>, tx: &Sender<Update>) {
+    let snapshot = {
+        let guard = model.lock().unwrap();
+        guard.snapshot()
+    };
+    tx.send(snapshot);
+}
+
+fn publish_dropped(model: &Mutex<Model>, tx: &Sender<Update>) {
+    let guard = model.lock().unwrap();
+    let snapshot = guard.snapshot();
+    drop(guard);
+    tx.send(snapshot);
+}

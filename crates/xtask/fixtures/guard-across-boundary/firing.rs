@@ -1,0 +1,6 @@
+//! Fixture: a lock guard held across a channel send.
+
+fn publish(model: &Mutex<Model>, tx: &Sender<Update>) {
+    let guard = model.lock().unwrap();
+    tx.send(guard.snapshot());
+}

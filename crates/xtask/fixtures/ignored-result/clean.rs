@@ -1,0 +1,10 @@
+//! Fixture: the write's Result is propagated or handled.
+
+fn checkpoint(store: &mut FileCheckpointStore, cp: &Checkpoint) -> Result<(), DistStreamError> {
+    store.persist(cp)?;
+    let outcome = store.write_manifest(cp);
+    if let Err(err) = outcome {
+        return Err(err);
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Fixture: a checkpoint write whose Result is silently dropped.
+
+fn checkpoint(store: &mut FileCheckpointStore, cp: &Checkpoint) {
+    store.persist(cp);
+}

@@ -1,0 +1,11 @@
+//! Fixture: an inline allow suppresses the `index-in-hot-path` rule.
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..a.len() {
+        // lint:allow(index-in-hot-path) bounds proven by the len() loop bound
+        let d = a[i] - b[i];
+        total += d * d;
+    }
+    total
+}

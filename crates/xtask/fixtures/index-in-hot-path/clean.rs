@@ -1,0 +1,13 @@
+//! Fixture: iterator zip avoids the panic-capable indexing.
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+fn array_literal_is_not_indexing() -> [u8; 4] {
+    let zeros: [u8; 4] = [0; 4];
+    zeros
+}

@@ -1,0 +1,10 @@
+//! Fixture: slice indexing on a per-record path.
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        total += d * d;
+    }
+    total
+}

@@ -1,0 +1,6 @@
+//! Fixture: an inline allow suppresses the `panic-path` rule.
+
+fn lookup(xs: &[u64], id: u64) -> u64 {
+    // lint:allow(panic-path) the caller guarantees id is present
+    xs.iter().find(|&&x| x == id).copied().unwrap()
+}

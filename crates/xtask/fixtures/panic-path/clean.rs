@@ -1,0 +1,16 @@
+//! Fixture: typed-error handling the `panic-path` rule must accept.
+
+fn lookup(xs: &[u64], id: u64) -> Result<u64, String> {
+    xs.iter()
+        .find(|&&x| x == id)
+        .copied()
+        .ok_or_else(|| format!("unknown id {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::lookup(&[1], 1).unwrap();
+    }
+}

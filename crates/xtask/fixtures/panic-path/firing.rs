@@ -1,0 +1,14 @@
+//! Fixture: shipping-path panics the `panic-path` rule must flag.
+
+fn lookup(xs: &[u64], id: u64) -> u64 {
+    let found = xs.iter().find(|&&x| x == id);
+    found.copied().unwrap()
+}
+
+fn classify(kind: &str) -> u32 {
+    match kind {
+        "local" => 0,
+        "global" => 1,
+        other => panic!("unknown kind {other}"),
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an inline allow suppresses the `telemetry-names` rule.
+
+fn run_batch() {
+    // lint:allow(telemetry-names) experimental span, not yet in the catalog
+    let _span = telemetry::span!("experimental_phase");
+}

@@ -1,0 +1,7 @@
+//! Fixture: names resolving by const path and by literal value.
+
+fn run_batch() {
+    let _span = telemetry::span!("batch");
+    telemetry::counter(telemetry::names::METRIC_BATCHES_TOTAL).inc();
+    telemetry::counter("diststream_batches_total{kind=\"x\"}").inc();
+}

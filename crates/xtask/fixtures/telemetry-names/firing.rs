@@ -1,0 +1,6 @@
+//! Fixture: a span name that does not resolve against the catalog.
+
+fn run_batch() {
+    let _span = telemetry::span!("bacth");
+    telemetry::counter(telemetry::names::METRIC_DOES_NOT_EXIST).inc();
+}

@@ -1,0 +1,6 @@
+//! Fixture: an inline allow suppresses the `unsafe-without-safety-comment` rule.
+
+fn read_raw(p: *const u8) -> u8 {
+    // lint:allow(unsafe-without-safety-comment) vetted in review, comment pending
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the invariant making the block sound is documented.
+
+fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points into a live allocation.
+    unsafe { *p }
+}

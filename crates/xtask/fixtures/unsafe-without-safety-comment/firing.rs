@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block missing its safety justification comment.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,178 @@
+//! Fixture-file tests for the analyze rule families.
+//!
+//! Each rule has a directory under `crates/xtask/fixtures/<rule>/` with
+//! three files: `firing.rs` (the rule must flag it), `clean.rs` (the rule
+//! must accept it), and `allowed.rs` (a violation suppressed by an inline
+//! `// lint:allow(<rule>)` escape). Keeping the cases on disk instead of
+//! inline strings makes the rule semantics reviewable as real code and
+//! exercises the same lex/strip/allow pipeline production files go
+//! through. The golden SARIF snapshot lives here too: regenerate it with
+//! `REGEN_GOLDEN=1 cargo test -p xtask sarif_matches_golden`.
+
+use std::path::Path;
+
+use crate::analyze::{self, Finding, NameDef, NameKind};
+use crate::lexer::{inline_allows, lex, strip_test_code};
+use crate::sarif;
+use crate::workspace::SourceFile;
+
+/// Loads a fixture as a `SourceFile`, scoped under `rel` so path-scoped
+/// rules (panic-path, index-in-hot-path) apply.
+fn fixture(rule: &str, case: &str, rel: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(format!("{case}.rs"));
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("cannot read fixture {}: {err}", path.display()));
+    SourceFile {
+        rel: rel.to_string(),
+        source: source.clone(),
+        tokens: strip_test_code(&lex(&source)),
+        allows: inline_allows(&source),
+    }
+}
+
+/// A small synthetic catalog for the telemetry fixtures.
+fn names_catalog() -> Vec<NameDef> {
+    vec![
+        NameDef {
+            const_name: "SPAN_BATCH".into(),
+            value: "batch".into(),
+            line: 1,
+            kind: NameKind::Span,
+        },
+        NameDef {
+            const_name: "METRIC_BATCHES_TOTAL".into(),
+            value: "diststream_batches_total".into(),
+            line: 2,
+            kind: NameKind::Metric,
+        },
+    ]
+}
+
+/// Runs one rule's check over a fixture and returns its findings.
+fn run_rule(rule: &str, case: &str) -> Vec<Finding> {
+    let rel = "crates/algorithms/src/fixture.rs";
+    let file = fixture(rule, case, rel);
+    let mut findings = Vec::new();
+    match rule {
+        "panic-path" => analyze::check_panic_path(&file, &mut findings),
+        "index-in-hot-path" => analyze::check_index_in_hot_path(&file, &mut findings),
+        "determinism-dataflow" => analyze::check_determinism_dataflow(&file, &mut findings),
+        "guard-across-boundary" => analyze::check_guard_across_boundary(&file, &mut findings),
+        "ignored-result" => analyze::check_ignored_result(&file, &mut findings),
+        "unsafe-without-safety-comment" => {
+            analyze::check_unsafe_safety_comment(&file, &mut findings)
+        }
+        "telemetry-names" => {
+            let mut used = std::collections::BTreeSet::new();
+            analyze::check_telemetry_names(&file, &names_catalog(), &mut used, &mut findings);
+        }
+        other => panic!("no fixture harness for rule `{other}`"),
+    }
+    findings
+}
+
+const RULES: [&str; 7] = [
+    "panic-path",
+    "index-in-hot-path",
+    "determinism-dataflow",
+    "guard-across-boundary",
+    "ignored-result",
+    "unsafe-without-safety-comment",
+    "telemetry-names",
+];
+
+#[test]
+fn firing_fixtures_fire() {
+    for rule in RULES {
+        let findings = run_rule(rule, "firing");
+        assert!(
+            !findings.is_empty(),
+            "`{rule}` did not flag fixtures/{rule}/firing.rs"
+        );
+        assert!(
+            findings.iter().all(|f| f.rule == rule),
+            "`{rule}` produced findings under another rule name: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    for rule in RULES {
+        let findings = run_rule(rule, "clean");
+        assert!(
+            findings.is_empty(),
+            "`{rule}` flagged fixtures/{rule}/clean.rs: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_suppressed() {
+    for rule in RULES {
+        let findings = run_rule(rule, "allowed");
+        assert!(
+            findings.is_empty(),
+            "inline allow did not suppress `{rule}` in fixtures/{rule}/allowed.rs: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn firing_fixtures_report_real_lines() {
+    for rule in RULES {
+        for finding in run_rule(rule, "firing") {
+            assert!(finding.line > 0, "`{rule}` reported line 0");
+            assert!(
+                !finding.message.is_empty(),
+                "`{rule}` reported empty message"
+            );
+        }
+    }
+}
+
+/// The findings snapshotted in `fixtures/golden.sarif` — a representative
+/// pair covering two rules, sorted the way `analyze::run` sorts.
+fn golden_findings() -> Vec<Finding> {
+    vec![
+        Finding {
+            rule: "panic-path".into(),
+            path: "crates/algorithms/src/clustream.rs".into(),
+            line: 42,
+            message: "`.unwrap()` on a shipping path; return a typed DistStreamError".into(),
+        },
+        Finding {
+            rule: "telemetry-names".into(),
+            path: "crates/engine/src/driver.rs".into(),
+            line: 101,
+            message: "Span name \"bacth\" does not resolve against \
+                      crates/telemetry/src/names.rs; add it to the catalog or fix the typo"
+                .into(),
+        },
+    ]
+}
+
+#[test]
+fn sarif_matches_golden_snapshot() {
+    let text = sarif::to_sarif(&golden_findings());
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/golden.sarif");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &text).expect("write golden snapshot");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("fixtures/golden.sarif missing; run REGEN_GOLDEN=1 cargo test -p xtask");
+    assert_eq!(
+        text, golden,
+        "SARIF emission drifted from fixtures/golden.sarif; if intentional, regenerate \
+         with REGEN_GOLDEN=1 cargo test -p xtask sarif_matches_golden"
+    );
+    // The snapshot must also stay valid JSON with the SARIF envelope.
+    let doc = crate::json::parse(&golden).expect("golden snapshot parses as JSON");
+    assert_eq!(
+        doc.get("version").and_then(crate::json::Json::as_str),
+        Some("2.1.0")
+    );
+}

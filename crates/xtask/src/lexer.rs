@@ -1,11 +1,16 @@
-//! A minimal Rust lexer for the lint pass.
+//! A minimal Rust lexer for the lint and analyze passes.
 //!
-//! The build environment has no crates.io access, so the lint pass cannot
-//! use `syn`; instead it tokenizes source text directly. The lexer strips
-//! comments, string/char literals, and numbers — everything the lint rules
-//! could false-positive on — and keeps identifiers and punctuation with
-//! line numbers. Consecutive `::` colons are fused into [`Tok::PathSep`]
-//! so rules can match path patterns like `Ordering::Relaxed` structurally.
+//! The build environment has no crates.io access, so the passes cannot
+//! use `syn`; instead they tokenize source text directly. The lexer strips
+//! comments, char literals, and numbers — everything the lint rules
+//! could false-positive on — and keeps identifiers, punctuation, and
+//! string literals with line numbers. Consecutive `::` colons are fused
+//! into [`Tok::PathSep`] so rules can match path patterns like
+//! `Ordering::Relaxed` structurally. String literals carry their contents
+//! as [`Tok::Str`] so the telemetry-name conformance rule can resolve
+//! `span!("batch")`-style names against the catalog; ident/punct pattern
+//! rules are unaffected because a string can never appear *inside* the
+//! `.unwrap(`/`Ordering::Relaxed`-shaped sequences they match.
 
 /// One significant token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +19,9 @@ pub enum Tok {
     Punct(char),
     /// A `::` pair.
     PathSep,
+    /// A string literal's unescaped-as-written contents (escape sequences
+    /// are kept verbatim; the rules only match plain-ASCII names).
+    Str(String),
 }
 
 /// A token plus the 1-based source line it starts on.
@@ -63,7 +71,14 @@ pub fn lex(source: &str) -> Vec<Token> {
                 }
             }
             '"' => {
-                i = skip_string(&chars, i + 1, &mut line, 0);
+                let start_line = line;
+                let start = i + 1;
+                i = skip_string(&chars, start, &mut line, 0);
+                let end = i.saturating_sub(1).max(start); // drop the closing quote
+                tokens.push(Token {
+                    tok: Tok::Str(chars[start..end.min(chars.len())].iter().collect()),
+                    line: start_line,
+                });
             }
             '\'' => {
                 // Lifetime or char literal. `'\x'`-style and `'c'` are
@@ -99,11 +114,18 @@ pub fn lex(source: &str) -> Vec<Token> {
                 // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
                 if (word == "r" || word == "b" || word == "br") && i < n {
                     if chars[i] == '"' {
+                        let start_line = line;
+                        let start = i + 1;
                         i = if word == "b" {
-                            skip_string(&chars, i + 1, &mut line, 0)
+                            skip_string(&chars, start, &mut line, 0)
                         } else {
-                            skip_raw_string(&chars, i + 1, &mut line, 0)
+                            skip_raw_string(&chars, start, &mut line, 0)
                         };
+                        let end = i.saturating_sub(1).max(start);
+                        tokens.push(Token {
+                            tok: Tok::Str(chars[start..end.min(chars.len())].iter().collect()),
+                            line: start_line,
+                        });
                         continue;
                     }
                     if chars[i] == '#' && word != "b" {
@@ -113,7 +135,14 @@ pub fn lex(source: &str) -> Vec<Token> {
                             i += 1;
                         }
                         if i < n && chars[i] == '"' {
-                            i = skip_raw_string(&chars, i + 1, &mut line, hashes);
+                            let start_line = line;
+                            let start = i + 1;
+                            i = skip_raw_string(&chars, start, &mut line, hashes);
+                            let end = i.saturating_sub(1 + hashes).max(start);
+                            tokens.push(Token {
+                                tok: Tok::Str(chars[start..end.min(chars.len())].iter().collect()),
+                                line: start_line,
+                            });
                             continue;
                         }
                         // `r#ident` raw identifier: emit the identifier.
@@ -317,6 +346,32 @@ mod tests {
         assert!(ids.contains(&"static".to_string()));
         // The literal contents never become identifiers.
         assert!(!ids.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn string_literal_contents_are_captured() {
+        let toks = lex(r##"span!("batch"); let r = r#"raw_name"#; let b = b"bytes";"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["batch", "raw_name", "bytes"]);
+    }
+
+    #[test]
+    fn escaped_string_contents_keep_escapes_verbatim() {
+        let toks = lex(r#"f("a\"b");"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r#"a\"b"#]);
     }
 
     #[test]

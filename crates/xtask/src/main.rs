@@ -12,6 +12,15 @@
 //!
 //! See DESIGN.md § "Determinism invariants and the lint catalog".
 //!
+//! `cargo run -p xtask -- analyze` runs the flow-aware analysis pass:
+//! the full legacy lint catalog *plus* the seven analyze rule families
+//! (determinism-dataflow, panic-path, index-in-hot-path, telemetry-names,
+//! guard-across-boundary, ignored-result, unsafe-without-safety-comment)
+//! over one shared walk/lex of the workspace. `--sarif <path>` writes a
+//! SARIF 2.1 log of the active findings; `--update-baseline` regenerates
+//! `crates/xtask/analyze-baseline.txt` for the baseline-gated audits.
+//! See DESIGN.md §7.
+//!
 //! `cargo run -p xtask -- check-trace <journal.jsonl>` validates a
 //! telemetry span journal produced with `--trace-out`: schema version,
 //! per-thread span nesting and ordering, and the per-batch critical-path
@@ -22,11 +31,19 @@
 //! throughput regression against the committed `BENCH_BASELINE.json`
 //! (`BENCH_BASELINE_QUICK.json` with `--quick`). See DESIGN.md §9.
 
+#![forbid(unsafe_code)]
+
+mod analyze;
 mod bench_check;
+#[cfg(test)]
+mod fixture_tests;
 mod json;
 mod lexer;
+mod parser;
 mod rules;
+mod sarif;
 mod trace_check;
+mod workspace;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -39,6 +56,17 @@ fn main() -> ExitCode {
             Ok(root) => lint(root),
             Err(msg) => {
                 eprintln!("xtask lint: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("analyze") => match parse_analyze_args(&args[1..]) {
+            Ok((root, opts)) => run_analyze(&root, &opts),
+            Err(msg) => {
+                eprintln!("xtask analyze: {msg}");
+                eprintln!(
+                    "usage: cargo run -p xtask -- analyze [--root <path>] [--sarif <out.sarif>] \
+                     [--update-baseline]"
+                );
                 ExitCode::FAILURE
             }
         },
@@ -84,8 +112,9 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|rules|check-trace|bench-check> \
-                 [--root <path>] [--quick] [<journal.jsonl>]"
+                "usage: cargo run -p xtask -- <lint|analyze|rules|check-trace|bench-check> \
+                 [--root <path>] [--sarif <out.sarif>] [--update-baseline] [--quick] \
+                 [<journal.jsonl>]"
             );
             ExitCode::FAILURE
         }
@@ -128,6 +157,10 @@ fn parse_root(args: &[String]) -> Result<PathBuf, String> {
         [arg, ..] => return Err(format!("unrecognized argument `{arg}`")),
         [] => {}
     }
+    default_root()
+}
+
+fn default_root() -> Result<PathBuf, String> {
     // crates/xtask/ -> workspace root.
     Ok(Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -136,49 +169,111 @@ fn parse_root(args: &[String]) -> Result<PathBuf, String> {
         .unwrap_or_else(|| PathBuf::from(".")))
 }
 
-fn lint(root: PathBuf) -> ExitCode {
-    let files = match discover_files(&root) {
-        Ok(files) => files,
-        Err(err) => {
-            eprintln!("xtask lint: cannot walk {}: {err}", root.display());
+fn parse_analyze_args(args: &[String]) -> Result<(PathBuf, analyze::Options), String> {
+    let mut root: Option<PathBuf> = None;
+    let mut opts = analyze::Options {
+        sarif_out: None,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path argument")?;
+                root = Some(PathBuf::from(path));
+            }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif requires a path argument")?;
+                opts.sarif_out = Some(PathBuf::from(path));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => default_root()?,
+    };
+    Ok((root, opts))
+}
+
+fn run_analyze(root: &Path, opts: &analyze::Options) -> ExitCode {
+    let report = match analyze::run(root, opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("xtask analyze: {msg}");
             return ExitCode::FAILURE;
         }
     };
-    if files.is_empty() {
-        eprintln!("xtask lint: no source files found under {}", root.display());
-        return ExitCode::FAILURE;
+    if let Some(out) = &opts.sarif_out {
+        if let Err(msg) = analyze::write_sarif(&report, out) {
+            eprintln!("xtask analyze: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: SARIF log written to {}", out.display());
     }
+    for f in &report.active {
+        println!(
+            "{path}:{line}: [{rule}] {message}",
+            path = f.path,
+            line = f.line,
+            rule = f.rule,
+            message = f.message
+        );
+    }
+    for (rule, path, allowed, current) in &report.ratchet {
+        println!(
+            "xtask analyze: note: {path} is below its `{rule}` baseline ({current} < {allowed}); \
+             run with --update-baseline to ratchet down"
+        );
+    }
+    let suppressed: usize = report.baselined.values().sum();
+    if report.active.is_empty() {
+        println!(
+            "xtask analyze: {} files clean across {} rules ({} baselined finding(s) grandfathered)",
+            report.files_scanned, report.rules_run, suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask analyze: {} violation(s) in {} file(s) ({} baselined finding(s) grandfathered)",
+            report.active.len(),
+            report
+                .active
+                .iter()
+                .map(|f| &f.path)
+                .collect::<BTreeSet<_>>()
+                .len(),
+            suppressed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn lint(root: PathBuf) -> ExitCode {
+    let files = match workspace::load(&root) {
+        Ok(files) => files,
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let catalog = rules::catalog();
     let allowlists: Vec<BTreeSet<String>> = catalog
         .iter()
-        .map(|rule| load_allowlist(&root, rule.name))
+        .map(|rule| workspace::load_allowlist(&root, rule.name))
         .collect();
 
     let mut findings: Vec<(String, rules::Violation)> = Vec::new();
-    let mut scanned = 0usize;
     for file in &files {
-        let rel = relative_path(&root, file);
-        let source = match std::fs::read_to_string(file) {
-            Ok(source) => source,
-            Err(err) => {
-                eprintln!("xtask lint: cannot read {rel}: {err}");
-                return ExitCode::FAILURE;
-            }
-        };
-        scanned += 1;
-        let allows = lexer::inline_allows(&source);
-        let shipping = lexer::strip_test_code(&lexer::lex(&source));
         for (rule, allowlist) in catalog.iter().zip(&allowlists) {
-            if !(rule.applies)(&rel) || allowlist.contains(&rel) {
+            if !(rule.applies)(&file.rel) || allowlist.contains(&file.rel) {
                 continue;
             }
-            for violation in (rule.check)(&shipping) {
-                let suppressed = allows.iter().any(|(line, name)| {
-                    name == rule.name && (*line == violation.line || *line + 1 == violation.line)
-                });
-                if !suppressed {
-                    findings.push((rel.clone(), violation));
+            for violation in (rule.check)(&file.tokens) {
+                if !file.allows(rule.name, violation.line) {
+                    findings.push((file.rel.clone(), violation));
                 }
             }
         }
@@ -195,7 +290,8 @@ fn lint(root: PathBuf) -> ExitCode {
     }
     if findings.is_empty() {
         println!(
-            "xtask lint: {scanned} files clean across {} rules",
+            "xtask lint: {} files clean across {} rules",
+            files.len(),
             catalog.len()
         );
         ExitCode::SUCCESS
@@ -213,75 +309,34 @@ fn lint(root: PathBuf) -> ExitCode {
     }
 }
 
-/// Shipping sources: `crates/*/src/**/*.rs`. Integration tests, benches,
-/// and the vendored stub crates are out of lint scope by construction.
-fn discover_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    for entry in std::fs::read_dir(&crates_dir)? {
-        let src = entry?.path().join("src");
-        if src.is_dir() {
-            walk(&src, &mut files)?;
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            walk(&path, files)?;
-        } else if path.extension().is_some_and(|ext| ext == "rs") {
-            files.push(path);
-        }
-    }
-    Ok(())
-}
-
-fn relative_path(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .unwrap_or(file)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-/// Loads `crates/xtask/allow/<rule>.txt`: one repo-relative path per line,
-/// `#` comments. A missing file means an empty allowlist.
-fn load_allowlist(root: &Path, rule: &str) -> BTreeSet<String> {
-    let path = root.join("crates/xtask/allow").join(format!("{rule}.txt"));
-    let Ok(contents) = std::fs::read_to_string(&path) else {
-        return BTreeSet::new();
-    };
-    contents
-        .lines()
-        .map(str::trim)
-        .filter(|line| !line.is_empty() && !line.starts_with('#'))
-        .map(str::to_string)
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn discovers_workspace_sources() {
-        let root = parse_root(&[]).expect("default root");
-        let files = discover_files(&root).expect("walk");
-        let rels: Vec<String> = files.iter().map(|f| relative_path(&root, f)).collect();
-        assert!(rels.iter().any(|r| r == "crates/engine/src/pool.rs"));
-        assert!(rels.iter().any(|r| r == "crates/core/src/global.rs"));
-        assert!(!rels.iter().any(|r| r.starts_with("vendor/")));
-        assert!(!rels.iter().any(|r| r.contains("/tests/")));
+    fn analyze_args_parse_all_flags() {
+        let (root, opts) = parse_analyze_args(&[
+            "--root".to_string(),
+            "/tmp/ws".to_string(),
+            "--sarif".to_string(),
+            "out.sarif".to_string(),
+            "--update-baseline".to_string(),
+        ])
+        .expect("valid args");
+        assert_eq!(root, PathBuf::from("/tmp/ws"));
+        assert_eq!(opts.sarif_out, Some(PathBuf::from("out.sarif")));
+        assert!(opts.update_baseline);
     }
 
     #[test]
-    fn allowlist_parsing_skips_comments() {
+    fn analyze_args_reject_unknown_flags() {
+        assert!(parse_analyze_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_analyze_args(&["--sarif".to_string()]).is_err());
+    }
+
+    #[test]
+    fn default_root_is_the_workspace() {
         let root = parse_root(&[]).expect("default root");
-        let list = load_allowlist(&root, "wallclock-entropy");
-        assert!(list.contains("crates/core/src/global.rs"));
-        assert!(!list.iter().any(|entry| entry.starts_with('#')));
+        assert!(root.join("crates/xtask/Cargo.toml").is_file());
     }
 }

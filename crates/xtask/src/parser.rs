@@ -1,0 +1,154 @@
+//! A lightweight recursive-descent item parser over the lexer's tokens.
+//!
+//! The flow-aware analyze rules need more structure than flat token
+//! patterns: the determinism-dataflow rule tracks a variable from its
+//! binding to a loop over it *within one function*, and the
+//! guard-across-boundary rule needs a lock guard's enclosing block. This
+//! parser recovers exactly that much structure — the function items of a
+//! file with their body token ranges — and nothing more: no expressions,
+//! no types, no external dependencies. It walks `mod`/`impl`/`trait`
+//! blocks recursively by construction, because it scans the token stream
+//! linearly and a nested `fn` is just the next `fn` keyword it meets.
+
+use crate::lexer::{Tok, Token};
+
+/// One `fn` item: its name, the line of the `fn` keyword, and the token
+/// index ranges of the item — `tokens[start]` is the `fn` keyword itself
+/// (so `start..body_start` covers the signature, where parameter types
+/// live), `tokens[body_start]` is the opening `{`, `tokens[body_end]` the
+/// matching `}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    pub name: String,
+    pub line: u32,
+    pub start: usize,
+    pub body_start: usize,
+    pub body_end: usize,
+}
+
+/// Extracts every function item with a body. Trait method declarations
+/// (terminated by `;`) are skipped. Nested functions are reported both as
+/// their own item and inside the enclosing body range; rules that walk
+/// bodies tolerate the overlap because their findings are keyed by line.
+pub fn functions(tokens: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if !matches!(&tokens[i].tok, Tok::Ident(id) if id == "fn") {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1; // `fn` in a closure type like `Fn() -> T`, or EOF
+            continue;
+        };
+        let name = name.clone();
+        // Scan the signature for the body's `{` (or a `;` for a bodyless
+        // declaration). `;` inside `[u8; 4]`-style types hides at bracket
+        // depth > 0; a signature contains no braces before the body.
+        let mut j = i + 2;
+        let mut depth = 0i32; // () and [] nesting
+        let mut body = None;
+        while j < n {
+            match tokens[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('{') if depth == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(body_start) = body else {
+            i = j + 1;
+            continue;
+        };
+        let body_end = match_brace(tokens, body_start);
+        out.push(Function {
+            name,
+            line,
+            start: i,
+            body_start,
+            body_end,
+        });
+        i = body_start + 1; // descend into the body: nested fns still found
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        match token.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn names(src: &str) -> Vec<String> {
+        functions(&lex(src)).into_iter().map(|f| f.name).collect()
+    }
+
+    #[test]
+    fn finds_free_and_impl_functions() {
+        let src = "fn top() {} impl S { fn method(&self) -> u32 { 1 } } mod m { fn inner() {} }";
+        assert_eq!(names(src), vec!["top", "method", "inner"]);
+    }
+
+    #[test]
+    fn skips_trait_declarations_without_bodies() {
+        let src = "trait T { fn decl(&self) -> u32; fn with_default(&self) -> u32 { 0 } }";
+        assert_eq!(names(src), vec!["with_default"]);
+    }
+
+    #[test]
+    fn array_semicolon_in_return_type_is_not_a_terminator() {
+        let src = "fn digest(&self) -> [u8; 32] { todo() }";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "digest");
+    }
+
+    #[test]
+    fn closure_fn_trait_bound_is_not_an_item() {
+        let src = "fn apply<F: Fn() -> u32>(f: F) -> u32 { f() }";
+        assert_eq!(names(src), vec!["apply"]);
+    }
+
+    #[test]
+    fn nested_function_reported_separately() {
+        let src = "fn outer() { fn inner() { helper(); } inner(); }";
+        assert_eq!(names(src), vec!["outer", "inner"]);
+        let fns = functions(&lex(src));
+        // inner's body nests inside outer's.
+        assert!(fns[1].body_start > fns[0].body_start);
+        assert!(fns[1].body_end < fns[0].body_end);
+    }
+
+    #[test]
+    fn body_range_brackets_the_braces() {
+        let toks = lex("fn f(x: u32) { if x > 0 { g(); } }");
+        let fns = functions(&toks);
+        assert_eq!(toks[fns[0].body_start].tok, Tok::Punct('{'));
+        assert_eq!(fns[0].body_end, toks.len() - 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! SARIF 2.1.0 emission for `xtask analyze`.
+//!
+//! The log is a deliberate minimal subset of the schema — one run, one
+//! tool, one result per finding with a physical location — which is enough
+//! for GitHub code-scanning upload and editor SARIF viewers. Built on the
+//! zero-dependency `json::emit` so keys sort deterministically and the
+//! golden snapshot test can compare bytes.
+
+use std::collections::BTreeMap;
+
+use crate::analyze::Finding;
+use crate::json::Json;
+
+const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    let mut map = BTreeMap::new();
+    for (k, v) in pairs {
+        map.insert(k.to_string(), v);
+    }
+    Json::Object(map)
+}
+
+/// Serializes findings to a SARIF 2.1.0 log. Findings are emitted in the
+/// order given; `analyze` sorts them by (path, line, rule) first, so the
+/// output is stable for a fixed workspace state.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let rules = Json::Array(
+        rule_ids
+            .iter()
+            .map(|id| obj(vec![("id", Json::Str((*id).to_string()))]))
+            .collect(),
+    );
+
+    let results = Json::Array(
+        findings
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("ruleId", Json::Str(f.rule.clone())),
+                    ("level", Json::Str("error".to_string())),
+                    ("message", obj(vec![("text", Json::Str(f.message.clone()))])),
+                    (
+                        "locations",
+                        Json::Array(vec![obj(vec![(
+                            "physicalLocation",
+                            obj(vec![
+                                (
+                                    "artifactLocation",
+                                    obj(vec![
+                                        ("uri", Json::Str(f.path.clone())),
+                                        ("uriBaseId", Json::Str("SRCROOT".to_string())),
+                                    ]),
+                                ),
+                                ("region", obj(vec![("startLine", Json::Num(f.line as f64))])),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    let run = obj(vec![
+        (
+            "tool",
+            obj(vec![(
+                "driver",
+                obj(vec![
+                    ("name", Json::Str("xtask-analyze".to_string())),
+                    (
+                        "informationUri",
+                        Json::Str("https://github.com/diststream/diststream".to_string()),
+                    ),
+                    ("rules", rules),
+                ]),
+            )]),
+        ),
+        (
+            "originalUriBaseIds",
+            obj(vec![(
+                "SRCROOT",
+                obj(vec![("uri", Json::Str("file:///".to_string()))]),
+            )]),
+        ),
+        ("results", results),
+    ]);
+
+    let log = obj(vec![
+        ("$schema", Json::Str(SARIF_SCHEMA.to_string())),
+        ("version", Json::Str(SARIF_VERSION.to_string())),
+        ("runs", Json::Array(vec![run])),
+    ]);
+    crate::json::emit(&log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "panic-path".to_string(),
+            path: "crates/core/src/x.rs".to_string(),
+            line: 7,
+            message: "`.unwrap()` on a shipping path".to_string(),
+        }
+    }
+
+    #[test]
+    fn sarif_log_is_valid_json_with_expected_shape() {
+        let text = to_sarif(&[finding()]);
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Json::as_array).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let results = runs[0]
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("results");
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("panic-path")
+        );
+        let loc = results[0]
+            .get("locations")
+            .and_then(Json::as_array)
+            .unwrap()[0]
+            .get("physicalLocation")
+            .expect("location");
+        assert_eq!(
+            loc.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Json::as_num),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn empty_findings_emit_empty_results() {
+        let text = to_sarif(&[]);
+        let doc = json::parse(&text).expect("valid JSON");
+        let runs = doc.get("runs").and_then(Json::as_array).expect("runs");
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn rules_deduplicate_and_sort() {
+        let mut second = finding();
+        second.rule = "ignored-result".to_string();
+        let text = to_sarif(&[finding(), second, finding()]);
+        let doc = json::parse(&text).expect("valid JSON");
+        let rules = doc.get("runs").and_then(Json::as_array).unwrap()[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_array)
+            .expect("rules");
+        let ids: Vec<_> = rules
+            .iter()
+            .filter_map(|r| r.get("id").and_then(Json::as_str))
+            .collect();
+        assert_eq!(ids, vec!["ignored-result", "panic-path"]);
+    }
+}

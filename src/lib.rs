@@ -2,6 +2,8 @@
 //! workspace. See the README for an overview and `examples/` for runnable
 //! entry points.
 
+#![forbid(unsafe_code)]
+
 pub use diststream_algorithms as algorithms;
 pub use diststream_core as core;
 pub use diststream_datasets as datasets;

@@ -120,7 +120,7 @@ fn single_record_batches_equal_sequential_execution() {
         let mut seq_model = algo.init(&recs[..init]).expect("init");
         let seq = SequentialExecutor::new(algo);
         for r in &recs[init..] {
-            seq.process_record(&mut seq_model, r);
+            seq.process_record(&mut seq_model, r).unwrap();
         }
 
         let ctx = StreamingContext::new(4, ExecutionMode::Simulated).expect("context");

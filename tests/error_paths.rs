@@ -1,0 +1,186 @@
+//! Regression tests for the typed-error refactor: `apply_global` returns
+//! `Result<()>` and every execution layer — sequential, synchronous
+//! parallel, asynchronous pipelined, and the job facade — must surface the
+//! algorithm's error instead of panicking.
+
+use diststream_core::reference::{NaiveClustering, NaiveModel, NaiveSketch};
+use diststream_core::{
+    Assignment, DistStreamExecutor, DistStreamJob, PipelinedExecutor, Searcher, SequentialExecutor,
+    StreamClustering, WeightedPoint,
+};
+use diststream_engine::{ExecutionMode, MiniBatch, StreamingContext, VecSource};
+use diststream_types::{ClusteringConfig, DistStreamError, Point, Record, Result, Timestamp};
+
+fn rec(id: u64, x: f64, t: f64) -> Record {
+    Record::new(id, Point::from(vec![x]), Timestamp::from_secs(t))
+}
+
+fn batch(index: usize, records: Vec<Record>) -> MiniBatch {
+    let t0 = records.first().map_or(Timestamp::ZERO, |r| r.timestamp);
+    let t1 = records.last().map_or(Timestamp::ZERO, |r| r.timestamp);
+    MiniBatch {
+        index,
+        window_start: t0,
+        window_end: t1,
+        records,
+    }
+}
+
+/// Delegates everything to [`NaiveClustering`] but fails every global
+/// update with a typed invariant error, modeling an algorithm that detects
+/// corrupted state on the driver.
+struct FailingGlobal {
+    inner: NaiveClustering,
+}
+
+impl FailingGlobal {
+    fn new() -> Self {
+        FailingGlobal {
+            inner: NaiveClustering::new(1.0),
+        }
+    }
+}
+
+impl StreamClustering for FailingGlobal {
+    type Model = NaiveModel;
+    type Sketch = NaiveSketch;
+
+    fn name(&self) -> &str {
+        "failing-global"
+    }
+
+    fn init(&self, records: &[Record]) -> Result<NaiveModel> {
+        self.inner.init(records)
+    }
+
+    fn assign(&self, model: &NaiveModel, record: &Record) -> Assignment {
+        self.inner.assign(model, record)
+    }
+
+    fn searcher<'m>(&'m self, model: &'m NaiveModel) -> Searcher<'m> {
+        self.inner.searcher(model)
+    }
+
+    fn sketch_of(&self, model: &NaiveModel, id: u64) -> NaiveSketch {
+        self.inner.sketch_of(model, id)
+    }
+
+    fn create(&self, record: &Record) -> NaiveSketch {
+        self.inner.create(record)
+    }
+
+    fn update(&self, sketch: &mut NaiveSketch, record: &Record) {
+        self.inner.update(sketch, record);
+    }
+
+    fn apply_global(
+        &self,
+        _model: &mut NaiveModel,
+        _updated: Vec<(u64, NaiveSketch)>,
+        _created: Vec<NaiveSketch>,
+        _now: Timestamp,
+    ) -> Result<()> {
+        Err(DistStreamError::Invariant("global update rejected".into()))
+    }
+
+    fn snapshot(&self, model: &NaiveModel) -> Vec<WeightedPoint> {
+        self.inner.snapshot(model)
+    }
+}
+
+fn is_invariant(err: &DistStreamError) -> bool {
+    matches!(err, DistStreamError::Invariant(msg) if msg == "global update rejected")
+}
+
+#[test]
+fn sequential_executor_surfaces_apply_global_error() {
+    let algo = FailingGlobal::new();
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let exec = SequentialExecutor::new(&algo);
+    let err = exec
+        .process_record(&mut model, &rec(1, 0.2, 1.0))
+        .unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn sequential_stream_stops_at_first_error() {
+    let algo = FailingGlobal::new();
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let exec = SequentialExecutor::new(&algo);
+    let source = VecSource::new(vec![rec(1, 0.2, 1.0), rec(2, 0.3, 2.0)]);
+    let err = exec.process_stream(&mut model, source).unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn sync_executor_surfaces_apply_global_error() {
+    let algo = FailingGlobal::new();
+    let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let mut exec = DistStreamExecutor::new(&algo, &ctx);
+    let err = exec
+        .process_batch(&mut model, batch(0, vec![rec(1, 0.2, 1.0)]))
+        .unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn pipelined_executor_surfaces_error_one_batch_late() {
+    // The asynchronous protocol queues batch 0's global update and applies
+    // it during batch 1 — so the error surfaces there, not on batch 0.
+    let algo = FailingGlobal::new();
+    let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let mut exec = PipelinedExecutor::new(&algo, &ctx);
+    exec.process_batch(&mut model, batch(0, vec![rec(1, 0.2, 1.0)]))
+        .expect("batch 0 only queues the update");
+    let err = exec
+        .process_batch(&mut model, batch(1, vec![rec(2, 0.3, 2.0)]))
+        .unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn pipelined_flush_surfaces_pending_error() {
+    let algo = FailingGlobal::new();
+    let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let mut exec = PipelinedExecutor::new(&algo, &ctx);
+    exec.process_batch(&mut model, batch(0, vec![rec(1, 0.2, 1.0)]))
+        .expect("batch 0 only queues the update");
+    let err = exec.flush(&mut model).unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn job_facade_surfaces_apply_global_error() {
+    let algo = FailingGlobal::new();
+    let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+    let records: Vec<Record> = (0..40)
+        .map(|i| rec(i, (i % 3) as f64 * 5.0, i as f64 * 0.1))
+        .collect();
+    let err = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+        .init_records(10)
+        .run(VecSource::new(records), |_| {})
+        .unwrap_err();
+    assert!(is_invariant(&err), "got {err}");
+}
+
+#[test]
+fn orphaned_update_ids_are_replaced_without_error() {
+    // Updates targeting ids the model no longer holds must take the
+    // created-sketch placement path, not error or panic: under the
+    // asynchronous protocol assignment snapshots are one update stale.
+    let algo = NaiveClustering::new(1.0);
+    let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+    let sketch = algo.create(&rec(9, 50.0, 1.0));
+    algo.apply_global(
+        &mut model,
+        vec![(777, sketch)],
+        vec![],
+        Timestamp::from_secs(1.0),
+    )
+    .expect("orphaned update must be tolerated");
+    assert_eq!(model.len(), 2, "orphan re-inserted as a new micro-cluster");
+}

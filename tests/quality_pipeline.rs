@@ -70,7 +70,7 @@ fn run_sequential(setup: &Setup) -> f64 {
     let mut model = algo.init(&setup.records[..300]).expect("init");
     let mut cmms = Vec::new();
     for (i, r) in setup.records[300..].iter().enumerate() {
-        exec.process_record(&mut model, r);
+        exec.process_record(&mut model, r).unwrap();
         if i % 400 == 399 {
             let snap = algo.snapshot(&model);
             cmms.push(eval(setup, &snap, 300 + i + 1, r.timestamp));
