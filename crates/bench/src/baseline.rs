@@ -30,7 +30,10 @@ pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
 /// Schema version stamped into the JSON (bump on incompatible change).
 /// v2: entries carry a `pipeline` label (`sync` / `overlapped`) and the
 /// matrix measures both pipelines per `(algorithm, parallelism)`.
-pub const BASELINE_SCHEMA: u32 = 2;
+/// v3: entries add `overhead_secs` (completing the per-phase critical-path
+/// columns for regression attribution) and the event-time latency
+/// percentiles `latency_p50_secs` / `latency_p95_secs` / `latency_p99_secs`.
+pub const BASELINE_SCHEMA: u32 = 3;
 
 /// Pipeline label for the paper's synchronous configuration.
 pub const PIPELINE_SYNC: &str = "sync";
@@ -110,8 +113,17 @@ pub struct BaselineEntry {
     pub local_cpu_secs: f64,
     /// Sum of driver-side global-update seconds.
     pub global_secs: f64,
+    /// Sum of charged scheduling/network overhead seconds.
+    pub overhead_secs: f64,
     /// Sum of batch critical-path seconds.
     pub total_secs: f64,
+    /// Median event-time → model-integration latency (virtual seconds,
+    /// interpolated from the run's merged latency histogram).
+    pub latency_p50_secs: f64,
+    /// 95th-percentile event-time latency (virtual seconds).
+    pub latency_p95_secs: f64,
+    /// 99th-percentile event-time latency (virtual seconds).
+    pub latency_p99_secs: f64,
 }
 
 impl BaselineEntry {
@@ -185,6 +197,7 @@ fn run_one<A: StreamClustering>(
     let mut local_secs = 0.0;
     let mut local_cpu_secs = 0.0;
     let mut global_secs = 0.0;
+    let mut overhead_secs = 0.0;
     let base = bundle.stress_records();
     let result = job.run(RepeatSource::new(base, spec.rounds), |report| {
         let m = &report.outcome.metrics;
@@ -192,6 +205,7 @@ fn run_one<A: StreamClustering>(
         local_secs += m.local.wall_secs();
         local_cpu_secs += m.local.task_secs().iter().sum::<f64>();
         global_secs += m.global_secs;
+        overhead_secs += m.overhead_secs;
     })?;
     let records = result.meter.records();
     let total_secs = result.meter.secs();
@@ -209,7 +223,11 @@ fn run_one<A: StreamClustering>(
         local_secs,
         local_cpu_secs,
         global_secs,
+        overhead_secs,
         total_secs,
+        latency_p50_secs: result.meter.latency_quantile_secs(0.50),
+        latency_p95_secs: result.meter.latency_quantile_secs(0.95),
+        latency_p99_secs: result.meter.latency_quantile_secs(0.99),
     })
 }
 
@@ -329,7 +347,9 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
             "    {{\"algo\": \"{}\", \"pipeline\": \"{}\", \"parallelism\": {}, \
              \"records\": {}, \
              \"records_per_sec\": {}, \"assignment_secs\": {}, \"local_secs\": {}, \
-             \"local_cpu_secs\": {}, \"global_secs\": {}, \"total_secs\": {}}}{}\n",
+             \"local_cpu_secs\": {}, \"global_secs\": {}, \"overhead_secs\": {}, \
+             \"total_secs\": {}, \"latency_p50_secs\": {}, \"latency_p95_secs\": {}, \
+             \"latency_p99_secs\": {}}}{}\n",
             e.algo,
             e.pipeline,
             e.parallelism,
@@ -339,7 +359,11 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
             json_f64(e.local_secs),
             json_f64(e.local_cpu_secs),
             json_f64(e.global_secs),
+            json_f64(e.overhead_secs),
             json_f64(e.total_secs),
+            json_f64(e.latency_p50_secs),
+            json_f64(e.latency_p95_secs),
+            json_f64(e.latency_p99_secs),
             sep,
         ));
     }
@@ -359,6 +383,9 @@ pub fn print_baseline(report: &BaselineReport) {
         "assign s",
         "local s",
         "global s",
+        "lat p50",
+        "lat p95",
+        "lat p99",
     ]);
     for e in &report.entries {
         table.row([
@@ -371,6 +398,9 @@ pub fn print_baseline(report: &BaselineReport) {
             fmt_f64(e.assignment_secs, 3),
             fmt_f64(e.local_secs, 3),
             fmt_f64(e.global_secs, 3),
+            fmt_f64(e.latency_p50_secs, 3),
+            fmt_f64(e.latency_p95_secs, 3),
+            fmt_f64(e.latency_p99_secs, 3),
         ]);
     }
     print_table(
@@ -421,15 +451,21 @@ mod tests {
                 local_secs: 0.02,
                 local_cpu_secs: 0.03,
                 global_secs: 0.005,
+                overhead_secs: 0.002,
                 total_secs: 0.035,
+                latency_p50_secs: 0.6,
+                latency_p95_secs: 1.1,
+                latency_p99_secs: 1.4,
             }],
         };
         let json = baseline_to_json(&report);
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"algo\": \"clustream\""));
         assert!(json.contains("\"pipeline\": \"overlapped\""));
         assert!(json.contains("\"parallelism\": 4"));
         assert!(json.contains("\"records_per_sec\": 1234.5"));
+        assert!(json.contains("\"overhead_secs\": 0.002"));
+        assert!(json.contains("\"latency_p95_secs\": 1.1"));
         // Valid JSON must not end entries with a trailing comma.
         assert!(!json.contains("},\n  ]"));
     }
@@ -447,6 +483,17 @@ mod tests {
         for e in &report.entries {
             assert!(e.records > 0, "{} p={} empty", e.algo, e.parallelism);
             assert!(e.records_per_sec > 0.0);
+            // Event-time latency percentiles are measured for every cell
+            // (both pipelines, all algorithms) and ordered.
+            assert!(
+                e.latency_p50_secs > 0.0,
+                "{} {} p={} has no latency signal",
+                e.algo,
+                e.pipeline,
+                e.parallelism
+            );
+            assert!(e.latency_p95_secs >= e.latency_p50_secs);
+            assert!(e.latency_p99_secs >= e.latency_p95_secs);
         }
         // Every algorithm appears at every parallelism degree, in both
         // pipelines.

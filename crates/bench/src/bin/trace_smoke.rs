@@ -1,9 +1,12 @@
-//! Telemetry smoke run — a small real-thread (p = 4) job that exercises
-//! every instrumentation point: spans across the three update steps, the
-//! per-batch journal drain, pool/netcost/batcher metrics, reorder-buffer
-//! gauges (the stream is fed through a `ReorderBuffer` with mild injected
-//! disorder), and straggler attribution. CI runs it with `--trace-out` and
-//! validates the journal with `cargo run -p xtask -- check-trace`.
+//! Telemetry smoke run — a small real-thread (p = 4 by default, override
+//! with `--parallelism P`) job that exercises every instrumentation point:
+//! spans across the three update steps, the per-batch journal drain,
+//! pool/netcost/batcher metrics, reorder-buffer gauges (the stream is fed
+//! through a `ReorderBuffer` with mild injected disorder), and straggler
+//! attribution. CI runs it with `--trace-out` and validates the journal
+//! with `cargo run -p xtask -- check-trace`. A single-degree journal from
+//! this binary is also the natural input for the `trace-analyze` what-if
+//! check: record at p=1, predict p=4, compare against a measured p=4 run.
 
 use diststream_bench::{fmt_f64, print_table, Bundle, Cli, DatasetKind, Table, TelemetrySession};
 use diststream_core::DistStreamJob;
@@ -12,14 +15,29 @@ use diststream_types::ClusteringConfig;
 
 fn main() {
     let cli = Cli::parse();
+    // `Cli` ignores flags it does not know, so the extra knob parses here.
+    let mut parallelism = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--parallelism" {
+            parallelism = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&p| p >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("trace_smoke: --parallelism takes an integer >= 1");
+                    std::process::exit(2);
+                });
+        }
+    }
     let _telemetry = TelemetrySession::from_cli(&cli);
-    println!("# Telemetry smoke — CluStream on CoverType, threads mode, p = 4");
+    println!("# Telemetry smoke — CluStream on CoverType, threads mode, p = {parallelism}");
 
     let records = cli.records_for(4000, 20_000);
     let bundle = Bundle::new(DatasetKind::CoverType, records, cli.seed);
     let algo = bundle.clustream();
     // Real threads so span durations are measured wall time, not simulated.
-    let ctx = StreamingContext::new(4, ExecutionMode::Threads).expect("p >= 1");
+    let ctx = StreamingContext::new(parallelism, ExecutionMode::Threads).expect("p >= 1");
 
     // Mild bounded disorder (adjacent-pair swaps) so the reorder buffer
     // actually holds records back and its depth/stall gauges move.

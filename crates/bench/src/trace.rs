@@ -94,13 +94,40 @@ impl Drop for TelemetrySession {
             }
             print_table("Telemetry summary", &table);
         }
-        if self.trace_out.is_some() {
+        if let Some(path) = &self.trace_out {
             let dropped = telemetry::dropped_events();
             if dropped > 0 {
                 eprintln!("telemetry: {dropped} event(s) lost (sink missing or write errors)");
             }
+            print_blame(path);
         }
     }
+}
+
+/// Prints the run's critical-path blame table from the journal just
+/// written. Best-effort: a journal that cannot be parsed (e.g. truncated
+/// by write errors) only warns.
+fn print_blame(path: &std::path::Path) {
+    let journal = match diststream_trace::parse_journal_file(path) {
+        Ok(journal) => journal,
+        Err(err) => {
+            eprintln!("telemetry: cannot analyze {}: {err}", path.display());
+            return;
+        }
+    };
+    let run = diststream_trace::analyze(&journal);
+    if run.batches.is_empty() {
+        return;
+    }
+    println!();
+    println!(
+        "Critical-path blame ({} batch(es), {:.6}s recorded; full analysis: \
+         `cargo run -p xtask -- trace-analyze {}`):",
+        run.batches.len(),
+        run.total_secs(),
+        path.display()
+    );
+    print!("{}", run.blame().render());
 }
 
 #[cfg(test)]

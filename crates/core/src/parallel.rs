@@ -1,7 +1,9 @@
 //! The order-aware mini-batch executor: one batch-by-batch feedback loop
 //! iteration = broadcast → assign → local update → global update.
 
-use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_engine::{
+    BatchMetrics, Broadcast, LatencyProbe, MiniBatch, RecordLatency, StreamingContext,
+};
 use diststream_telemetry as telemetry;
 use diststream_types::Result;
 
@@ -23,6 +25,10 @@ pub struct BatchOutcome {
     pub created_micro_clusters: usize,
     /// Outlier micro-clusters remaining after pre-merge.
     pub created_after_premerge: usize,
+    /// Event-time → model-integration latency digest for the records whose
+    /// global update applied during this call (`None` when no records were
+    /// integrated — e.g. an async batch whose update is still pending).
+    pub latency: Option<RecordLatency>,
 }
 
 /// Executes the order-aware (or unordered-baseline) mini-batch update model
@@ -152,6 +158,10 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         let batch_seed = self.base_seed ^ (batch.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let records = batch.len();
         let window_start = batch.window_start;
+        let window_end = batch.window_end;
+        // Capture record event times before the assignment step consumes
+        // the records; resolved after the global update integrates them.
+        let latency_probe = LatencyProbe::capture(batch.index, &batch.records);
 
         // Broadcast the stale model Q_t once per feedback-loop iteration.
         let bcast = Broadcast::new(model.clone());
@@ -206,6 +216,11 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             + self.ctx.shuffle_secs(shuffle_bytes)
             + self.ctx.collect_secs(global.collect_bytes);
 
+        // Synchronous protocol: the batch's records integrate at its own
+        // window end.
+        let latency = latency_probe.resolve(window_end);
+        latency.emit_telemetry();
+
         let outcome = BatchOutcome {
             metrics: BatchMetrics {
                 batch_index: batch.index,
@@ -217,11 +232,13 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 broadcast_bytes: model_bytes * self.ctx.parallelism() as u64,
                 shuffle_bytes,
                 async_overlap: false,
+                parallelism: self.ctx.parallelism(),
             },
             assigned_existing,
             outlier_records,
             created_micro_clusters: global.created_before_premerge,
             created_after_premerge: global.created_after_premerge,
+            latency: Some(latency),
         };
         outcome.metrics.emit_telemetry();
         Ok(outcome)

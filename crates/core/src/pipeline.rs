@@ -2,7 +2,8 @@
 //! executor → per-batch reports.
 
 use diststream_engine::{
-    prefetch_batches, MiniBatch, MiniBatcher, RecordSource, StreamingContext, ThroughputMeter,
+    prefetch_batches, MiniBatch, MiniBatcher, RecordLatency, RecordSource, StreamingContext,
+    ThroughputMeter,
 };
 use diststream_telemetry as telemetry;
 use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
@@ -55,7 +56,7 @@ impl PipelineOptions {
 /// is written once.
 enum AnyExec<'a, A: StreamClustering> {
     Sync(DistStreamExecutor<'a, A>),
-    Overlap(PipelinedExecutor<'a, A>),
+    Overlap(Box<PipelinedExecutor<'a, A>>),
 }
 
 impl<'a, A: StreamClustering> AnyExec<'a, A> {
@@ -67,11 +68,14 @@ impl<'a, A: StreamClustering> AnyExec<'a, A> {
     }
 
     /// Applies any pending global update and returns its driver seconds
-    /// (the synchronous executor never has one pending).
-    fn flush_secs(&mut self, model: &mut A::Model) -> Result<Option<f64>> {
+    /// plus the integrated records' latency digest (the synchronous
+    /// executor never has one pending).
+    fn flush_secs(&mut self, model: &mut A::Model) -> Result<Option<(f64, Option<RecordLatency>)>> {
         match self {
             AnyExec::Sync(_) => Ok(None),
-            AnyExec::Overlap(exec) => Ok(exec.flush(model)?.map(|g| g.global_secs)),
+            AnyExec::Overlap(exec) => Ok(exec
+                .flush(model)?
+                .map(|g| (g.global_secs, exec.take_flushed_latency()))),
         }
     }
 }
@@ -184,7 +188,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 .premerge(self.premerge)
                 .combine(self.pipeline.combine)
                 .chunking(self.pipeline.chunking);
-            AnyExec::Overlap(exec)
+            AnyExec::Overlap(Box::new(exec))
         } else {
             let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
             exec.ordering(self.ordering)
@@ -292,6 +296,9 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
             let window_end = batch.window_end;
             let outcome = exec.process_batch(&mut model, batch)?;
             meter.observe(&outcome.metrics);
+            if let Some(latency) = &outcome.latency {
+                meter.observe_latency(latency);
+            }
             let next = sizer.observe(outcome.metrics.records, outcome.metrics.total_secs());
             batcher.set_batch_secs(next);
             on_batch(BatchReport {
@@ -305,8 +312,11 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 telemetry::barrier_drain();
             }
         }
-        if let Some(flush_secs) = exec.flush_secs(&mut model)? {
+        if let Some((flush_secs, latency)) = exec.flush_secs(&mut model)? {
             meter.observe_flush(flush_secs);
+            if let Some(latency) = &latency {
+                meter.observe_latency(latency);
+            }
             if telemetry::enabled() {
                 telemetry::barrier_drain();
             }
@@ -335,6 +345,9 @@ where
         let window_end = batch.window_end;
         let outcome = exec.process_batch(model, batch)?;
         meter.observe(&outcome.metrics);
+        if let Some(latency) = &outcome.latency {
+            meter.observe_latency(latency);
+        }
         on_batch(BatchReport {
             batch_index,
             window_end,
@@ -348,8 +361,11 @@ where
             telemetry::barrier_drain();
         }
     }
-    if let Some(flush_secs) = exec.flush_secs(model)? {
+    if let Some((flush_secs, latency)) = exec.flush_secs(model)? {
         meter.observe_flush(flush_secs);
+        if let Some(latency) = &latency {
+            meter.observe_latency(latency);
+        }
         if telemetry::enabled() {
             telemetry::barrier_drain();
         }

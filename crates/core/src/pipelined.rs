@@ -15,7 +15,9 @@
 //! order-aware mechanism is unchanged: records still fold in arrival order
 //! and micro-clusters still apply in creation order, just one batch later.
 
-use diststream_engine::{BatchMetrics, Broadcast, MiniBatch, StreamingContext};
+use diststream_engine::{
+    BatchMetrics, Broadcast, LatencyProbe, MiniBatch, RecordLatency, StreamingContext,
+};
 use diststream_telemetry as telemetry;
 use diststream_types::{Result, Timestamp};
 
@@ -30,6 +32,9 @@ struct PendingGlobal<S> {
     local: LocalOutcome<S>,
     window_end: Timestamp,
     seed: u64,
+    /// Event times of the batch's records, resolved into a latency digest
+    /// when this global update finally applies.
+    probe: LatencyProbe,
 }
 
 impl<A: StreamClustering> std::fmt::Debug for PipelinedExecutor<'_, A> {
@@ -80,6 +85,9 @@ pub struct PipelinedExecutor<'a, A: StreamClustering> {
     chunking: bool,
     base_seed: u64,
     pending: Option<PendingGlobal<A::Sketch>>,
+    // Latency digest of the records integrated by the last flush(), parked
+    // here so flush()'s signature can stay GlobalOutcome-shaped.
+    flushed_latency: Option<RecordLatency>,
     // Per-batch scratch reused across process_batch calls.
     scratch: LocalScratch,
 }
@@ -96,6 +104,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             chunking: false,
             base_seed: 0x0B5E55ED,
             pending: None,
+            flushed_latency: None,
             scratch: LocalScratch::default(),
         }
     }
@@ -161,6 +170,10 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         let records = batch.len();
         let window_start = batch.window_start;
         let window_end = batch.window_end;
+        // Capture record event times before the assignment step consumes
+        // the records; the digest resolves when the batch's global update
+        // applies — one batch from now.
+        let latency_probe = LatencyProbe::capture(batch.index, &batch.records);
 
         // Snapshot the stale model for the parallel steps *before* applying
         // the pending global update — that is the asynchrony.
@@ -169,13 +182,13 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
 
         // Driver side (conceptually concurrent): apply batch B−1's global
         // update to the authoritative model.
-        let applied = match self.pending.take() {
+        let (applied, latency) = match self.pending.take() {
             Some(pending) => {
                 let _span = telemetry::span!(
                     telemetry::names::SPAN_GLOBAL_UPDATE,
                     batch = pending.batch_index
                 );
-                Some(global_update(
+                let outcome = global_update(
                     self.algo,
                     model,
                     pending.local,
@@ -183,9 +196,15 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                     self.ordering,
                     self.premerge,
                     pending.seed,
-                )?)
+                )?;
+                // Batch B−1's records integrate at *this* batch's window
+                // end — the one-batch staleness the async protocol trades
+                // for throughput, made visible as event-time latency.
+                let latency = pending.probe.resolve(window_end);
+                latency.emit_telemetry();
+                (Some(outcome), Some(latency))
             }
-            None => None,
+            None => (None, None),
         };
 
         // Parallel side: steps 1 and 2 against the stale snapshot.
@@ -226,6 +245,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             local,
             window_end,
             seed: batch_seed,
+            probe: latency_probe,
         });
 
         let outcome = BatchOutcome {
@@ -239,11 +259,13 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                 broadcast_bytes: model_bytes * self.ctx.parallelism() as u64,
                 shuffle_bytes,
                 async_overlap: true,
+                parallelism: self.ctx.parallelism(),
             },
             assigned_existing,
             outlier_records,
             created_micro_clusters: applied.as_ref().map_or(0, |g| g.created_before_premerge),
             created_after_premerge: applied.as_ref().map_or(0, |g| g.created_after_premerge),
+            latency,
         };
         outcome.metrics.emit_telemetry();
         Ok(outcome)
@@ -264,7 +286,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                     telemetry::names::SPAN_GLOBAL_UPDATE,
                     batch = pending.batch_index
                 );
-                global_update(
+                let outcome = global_update(
                     self.algo,
                     model,
                     pending.local,
@@ -272,11 +294,23 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                     self.ordering,
                     self.premerge,
                     pending.seed,
-                )
-                .map(Some)
+                )?;
+                // No later batch exists, so the final records integrate at
+                // their own window end (no staleness penalty at flush).
+                let latency = pending.probe.resolve(pending.window_end);
+                latency.emit_telemetry();
+                self.flushed_latency = Some(latency);
+                Ok(Some(outcome))
             }
             None => Ok(None),
         }
+    }
+
+    /// Takes the latency digest of the records integrated by the last
+    /// [`PipelinedExecutor::flush`] (the final batch's records). `None`
+    /// before the first flush or when the digest was already taken.
+    pub fn take_flushed_latency(&mut self) -> Option<RecordLatency> {
+        self.flushed_latency.take()
     }
 }
 

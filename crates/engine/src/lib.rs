@@ -53,6 +53,7 @@ mod broadcast;
 mod codec;
 mod driver;
 mod faults;
+mod latency;
 mod metrics;
 mod netcost;
 mod partition;
@@ -67,6 +68,7 @@ pub use broadcast::Broadcast;
 pub use codec::{decode, encode, encode_into};
 pub use driver::{ExecutionMode, StreamingContext};
 pub use faults::FaultPlan;
+pub use latency::{LatencyProbe, RecordLatency, LATENCY_BUCKET_BOUNDS};
 pub use metrics::{BatchMetrics, StepMetrics, ThroughputMeter};
 pub use netcost::{NetworkModel, SimCostModel, StragglerModel};
 pub use partition::{

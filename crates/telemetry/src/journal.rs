@@ -211,17 +211,41 @@ pub fn set_journal_capture() {
     });
 }
 
+/// Renders the trailing journal line recording `count` dropped events.
+fn drops_line(count: u64) -> String {
+    format!("{{\"ev\":\"drops\",\"count\":{count}}}")
+}
+
 /// Removes the sink, flushing a file sink. Returns captured events when the
 /// sink was an in-memory capture.
+///
+/// A file journal that lost events (swallowed write errors — telemetry
+/// never fails the run) gets a trailing `{"ev":"drops","count":N}` line so
+/// downstream consumers (`xtask check-trace`, trace analytics) can tell a
+/// truncated journal from a complete one.
 pub fn close_journal() -> Vec<Event> {
-    with_journal(|j| match j.sink.take() {
-        Some(Sink::Memory(events)) => events,
-        Some(Sink::File(mut w)) => {
-            let _ = w.flush();
-            Vec::new()
+    with_journal(|j| {
+        let drops = j.discarded + j.write_errors;
+        match j.sink.take() {
+            Some(Sink::Memory(events)) => events,
+            Some(Sink::File(mut w)) => {
+                if drops > 0 {
+                    let _ = w.write_all(drops_line(drops).as_bytes());
+                    let _ = w.write_all(b"\n");
+                }
+                let _ = w.flush();
+                Vec::new()
+            }
+            None => Vec::new(),
         }
-        None => Vec::new(),
     })
+}
+
+/// Test hook: pretends `count` journal writes failed, so the drops trailer
+/// path can be exercised without an actual I/O failure.
+#[cfg(test)]
+pub(crate) fn force_write_errors(count: u64) {
+    with_journal(|j| j.write_errors += count);
 }
 
 /// Takes every event captured so far by an in-memory sink without closing
@@ -329,5 +353,10 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn drops_line_shape() {
+        assert_eq!(drops_line(3), "{\"ev\":\"drops\",\"count\":3}");
     }
 }

@@ -44,7 +44,8 @@ pub use journal::{
     take_events, Event, EventKind, JOURNAL_VERSION,
 };
 pub use metrics::{
-    counter, expose, gauge, histogram, summary_rows, Counter, Gauge, Histogram, SummaryRow,
+    counter, expose, gauge, histogram, interpolate_quantile, summary_rows, Counter, Gauge,
+    Histogram, SummaryRow,
 };
 pub use span::{emit_point, enabled, open_span, set_enabled, SpanGuard};
 
@@ -61,11 +62,16 @@ pub fn start_file_session(path: &std::path::Path) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Ends a file session: performs a final drain, disables tracing, and
-/// closes the journal (flushing the file).
+/// Ends a file session: performs a final drain, disables tracing, surfaces
+/// the session's lost-event count as the
+/// [`names::METRIC_JOURNAL_EVENTS_DROPPED_TOTAL`] counter (registered even
+/// at zero, so the exposition always answers "was anything dropped?"), and
+/// closes the journal (flushing the file, with a `drops` trailer line when
+/// events were lost).
 pub fn finish_file_session() {
     barrier_drain();
     set_enabled(false);
+    counter(names::METRIC_JOURNAL_EVENTS_DROPPED_TOTAL).add(dropped_events());
     close_journal();
 }
 
@@ -151,6 +157,48 @@ mod tests {
         assert_eq!(point.kind, EventKind::Point);
         assert_eq!(point.batch, Some(7));
         assert_eq!(point.fields, vec![("total_secs", 0.5)]);
+    }
+
+    #[test]
+    fn file_session_surfaces_drops_as_counter_and_trailer() {
+        let _guard = lock();
+        let dir = std::env::temp_dir();
+        let clean = dir.join(format!(
+            "diststream-journal-clean-{}.jsonl",
+            std::process::id()
+        ));
+        let truncated = dir.join(format!(
+            "diststream-journal-drops-{}.jsonl",
+            std::process::id()
+        ));
+
+        metrics::reset();
+        start_file_session(&clean).expect("create journal");
+        finish_file_session();
+        assert_eq!(
+            counter(names::METRIC_JOURNAL_EVENTS_DROPPED_TOTAL).get(),
+            0,
+            "clean session counted drops"
+        );
+        let contents = std::fs::read_to_string(&clean).expect("read journal");
+        assert!(
+            !contents.contains("\"ev\":\"drops\""),
+            "clean journal got a drops trailer: {contents:?}"
+        );
+
+        metrics::reset();
+        start_file_session(&truncated).expect("create journal");
+        journal::force_write_errors(2);
+        finish_file_session();
+        assert_eq!(counter(names::METRIC_JOURNAL_EVENTS_DROPPED_TOTAL).get(), 2);
+        let contents = std::fs::read_to_string(&truncated).expect("read journal");
+        assert!(
+            contents.ends_with("{\"ev\":\"drops\",\"count\":2}\n"),
+            "missing drops trailer: {contents:?}"
+        );
+
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&truncated);
     }
 
     #[test]

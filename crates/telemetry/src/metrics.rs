@@ -164,6 +164,82 @@ impl Histogram {
         }
         out
     }
+
+    /// Folds a pre-bucketed batch of observations into the histogram:
+    /// per-bucket (non-cumulative) counts aligned with this histogram's
+    /// bounds plus the `+Inf` bucket, and the batch's observation sum.
+    ///
+    /// Used by emitters that already bucketed their observations (e.g. the
+    /// engine's per-batch record-latency accounting) so one registry call
+    /// replaces thousands of `observe` calls. Counts beyond this
+    /// histogram's bucket count land in `+Inf` rather than being lost.
+    pub fn add_bucketed(&self, bucket_counts: &[u64], sum: f64) {
+        let mut total = 0u64;
+        let last = self.buckets.len() - 1;
+        for (i, &n) in bucket_counts.iter().enumerate() {
+            self.buckets[i.min(last)].fetch_add(n, Ordering::SeqCst);
+            total += n;
+        }
+        if total == 0 {
+            return;
+        }
+        self.count.fetch_add(total, Ordering::SeqCst);
+        let mut current = self.sum_bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(current) + sum).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Interpolated quantile estimate over the current buckets — see
+    /// [`interpolate_quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        interpolate_quantile(&self.cumulative(), q)
+    }
+}
+
+/// Estimates the `q`-quantile (`q` in `[0, 1]`) from cumulative
+/// fixed-bucket counts in [`Histogram::cumulative`] form, assuming
+/// observations are uniformly distributed within each bucket — the same
+/// linear interpolation Prometheus' `histogram_quantile` applies.
+///
+/// The target rank `q·count` is located in the first bucket whose
+/// cumulative count reaches it, then interpolated between the bucket's
+/// edges (the first finite bucket interpolates up from 0, matching this
+/// workspace's all-positive bounds). A rank landing in the `+Inf` bucket
+/// clamps to the largest finite bound — the histogram cannot resolve
+/// beyond it. Returns 0.0 for an empty histogram.
+pub fn interpolate_quantile(cumulative: &[(f64, u64)], q: f64) -> f64 {
+    let total = match cumulative.last() {
+        Some(&(_, total)) if total > 0 => total as f64,
+        _ => return 0.0,
+    };
+    let rank = q.clamp(0.0, 1.0) * total;
+    let mut lower_edge = 0.0;
+    let mut below = 0u64;
+    for &(bound, running) in cumulative {
+        if (running as f64) >= rank {
+            if bound.is_infinite() {
+                // Cannot interpolate to infinity; saturate at the last
+                // finite edge.
+                return lower_edge;
+            }
+            let in_bucket = (running - below) as f64;
+            if in_bucket == 0.0 {
+                return bound;
+            }
+            return lower_edge + (bound - lower_edge) * (rank - below as f64) / in_bucket;
+        }
+        lower_edge = if bound.is_finite() { bound } else { lower_edge };
+        below = running;
+    }
+    lower_edge
 }
 
 #[derive(Clone)]
@@ -280,7 +356,81 @@ fn fmt_value(value: f64) -> String {
     }
 }
 
-/// Renders every registered metric in Prometheus text exposition format.
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-renders a registered name's `key="value",…` label block with every
+/// label value escaped per the exposition format. Registered names store
+/// values raw (callers `format!` them in), so escaping happens once here
+/// at render time. A value's closing quote is the one followed by `,` or
+/// end-of-block, so values containing bare quotes still round-trip.
+fn render_labels(labels: &str) -> String {
+    let mut out = String::with_capacity(labels.len());
+    let bytes = labels.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Copy `key="` verbatim.
+        match labels[i..].find('"') {
+            Some(open) => {
+                out.push_str(&labels[i..i + open + 1]);
+                i += open + 1;
+            }
+            None => {
+                out.push_str(&labels[i..]);
+                break;
+            }
+        }
+        // The value ends at a quote followed by `,` or end-of-block.
+        let mut end = i;
+        while end < bytes.len() {
+            if bytes[end] == b'"' && (end + 1 == bytes.len() || bytes[end + 1] == b',') {
+                break;
+            }
+            end += 1;
+        }
+        out.push_str(&escape_label_value(&labels[i..end]));
+        if end < bytes.len() {
+            out.push('"');
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Splits a registered name into its base and raw label block (without
+/// braces); the label block is empty for unlabeled names.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(idx) => (&name[..idx], &name[idx + 1..name.len() - 1]),
+        None => (name, ""),
+    }
+}
+
+/// Renders a registered name for exposition, escaping label values.
+fn render_name(name: &str) -> String {
+    let (base, labels) = split_labels(name);
+    if labels.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}{{{}}}", render_labels(labels))
+    }
+}
+
+/// Renders every registered metric in Prometheus text exposition format,
+/// with `# HELP` (sourced from the [`crate::names`] catalog) and `# TYPE`
+/// headers once per base name and label values escaped per the format.
 pub fn expose() -> String {
     with_registry(|reg| {
         let mut out = String::new();
@@ -293,17 +443,19 @@ pub fn expose() -> String {
                 Metric::Histogram(_) => "histogram",
             };
             if last_base.as_deref() != Some(base) {
+                if let Some(help) = crate::names::help(base) {
+                    out.push_str(&format!("# HELP {base} {help}\n"));
+                }
                 out.push_str(&format!("# TYPE {base} {type_line}\n"));
                 last_base = Some(base.to_string());
             }
+            let rendered = render_name(name);
             match metric {
-                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
-                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_value(g.get()))),
+                Metric::Counter(c) => out.push_str(&format!("{rendered} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{rendered} {}\n", fmt_value(g.get()))),
                 Metric::Histogram(h) => {
-                    let (base, labels) = match name.find('{') {
-                        Some(idx) => (&name[..idx], name[idx + 1..name.len() - 1].to_string()),
-                        None => (name.as_str(), String::new()),
-                    };
+                    let (base, raw_labels) = split_labels(name);
+                    let labels = render_labels(raw_labels);
                     for (bound, cumulative) in h.cumulative() {
                         let le = if bound.is_infinite() {
                             "+Inf".to_string()
@@ -334,7 +486,8 @@ pub type SummaryRow = (String, &'static str, String, String);
 
 /// Snapshot of every registered metric as human-readable summary rows,
 /// sorted by name. Counters report their total, gauges last/max, and
-/// histograms count/mean.
+/// histograms count plus mean and interpolated p50/p95/p99 (see
+/// [`interpolate_quantile`]).
 pub fn summary_rows() -> Vec<SummaryRow> {
     with_registry(|reg| {
         reg.iter()
@@ -358,7 +511,13 @@ pub fn summary_rows() -> Vec<SummaryRow> {
                     name.clone(),
                     "histogram",
                     format!("n={}", h.count()),
-                    format!("mean={}", fmt_value(h.mean())),
+                    format!(
+                        "mean={} p50={} p95={} p99={}",
+                        fmt_value(h.mean()),
+                        fmt_value(h.quantile(0.50)),
+                        fmt_value(h.quantile(0.95)),
+                        fmt_value(h.quantile(0.99))
+                    ),
                 ),
             })
             .collect()
@@ -439,6 +598,112 @@ mod tests {
         assert!(text.contains("expose_lat_secs_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("expose_lat_secs_count 1"));
         reset();
+    }
+
+    #[test]
+    fn expose_emits_help_from_the_names_catalog() {
+        reset();
+        counter(crate::names::METRIC_BATCHES_TOTAL).add(7);
+        histogram(crate::names::METRIC_BATCH_TOTAL_SECS, &[1.0]).observe(0.5);
+        // Uncataloged (test-local) names get TYPE but no HELP.
+        gauge("expose_help_free").set(1.0);
+        let text = expose();
+        let help = crate::names::help(crate::names::METRIC_BATCHES_TOTAL).unwrap();
+        assert!(text.contains(&format!(
+            "# HELP {} {help}\n# TYPE {} counter",
+            crate::names::METRIC_BATCHES_TOTAL,
+            crate::names::METRIC_BATCHES_TOTAL
+        )));
+        assert!(text.contains(&format!(
+            "# HELP {} ",
+            crate::names::METRIC_BATCH_TOTAL_SECS
+        )));
+        assert!(!text.contains("# HELP expose_help_free"));
+        reset();
+    }
+
+    #[test]
+    fn expose_escapes_label_values() {
+        reset();
+        counter("expose_esc_total{path=\"a\\b\nc\"}").add(1);
+        histogram("expose_esc_secs{src=\"x\ny\"}", &[1.0]).observe(0.5);
+        let text = expose();
+        assert!(
+            text.contains("expose_esc_total{path=\"a\\\\b\\nc\"} 1"),
+            "label value not escaped: {text}"
+        );
+        assert!(text.contains("expose_esc_secs_bucket{src=\"x\\ny\",le=\"1\"} 1"));
+        assert!(text.contains("expose_esc_secs_sum{src=\"x\\ny\"} 0.5"));
+        reset();
+    }
+
+    #[test]
+    fn interpolation_matches_hand_computed_values() {
+        // Buckets (le, cumulative): 2 obs in (0,1], 4 in (1,2], 2 in
+        // (2,4], 2 beyond. Hand-computed on the uniform-within-bucket
+        // assumption:
+        //   p50: rank 5 lands in (1,2] holding ranks 3..=6
+        //        → 1 + (5−2)/4 × (2−1)           = 1.75
+        //   p80: rank 8 lands at the top of (2,4] → 4.0
+        //   p95: rank 9.5 is in +Inf → clamps to the last finite bound 4.0
+        let cumulative = vec![(1.0, 2), (2.0, 6), (4.0, 8), (f64::INFINITY, 10)];
+        assert!((interpolate_quantile(&cumulative, 0.50) - 1.75).abs() < 1e-12);
+        assert!((interpolate_quantile(&cumulative, 0.80) - 4.0).abs() < 1e-12);
+        assert!((interpolate_quantile(&cumulative, 0.95) - 4.0).abs() < 1e-12);
+        // First-bucket ranks interpolate up from zero: p10 → rank 1 of 2
+        // in (0,1] → 0.5.
+        assert!((interpolate_quantile(&cumulative, 0.10) - 0.5).abs() < 1e-12);
+        assert_eq!(interpolate_quantile(&[], 0.5), 0.0);
+        assert_eq!(
+            interpolate_quantile(&[(1.0, 0), (f64::INFINITY, 0)], 0.5),
+            0.0
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_and_summary_percentiles_agree() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.6, 1.2, 1.4, 1.6, 1.8, 2.5, 3.5, 5.0, 9.0] {
+            h.observe(v);
+        }
+        assert!((h.quantile(0.50) - 1.75).abs() < 1e-12);
+        assert!((h.quantile(0.95) - 4.0).abs() < 1e-12);
+
+        reset();
+        let registered = histogram("summary_quantiles_secs", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.6, 1.2, 1.4, 1.6, 1.8, 2.5, 3.5, 5.0, 9.0] {
+            registered.observe(v);
+        }
+        let rows = summary_rows();
+        let row = rows
+            .iter()
+            .find(|(name, ..)| name == "summary_quantiles_secs")
+            .expect("histogram row");
+        assert!(
+            row.3.contains("p50=1.75") && row.3.contains("p95=4") && row.3.contains("p99=4"),
+            "percentiles missing from summary detail: {}",
+            row.3
+        );
+        reset();
+    }
+
+    #[test]
+    fn add_bucketed_merges_pre_bucketed_observations() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        // 1 more in (0,1], 2 in (1,2], 3 in +Inf, summing to 10.5.
+        h.add_bucketed(&[1, 2, 3], 10.5);
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - 11.0).abs() < 1e-12);
+        assert_eq!(h.cumulative(), vec![(1.0, 2), (2.0, 4), (f64::INFINITY, 7)]);
+        // Overlong count vectors saturate into +Inf instead of dropping.
+        h.add_bucketed(&[0, 0, 1, 4], 8.0);
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.cumulative().last().unwrap().1, 12);
+        // Empty batches are a no-op.
+        h.add_bucketed(&[0, 0, 0], 99.0);
+        assert_eq!(h.count(), 12);
+        assert!((h.sum() - 19.0).abs() < 1e-12);
     }
 
     #[test]

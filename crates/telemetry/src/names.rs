@@ -59,9 +59,18 @@ pub const ALL_SPANS: &[&str] = &[
 
 /// Per-batch critical-path breakdown emitted once per mini-batch.
 pub const POINT_BATCH_SUMMARY: &str = "batch_summary";
+/// Per-batch event-time → model-integration latency percentiles.
+pub const POINT_RECORD_LATENCY: &str = "record_latency";
+/// One parallel task's effective duration (fields `step`, `index`, `secs`),
+/// the raw material for what-if scaling replay in `trace-analyze`.
+pub const POINT_TASK_DURATION: &str = "task_duration";
 
 /// Every point-event name.
-pub const ALL_POINTS: &[&str] = &[POINT_BATCH_SUMMARY];
+pub const ALL_POINTS: &[&str] = &[
+    POINT_BATCH_SUMMARY,
+    POINT_RECORD_LATENCY,
+    POINT_TASK_DURATION,
+];
 
 // --- Metric base names (registry counters/gauges/histograms) ---
 
@@ -114,6 +123,10 @@ pub const METRIC_BATCHES_SKIPPED_TOTAL: &str = "diststream_batches_skipped_total
 pub const METRIC_CHECKPOINT_FALLBACKS_TOTAL: &str = "diststream_checkpoint_fallbacks_total";
 /// Counter: metric registrations rejected for a name/type conflict.
 pub const METRIC_NAME_CONFLICTS_TOTAL: &str = "diststream_telemetry_name_conflicts_total";
+/// Histogram: event-time to model-integration latency per record, seconds.
+pub const METRIC_RECORD_LATENCY_SECS: &str = "diststream_record_latency_secs";
+/// Counter: journal events lost to a missing sink or swallowed write errors.
+pub const METRIC_JOURNAL_EVENTS_DROPPED_TOTAL: &str = "diststream_journal_events_dropped_total";
 
 /// Every metric base name.
 pub const ALL_METRICS: &[&str] = &[
@@ -141,7 +154,118 @@ pub const ALL_METRICS: &[&str] = &[
     METRIC_BATCHES_SKIPPED_TOTAL,
     METRIC_CHECKPOINT_FALLBACKS_TOTAL,
     METRIC_NAME_CONFLICTS_TOTAL,
+    METRIC_RECORD_LATENCY_SECS,
+    METRIC_JOURNAL_EVENTS_DROPPED_TOTAL,
 ];
+
+/// Prometheus `# HELP` text per metric base name. The doc comments above are
+/// the source of truth for humans; this table mirrors them at runtime so the
+/// exposition endpoint can emit `# HELP` lines (doc comments are not
+/// available to the compiled binary). A test below pins full coverage.
+pub const METRIC_HELP: &[(&str, &str)] = &[
+    (METRIC_BATCHES_TOTAL, "Mini-batches completed"),
+    (METRIC_RECORDS_TOTAL, "Records folded into the model"),
+    (
+        METRIC_BROADCAST_BYTES_TOTAL,
+        "Model-broadcast bytes shipped driver to tasks",
+    ),
+    (
+        METRIC_SHUFFLE_BYTES_TOTAL,
+        "Shuffle bytes shipped between assignment and local update",
+    ),
+    (
+        METRIC_SHUFFLE_BYTES_SAVED_TOTAL,
+        "Shuffle bytes avoided by the map-side combine",
+    ),
+    (
+        METRIC_STRAGGLER_TASKS_TOTAL,
+        "Tasks whose wall time crossed the straggler threshold",
+    ),
+    (
+        METRIC_STRAGGLER_CULPRIT_TOTAL,
+        "Straggler culprit attribution by step and task",
+    ),
+    (
+        METRIC_STRAGGLER_SKEW_RATIO,
+        "Slowest-task / mean-task skew ratio per step",
+    ),
+    (
+        METRIC_STEP_OVERHEAD_FRACTION,
+        "Non-compute fraction of a step's wall time",
+    ),
+    (METRIC_BATCH_TOTAL_SECS, "End-to-end seconds per mini-batch"),
+    (
+        METRIC_TASKS_RETRIED_TOTAL,
+        "Tasks re-executed by the retry layer",
+    ),
+    (METRIC_POOL_TASKS_TOTAL, "Tasks executed by the TaskPool"),
+    (
+        METRIC_POOL_TASK_SECS,
+        "Per-task wall seconds in the TaskPool",
+    ),
+    (
+        METRIC_BATCH_WINDOW_SECS,
+        "Configured mini-batch window seconds",
+    ),
+    (METRIC_BATCH_RECORDS, "Records per mini-batch"),
+    (
+        METRIC_REORDER_DEPTH,
+        "Reorder-buffer depth at release points",
+    ),
+    (
+        METRIC_REORDER_STALL_SECS,
+        "Event-time stall seconds in the reorder buffer",
+    ),
+    (
+        METRIC_REORDER_DROPPED_LATE_TOTAL,
+        "Records dropped for arriving past the lateness bound",
+    ),
+    (
+        METRIC_REORDER_DROPPED_DUPLICATE_TOTAL,
+        "Duplicate deliveries dropped at the release point",
+    ),
+    (
+        METRIC_NETCOST_BYTES_TOTAL,
+        "Simulated network bytes by transfer kind",
+    ),
+    (
+        METRIC_NETCOST_SECS,
+        "Simulated network seconds by transfer kind",
+    ),
+    (
+        METRIC_BATCHES_SKIPPED_TOTAL,
+        "Poisoned batches skipped after retry exhaustion",
+    ),
+    (
+        METRIC_CHECKPOINT_FALLBACKS_TOTAL,
+        "Corrupt checkpoint frames skipped during recovery",
+    ),
+    (
+        METRIC_NAME_CONFLICTS_TOTAL,
+        "Metric registrations rejected for a name/type conflict",
+    ),
+    (
+        METRIC_RECORD_LATENCY_SECS,
+        "Event-time to model-integration latency per record in seconds",
+    ),
+    (
+        METRIC_JOURNAL_EVENTS_DROPPED_TOTAL,
+        "Journal events lost to a missing sink or swallowed write errors",
+    ),
+];
+
+/// `# HELP` text for `name` — with any `{label="…"}` suffix stripped —
+/// when the base name is cataloged.
+pub fn help(name: &str) -> Option<&'static str> {
+    let base = match name.find('{') {
+        Some(idx) => &name[..idx],
+        None => name,
+    };
+    METRIC_HELP
+        .iter()
+        .find(|(metric, _)| *metric == base)
+        .map(|(_, text)| *text)
+}
 
 /// Whether `name` is a cataloged span name.
 pub fn is_span(name: &str) -> bool {
@@ -212,5 +336,26 @@ mod tests {
             "diststream_straggler_culprit_total{step=\"assignment\",task=\"3\"}"
         ));
         assert!(!is_metric("diststream_netcost_bytes_totale{kind=\"x\"}"));
+    }
+
+    #[test]
+    fn every_metric_has_help_and_no_stray_help_entries() {
+        for name in ALL_METRICS {
+            let text = help(name).unwrap_or_else(|| panic!("{name:?} lacks # HELP text"));
+            assert!(!text.is_empty(), "{name:?} has empty # HELP text");
+            assert!(
+                !text.contains('\n') && !text.contains('\\'),
+                "{name:?} help needs no exposition escaping by construction"
+            );
+        }
+        for (name, _) in METRIC_HELP {
+            assert!(is_metric(name), "help entry {name:?} is not cataloged");
+        }
+        assert_eq!(help("no_such_metric"), None);
+        // Labeled lookups resolve through the base name.
+        assert_eq!(
+            help("diststream_netcost_bytes_total{kind=\"broadcast\"}"),
+            help("diststream_netcost_bytes_total")
+        );
     }
 }

@@ -36,6 +36,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use diststream_trace::{attribute_regression, Phase, PhaseDelta};
+
 use crate::json::{self, Json};
 
 /// Maximum tolerated relative throughput drop (0.15 = 15%).
@@ -58,11 +60,17 @@ pub const OVERLAP_WIN_PARALLELISM: u64 = 4;
 pub const OVERLAP_WIN_ALGO: &str = "clustream";
 
 /// Baseline schema version this checker understands (mirrors
-/// `diststream_bench::BASELINE_SCHEMA`; xtask has no dependencies).
-const SUPPORTED_SCHEMA: f64 = 2.0;
+/// `diststream_bench::BASELINE_SCHEMA`; the checker keeps its own JSON
+/// parser rather than depending on the bench crate it is gating).
+/// v3 adds `overhead_secs` and the event-time latency percentile columns.
+const SUPPORTED_SCHEMA: f64 = 3.0;
 
 /// A throughput cell key: `(algorithm, pipeline, parallelism)`.
 pub type CellKey = (String, String, u64);
+
+/// Per-cell critical-path phase seconds, in pipeline order:
+/// `[assignment, local_update, global_update, overhead]`.
+pub type PhaseSecs = [f64; 4];
 
 /// One parsed baseline report.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +81,9 @@ pub struct Baseline {
     pub calibration: f64,
     /// `(algo, pipeline, parallelism) -> records_per_sec`.
     pub cells: BTreeMap<CellKey, f64>,
+    /// Per-cell phase seconds, for regression attribution. A cell may be
+    /// absent when a file predates the per-phase columns.
+    pub phases: BTreeMap<CellKey, PhaseSecs>,
 }
 
 /// Outcome of comparing one fresh measurement set against the baseline.
@@ -116,6 +127,7 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
         .and_then(Json::as_array)
         .ok_or("missing `entries` array")?;
     let mut cells = BTreeMap::new();
+    let mut phases = BTreeMap::new();
     for (i, entry) in entries.iter().enumerate() {
         let algo = entry
             .get("algo")
@@ -138,7 +150,18 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
                 "entry {i}: records_per_sec {rate} must be positive"
             ));
         }
-        cells.insert((algo.to_string(), pipeline.to_string(), p as u64), rate);
+        let key = (algo.to_string(), pipeline.to_string(), p as u64);
+        let phase_cols = [
+            "assignment_secs",
+            "local_secs",
+            "global_secs",
+            "overhead_secs",
+        ]
+        .map(|col| entry.get(col).and_then(Json::as_num));
+        if let [Some(a), Some(l), Some(g), Some(o)] = phase_cols {
+            phases.insert(key.clone(), [a, l, g, o]);
+        }
+        cells.insert(key, rate);
     }
     if cells.is_empty() {
         return Err("baseline has no entries".to_string());
@@ -147,6 +170,7 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
         mode,
         calibration,
         cells,
+        phases,
     })
 }
 
@@ -165,12 +189,52 @@ pub fn overlap_win_ratio(cells: &BTreeMap<CellKey, f64>) -> Option<f64> {
     Some(overlapped / sync)
 }
 
+/// Phase-level attribution for a regressed cell: the phase whose
+/// critical-path seconds grew the most, rendered as a failure-message
+/// suffix. Empty when either side lacks the per-phase columns.
+fn attribution_suffix(committed: Option<&PhaseSecs>, fresh: Option<&PhaseSecs>) -> String {
+    let (Some(base), Some(new)) = (committed, fresh) else {
+        return String::new();
+    };
+    const PHASES: [Phase; 4] = [
+        Phase::Assignment,
+        Phase::LocalUpdate,
+        Phase::GlobalUpdate,
+        Phase::Overhead,
+    ];
+    let deltas: Vec<PhaseDelta> = PHASES
+        .iter()
+        .zip(base)
+        .zip(new)
+        .map(|((&phase, &base_secs), &new_secs)| PhaseDelta {
+            phase,
+            base_secs,
+            new_secs,
+        })
+        .collect();
+    match attribute_regression(&deltas) {
+        Some(worst) => format!(
+            " — largest phase regression: {} ({:+.3}s, {:+.1}%)",
+            worst.phase.name(),
+            worst.delta_secs(),
+            100.0 * worst.rel_change()
+        ),
+        None => String::new(),
+    }
+}
+
 /// Compares best-per-cell normalized fresh rates against the committed
-/// baseline. `best` holds the running per-cell maximum across attempts.
-pub fn compare(committed: &Baseline, best: &BTreeMap<CellKey, f64>) -> Comparison {
+/// baseline. `best` holds the running per-cell maximum across attempts;
+/// `best_phases` the phase seconds of each cell's best attempt.
+pub fn compare(
+    committed: &Baseline,
+    best: &BTreeMap<CellKey, f64>,
+    best_phases: &BTreeMap<CellKey, PhaseSecs>,
+) -> Comparison {
     let mut cmp = Comparison::default();
     for ((algo, pipeline, p), &committed_rate) in &committed.cells {
-        match best.get(&(algo.clone(), pipeline.clone(), *p)) {
+        let key = (algo.clone(), pipeline.clone(), *p);
+        match best.get(&key) {
             Some(&fresh_rate) => {
                 cmp.rows.push((
                     algo.clone(),
@@ -182,9 +246,10 @@ pub fn compare(committed: &Baseline, best: &BTreeMap<CellKey, f64>) -> Compariso
                 if fresh_rate < committed_rate * (1.0 - REGRESSION_TOLERANCE) {
                     cmp.failures.push(format!(
                         "{algo} {pipeline} p={p}: {fresh_rate:.0} rec/s is {:.1}% below the \
-                         committed {committed_rate:.0} rec/s (tolerance {:.0}%)",
+                         committed {committed_rate:.0} rec/s (tolerance {:.0}%){}",
                         (1.0 - fresh_rate / committed_rate) * 100.0,
-                        REGRESSION_TOLERANCE * 100.0
+                        REGRESSION_TOLERANCE * 100.0,
+                        attribution_suffix(committed.phases.get(&key), best_phases.get(&key))
                     ));
                 }
             }
@@ -238,14 +303,27 @@ pub fn compare(committed: &Baseline, best: &BTreeMap<CellKey, f64>) -> Compariso
 }
 
 /// Folds one fresh run into the per-cell best map, normalizing by the
-/// calibration ratio so machine speed cancels.
-pub fn fold_best(committed: &Baseline, fresh: &Baseline, best: &mut BTreeMap<CellKey, f64>) {
+/// calibration ratio so machine speed cancels. Phase seconds follow their
+/// cell: when an attempt becomes a cell's best, its phase times (scaled by
+/// the inverse ratio — rates scale up where times scale down) come along.
+pub fn fold_best(
+    committed: &Baseline,
+    fresh: &Baseline,
+    best: &mut BTreeMap<CellKey, f64>,
+    best_phases: &mut BTreeMap<CellKey, PhaseSecs>,
+) {
     let scale = committed.calibration / fresh.calibration;
     for (key, &rate) in &fresh.cells {
         let normalized = rate * scale;
-        let slot = best.entry(key.clone()).or_insert(normalized);
-        if normalized > *slot {
-            *slot = normalized;
+        let improved = match best.get(key) {
+            Some(&current) => normalized > current,
+            None => true,
+        };
+        if improved {
+            best.insert(key.clone(), normalized);
+            if let Some(phases) = fresh.phases.get(key) {
+                best_phases.insert(key.clone(), phases.map(|secs| secs / scale));
+            }
         }
     }
 }
@@ -310,6 +388,7 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
 
     let fresh_file = root.join(fresh_path(quick));
     let mut best: BTreeMap<CellKey, f64> = BTreeMap::new();
+    let mut best_phases: BTreeMap<CellKey, PhaseSecs> = BTreeMap::new();
     let mut comparison = Comparison::default();
     for attempt in 1..=MAX_ATTEMPTS {
         let fresh = measure_fresh(root, quick, &fresh_file)?;
@@ -321,8 +400,8 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
                 fresh.mode
             ));
         }
-        fold_best(&committed, &fresh, &mut best);
-        comparison = compare(&committed, &best);
+        fold_best(&committed, &fresh, &mut best, &mut best_phases);
+        comparison = compare(&committed, &best, &best_phases);
         if comparison.failures.is_empty() {
             break;
         }
@@ -438,19 +517,29 @@ mod tests {
                     ((algo.to_string(), pipeline.to_string(), *p), *rate)
                 })
                 .collect(),
+            phases: BTreeMap::new(),
         }
     }
 
-    fn best_of(committed: &Baseline, fresh: &Baseline) -> BTreeMap<CellKey, f64> {
+    fn best_of(
+        committed: &Baseline,
+        fresh: &Baseline,
+    ) -> (BTreeMap<CellKey, f64>, BTreeMap<CellKey, PhaseSecs>) {
         let mut best = BTreeMap::new();
-        fold_best(committed, fresh, &mut best);
-        best
+        let mut best_phases = BTreeMap::new();
+        fold_best(committed, fresh, &mut best, &mut best_phases);
+        (best, best_phases)
+    }
+
+    fn compare_of(committed: &Baseline, fresh: &Baseline) -> Comparison {
+        let (best, best_phases) = best_of(committed, fresh);
+        compare(committed, &best, &best_phases)
     }
 
     #[test]
     fn parses_real_baseline_json() {
         let contents = r#"{
-  "schema": 2,
+  "schema": 3,
   "mode": "default",
   "dataset": "KDD-99",
   "records": 12000,
@@ -458,29 +547,26 @@ mod tests {
   "batch_secs": 1,
   "calibration_score": 1500000000.5,
   "entries": [
-    {"algo": "clustream", "pipeline": "sync", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "total_secs": 0.33}
+    {"algo": "clustream", "pipeline": "sync", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4}
   ]
 }
 "#;
         let parsed = parse_baseline(contents).expect("valid baseline");
         assert_eq!(parsed.mode, "default");
         assert_eq!(parsed.calibration, 1_500_000_000.5);
-        assert_eq!(
-            parsed
-                .cells
-                .get(&("clustream".to_string(), "sync".to_string(), 1)),
-            Some(&106_935.4)
-        );
+        let key = ("clustream".to_string(), "sync".to_string(), 1);
+        assert_eq!(parsed.cells.get(&key), Some(&106_935.4));
+        assert_eq!(parsed.phases.get(&key), Some(&[0.168, 0.007, 0.16, 0.005]));
     }
 
     #[test]
     fn rejects_bad_schema_missing_pipeline_and_empty_entries() {
         let bad_schema =
-            r#"{"schema": 1, "mode": "default", "calibration_score": 1, "entries": []}"#;
+            r#"{"schema": 2, "mode": "default", "calibration_score": 1, "entries": []}"#;
         assert!(parse_baseline(bad_schema).unwrap_err().contains("schema"));
-        let empty = r#"{"schema": 2, "mode": "default", "calibration_score": 1, "entries": []}"#;
+        let empty = r#"{"schema": 3, "mode": "default", "calibration_score": 1, "entries": []}"#;
         assert!(parse_baseline(empty).unwrap_err().contains("no entries"));
-        let no_pipeline = r#"{"schema": 2, "mode": "default", "calibration_score": 1,
+        let no_pipeline = r#"{"schema": 3, "mode": "default", "calibration_score": 1,
             "entries": [{"algo": "clustream", "parallelism": 1, "records_per_sec": 10.0}]}"#;
         assert!(parse_baseline(no_pipeline)
             .unwrap_err()
@@ -491,7 +577,7 @@ mod tests {
     fn equal_rates_pass_within_tolerance() {
         let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
         let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 90_000.0)]);
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
 
@@ -499,7 +585,7 @@ mod tests {
     fn regression_beyond_tolerance_fails() {
         let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
         let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 80_000.0)]);
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("clustream"), "{:?}", cmp.failures);
     }
@@ -524,7 +610,7 @@ mod tests {
                 ("clustream", "overlapped", 1, 100_000.0),
             ],
         );
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("overlapped"), "{:?}", cmp.failures);
     }
@@ -534,7 +620,7 @@ mod tests {
         // Half-speed machine: raw rate halves, calibration halves — no fail.
         let committed = baseline("quick", 2e9, &[("clustream", "sync", 1, 100_000.0)]);
         let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 50_000.0)]);
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
 
@@ -549,7 +635,7 @@ mod tests {
             ],
         );
         let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("dstream"));
     }
@@ -560,10 +646,40 @@ mod tests {
         let slow = baseline("quick", 1e9, &[("clustream", "sync", 1, 40_000.0)]);
         let fast = baseline("quick", 1e9, &[("clustream", "sync", 1, 99_000.0)]);
         let mut best = BTreeMap::new();
-        fold_best(&committed, &slow, &mut best);
-        assert_eq!(compare(&committed, &best).failures.len(), 1);
-        fold_best(&committed, &fast, &mut best);
-        assert!(compare(&committed, &best).failures.is_empty());
+        let mut best_phases = BTreeMap::new();
+        fold_best(&committed, &slow, &mut best, &mut best_phases);
+        assert_eq!(compare(&committed, &best, &best_phases).failures.len(), 1);
+        fold_best(&committed, &fast, &mut best, &mut best_phases);
+        assert!(compare(&committed, &best, &best_phases).failures.is_empty());
+    }
+
+    #[test]
+    fn regression_failures_name_the_guilty_phase() {
+        let key = ("clustream".to_string(), "sync".to_string(), 1);
+        let mut committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
+        committed
+            .phases
+            .insert(key.clone(), [0.10, 0.05, 0.02, 0.01]);
+        let mut fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 70_000.0)]);
+        fresh.phases.insert(key.clone(), [0.10, 0.12, 0.02, 0.01]);
+        let cmp = compare_of(&committed, &fresh);
+        assert_eq!(cmp.failures.len(), 1, "{:?}", cmp.failures);
+        assert!(
+            cmp.failures[0].contains("largest phase regression: local_update"),
+            "{:?}",
+            cmp.failures
+        );
+
+        // Without phase columns the failure still fires, just unattributed.
+        let committed = baseline("quick", 1e9, &[("clustream", "sync", 1, 100_000.0)]);
+        let fresh = baseline("quick", 1e9, &[("clustream", "sync", 1, 70_000.0)]);
+        let cmp = compare_of(&committed, &fresh);
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(
+            !cmp.failures[0].contains("largest phase regression"),
+            "{:?}",
+            cmp.failures
+        );
     }
 
     #[test]
@@ -586,7 +702,7 @@ mod tests {
                 ("clustream", "overlapped", 4, 130_000.0),
             ],
         );
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert_eq!(cmp.failures.len(), 1, "{:?}", cmp.failures);
         assert!(cmp.failures[0].contains("1.25"), "{:?}", cmp.failures);
 
@@ -598,7 +714,7 @@ mod tests {
                 ("clustream", "overlapped", 4, 140_000.0),
             ],
         );
-        let cmp = compare(&committed, &best_of(&committed, &healthy));
+        let cmp = compare_of(&committed, &healthy);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
 
@@ -636,7 +752,7 @@ mod tests {
                 ("clustream", "sync", 4, 400_000.0),
             ],
         );
-        let cmp = compare(&committed, &best_of(&committed, &fresh));
+        let cmp = compare_of(&committed, &fresh);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
         assert_eq!(cmp.scaling_warnings.len(), 1);
         assert!(cmp.scaling_warnings[0].contains("scaling"));

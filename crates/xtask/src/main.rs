@@ -26,6 +26,11 @@
 //! per-thread span nesting and ordering, and the per-batch critical-path
 //! reconciliation. See DESIGN.md § "Telemetry".
 //!
+//! `cargo run -p xtask -- trace-analyze <journal.jsonl>` interprets a
+//! journal's content: critical-path blame table, event-time latency
+//! summary, `--baseline` phase-level diffing, `--what-if` scaling
+//! prediction, and `--chrome-out` trace-event export. See DESIGN.md §12.
+//!
 //! `cargo run -p xtask -- bench-check [--quick]` re-measures the
 //! performance baseline and fails on a >15% calibration-normalized
 //! throughput regression against the committed `BENCH_BASELINE.json`
@@ -42,6 +47,7 @@ mod lexer;
 mod parser;
 mod rules;
 mod sarif;
+mod trace_analyze;
 mod trace_check;
 mod workspace;
 
@@ -83,6 +89,25 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("trace-analyze") => match trace_analyze::parse_args(&args[1..]) {
+            Ok(opts) => match trace_analyze::run(&opts) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("xtask trace-analyze: {msg}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) => {
+                eprintln!("xtask trace-analyze: {msg}");
+                eprintln!(
+                    "usage: cargo run -p xtask -- trace-analyze <journal.jsonl> \
+                     [--baseline <journal.jsonl>] [--what-if p=8,16] \
+                     [--chrome-out <trace.json>] [--blame-out <blame.txt>]"
+                );
+                ExitCode::FAILURE
+            }
+        },
         Some("bench-check") => match bench_check::parse_args(&args[1..]) {
             Ok((quick, root_override)) => {
                 let root = match root_override {
@@ -112,9 +137,11 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|analyze|rules|check-trace|bench-check> \
+                "usage: cargo run -p xtask -- \
+                 <lint|analyze|rules|check-trace|trace-analyze|bench-check> \
                  [--root <path>] [--sarif <out.sarif>] [--update-baseline] [--quick] \
-                 [<journal.jsonl>]"
+                 [--baseline <journal>] [--what-if p=8,16] [--chrome-out <f>] \
+                 [--blame-out <f>] [<journal.jsonl>]"
             );
             ExitCode::FAILURE
         }

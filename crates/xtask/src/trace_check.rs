@@ -29,8 +29,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Journal schema version this checker understands. Mirrors
-/// `diststream_telemetry::JOURNAL_VERSION` (xtask deliberately has no
-/// dependencies, so the constant is duplicated here).
+/// `diststream_telemetry::JOURNAL_VERSION` (the checker keeps its own
+/// parser so a telemetry bug cannot hide from its own validator).
 const SUPPORTED_VERSION: f64 = 1.0;
 
 /// Relative tolerance for the `batch_summary` critical-path reconciliation.
@@ -215,6 +215,19 @@ pub fn check_trace(contents: &str) -> Result<TraceStats, Vec<String>> {
                     if let Some(err) = check_batch_summary(&get) {
                         errors.push(format!("line {lineno}: {err}"));
                     }
+                }
+            }
+            "drops" => {
+                // Trailer appended on close when the bounded journal queue
+                // overflowed. A truncated journal fails validation: every
+                // downstream analysis would silently under-count.
+                match get("count").and_then(Value::as_num) {
+                    Some(count) if count > 0.0 => errors.push(format!(
+                        "line {lineno}: journal truncated — {count} event(s) dropped by the \
+                         bounded writer queue (raise the queue capacity or slow the workload)"
+                    )),
+                    Some(_) => {}
+                    None => errors.push(format!("line {lineno}: `drops` event lacks `count`")),
                 }
             }
             other => {
@@ -561,6 +574,20 @@ mod tests {
         ]);
         let errors = check_trace(&bad).expect_err("combine outside local_update");
         assert!(errors.iter().any(|e| e.contains("combine")), "{errors:?}");
+    }
+
+    #[test]
+    fn drops_trailer_fails_only_when_events_were_lost() {
+        let clean = journal(&["{\"ev\":\"drops\",\"count\":0}"]);
+        assert!(check_trace(&clean).is_ok());
+
+        let truncated = journal(&["{\"ev\":\"drops\",\"count\":3}"]);
+        let errors = check_trace(&truncated).expect_err("dropped events");
+        assert!(errors[0].contains("truncated"), "{errors:?}");
+
+        let malformed = journal(&["{\"ev\":\"drops\"}"]);
+        let errors = check_trace(&malformed).expect_err("missing count");
+        assert!(errors[0].contains("count"), "{errors:?}");
     }
 
     #[test]
