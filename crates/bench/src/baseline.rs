@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use diststream_core::{DistStreamJob, PipelineOptions, StreamClustering};
+use diststream_core::{DistStreamJob, PipelineOptions, StrategyKind, StreamClustering};
 use diststream_engine::{ExecutionMode, RepeatSource, SimCostModel, StreamingContext};
 use diststream_types::{ClusteringConfig, Result};
 
@@ -33,7 +33,21 @@ pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
 /// v3: entries add `overhead_secs` (completing the per-phase critical-path
 /// columns for regression attribution) and the event-time latency
 /// percentiles `latency_p50_secs` / `latency_p95_secs` / `latency_p99_secs`.
-pub const BASELINE_SCHEMA: u32 = 3;
+/// v4: entries carry a `strategy` label (the distribution strategy the run
+/// used) and the report adds a `shuffle_skew` section measuring charged
+/// shuffle bytes under round-robin vs key-range placement, which
+/// `xtask bench-check` gates at [`SHUFFLE_SKEW_FACTOR`]×.
+pub const BASELINE_SCHEMA: u32 = 4;
+
+/// Required round-robin/key-range charged-shuffle-byte ratio on the
+/// baseline workload (the ISSUE's key-skew acceptance bar).
+pub const SHUFFLE_SKEW_FACTOR: f64 = 1.2;
+
+/// Parallelism degree the shuffle-skew measurement runs at. Key-range
+/// placement co-locates each key's updates with its modeled map partition,
+/// so the charged remote fraction is about `(p - 1) / p` of the round-robin
+/// full charge — `4/3 ≈ 1.33×` at `p = 4`, comfortably over the gate.
+pub const SHUFFLE_SKEW_PARALLELISM: usize = 4;
 
 /// Pipeline label for the paper's synchronous configuration.
 pub const PIPELINE_SYNC: &str = "sync";
@@ -98,6 +112,8 @@ pub struct BaselineEntry {
     pub algo: String,
     /// Pipeline label ([`PIPELINE_SYNC`] or [`PIPELINE_OVERLAPPED`]).
     pub pipeline: String,
+    /// Distribution-strategy label the run used ([`StrategyKind::label`]).
+    pub strategy: String,
     /// Parallelism degree of the run.
     pub parallelism: usize,
     /// Records processed (post-initialization).
@@ -155,8 +171,36 @@ pub struct BaselineReport {
     /// Machine-speed score from [`calibration_score`], for cross-machine
     /// normalization in `bench-check`.
     pub calibration_score: f64,
+    /// Charged shuffle bytes under round-robin vs key-range placement.
+    pub shuffle_skew: ShuffleSkew,
     /// One cell per `(algorithm, parallelism)`.
     pub entries: Vec<BaselineEntry>,
+}
+
+/// Charged shuffle bytes per distribution strategy on the baseline
+/// workload, measured deterministically (byte accounting is a pure function
+/// of the stream, not of timings). `xtask bench-check` gates the
+/// round-robin/key-range ratio at [`SHUFFLE_SKEW_FACTOR`]×.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShuffleSkew {
+    /// Parallelism degree of both measurement runs.
+    pub parallelism: usize,
+    /// Total charged shuffle bytes under [`StrategyKind::RoundRobin`].
+    pub roundrobin_bytes: u64,
+    /// Total charged shuffle bytes under [`StrategyKind::KeyRange`].
+    pub keyrange_bytes: u64,
+}
+
+impl ShuffleSkew {
+    /// Round-robin over key-range charged bytes — the skew-reduction factor
+    /// key-range placement buys on this workload.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.keyrange_bytes > 0 {
+            self.roundrobin_bytes as f64 / self.keyrange_bytes as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Measures a fixed synthetic floating-point workload (the same
@@ -212,6 +256,7 @@ fn run_one<A: StreamClustering>(
     Ok(BaselineEntry {
         algo: algo.name().to_string(),
         pipeline: pipeline_label.to_string(),
+        strategy: options.strategy.label().to_string(),
         parallelism: p,
         records,
         records_per_sec: if total_secs > 0.0 {
@@ -228,6 +273,40 @@ fn run_one<A: StreamClustering>(
         latency_p50_secs: result.meter.latency_quantile_secs(0.50),
         latency_p95_secs: result.meter.latency_quantile_secs(0.95),
         latency_p99_secs: result.meter.latency_quantile_secs(0.99),
+    })
+}
+
+/// Sums the charged shuffle bytes of one synchronous CluStream run at
+/// [`SHUFFLE_SKEW_PARALLELISM`] under `strategy`. Byte accounting is
+/// deterministic — it depends only on the stream and the strategy's
+/// placement, never on task timings — so the skew section reproduces
+/// exactly across machines.
+fn shuffle_bytes_for(bundle: &Bundle, spec: &BaselineSpec, strategy: StrategyKind) -> Result<u64> {
+    let ctx = StreamingContext::with_cost_model(
+        SHUFFLE_SKEW_PARALLELISM,
+        ExecutionMode::Simulated,
+        SimCostModel::zero(),
+    )?;
+    let config = ClusteringConfig::builder().batch_secs(BATCH_SECS).build()?;
+    let algo = bundle.clustream();
+    let mut job = DistStreamJob::new(&algo, &ctx, config);
+    job.init_records(bundle.init_records())
+        .pipeline(PipelineOptions::sync().with_strategy(strategy));
+    let mut bytes = 0u64;
+    job.run(
+        RepeatSource::new(bundle.stress_records(), spec.rounds),
+        |report| bytes += report.outcome.metrics.shuffle_bytes,
+    )?;
+    Ok(bytes)
+}
+
+/// Measures the committed `shuffle_skew` section: charged shuffle bytes of
+/// the same workload under round-robin vs key-range distribution.
+pub fn measure_shuffle_skew(bundle: &Bundle, spec: &BaselineSpec) -> Result<ShuffleSkew> {
+    Ok(ShuffleSkew {
+        parallelism: SHUFFLE_SKEW_PARALLELISM,
+        roundrobin_bytes: shuffle_bytes_for(bundle, spec, StrategyKind::RoundRobin)?,
+        keyrange_bytes: shuffle_bytes_for(bundle, spec, StrategyKind::KeyRange)?,
     })
 }
 
@@ -305,6 +384,7 @@ pub fn run_baseline_pipelines(
         rounds: spec.rounds,
         batch_secs: BATCH_SECS,
         calibration_score: calibration_score(),
+        shuffle_skew: measure_shuffle_skew(&bundle, spec)?,
         entries,
     })
 }
@@ -336,6 +416,13 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
         "  \"calibration_score\": {},\n",
         json_f64(report.calibration_score)
     ));
+    out.push_str(&format!(
+        "  \"shuffle_skew\": {{\"parallelism\": {}, \"roundrobin_bytes\": {}, \
+         \"keyrange_bytes\": {}}},\n",
+        report.shuffle_skew.parallelism,
+        report.shuffle_skew.roundrobin_bytes,
+        report.shuffle_skew.keyrange_bytes,
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in report.entries.iter().enumerate() {
         let sep = if i + 1 == report.entries.len() {
@@ -344,7 +431,8 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
             ","
         };
         out.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"pipeline\": \"{}\", \"parallelism\": {}, \
+            "    {{\"algo\": \"{}\", \"pipeline\": \"{}\", \"strategy\": \"{}\", \
+             \"parallelism\": {}, \
              \"records\": {}, \
              \"records_per_sec\": {}, \"assignment_secs\": {}, \"local_secs\": {}, \
              \"local_cpu_secs\": {}, \"global_secs\": {}, \"overhead_secs\": {}, \
@@ -352,6 +440,7 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
              \"latency_p99_secs\": {}}}{}\n",
             e.algo,
             e.pipeline,
+            e.strategy,
             e.parallelism,
             e.records,
             json_f64(e.records_per_sec),
@@ -376,6 +465,7 @@ pub fn print_baseline(report: &BaselineReport) {
     let mut table = Table::new([
         "algorithm",
         "pipeline",
+        "strategy",
         "p",
         "records",
         "records/s",
@@ -391,6 +481,7 @@ pub fn print_baseline(report: &BaselineReport) {
         table.row([
             e.algo.clone(),
             e.pipeline.clone(),
+            e.strategy.clone(),
             e.parallelism.to_string(),
             e.records.to_string(),
             fmt_f64(e.records_per_sec, 1),
@@ -409,6 +500,16 @@ pub fn print_baseline(report: &BaselineReport) {
             report.mode, report.dataset, report.records, report.rounds, report.calibration_score
         ),
         &table,
+    );
+    let skew = &report.shuffle_skew;
+    println!(
+        "shuffle skew (p={}): roundrobin {} B vs keyrange {} B — {:.2}x reduction \
+         (gate {:.1}x)",
+        skew.parallelism,
+        skew.roundrobin_bytes,
+        skew.keyrange_bytes,
+        skew.reduction_ratio(),
+        SHUFFLE_SKEW_FACTOR,
     );
 }
 
@@ -441,9 +542,15 @@ mod tests {
             rounds: 1,
             batch_secs: 1.0,
             calibration_score: 1e7,
+            shuffle_skew: ShuffleSkew {
+                parallelism: 4,
+                roundrobin_bytes: 4000,
+                keyrange_bytes: 3000,
+            },
             entries: vec![BaselineEntry {
                 algo: "clustream".into(),
                 pipeline: PIPELINE_OVERLAPPED.into(),
+                strategy: "roundrobin".into(),
                 parallelism: 4,
                 records: 90,
                 records_per_sec: 1234.5,
@@ -459,9 +566,14 @@ mod tests {
             }],
         };
         let json = baseline_to_json(&report);
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"algo\": \"clustream\""));
         assert!(json.contains("\"pipeline\": \"overlapped\""));
+        assert!(json.contains("\"strategy\": \"roundrobin\""));
+        assert!(json.contains(
+            "\"shuffle_skew\": {\"parallelism\": 4, \"roundrobin_bytes\": 4000, \
+             \"keyrange_bytes\": 3000}"
+        ));
         assert!(json.contains("\"parallelism\": 4"));
         assert!(json.contains("\"records_per_sec\": 1234.5"));
         assert!(json.contains("\"overhead_secs\": 0.002"));
@@ -480,9 +592,20 @@ mod tests {
         };
         let report = run_baseline(&spec).unwrap();
         assert_eq!(report.entries.len(), 4 * PARALLELISMS.len() * 2);
+        // The skew section is measured on every run and meets the gate even
+        // on this tiny workload: the reduction is structural (placement
+        // co-location), not a property of stream length.
+        assert!(report.shuffle_skew.roundrobin_bytes > 0);
+        assert!(report.shuffle_skew.keyrange_bytes > 0);
+        assert!(
+            report.shuffle_skew.reduction_ratio() >= SHUFFLE_SKEW_FACTOR,
+            "key-range reduction {:.2}x below {SHUFFLE_SKEW_FACTOR}x",
+            report.shuffle_skew.reduction_ratio()
+        );
         for e in &report.entries {
             assert!(e.records > 0, "{} p={} empty", e.algo, e.parallelism);
             assert!(e.records_per_sec > 0.0);
+            assert_eq!(e.strategy, "roundrobin");
             // Event-time latency percentiles are measured for every cell
             // (both pipelines, all algorithms) and ordered.
             assert!(

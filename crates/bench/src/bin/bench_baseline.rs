@@ -4,6 +4,7 @@
 //! ```text
 //! bench_baseline [--quick] [--out FILE] [--records N] [--rounds N] [--seed S]
 //!                [--pipeline sync|overlapped|both]
+//!                [--strategy roundrobin|keyrange|locality|hybrid]
 //!                [--no-prefetch] [--no-combine] [--no-chunking]
 //!                [--trace-out FILE] [--metrics-out FILE]
 //! ```
@@ -13,8 +14,11 @@
 //! `--pipeline` selects which pipeline variants to measure (default both:
 //! the paper's synchronous configuration and the overlapped one), and the
 //! `--no-*` flags toggle individual overlapped-pipeline features off for
-//! ablation runs. See DESIGN.md §9 for the regression policy and §11 for
-//! the overlapped pipeline.
+//! ablation runs. `--strategy` selects the distribution strategy every
+//! measured cell runs under (default round-robin, the committed-baseline
+//! configuration; the model is strategy-invariant, so only task layout and
+//! charged bytes change — see DESIGN.md §13). See DESIGN.md §9 for the
+//! regression policy and §11 for the overlapped pipeline.
 
 use std::path::PathBuf;
 
@@ -22,7 +26,7 @@ use diststream_bench::{
     baseline_to_json, print_baseline, run_baseline_pipelines, BaselineSpec, Cli, TelemetrySession,
     BASELINE_PATH, BASELINE_QUICK_PATH, PIPELINE_OVERLAPPED, PIPELINE_SYNC,
 };
-use diststream_core::PipelineOptions;
+use diststream_core::{PipelineOptions, StrategyKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +39,7 @@ fn main() {
     });
     let mut rounds = None;
     let mut pipeline = "both".to_string();
+    let mut strategy = StrategyKind::RoundRobin;
     let mut overlapped = PipelineOptions::all();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -52,19 +57,31 @@ fn main() {
                     pipeline = which.clone();
                 }
             }
+            "--strategy" => {
+                let label = iter.next().map(String::as_str).unwrap_or("");
+                match StrategyKind::parse(label) {
+                    Some(kind) => strategy = kind,
+                    None => {
+                        eprintln!(
+                            "bench_baseline: unknown --strategy '{label}' \
+                             (roundrobin|keyrange|locality|hybrid)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-prefetch" => overlapped.prefetch = false,
             "--no-combine" => overlapped.combine = false,
             "--no-chunking" => overlapped.chunking = false,
             _ => {}
         }
     }
+    let sync = PipelineOptions::sync().with_strategy(strategy);
+    let overlapped = overlapped.with_strategy(strategy);
     let pipelines: Vec<(&str, PipelineOptions)> = match pipeline.as_str() {
-        "sync" => vec![(PIPELINE_SYNC, PipelineOptions::sync())],
+        "sync" => vec![(PIPELINE_SYNC, sync)],
         "overlapped" => vec![(PIPELINE_OVERLAPPED, overlapped)],
-        "both" => vec![
-            (PIPELINE_SYNC, PipelineOptions::sync()),
-            (PIPELINE_OVERLAPPED, overlapped),
-        ],
+        "both" => vec![(PIPELINE_SYNC, sync), (PIPELINE_OVERLAPPED, overlapped)],
         other => {
             eprintln!("bench_baseline: unknown --pipeline '{other}' (sync|overlapped|both)");
             std::process::exit(2);

@@ -21,9 +21,10 @@ mod runner;
 mod trace;
 
 pub use baseline::{
-    baseline_to_json, calibration_score, print_baseline, run_baseline, run_baseline_pipelines,
-    BaselineEntry, BaselineReport, BaselineSpec, BASELINE_PATH, BASELINE_QUICK_PATH,
-    BASELINE_SCHEMA, BATCH_SECS, PARALLELISMS, PIPELINE_OVERLAPPED, PIPELINE_SYNC,
+    baseline_to_json, calibration_score, measure_shuffle_skew, print_baseline, run_baseline,
+    run_baseline_pipelines, BaselineEntry, BaselineReport, BaselineSpec, ShuffleSkew,
+    BASELINE_PATH, BASELINE_QUICK_PATH, BASELINE_SCHEMA, BATCH_SECS, PARALLELISMS,
+    PIPELINE_OVERLAPPED, PIPELINE_SYNC, SHUFFLE_SKEW_FACTOR, SHUFFLE_SKEW_PARALLELISM,
 };
 pub use bundle::{Bundle, DatasetKind};
 pub use cli::Cli;

@@ -1,12 +1,11 @@
 //! Step 1 — finding the closest micro-cluster with record-based parallelism
 //! (paper §V-A).
 
-use diststream_engine::{
-    chunk_size, split_chunks, Broadcast, RoundRobinPartitioner, StepMetrics, StreamingContext,
-};
+use diststream_engine::{chunk_size, split_chunks, Broadcast, StepMetrics, StreamingContext};
 use diststream_types::{Record, Result};
 
 use crate::api::{Assignment, StreamClustering};
+use crate::distribution::{DistributionStrategy, RoundRobinStrategy};
 
 /// Output of the assignment step: every record of the batch paired with its
 /// step-1 decision, in arrival order, plus the step's timing and the bytes
@@ -67,11 +66,36 @@ pub fn assign_records_scheduled<A: StreamClustering>(
     records: Vec<Record>,
     chunking: bool,
 ) -> Result<AssignmentOutcome> {
+    assign_records_distributed(ctx, algo, model, records, chunking, &RoundRobinStrategy)
+}
+
+/// [`assign_records_scheduled`] with an explicit [`DistributionStrategy`]
+/// owning the record partitioning.
+///
+/// With `chunking` enabled the size-aware chunk scheduler keeps the task
+/// layout (chunking is the scheduler's lever, orthogonal to placement);
+/// otherwise the strategy's [`DistributionStrategy::split_records`] cuts the
+/// batch and its [`DistributionStrategy::merge_assigned`] restores arrival
+/// order. Per-record assignment is a pure function of `(model, record)`, so
+/// `pairs` is byte-identical under every strategy and task layout.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+pub fn assign_records_distributed<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    records: Vec<Record>,
+    chunking: bool,
+    strategy: &dyn DistributionStrategy,
+) -> Result<AssignmentOutcome> {
     let partitions = if chunking {
         let chunk = chunk_size(records.len(), ctx.parallelism());
         split_chunks(records, chunk)
     } else {
-        RoundRobinPartitioner.split(records, ctx.parallelism())
+        strategy.split_records(records, ctx.parallelism())
     };
     // Batched distance computation: the searcher (the algorithm's per-model
     // scan structure) is built once per batch and shared read-only by every
@@ -99,7 +123,7 @@ pub fn assign_records_scheduled<A: StreamClustering>(
         // of the split.
         outputs.concat()
     } else {
-        RoundRobinPartitioner.interleave(outputs)
+        strategy.merge_assigned(outputs)
     };
     Ok(AssignmentOutcome {
         pairs,

@@ -47,6 +47,8 @@
 mod adaptive;
 mod api;
 mod assignment;
+mod distribution;
+mod elastic;
 mod global;
 mod local;
 mod parallel;
@@ -61,15 +63,22 @@ pub use adaptive::AdaptiveBatchSizer;
 pub use api::{
     Assignment, MicroClusterId, Searcher, Sketch, StreamClustering, UpdateOrdering, WeightedPoint,
 };
-pub use assignment::{assign_records, assign_records_scheduled, AssignmentOutcome};
+pub use assignment::{
+    assign_records, assign_records_distributed, assign_records_scheduled, AssignmentOutcome,
+};
+pub use distribution::{
+    modeled_map_partition, strategy_for, DistributionStrategy, HybridStrategy, KeyRangeStrategy,
+    LocalityStrategy, RoundRobinStrategy, ShufflePlacement, StrategyKind,
+};
+pub use elastic::{ElasticDriver, ElasticReport, ResizeOutcome, ResizeSchedule};
 pub use global::{global_update, GlobalOutcome};
 pub use local::{
-    local_update, local_update_combined, local_update_with, CreatedSketch, LocalOutcome,
-    LocalScratch, UpdatedSketch, SHUFFLE_KEY_BYTES,
+    local_update, local_update_combined, local_update_distributed, local_update_with,
+    CreatedSketch, LocalOutcome, LocalScratch, UpdatedSketch, SHUFFLE_KEY_BYTES,
 };
 pub use parallel::{BatchOutcome, DistStreamExecutor};
 pub use pipeline::{take_records, BatchReport, DistStreamJob, PipelineOptions, RunResult};
-pub use pipelined::PipelinedExecutor;
+pub use pipelined::{PipelineCarry, PipelinedExecutor};
 pub use recovery::{BatchDisposition, Checkpoint, CheckpointingDriver};
 pub use sequential::{SequentialExecutor, SequentialSummary};
 pub use store::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};

@@ -14,13 +14,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use diststream_engine::{
-    chunk_size, combine_by_key, fnv1a_hash, group_by_key, serialized_size, split_chunks,
+    chunk_size, combine_by_key_with, fnv1a_hash, group_by_key_with, serialized_size, split_chunks,
     AppendCombiner, Broadcast, StepMetrics, StreamingContext,
 };
 use diststream_telemetry as telemetry;
 use diststream_types::{Record, RecordId, Result, Timestamp};
 
 use crate::api::{Assignment, MicroClusterId, StreamClustering, UpdateOrdering};
+use crate::distribution::{modeled_map_partition, DistributionStrategy, RoundRobinStrategy};
 
 /// Bytes a shuffle message's key envelope occupies on the wire: the
 /// `(kind, key)` group key, two `u64`s. Charged once per shuffle message —
@@ -54,7 +55,7 @@ pub struct CreatedSketch<S> {
 }
 
 /// Output of the local update step.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LocalOutcome<S> {
     /// Existing micro-clusters updated by this batch.
     pub updated: Vec<UpdatedSketch<S>>,
@@ -165,6 +166,51 @@ pub fn local_update_combined<A: StreamClustering>(
         shuffle_seed,
         scratch,
         combine,
+        &RoundRobinStrategy,
+    )
+}
+
+/// [`local_update_combined`] with an explicit [`DistributionStrategy`]
+/// owning the key placement and the shuffle-byte accounting policy.
+///
+/// For any strategy the grouped values equal the default hash shuffle's —
+/// [`group_by_key_with`] only moves whole groups between reduce partitions —
+/// so under [`UpdateOrdering::OrderAware`] the sketches are bit-identical
+/// across strategies. What changes is the task layout and, for strategies
+/// with [`DistributionStrategy::accounts_locality`], the charged shuffle
+/// bytes: payloads whose modeled map partition equals their key's reduce
+/// partition stay node-local and are not billed. The locality discount is
+/// journaled per strategy via `diststream_shuffle_bytes_saved_total` and
+/// `diststream_strategy_shuffle_bytes_total`.
+///
+/// # Errors
+///
+/// Propagates engine failures (task panics) as
+/// [`DistStreamError::Engine`](diststream_types::DistStreamError::Engine).
+#[allow(clippy::too_many_arguments)] // local_update_combined's signature plus the strategy
+pub fn local_update_distributed<A: StreamClustering>(
+    ctx: &StreamingContext,
+    algo: &A,
+    model: &Broadcast<A::Model>,
+    pairs: Vec<(Record, Assignment)>,
+    ordering: UpdateOrdering,
+    window_start: Timestamp,
+    shuffle_seed: u64,
+    scratch: &mut LocalScratch,
+    combine: bool,
+    strategy: &dyn DistributionStrategy,
+) -> Result<LocalOutcome<A::Sketch>> {
+    local_update_impl(
+        ctx,
+        algo,
+        model,
+        pairs,
+        ordering,
+        window_start,
+        shuffle_seed,
+        scratch,
+        combine,
+        strategy,
     )
 }
 
@@ -197,6 +243,7 @@ pub fn local_update_with<A: StreamClustering>(
         shuffle_seed,
         scratch,
         false,
+        &RoundRobinStrategy,
     )
 }
 
@@ -211,6 +258,7 @@ fn local_update_impl<A: StreamClustering>(
     shuffle_seed: u64,
     scratch: &mut LocalScratch,
     combine: bool,
+    strategy: &dyn DistributionStrategy,
 ) -> Result<LocalOutcome<A::Sketch>> {
     // Shuffle accounting: each record's serialized payload crosses the wire
     // exactly once (to its key's destination partition), plus one key
@@ -219,33 +267,86 @@ fn local_update_impl<A: StreamClustering>(
     let record_count = pairs.len() as u64;
     let payload_bytes: u64 = pairs.iter().map(|(r, _)| serialized_size(r)).sum();
     let uncombined_bytes = payload_bytes + SHUFFLE_KEY_BYTES * record_count;
+    let p = ctx.parallelism();
 
     scratch.keyed.clear();
     scratch
         .keyed
         .extend(pairs.into_iter().map(|(r, a)| (group_key(a), r)));
+
+    // Key placement is the strategy's call; the default strategy routes by
+    // hash, reproducing the paper's shuffle exactly. Locality-accounting
+    // strategies additionally measure which payloads stay on their modeled
+    // map partition and discount them from the charged shuffle bytes.
+    let placement = strategy.place_keys(&scratch.keyed, p);
+    let accounts_locality = strategy.accounts_locality();
+    let (local_payload_bytes, local_count) = if accounts_locality {
+        let mut bytes = 0u64;
+        let mut count = 0u64;
+        for (index, (key, record)) in scratch.keyed.iter().enumerate() {
+            if modeled_map_partition(index, p) == placement.reduce_partition(key) {
+                bytes += serialized_size(record);
+                count += 1;
+            }
+        }
+        (bytes, count)
+    } else {
+        (0, 0)
+    };
+
     let (partitions, shuffle_bytes) = if combine {
         let _span = telemetry::span!(telemetry::names::SPAN_COMBINE);
         let keyed: Vec<((u64, u64), Record)> = scratch.keyed.drain(..).collect();
-        let chunk = chunk_size(keyed.len(), ctx.parallelism());
+        let chunk = chunk_size(keyed.len(), p);
         let chunks = split_chunks(keyed, chunk);
-        let (partitions, stats) = combine_by_key(chunks, ctx.parallelism(), &AppendCombiner);
+        let (partitions, stats) = combine_by_key_with(chunks, p, &AppendCombiner, |key| {
+            placement.reduce_partition(key)
+        });
         // Post-combine the payloads are unchanged; only the key envelopes
         // collapse to one per (map task, key) entry. Never double-charge a
         // combined delta: combined_entries ≤ input pairs by construction.
-        let combined_bytes = payload_bytes
-            + SHUFFLE_KEY_BYTES * stats.combined_entries.min(stats.input_pairs) as u64;
+        let envelope_bytes =
+            SHUFFLE_KEY_BYTES * stats.combined_entries.min(stats.input_pairs) as u64;
+        let combined_bytes = payload_bytes + envelope_bytes;
         if telemetry::enabled() {
             telemetry::counter(telemetry::names::METRIC_SHUFFLE_BYTES_SAVED_TOTAL)
                 .add(uncombined_bytes - combined_bytes);
         }
-        (partitions, combined_bytes)
+        // Locality discount: map-local payloads never cross the wire. The
+        // combined envelopes are charged in full (the combine stage does not
+        // track per-chunk remoteness), so the discount is conservative.
+        let charged = if accounts_locality {
+            combined_bytes - local_payload_bytes
+        } else {
+            combined_bytes
+        };
+        (partitions, charged)
     } else {
-        (
-            group_by_key(scratch.keyed.drain(..), ctx.parallelism()),
-            uncombined_bytes,
-        )
+        let partitions = group_by_key_with(scratch.keyed.drain(..), p, |key| {
+            placement.reduce_partition(key)
+        });
+        let charged = if accounts_locality {
+            uncombined_bytes - local_payload_bytes - SHUFFLE_KEY_BYTES * local_count
+        } else {
+            uncombined_bytes
+        };
+        (partitions, charged)
     };
+    if telemetry::enabled() {
+        let label = strategy.label();
+        if accounts_locality {
+            telemetry::counter(&format!(
+                "{}{{strategy=\"{label}\"}}",
+                telemetry::names::METRIC_SHUFFLE_BYTES_SAVED_TOTAL
+            ))
+            .add(uncombined_bytes.saturating_sub(shuffle_bytes));
+        }
+        telemetry::counter(&format!(
+            "{}{{strategy=\"{label}\"}}",
+            telemetry::names::METRIC_STRATEGY_SHUFFLE_BYTES_TOTAL
+        ))
+        .add(shuffle_bytes);
+    }
 
     type TaskOut<S> = (Vec<UpdatedSketch<S>>, Vec<CreatedSketch<S>>);
     let (outputs, metrics) = ctx.run_tasks(

@@ -8,9 +8,10 @@ use diststream_telemetry as telemetry;
 use diststream_types::Result;
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
-use crate::assignment::assign_records_scheduled;
+use crate::assignment::assign_records_distributed;
+use crate::distribution::{strategy_for, StrategyKind};
 use crate::global::global_update;
-use crate::local::{local_update_combined, LocalScratch};
+use crate::local::{local_update_distributed, LocalScratch};
 
 /// Per-batch statistics reported by [`DistStreamExecutor::process_batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,7 @@ pub struct DistStreamExecutor<'a, A: StreamClustering> {
     premerge: bool,
     combine: bool,
     chunking: bool,
+    strategy: StrategyKind,
     base_seed: u64,
     // Per-batch scratch reused across process_batch calls (the reason
     // process_batch takes &mut self).
@@ -91,9 +93,19 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             premerge: true,
             combine: false,
             chunking: false,
+            strategy: StrategyKind::RoundRobin,
             base_seed: 0x0B5E55ED,
             scratch: LocalScratch::default(),
         }
+    }
+
+    /// Selects the [`DistributionStrategy`](crate::DistributionStrategy)
+    /// owning record partitioning, key placement, and shuffle routing.
+    /// Under [`UpdateOrdering::OrderAware`] the model is bit-identical for
+    /// every strategy; only task layout and shuffle accounting move.
+    pub fn strategy(&mut self, strategy: StrategyKind) -> &mut Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Enables or disables the map-side combine before the shuffle. The
@@ -168,9 +180,17 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         let model_bytes = bcast.payload_bytes();
 
         // Step 1: record-based parallel assignment.
+        let strategy = strategy_for(self.strategy);
         let assignment = {
             let _span = telemetry::span!(telemetry::names::SPAN_ASSIGNMENT, batch = batch.index);
-            assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
+            assign_records_distributed(
+                self.ctx,
+                self.algo,
+                &bcast,
+                batch.records,
+                self.chunking,
+                strategy,
+            )?
         };
         let assigned_existing = assignment
             .pairs
@@ -182,7 +202,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
         // Step 2: model-based parallel local update.
         let local = {
             let _span = telemetry::span!(telemetry::names::SPAN_LOCAL_UPDATE, batch = batch.index);
-            local_update_combined(
+            local_update_distributed(
                 self.ctx,
                 self.algo,
                 &bcast,
@@ -192,6 +212,7 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 batch_seed,
                 &mut self.scratch,
                 self.combine,
+                strategy,
             )?
         };
         let local_metrics = local.metrics.clone();
@@ -358,6 +379,40 @@ mod tests {
                 for p in [4, 8] {
                     assert_eq!(run(p, true, true), base, "p-invariance lost at p={p}");
                 }
+            }
+        }
+    }
+
+    /// The distribution-strategy determinism gate: every strategy leaves
+    /// the order-aware model bit-identical to the default round-robin+hash
+    /// topology at every parallelism degree — placement only moves task
+    /// layout and shuffle accounting.
+    #[test]
+    fn model_identical_across_strategies() {
+        let algo = NaiveClustering::new(1.0);
+        let records: Vec<Record> = (1..300)
+            .map(|i| rec(i, (i % 17) as f64 * 0.7, i as f64 * 0.1))
+            .collect();
+        let run = |p: usize, kind: StrategyKind, combine: bool, chunking: bool| {
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            let mut exec = DistStreamExecutor::new(&algo, &ctx);
+            exec.strategy(kind).combine(combine).chunking(chunking);
+            let mut model = algo.init(&[rec(0, 0.0, 0.0)]).unwrap();
+            exec.process_batch(&mut model, batch(0, records[..150].to_vec()))
+                .unwrap();
+            exec.process_batch(&mut model, batch(1, records[150..].to_vec()))
+                .unwrap();
+            model
+        };
+        let reference = run(1, StrategyKind::RoundRobin, false, false);
+        for kind in StrategyKind::ALL {
+            for p in [1, 2, 4, 8] {
+                assert_eq!(run(p, kind, false, false), reference, "{kind} p={p}");
+                assert_eq!(
+                    run(p, kind, true, true),
+                    reference,
+                    "{kind} p={p} combine+chunking"
+                );
             }
         }
     }

@@ -9,6 +9,7 @@ use diststream_telemetry as telemetry;
 use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
 
 use crate::api::{StreamClustering, UpdateOrdering};
+use crate::distribution::StrategyKind;
 use crate::parallel::{BatchOutcome, DistStreamExecutor};
 use crate::pipelined::PipelinedExecutor;
 
@@ -33,6 +34,11 @@ pub struct PipelineOptions {
     pub chunking: bool,
     /// Asynchronous update protocol ([`PipelinedExecutor`]).
     pub overlap: bool,
+    /// Distribution strategy owning record partitioning, key placement, and
+    /// shuffle routing (default: the paper's round-robin + hash shuffle).
+    /// Never changes the order-aware model — only task layout and charged
+    /// shuffle bytes.
+    pub strategy: StrategyKind,
 }
 
 impl PipelineOptions {
@@ -41,14 +47,22 @@ impl PipelineOptions {
         PipelineOptions::default()
     }
 
-    /// The fully overlapped pipeline (everything on).
+    /// The fully overlapped pipeline (every optimization on, default
+    /// round-robin + hash distribution).
     pub fn all() -> Self {
         PipelineOptions {
             prefetch: true,
             combine: true,
             chunking: true,
             overlap: true,
+            strategy: StrategyKind::RoundRobin,
         }
+    }
+
+    /// The same options with a different [`StrategyKind`].
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
@@ -187,14 +201,16 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
             exec.ordering(self.ordering)
                 .premerge(self.premerge)
                 .combine(self.pipeline.combine)
-                .chunking(self.pipeline.chunking);
+                .chunking(self.pipeline.chunking)
+                .strategy(self.pipeline.strategy);
             AnyExec::Overlap(Box::new(exec))
         } else {
             let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
             exec.ordering(self.ordering)
                 .premerge(self.premerge)
                 .combine(self.pipeline.combine)
-                .chunking(self.pipeline.chunking);
+                .chunking(self.pipeline.chunking)
+                .strategy(self.pipeline.strategy);
             AnyExec::Sync(exec)
         }
     }
@@ -510,6 +526,7 @@ mod tests {
                 combine: true,
                 chunking: true,
                 overlap: false,
+                strategy: StrategyKind::RoundRobin,
             },
         );
         assert_eq!(tuned.model, plain.model);

@@ -22,11 +22,13 @@ use diststream_telemetry as telemetry;
 use diststream_types::{Result, Timestamp};
 
 use crate::api::{Assignment, StreamClustering, UpdateOrdering};
-use crate::assignment::assign_records_scheduled;
+use crate::assignment::assign_records_distributed;
+use crate::distribution::{strategy_for, StrategyKind};
 use crate::global::{global_update, GlobalOutcome};
-use crate::local::{local_update_combined, LocalOutcome, LocalScratch};
+use crate::local::{local_update_distributed, LocalOutcome, LocalScratch};
 use crate::parallel::BatchOutcome;
 
+#[derive(Clone)]
 struct PendingGlobal<S> {
     batch_index: usize,
     local: LocalOutcome<S>,
@@ -35,6 +37,45 @@ struct PendingGlobal<S> {
     /// Event times of the batch's records, resolved into a latency digest
     /// when this global update finally applies.
     probe: LatencyProbe,
+}
+
+/// In-flight pipeline state detached from a [`PipelinedExecutor`] at an
+/// elastic epoch boundary — the pending (not yet applied) global update.
+///
+/// Opaque by design: the resize protocol may move it between executors of
+/// different parallelism degrees, but nothing else can observe or mutate the
+/// pending update, so the staleness pattern of the asynchronous protocol is
+/// preserved across any resize schedule.
+pub struct PipelineCarry<A: StreamClustering> {
+    pending: Option<PendingGlobal<A::Sketch>>,
+}
+
+impl<A: StreamClustering> PipelineCarry<A> {
+    /// A carry with no in-flight state — what a fresh executor detaches.
+    pub fn empty() -> Self {
+        PipelineCarry { pending: None }
+    }
+
+    /// Whether a global update is still in flight.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+impl<A: StreamClustering> Clone for PipelineCarry<A> {
+    fn clone(&self) -> Self {
+        PipelineCarry {
+            pending: self.pending.clone(),
+        }
+    }
+}
+
+impl<A: StreamClustering> std::fmt::Debug for PipelineCarry<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineCarry")
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
 }
 
 impl<A: StreamClustering> std::fmt::Debug for PipelinedExecutor<'_, A> {
@@ -83,6 +124,7 @@ pub struct PipelinedExecutor<'a, A: StreamClustering> {
     premerge: bool,
     combine: bool,
     chunking: bool,
+    strategy: StrategyKind,
     base_seed: u64,
     pending: Option<PendingGlobal<A::Sketch>>,
     // Latency digest of the records integrated by the last flush(), parked
@@ -102,11 +144,48 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             premerge: true,
             combine: false,
             chunking: false,
+            strategy: StrategyKind::RoundRobin,
             base_seed: 0x0B5E55ED,
             pending: None,
             flushed_latency: None,
             scratch: LocalScratch::default(),
         }
+    }
+
+    /// Selects the [`DistributionStrategy`](crate::DistributionStrategy)
+    /// owning record partitioning, key placement, and shuffle routing.
+    pub fn strategy(&mut self, strategy: StrategyKind) -> &mut Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Detaches the executor's in-flight pipeline state — the pending
+    /// global update the asynchronous protocol has not applied yet — as an
+    /// opaque [`PipelineCarry`].
+    ///
+    /// The elastic resize protocol uses this to move the pipeline across an
+    /// epoch boundary: the old executor (old parallelism) is torn down, a
+    /// new one is built on the resized context, and the carry is reattached
+    /// with [`PipelinedExecutor::attach`]. Flushing at the boundary instead
+    /// would change the staleness pattern — the next batch's assignment
+    /// would see a fresher model than in a fixed-p run — so carrying the
+    /// pending update across, unapplied, is what keeps elastic runs
+    /// bit-identical.
+    pub fn detach(self) -> PipelineCarry<A> {
+        PipelineCarry {
+            pending: self.pending,
+        }
+    }
+
+    /// Reattaches in-flight pipeline state detached from a previous epoch's
+    /// executor. Must be called before the first
+    /// [`PipelinedExecutor::process_batch`] of the new epoch.
+    pub fn attach(&mut self, carry: PipelineCarry<A>) {
+        debug_assert!(
+            self.pending.is_none(),
+            "attach would drop an already-pending global update",
+        );
+        self.pending = carry.pending;
     }
 
     /// Selects order-aware or unordered execution.
@@ -208,9 +287,17 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         };
 
         // Parallel side: steps 1 and 2 against the stale snapshot.
+        let strategy = strategy_for(self.strategy);
         let assignment = {
             let _span = telemetry::span!(telemetry::names::SPAN_ASSIGNMENT, batch = batch.index);
-            assign_records_scheduled(self.ctx, self.algo, &bcast, batch.records, self.chunking)?
+            assign_records_distributed(
+                self.ctx,
+                self.algo,
+                &bcast,
+                batch.records,
+                self.chunking,
+                strategy,
+            )?
         };
         let assigned_existing = assignment
             .pairs
@@ -220,7 +307,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
         let outlier_records = records - assigned_existing;
         let local = {
             let _span = telemetry::span!(telemetry::names::SPAN_LOCAL_UPDATE, batch = batch.index);
-            local_update_combined(
+            local_update_distributed(
                 self.ctx,
                 self.algo,
                 &bcast,
@@ -230,6 +317,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                 batch_seed,
                 &mut self.scratch,
                 self.combine,
+                strategy,
             )?
         };
         let local_metrics = local.metrics.clone();

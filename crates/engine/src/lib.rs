@@ -70,10 +70,11 @@ pub use driver::{ExecutionMode, StreamingContext};
 pub use faults::FaultPlan;
 pub use latency::{LatencyProbe, RecordLatency, LATENCY_BUCKET_BOUNDS};
 pub use metrics::{BatchMetrics, StepMetrics, ThroughputMeter};
-pub use netcost::{NetworkModel, SimCostModel, StragglerModel};
+pub use netcost::{ClusterTopology, NetworkModel, SimCostModel, StragglerModel};
 pub use partition::{
-    combine_by_key, fnv1a_hash, group_by_key, AppendCombiner, CombineStats, Combiner, Fnv1a,
-    HashPartitioner, KeyBytes, RoundRobinPartitioner,
+    combine_by_key, combine_by_key_with, fnv1a_hash, group_by_key, group_by_key_with,
+    AppendCombiner, BlockPartitioner, CombineStats, Combiner, Fnv1a, HashPartitioner, KeyBytes,
+    RoundRobinPartitioner,
 };
 pub use pool::{
     chunk_size, split_chunks, TaskPool, CHUNK_OVERPARTITION, DEFAULT_MAX_TASK_FAILURES,

@@ -151,6 +151,61 @@ impl RoundRobinPartitioner {
     }
 }
 
+/// Splits records into `p` contiguous blocks in arrival order — the
+/// range-sharded alternative to [`RoundRobinPartitioner`] for step-1 record
+/// parallelism. Each block preserves arrival order and the original order is
+/// recovered by plain concatenation, so block partitioning satisfies the
+/// same order-restoration contract as round-robin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockPartitioner;
+
+impl BlockPartitioner {
+    /// Splits `items` into `partitions` contiguous blocks of near-equal
+    /// size (the first `len % partitions` blocks get one extra item).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diststream_engine::BlockPartitioner;
+    /// let parts = BlockPartitioner.split(vec![1, 2, 3, 4, 5], 2);
+    /// assert_eq!(parts, vec![vec![1, 2, 3], vec![4, 5]]);
+    /// ```
+    pub fn split<T>(&self, items: Vec<T>, partitions: usize) -> Vec<Vec<T>> {
+        assert!(partitions > 0, "partition count must be at least 1");
+        let len = items.len();
+        let base = len / partitions;
+        let extra = len % partitions;
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(partitions);
+        let mut iter = items.into_iter();
+        for i in 0..partitions {
+            let take = base + usize::from(i < extra);
+            out.push(iter.by_ref().take(take).collect());
+        }
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(
+            out.iter().map(Vec::len).sum::<usize>(),
+            len,
+            "debug_invariants: block split lost or duplicated items",
+        );
+        out
+    }
+
+    /// Reassembles contiguous blocks back into the original order — the
+    /// inverse of [`BlockPartitioner::split`] is concatenation.
+    pub fn concat<T>(&self, partitions: Vec<Vec<T>>) -> Vec<T> {
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in partitions {
+            out.extend(part);
+        }
+        out
+    }
+}
+
 /// Hash-partitions keyed items deterministically across `p` partitions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HashPartitioner;
@@ -234,8 +289,31 @@ pub fn group_by_key<K, V>(
 where
     K: Eq + Hash + Clone + KeyBytes,
 {
+    group_by_key_with(pairs, partitions, |key| {
+        HashPartitioner.partition_of(key, partitions)
+    })
+}
+
+/// [`group_by_key`] with an explicit shuffle-routing function: `route(key)`
+/// names the reduce partition that owns `key`. This is the hook a
+/// `DistributionStrategy` uses to replace the default hash placement with
+/// key-range or locality-affine placement; everything else (first-occurrence
+/// group order, arrival-order values) is identical, which is why routing can
+/// never perturb the order-aware model.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or `route` returns an out-of-range index.
+pub fn group_by_key_with<K, V, F>(
+    pairs: impl IntoIterator<Item = (K, V)>,
+    partitions: usize,
+    route: F,
+) -> Vec<Vec<(K, Vec<V>)>>
+where
+    K: Eq + Hash + Clone + KeyBytes,
+    F: Fn(&K) -> usize,
+{
     assert!(partitions > 0, "partition count must be at least 1");
-    let partitioner = HashPartitioner;
     #[cfg(feature = "debug_invariants")]
     let mut input_len = 0usize;
     // key -> (partition, position within partition)
@@ -249,7 +327,8 @@ where
         match slots.get(&key) {
             Some(&(p, idx)) => out[p][idx].1.push(value),
             None => {
-                let p = partitioner.partition_of(&key, partitions);
+                let p = route(&key);
+                assert!(p < partitions, "shuffle route out of range: {p}");
                 let idx = out[p].len();
                 out[p].push((key.clone(), vec![value]));
                 slots.insert(key, (p, idx));
@@ -372,8 +451,32 @@ where
     K: Eq + Hash + Clone + KeyBytes,
     C: Combiner<V>,
 {
+    combine_by_key_with(map_partitions, partitions, combiner, |key| {
+        HashPartitioner.partition_of(key, partitions)
+    })
+}
+
+/// [`combine_by_key`] with an explicit shuffle-routing function, the
+/// combined counterpart of [`group_by_key_with`]: `route(key)` names the
+/// reduce partition each combined partial is shipped to. The map-side merge
+/// order (ascending chunk index) is unchanged, so for any routing function
+/// the grouped values equal the uncombined shuffle under the same routing.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero or `route` returns an out-of-range index.
+pub fn combine_by_key_with<K, V, C, F>(
+    map_partitions: Vec<Vec<(K, V)>>,
+    partitions: usize,
+    combiner: &C,
+    route: F,
+) -> CombinedShuffle<K, C::Partial>
+where
+    K: Eq + Hash + Clone + KeyBytes,
+    C: Combiner<V>,
+    F: Fn(&K) -> usize,
+{
     assert!(partitions > 0, "partition count must be at least 1");
-    let partitioner = HashPartitioner;
     let mut stats = CombineStats::default();
     // key -> (partition, position) in the final grouped output.
     let mut slots: HashMap<K, (usize, usize)> = HashMap::new();
@@ -406,7 +509,8 @@ where
             match slots.get(&key) {
                 Some(&(p, idx)) => combiner.merge(&mut out[p][idx].1, partial),
                 None => {
-                    let p = partitioner.partition_of(&key, partitions);
+                    let p = route(&key);
+                    assert!(p < partitions, "shuffle route out of range: {p}");
                     let idx = out[p].len();
                     out[p].push((key.clone(), partial));
                     slots.insert(key, (p, idx));
@@ -544,6 +648,54 @@ mod tests {
         let (parts, stats) = combine_by_key(chunks, 1, &Sum);
         assert_eq!(parts[0], vec![(2, 40), (1, 3)]);
         assert_eq!(stats.combined_entries, 4);
+    }
+
+    #[test]
+    fn block_split_is_contiguous_and_concat_inverts() {
+        let items: Vec<u32> = (0..17).collect();
+        for p in 1..6 {
+            let parts = BlockPartitioner.split(items.clone(), p);
+            assert_eq!(parts.len(), p);
+            assert_eq!(BlockPartitioner.concat(parts), items);
+        }
+    }
+
+    #[test]
+    fn block_split_balances_within_one() {
+        let parts = BlockPartitioner.split((0..10).collect::<Vec<_>>(), 3);
+        let lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count")]
+    fn block_split_zero_partitions_panics() {
+        let _ = BlockPartitioner.split(vec![1], 0);
+    }
+
+    #[test]
+    fn group_by_key_with_honors_custom_route() {
+        let pairs = vec![(5u64, 1), (3, 2), (5, 3)];
+        // Route everything to partition 1 of 2.
+        let parts = group_by_key_with(pairs, 2, |_| 1);
+        assert!(parts[0].is_empty());
+        assert_eq!(parts[1], vec![(5, vec![1, 3]), (3, vec![2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shuffle route out of range")]
+    fn group_by_key_with_rejects_out_of_range_route() {
+        let _ = group_by_key_with(vec![(1u64, 1)], 2, |_| 2);
+    }
+
+    #[test]
+    fn combine_by_key_with_matches_group_by_key_with_under_same_route() {
+        let pairs = vec![(7u64, 1), (3, 2), (7, 3), (3, 4), (9, 5)];
+        let route = |k: &u64| (*k % 3) as usize;
+        let chunks: Vec<Vec<(u64, i32)>> = pairs.chunks(2).map(<[_]>::to_vec).collect();
+        let (combined, _) = combine_by_key_with(chunks, 3, &AppendCombiner, route);
+        let grouped = group_by_key_with(pairs, 3, route);
+        assert_eq!(combined, grouped);
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub const SPAN_CHECKPOINT_WRITE: &str = "checkpoint_write";
 pub const SPAN_CHECKPOINT_RESTORE: &str = "checkpoint_restore";
 /// Synthetic span emitted by the `trace_smoke` bench session self-test.
 pub const SPAN_SESSION_TEST: &str = "session_test";
+/// Elastic rebalance at a batch boundary (plan + replay + verify).
+pub const SPAN_REBALANCE: &str = "rebalance";
 
 /// Every span name, for conformance checks and journal validators.
 pub const ALL_SPANS: &[&str] = &[
@@ -53,6 +55,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_CHECKPOINT_WRITE,
     SPAN_CHECKPOINT_RESTORE,
     SPAN_SESSION_TEST,
+    SPAN_REBALANCE,
 ];
 
 // --- Point-event names (single journal events with numeric fields) ---
@@ -127,6 +130,17 @@ pub const METRIC_NAME_CONFLICTS_TOTAL: &str = "diststream_telemetry_name_conflic
 pub const METRIC_RECORD_LATENCY_SECS: &str = "diststream_record_latency_secs";
 /// Counter: journal events lost to a missing sink or swallowed write errors.
 pub const METRIC_JOURNAL_EVENTS_DROPPED_TOTAL: &str = "diststream_journal_events_dropped_total";
+/// Counter (label `strategy`): shuffle bytes charged per distribution
+/// strategy.
+pub const METRIC_STRATEGY_SHUFFLE_BYTES_TOTAL: &str = "diststream_strategy_shuffle_bytes_total";
+/// Counter: elastic rebalances executed at batch boundaries.
+pub const METRIC_REBALANCE_TOTAL: &str = "diststream_rebalance_total";
+/// Counter: keys whose placement moved across an elastic rebalance.
+pub const METRIC_REBALANCE_MOVED_KEYS_TOTAL: &str = "diststream_rebalance_moved_keys_total";
+/// Counter: checkpoint bytes replayed to verify an elastic rebalance.
+pub const METRIC_REBALANCE_REPLAYED_BYTES_TOTAL: &str = "diststream_rebalance_replayed_bytes_total";
+/// Counter: elastic rebalances rolled back after a mid-resize failure.
+pub const METRIC_REBALANCE_ROLLBACKS_TOTAL: &str = "diststream_rebalance_rollbacks_total";
 
 /// Every metric base name.
 pub const ALL_METRICS: &[&str] = &[
@@ -156,6 +170,11 @@ pub const ALL_METRICS: &[&str] = &[
     METRIC_NAME_CONFLICTS_TOTAL,
     METRIC_RECORD_LATENCY_SECS,
     METRIC_JOURNAL_EVENTS_DROPPED_TOTAL,
+    METRIC_STRATEGY_SHUFFLE_BYTES_TOTAL,
+    METRIC_REBALANCE_TOTAL,
+    METRIC_REBALANCE_MOVED_KEYS_TOTAL,
+    METRIC_REBALANCE_REPLAYED_BYTES_TOTAL,
+    METRIC_REBALANCE_ROLLBACKS_TOTAL,
 ];
 
 /// Prometheus `# HELP` text per metric base name. The doc comments above are
@@ -251,6 +270,26 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
     (
         METRIC_JOURNAL_EVENTS_DROPPED_TOTAL,
         "Journal events lost to a missing sink or swallowed write errors",
+    ),
+    (
+        METRIC_STRATEGY_SHUFFLE_BYTES_TOTAL,
+        "Shuffle bytes charged per distribution strategy",
+    ),
+    (
+        METRIC_REBALANCE_TOTAL,
+        "Elastic rebalances executed at batch boundaries",
+    ),
+    (
+        METRIC_REBALANCE_MOVED_KEYS_TOTAL,
+        "Keys whose placement moved across an elastic rebalance",
+    ),
+    (
+        METRIC_REBALANCE_REPLAYED_BYTES_TOTAL,
+        "Checkpoint bytes replayed to verify an elastic rebalance",
+    ),
+    (
+        METRIC_REBALANCE_ROLLBACKS_TOTAL,
+        "Elastic rebalances rolled back after a mid-resize failure",
     ),
 ];
 

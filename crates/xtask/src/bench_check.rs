@@ -63,7 +63,17 @@ pub const OVERLAP_WIN_ALGO: &str = "clustream";
 /// `diststream_bench::BASELINE_SCHEMA`; the checker keeps its own JSON
 /// parser rather than depending on the bench crate it is gating).
 /// v3 adds `overhead_secs` and the event-time latency percentile columns.
-const SUPPORTED_SCHEMA: f64 = 3.0;
+/// v4 adds the per-entry `strategy` column and the `shuffle_skew` section.
+const SUPPORTED_SCHEMA: f64 = 4.0;
+
+/// The previous schema version, still accepted read-only: a v3 file has no
+/// `strategy` column and no `shuffle_skew` section, so the strategy gates
+/// are *explicitly skipped with a printed note* — never silently defaulted.
+const LEGACY_SCHEMA: f64 = 3.0;
+
+/// Required round-robin/key-range charged-shuffle-byte ratio (mirrors
+/// `diststream_bench::SHUFFLE_SKEW_FACTOR`).
+pub const SHUFFLE_SKEW_FACTOR: f64 = 1.2;
 
 /// A throughput cell key: `(algorithm, pipeline, parallelism)`.
 pub type CellKey = (String, String, u64);
@@ -77,6 +87,15 @@ pub type PhaseSecs = [f64; 4];
 pub struct Baseline {
     /// `"quick"` or `"default"`.
     pub mode: String,
+    /// Schema version the file declared ([`SUPPORTED_SCHEMA`] or
+    /// [`LEGACY_SCHEMA`]).
+    pub schema: f64,
+    /// Distribution-strategy label every entry ran under, `None` on a
+    /// legacy (v3) file that predates the column.
+    pub strategy: Option<String>,
+    /// `(roundrobin_bytes, keyrange_bytes)` from the `shuffle_skew`
+    /// section, `None` on a legacy (v3) file.
+    pub shuffle_skew: Option<(f64, f64)>,
     /// Machine-speed score recorded alongside the measurements.
     pub calibration: f64,
     /// `(algo, pipeline, parallelism) -> records_per_sec`.
@@ -84,6 +103,27 @@ pub struct Baseline {
     /// Per-cell phase seconds, for regression attribution. A cell may be
     /// absent when a file predates the per-phase columns.
     pub phases: BTreeMap<CellKey, PhaseSecs>,
+}
+
+impl Baseline {
+    /// The round-robin/key-range charged-byte ratio, if the file carries a
+    /// `shuffle_skew` section.
+    pub fn shuffle_skew_ratio(&self) -> Option<f64> {
+        let (roundrobin, keyrange) = self.shuffle_skew?;
+        (keyrange > 0.0).then(|| roundrobin / keyrange)
+    }
+
+    /// The printed skip-note for a legacy file: strategy-dependent gates
+    /// cannot run without the v4 columns, and the skip must be visible.
+    pub fn legacy_note(&self) -> Option<String> {
+        (self.schema == LEGACY_SCHEMA).then(|| {
+            format!(
+                "schema {LEGACY_SCHEMA} baseline predates the `strategy` column and the \
+                 `shuffle_skew` section — skipping the key-range shuffle gate \
+                 (re-bless to schema {SUPPORTED_SCHEMA} to enable it)"
+            )
+        })
+    }
 }
 
 /// Outcome of comparing one fresh measurement set against the baseline.
@@ -100,15 +140,15 @@ pub struct Comparison {
 /// Parses a baseline report file's JSON into the comparison shape.
 pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     let doc = json::parse(contents)?;
-    match doc.get("schema").and_then(Json::as_num) {
-        Some(v) if v == SUPPORTED_SCHEMA => {}
+    let schema = match doc.get("schema").and_then(Json::as_num) {
+        Some(v) if v == SUPPORTED_SCHEMA || v == LEGACY_SCHEMA => v,
         Some(v) => {
             return Err(format!(
-                "unsupported schema {v} (expected {SUPPORTED_SCHEMA})"
+                "unsupported schema {v} (expected {SUPPORTED_SCHEMA}, or legacy {LEGACY_SCHEMA})"
             ))
         }
         None => return Err("missing numeric `schema`".to_string()),
-    }
+    };
     let mode = doc
         .get("mode")
         .and_then(Json::as_str)
@@ -122,13 +162,53 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     if calibration.is_nan() || calibration <= 0.0 {
         return Err(format!("calibration_score {calibration} must be positive"));
     }
+    // v4 files must carry the shuffle_skew section and a strategy column on
+    // every entry; v3 files carry neither (the gate is skipped with a note).
+    let shuffle_skew = if schema == SUPPORTED_SCHEMA {
+        let section = doc
+            .get("shuffle_skew")
+            .ok_or("schema 4 requires a `shuffle_skew` section")?;
+        let field = |name: &str| {
+            section
+                .get(name)
+                .and_then(Json::as_num)
+                .ok_or(format!("shuffle_skew: missing numeric `{name}`"))
+        };
+        let roundrobin = field("roundrobin_bytes")?;
+        let keyrange = field("keyrange_bytes")?;
+        if roundrobin <= 0.0 || keyrange <= 0.0 {
+            return Err(format!(
+                "shuffle_skew: byte counts must be positive (roundrobin {roundrobin}, \
+                 keyrange {keyrange})"
+            ));
+        }
+        Some((roundrobin, keyrange))
+    } else {
+        None
+    };
     let entries = doc
         .get("entries")
         .and_then(Json::as_array)
         .ok_or("missing `entries` array")?;
     let mut cells = BTreeMap::new();
     let mut phases = BTreeMap::new();
+    let mut strategy: Option<String> = None;
     for (i, entry) in entries.iter().enumerate() {
+        if schema == SUPPORTED_SCHEMA {
+            let label = entry.get("strategy").and_then(Json::as_str).ok_or(format!(
+                "entry {i}: missing string `strategy` (required by schema 4)"
+            ))?;
+            match &strategy {
+                None => strategy = Some(label.to_string()),
+                Some(first) if first != label => {
+                    return Err(format!(
+                        "entry {i}: strategy `{label}` differs from `{first}` — a baseline \
+                         file measures exactly one strategy"
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
         let algo = entry
             .get("algo")
             .and_then(Json::as_str)
@@ -168,6 +248,9 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     }
     Ok(Baseline {
         mode,
+        schema,
+        strategy,
+        shuffle_skew,
         calibration,
         cells,
         phases,
@@ -365,6 +448,33 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
             committed.mode
         ));
     }
+    // Strategy gates need the v4 columns. On a legacy file the skip is
+    // printed, never silent; on a v4 file the blessed skew must meet the
+    // bar — byte accounting is deterministic, so failing here is a hard
+    // error (stale bless), not a flaky measurement.
+    match committed.legacy_note() {
+        Some(note) => println!(
+            "xtask bench-check: note: {}: {note}",
+            committed_file.display()
+        ),
+        None => match committed.shuffle_skew_ratio() {
+            Some(ratio) if ratio < SHUFFLE_SKEW_FACTOR => {
+                return Err(format!(
+                    "{}: committed roundrobin/keyrange shuffle-byte ratio is {ratio:.2}x, \
+                     below the required {SHUFFLE_SKEW_FACTOR}x — re-bless from a run that \
+                     meets the bar",
+                    committed_file.display()
+                ))
+            }
+            Some(_) => {}
+            None => {
+                return Err(format!(
+                    "{}: schema 4 `shuffle_skew` section has a zero keyrange byte count",
+                    committed_file.display()
+                ))
+            }
+        },
+    }
     // A blessed baseline must itself demonstrate the overlap win; failing
     // here is a hard error, not a flaky measurement.
     match overlap_win_ratio(&committed.cells) {
@@ -390,6 +500,7 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
     let mut best: BTreeMap<CellKey, f64> = BTreeMap::new();
     let mut best_phases: BTreeMap<CellKey, PhaseSecs> = BTreeMap::new();
     let mut comparison = Comparison::default();
+    let mut fresh_skew = None;
     for attempt in 1..=MAX_ATTEMPTS {
         let fresh = measure_fresh(root, quick, &fresh_file)?;
         if fresh.mode != expected_mode {
@@ -400,8 +511,33 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
                 fresh.mode
             ));
         }
+        if let (Some(want), Some(got)) = (&committed.strategy, &fresh.strategy) {
+            if want != got {
+                return Err(format!(
+                    "{}: fresh measurement ran strategy `{got}` but the committed baseline \
+                     is `{want}` — refusing the mismatched configuration",
+                    fresh_file.display()
+                ));
+            }
+        }
         fold_best(&committed, &fresh, &mut best, &mut best_phases);
+        fresh_skew = fresh.shuffle_skew_ratio();
         comparison = compare(&committed, &best, &best_phases);
+        // Fresh shuffle skew: deterministic, but checked per attempt so a
+        // regression shows up alongside the throughput failures.
+        match (committed.legacy_note(), fresh.shuffle_skew_ratio()) {
+            (Some(_), _) => {}
+            (None, Some(ratio)) if ratio < SHUFFLE_SKEW_FACTOR => {
+                comparison.failures.push(format!(
+                    "shuffle skew: fresh roundrobin/keyrange ratio is only {ratio:.2}x \
+                 (gate requires {SHUFFLE_SKEW_FACTOR}x)"
+                ))
+            }
+            (None, Some(_)) => {}
+            (None, None) => comparison
+                .failures
+                .push("shuffle skew: section missing from the fresh measurement".to_string()),
+        }
         if comparison.failures.is_empty() {
             break;
         }
@@ -429,6 +565,12 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
         println!(
             "  overlap win: {OVERLAP_WIN_ALGO} p={OVERLAP_WIN_PARALLELISM} overlapped/sync = \
              {ratio:.2}x (required {OVERLAP_WIN_FACTOR}x)"
+        );
+    }
+    if let Some(ratio) = fresh_skew {
+        println!(
+            "  shuffle skew: roundrobin/keyrange charged bytes = {ratio:.2}x \
+             (required {SHUFFLE_SKEW_FACTOR}x)"
         );
     }
     for warning in &comparison.scaling_warnings {
@@ -510,6 +652,9 @@ mod tests {
     fn baseline(mode: &str, calibration: f64, cells: &[(&str, &str, u64, f64)]) -> Baseline {
         Baseline {
             mode: mode.to_string(),
+            schema: SUPPORTED_SCHEMA,
+            strategy: Some("roundrobin".to_string()),
+            shuffle_skew: Some((1_300_000.0, 1_000_000.0)),
             calibration,
             cells: cells
                 .iter()
@@ -539,24 +684,47 @@ mod tests {
     #[test]
     fn parses_real_baseline_json() {
         let contents = r#"{
-  "schema": 3,
+  "schema": 4,
   "mode": "default",
   "dataset": "KDD-99",
   "records": 12000,
   "rounds": 3,
   "batch_secs": 1,
   "calibration_score": 1500000000.5,
+  "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4000000, "keyrange_bytes": 3000000},
   "entries": [
-    {"algo": "clustream", "pipeline": "sync", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4}
+    {"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4}
   ]
 }
 "#;
         let parsed = parse_baseline(contents).expect("valid baseline");
         assert_eq!(parsed.mode, "default");
         assert_eq!(parsed.calibration, 1_500_000_000.5);
+        assert_eq!(parsed.strategy.as_deref(), Some("roundrobin"));
+        assert_eq!(parsed.shuffle_skew, Some((4_000_000.0, 3_000_000.0)));
+        let ratio = parsed.shuffle_skew_ratio().expect("skew ratio");
+        assert!((ratio - 4.0 / 3.0).abs() < 1e-12);
+        assert!(parsed.legacy_note().is_none());
         let key = ("clustream".to_string(), "sync".to_string(), 1);
         assert_eq!(parsed.cells.get(&key), Some(&106_935.4));
         assert_eq!(parsed.phases.get(&key), Some(&[0.168, 0.007, 0.16, 0.005]));
+    }
+
+    #[test]
+    fn legacy_schema_parses_with_explicit_skip_note() {
+        // A v3 file has no strategy column and no shuffle_skew section. It
+        // still parses (throughput gates run), but the strategy gate skip
+        // surfaces as a note rather than a silent default.
+        let contents = r#"{"schema": 3, "mode": "default", "calibration_score": 1,
+            "entries": [{"algo": "clustream", "pipeline": "sync", "parallelism": 1,
+                         "records_per_sec": 10.0}]}"#;
+        let parsed = parse_baseline(contents).expect("legacy baseline parses");
+        assert_eq!(parsed.strategy, None);
+        assert_eq!(parsed.shuffle_skew, None);
+        assert_eq!(parsed.shuffle_skew_ratio(), None);
+        let note = parsed.legacy_note().expect("legacy note");
+        assert!(note.contains("skipping"), "{note}");
+        assert!(note.contains("shuffle_skew"), "{note}");
     }
 
     #[test]
@@ -571,6 +739,43 @@ mod tests {
         assert!(parse_baseline(no_pipeline)
             .unwrap_err()
             .contains("pipeline"));
+    }
+
+    #[test]
+    fn schema_4_requires_strategy_column_and_skew_section() {
+        let skew =
+            r#""shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 3}"#;
+        let no_skew = r#"{"schema": 4, "mode": "default", "calibration_score": 1,
+            "entries": [{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}]}"#;
+        assert!(parse_baseline(no_skew)
+            .unwrap_err()
+            .contains("shuffle_skew"));
+        let no_strategy = format!(
+            r#"{{"schema": 4, "mode": "default", "calibration_score": 1, {skew},
+            "entries": [{{"algo": "clustream", "pipeline": "sync",
+                         "parallelism": 1, "records_per_sec": 10.0}}]}}"#
+        );
+        assert!(parse_baseline(&no_strategy)
+            .unwrap_err()
+            .contains("strategy"));
+        let mixed = format!(
+            r#"{{"schema": 4, "mode": "default", "calibration_score": 1, {skew},
+            "entries": [
+              {{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+               "parallelism": 1, "records_per_sec": 10.0}},
+              {{"algo": "clustream", "pipeline": "sync", "strategy": "keyrange",
+               "parallelism": 4, "records_per_sec": 10.0}}
+            ]}}"#
+        );
+        assert!(parse_baseline(&mixed)
+            .unwrap_err()
+            .contains("exactly one strategy"));
+        let zero_bytes = r#"{"schema": 4, "mode": "default", "calibration_score": 1,
+            "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 0},
+            "entries": [{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}]}"#;
+        assert!(parse_baseline(zero_bytes).unwrap_err().contains("positive"));
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Distribution-strategy and elastic scale-out integration tests.
+//!
+//! Pins the two tentpole guarantees end to end, on the real algorithms:
+//!
+//! 1. **Strategy invariance** — record partitioning, key placement, and
+//!    shuffle routing are scheduling decisions; no [`StrategyKind`] may
+//!    perturb the order-aware model, under any simulated cluster topology.
+//! 2. **Elastic replay** — a run whose parallelism degree changes
+//!    mid-stream (workers joining and leaving at batch boundaries) is
+//!    bit-identical to every fixed-parallelism run, for all four
+//!    algorithms, under both the synchronous and the asynchronous
+//!    (overlapped) protocol.
+//!
+//! Telemetry-reading tests serialize on a lock: the metric registry is
+//! process-global and monotonic, so each test reads counter *deltas*.
+
+use std::sync::Mutex;
+
+use diststream::algorithms::{
+    CluStream, CluStreamParams, ClusTree, ClusTreeParams, DStream, DStreamParams, DenStream,
+    DenStreamParams,
+};
+use diststream::core::{
+    DistStreamJob, ElasticDriver, MemoryCheckpointStore, PipelineOptions, ResizeSchedule,
+    StrategyKind, StreamClustering,
+};
+use diststream::datasets::covertype_like;
+use diststream::engine::{
+    encode, ClusterTopology, ExecutionMode, FaultPlan, MiniBatch, SimCostModel, StreamingContext,
+    VecSource,
+};
+use diststream::telemetry;
+use diststream::types::{ClusteringConfig, Record, Timestamp};
+
+use serde::de::DeserializeOwned;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn records() -> Vec<Record> {
+    covertype_like(1500, 5).to_records(50.0)
+}
+
+/// Cuts `records` into fixed-size mini-batches with real window bounds.
+fn to_batches(records: &[Record], per_batch: usize) -> Vec<MiniBatch> {
+    records
+        .chunks(per_batch)
+        .enumerate()
+        .map(|(index, chunk)| MiniBatch {
+            index,
+            window_start: chunk.first().map_or(Timestamp::ZERO, |r| r.timestamp),
+            window_end: chunk.last().map_or(Timestamp::ZERO, |r| r.timestamp + 0.1),
+            records: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Runs `algo` through an [`ElasticDriver`] over `schedule` and returns the
+/// final model's exact serialized bytes.
+fn elastic_bytes<A>(algo: &A, schedule: ResizeSchedule, options: PipelineOptions) -> Vec<u8>
+where
+    A: StreamClustering,
+    A::Model: DeserializeOwned + PartialEq,
+{
+    let all = records();
+    let (init, rest) = all.split_at(100);
+    let model = algo.init(init).expect("init");
+    let mut driver = ElasticDriver::new(algo, ExecutionMode::Simulated, schedule);
+    driver.options(options);
+    let mut store = MemoryCheckpointStore::new(4);
+    let (model, report) = driver
+        .run(model, to_batches(rest, 200), &mut store)
+        .expect("elastic run");
+    assert_eq!(report.records, rest.len() as u64);
+    encode(&model)
+}
+
+/// The elastic replay gate: p = 2 → 4 → 3 mid-stream must be bit-identical
+/// to the fixed-parallelism run, per algorithm, under both protocols.
+fn assert_elastic_replay_invariant<A>(algo: &A, name: &str)
+where
+    A: StreamClustering,
+    A::Model: DeserializeOwned + PartialEq,
+{
+    let resized = ResizeSchedule::with_steps(2, vec![(2, 4), (4, 3)]).expect("schedule");
+    for options in [PipelineOptions::sync(), PipelineOptions::all()] {
+        let fixed = elastic_bytes(algo, ResizeSchedule::fixed(2), options);
+        assert!(!fixed.is_empty());
+        let elastic = elastic_bytes(algo, resized.clone(), options);
+        assert_eq!(
+            elastic, fixed,
+            "{name} diverged across the resize schedule (overlap={})",
+            options.overlap
+        );
+    }
+}
+
+#[test]
+fn clustream_elastic_replay_is_bit_identical() {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    assert_elastic_replay_invariant(&algo, "CluStream");
+}
+
+#[test]
+fn denstream_elastic_replay_is_bit_identical() {
+    let algo = DenStream::new(DenStreamParams {
+        eps: 2.5,
+        ..Default::default()
+    });
+    assert_elastic_replay_invariant(&algo, "DenStream");
+}
+
+#[test]
+fn dstream_elastic_replay_is_bit_identical() {
+    let algo = DStream::new(DStreamParams {
+        cell_width: 2.0,
+        grid_dims: 6,
+        ..Default::default()
+    });
+    assert_elastic_replay_invariant(&algo, "DStream");
+}
+
+#[test]
+fn clustree_elastic_replay_is_bit_identical() {
+    let algo = ClusTree::new(ClusTreeParams {
+        max_micro_clusters: 70,
+        singleton_radius: 2.5,
+        ..Default::default()
+    });
+    assert_elastic_replay_invariant(&algo, "ClusTree");
+}
+
+/// Resize-under-faults on a real algorithm: retry exhaustion during the
+/// rebalancing batch rolls the resize back, a transient fault completes it,
+/// and either way the model matches the no-fault run byte for byte.
+#[test]
+fn clustream_resize_under_faults_completes_or_rolls_back() {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    let all = records();
+    let (init, rest) = all.split_at(100);
+    let batches = to_batches(rest, 200);
+    let schedule = ResizeSchedule::with_steps(2, vec![(2, 4)]).expect("schedule");
+
+    let run = |plan: Option<FaultPlan>| {
+        let model = algo.init(init).expect("init");
+        let mut driver = ElasticDriver::new(&algo, ExecutionMode::Simulated, schedule.clone());
+        if let Some(plan) = plan {
+            driver.fault_plan(plan);
+        }
+        let mut store = MemoryCheckpointStore::new(4);
+        let (model, report) = driver
+            .run(model, batches.clone(), &mut store)
+            .expect("elastic run");
+        (encode(&model), report)
+    };
+
+    let (clean, clean_report) = run(None);
+    assert!(!clean_report.resizes[0].rolled_back);
+
+    // Task 3 only exists post-resize; exhausting its retry budget on the
+    // rebalancing batch forces the rollback path.
+    let exhausted = (0..4).fold(FaultPlan::new(), |p, attempt| p.panic_on(2, 3, attempt));
+    let (rolled_back, report) = run(Some(exhausted));
+    assert!(report.resizes[0].rolled_back, "resize must roll back");
+    assert_eq!(rolled_back, clean, "rollback perturbed the model");
+
+    // A single panic stays inside the retry budget: the resize completes.
+    let (completed, report) = run(Some(FaultPlan::new().panic_on(2, 3, 0)));
+    assert!(!report.resizes[0].rolled_back, "resize must complete");
+    assert_eq!(completed, clean, "retried resize perturbed the model");
+}
+
+/// Runs a CluStream job under `cost` with the given strategy and returns
+/// the final model bytes.
+fn topology_run(cost: SimCostModel, kind: StrategyKind, parallelism: usize) -> Vec<u8> {
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    let ctx = StreamingContext::with_cost_model(parallelism, ExecutionMode::Simulated, cost)
+        .expect("context");
+    let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+        .init_records(100)
+        .pipeline(PipelineOptions::sync().with_strategy(kind))
+        .run_to_end(VecSource::new(records()))
+        .expect("job");
+    encode(&result.model)
+}
+
+/// Strategy invariance under every simulated topology in the CI sweep,
+/// including the straggler-heavy placements: key placement and record
+/// partitioning may move bytes and time, never the model.
+#[test]
+fn strategies_preserve_model_across_topology_sweep() {
+    let reference = topology_run(SimCostModel::zero(), StrategyKind::RoundRobin, 1);
+    assert!(!reference.is_empty());
+    for nodes in ClusterTopology::SWEEP_NODES {
+        for topology in [
+            ClusterTopology::simulated(nodes),
+            ClusterTopology::straggler_heavy(nodes),
+        ] {
+            for kind in StrategyKind::ALL {
+                let got = topology_run(topology.cost_model(), kind, 4);
+                assert_eq!(
+                    got,
+                    reference,
+                    "model diverged: topology={} strategy={kind:?}",
+                    topology.label()
+                );
+            }
+        }
+    }
+}
+
+/// Reads the labeled per-strategy shuffle-bytes counter.
+fn strategy_bytes(kind: StrategyKind) -> u64 {
+    telemetry::counter(&format!(
+        "{}{{strategy=\"{}\"}}",
+        telemetry::names::METRIC_STRATEGY_SHUFFLE_BYTES_TOTAL,
+        kind.label()
+    ))
+    .get()
+}
+
+/// The headline byte win, measured through the telemetry names catalog on a
+/// key-skewed workload: key-range placement must cut charged shuffle bytes
+/// by at least 1.2x versus the round-robin + hash baseline at p = 4.
+#[test]
+fn key_range_cuts_shuffle_bytes_at_least_1_2x_versus_round_robin() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let mut measured = Vec::new();
+    for kind in StrategyKind::ALL {
+        let before = strategy_bytes(kind);
+        let bytes = topology_run(SimCostModel::zero(), kind, 4);
+        assert!(!bytes.is_empty());
+        let charged = strategy_bytes(kind) - before;
+        assert!(charged > 0, "{kind:?} journaled no shuffle bytes");
+        measured.push((kind, charged));
+    }
+    telemetry::set_enabled(false);
+
+    let charged_of = |want: StrategyKind| {
+        measured
+            .iter()
+            .find(|(kind, _)| *kind == want)
+            .map(|(_, bytes)| *bytes)
+            .expect("measured")
+    };
+    let roundrobin = charged_of(StrategyKind::RoundRobin) as f64;
+    let keyrange = charged_of(StrategyKind::KeyRange) as f64;
+    let ratio = roundrobin / keyrange;
+    assert!(
+        ratio >= 1.2,
+        "key-range shuffle reduction {ratio:.3}x is under the 1.2x gate \
+         (roundrobin={roundrobin} keyrange={keyrange})"
+    );
+    // The locality-affine strategy can never charge more than full price.
+    assert!(charged_of(StrategyKind::Locality) <= charged_of(StrategyKind::RoundRobin));
+}
+
+/// Straggler-heavy placements journal netcost charges and straggler
+/// attribution through the telemetry names catalog; the rebalance metrics
+/// land when an elastic boundary fires under the same topology.
+#[test]
+fn topology_sweep_journals_netcost_straggler_and_rebalance_metrics() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+
+    let netcost_before =
+        telemetry::counter("diststream_netcost_bytes_total{kind=\"shuffle\"}").get();
+    let straggler_before = telemetry::counter(telemetry::names::METRIC_STRAGGLER_TASKS_TOTAL).get();
+    let rebalance_before = telemetry::counter(telemetry::names::METRIC_REBALANCE_TOTAL).get();
+    let moved_before =
+        telemetry::counter(telemetry::names::METRIC_REBALANCE_MOVED_KEYS_TOTAL).get();
+    let replayed_before =
+        telemetry::counter(telemetry::names::METRIC_REBALANCE_REPLAYED_BYTES_TOTAL).get();
+
+    let topology = ClusterTopology::straggler_heavy(32);
+    let bytes = topology_run(topology.cost_model(), StrategyKind::KeyRange, 8);
+    assert!(!bytes.is_empty());
+
+    // Same topology, elastic: one resize boundary mid-stream.
+    let algo = CluStream::new(CluStreamParams {
+        max_micro_clusters: 70,
+        ..Default::default()
+    });
+    let all = records();
+    let (init, rest) = all.split_at(100);
+    let model = algo.init(init).expect("init");
+    let mut driver = ElasticDriver::new(
+        &algo,
+        ExecutionMode::Simulated,
+        ResizeSchedule::with_steps(2, vec![(3, 4)]).expect("schedule"),
+    );
+    driver
+        .cost_model(topology.cost_model())
+        .options(PipelineOptions::sync().with_strategy(StrategyKind::KeyRange));
+    let mut store = MemoryCheckpointStore::new(4);
+    driver
+        .run(model, to_batches(rest, 200), &mut store)
+        .expect("elastic run");
+
+    telemetry::set_enabled(false);
+
+    assert!(
+        telemetry::counter("diststream_netcost_bytes_total{kind=\"shuffle\"}").get()
+            > netcost_before,
+        "no shuffle netcost journaled under the simulated topology"
+    );
+    assert!(
+        telemetry::counter(telemetry::names::METRIC_STRAGGLER_TASKS_TOTAL).get() > straggler_before,
+        "straggler-heavy placement journaled no straggler attribution"
+    );
+    assert_eq!(
+        telemetry::counter(telemetry::names::METRIC_REBALANCE_TOTAL).get(),
+        rebalance_before + 1,
+        "the resize boundary must journal exactly one rebalance"
+    );
+    assert!(
+        telemetry::counter(telemetry::names::METRIC_REBALANCE_MOVED_KEYS_TOTAL).get()
+            > moved_before
+    );
+    assert!(
+        telemetry::counter(telemetry::names::METRIC_REBALANCE_REPLAYED_BYTES_TOTAL).get()
+            > replayed_before
+    );
+}
