@@ -18,6 +18,7 @@ use diststream_engine::{ExecutionMode, RepeatSource, SimCostModel, StreamingCont
 use diststream_types::{ClusteringConfig, Result};
 
 use crate::bundle::{Bundle, DatasetKind};
+use crate::overload::{measure_overload, OverloadScenario};
 use crate::report::{fmt_f64, print_table, Table};
 
 /// Repo-relative path of the committed baseline file (default workload).
@@ -37,7 +38,11 @@ pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
 /// used) and the report adds a `shuffle_skew` section measuring charged
 /// shuffle bytes under round-robin vs key-range placement, which
 /// `xtask bench-check` gates at [`SHUFFLE_SKEW_FACTOR`]×.
-pub const BASELINE_SCHEMA: u32 = 4;
+/// v5: the report adds an `overload` section — shed fraction, error bound,
+/// achieved vs target latency, quality deltas, and the p=1/p=4 model
+/// digests of the seeded approximate run — which `xtask bench-check` gates
+/// (see [`crate::measure_overload`]).
+pub const BASELINE_SCHEMA: u32 = 5;
 
 /// Required round-robin/key-range charged-shuffle-byte ratio on the
 /// baseline workload (the ISSUE's key-skew acceptance bar).
@@ -173,6 +178,9 @@ pub struct BaselineReport {
     pub calibration_score: f64,
     /// Charged shuffle bytes under round-robin vs key-range placement.
     pub shuffle_skew: ShuffleSkew,
+    /// The measured overload scenario (schema v5): exact sync ingestion
+    /// falls behind, the seeded approximate path holds the latency target.
+    pub overload: OverloadScenario,
     /// One cell per `(algorithm, parallelism)`.
     pub entries: Vec<BaselineEntry>,
 }
@@ -385,6 +393,7 @@ pub fn run_baseline_pipelines(
         batch_secs: BATCH_SECS,
         calibration_score: calibration_score(),
         shuffle_skew: measure_shuffle_skew(&bundle, spec)?,
+        overload: measure_overload(&bundle)?,
         entries,
     })
 }
@@ -422,6 +431,30 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
         report.shuffle_skew.parallelism,
         report.shuffle_skew.roundrobin_bytes,
         report.shuffle_skew.keyrange_bytes,
+    ));
+    let o = &report.overload;
+    out.push_str(&format!(
+        "  \"overload\": {{\"batch_secs\": {}, \"capacity_per_batch\": {}, \
+         \"target_latency_secs\": {}, \"exact_latency_secs\": {}, \"approx_latency_secs\": {}, \
+         \"shed_fraction\": {}, \"error_bound\": {}, \"exact_purity\": {}, \
+         \"approx_purity\": {}, \"purity_delta\": {}, \"ssq_delta\": {}, \
+         \"measured_batches\": {}, \"vacuous_batches\": {}, \
+         \"model_digest_p1\": \"{:016x}\", \"model_digest_p4\": \"{:016x}\"}},\n",
+        json_f64(o.batch_secs),
+        o.capacity_per_batch,
+        json_f64(o.target_latency_secs),
+        json_f64(o.exact_latency_secs),
+        json_f64(o.approx_latency_secs),
+        json_f64(o.shed_fraction),
+        json_f64(o.error_bound),
+        json_f64(o.exact_purity),
+        json_f64(o.approx_purity),
+        json_f64(o.purity_delta),
+        json_f64(o.ssq_delta),
+        o.measured_batches,
+        o.vacuous_batches,
+        o.model_digest_p1,
+        o.model_digest_p4,
     ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in report.entries.iter().enumerate() {
@@ -511,6 +544,24 @@ pub fn print_baseline(report: &BaselineReport) {
         skew.reduction_ratio(),
         SHUFFLE_SKEW_FACTOR,
     );
+    let o = &report.overload;
+    println!(
+        "overload (capacity {}/batch, {:.2}s windows): shed {:.1}% — latency approx {:.2}s vs \
+         exact {:.2}s (target {:.2}s), purity delta {:.4} within bound {:.4}, ssq delta {:+.3}, \
+         {} measured / {} vacuous batches, digest {:016x} (p1 == p4)",
+        o.capacity_per_batch,
+        o.batch_secs,
+        100.0 * o.shed_fraction,
+        o.approx_latency_secs,
+        o.exact_latency_secs,
+        o.target_latency_secs,
+        o.purity_delta,
+        o.error_bound,
+        o.ssq_delta,
+        o.measured_batches,
+        o.vacuous_batches,
+        o.model_digest_p1,
+    );
 }
 
 #[cfg(test)]
@@ -532,6 +583,26 @@ mod tests {
         assert!(calibration_score() > 0.0);
     }
 
+    fn sample_overload() -> OverloadScenario {
+        OverloadScenario {
+            batch_secs: 0.25,
+            capacity_per_batch: 70,
+            target_latency_secs: 1.0,
+            exact_latency_secs: 7.5,
+            approx_latency_secs: 0.45,
+            shed_fraction: 0.62,
+            error_bound: 0.021,
+            exact_purity: 0.97,
+            approx_purity: 0.96,
+            purity_delta: 0.01,
+            ssq_delta: 0.05,
+            measured_batches: 18,
+            vacuous_batches: 2,
+            model_digest_p1: 0xDEAD_BEEF,
+            model_digest_p4: 0xDEAD_BEEF,
+        }
+    }
+
     #[test]
     fn json_serialization_contains_all_cells() {
         let report = BaselineReport {
@@ -547,6 +618,7 @@ mod tests {
                 roundrobin_bytes: 4000,
                 keyrange_bytes: 3000,
             },
+            overload: sample_overload(),
             entries: vec![BaselineEntry {
                 algo: "clustream".into(),
                 pipeline: PIPELINE_OVERLAPPED.into(),
@@ -566,7 +638,14 @@ mod tests {
             }],
         };
         let json = baseline_to_json(&report);
-        assert!(json.contains("\"schema\": 4"));
+        assert!(json.contains("\"schema\": 5"));
+        assert!(json.contains("\"shed_fraction\": 0.62"));
+        assert!(json.contains("\"error_bound\": 0.021"));
+        assert!(json.contains("\"approx_latency_secs\": 0.45"));
+        // Digests are 64-bit and must survive a float-only JSON parser, so
+        // they are serialized as fixed-width hex strings.
+        assert!(json.contains("\"model_digest_p1\": \"00000000deadbeef\""));
+        assert!(json.contains("\"model_digest_p4\": \"00000000deadbeef\""));
         assert!(json.contains("\"algo\": \"clustream\""));
         assert!(json.contains("\"pipeline\": \"overlapped\""));
         assert!(json.contains("\"strategy\": \"roundrobin\""));
@@ -592,6 +671,14 @@ mod tests {
         };
         let report = run_baseline(&spec).unwrap();
         assert_eq!(report.entries.len(), 4 * PARALLELISMS.len() * 2);
+        // The overload scenario ships with every report and must meet the
+        // gates bench-check enforces on blessed files.
+        let o = &report.overload;
+        assert!(o.shed_fraction > 0.0, "scenario must actually shed");
+        assert!(o.approx_latency_secs <= o.target_latency_secs);
+        assert!(o.exact_latency_secs > o.target_latency_secs);
+        assert!(o.purity_delta <= o.error_bound);
+        assert_eq!(o.model_digest_p1, o.model_digest_p4);
         // The skew section is measured on every run and meets the gate even
         // on this tiny workload: the reduction is structural (placement
         // co-location), not a property of stream length.

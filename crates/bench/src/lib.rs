@@ -16,6 +16,7 @@
 mod baseline;
 mod bundle;
 mod cli;
+mod overload;
 mod report;
 mod runner;
 mod trace;
@@ -28,6 +29,10 @@ pub use baseline::{
 };
 pub use bundle::{Bundle, DatasetKind};
 pub use cli::Cli;
+pub use overload::{
+    measure_overload, OverloadScenario, OVERLOAD_BATCH_SECS, OVERLOAD_FACTOR, OVERLOAD_SEED,
+    OVERLOAD_STRATA, OVERLOAD_TARGET_LATENCY_SECS,
+};
 pub use report::{fmt_f64, print_table, Table};
 pub use runner::{
     run_quality, run_sequential_quality, run_sequential_throughput, run_throughput,

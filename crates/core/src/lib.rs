@@ -77,7 +77,10 @@ pub use local::{
     CreatedSketch, LocalOutcome, LocalScratch, UpdatedSketch, SHUFFLE_KEY_BYTES,
 };
 pub use parallel::{BatchOutcome, DistStreamExecutor};
-pub use pipeline::{take_records, BatchReport, DistStreamJob, PipelineOptions, RunResult};
+pub use pipeline::{
+    take_records, BatchReport, DistStreamJob, OverloadOptions, OverloadStats, PipelineOptions,
+    RunResult,
+};
 pub use pipelined::{PipelineCarry, PipelinedExecutor};
 pub use recovery::{BatchDisposition, Checkpoint, CheckpointingDriver};
 pub use sequential::{SequentialExecutor, SequentialSummary};

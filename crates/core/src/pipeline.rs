@@ -2,8 +2,8 @@
 //! executor → per-batch reports.
 
 use diststream_engine::{
-    prefetch_batches, MiniBatch, MiniBatcher, RecordLatency, RecordSource, StreamingContext,
-    ThroughputMeter,
+    prefetch_batches, LoadShedPolicy, MiniBatch, MiniBatcher, RecordLatency, RecordSource,
+    SamplerControl, StratifiedSampler, StreamingContext, ThroughputMeter,
 };
 use diststream_telemetry as telemetry;
 use diststream_types::{ClusteringConfig, DistStreamError, Record, Result, Timestamp};
@@ -39,6 +39,12 @@ pub struct PipelineOptions {
     /// Never changes the order-aware model — only task layout and charged
     /// shuffle bytes.
     pub strategy: StrategyKind,
+    /// Bounded-error overload mode: stratified sampling between the reorder
+    /// buffer and the batcher, driven by the backpressure policy. `None`
+    /// (the default) leaves the exact path bit-identical to a build without
+    /// this field; `Some` trades a quantified quality delta for bounded
+    /// latency under sustained overload — a *different* model by design.
+    pub overload: Option<OverloadOptions>,
 }
 
 impl PipelineOptions {
@@ -48,7 +54,8 @@ impl PipelineOptions {
     }
 
     /// The fully overlapped pipeline (every optimization on, default
-    /// round-robin + hash distribution).
+    /// round-robin + hash distribution). Overload mode stays off: it is a
+    /// model change, not an optimization.
     pub fn all() -> Self {
         PipelineOptions {
             prefetch: true,
@@ -56,6 +63,7 @@ impl PipelineOptions {
             chunking: true,
             overlap: true,
             strategy: StrategyKind::RoundRobin,
+            overload: None,
         }
     }
 
@@ -64,6 +72,74 @@ impl PipelineOptions {
         self.strategy = strategy;
         self
     }
+
+    /// The same options with bounded-error overload mode enabled.
+    pub fn with_overload(mut self, overload: OverloadOptions) -> Self {
+        self.overload = Some(overload);
+        self
+    }
+}
+
+/// Configuration of the bounded-error overload subsystem. All fields are
+/// integers so the options stay `Copy + Eq` and replay-stable; every knob
+/// feeds the deterministic control loop, never a wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadOptions {
+    /// splitmix64 seed for the stratified sampler's keep decisions. Replays
+    /// with the same seed keep exactly the same records.
+    pub seed: u64,
+    /// Number of locality strata (≥ 1).
+    pub strata: u32,
+    /// Records the executor can absorb per batch window while staying
+    /// real-time — the service model's capacity at the configured window.
+    pub capacity_per_batch: u32,
+    /// Floor on any stratum's keep-rate, ppm; the stream is never shed to
+    /// nothing.
+    pub min_rate_ppm: u32,
+    /// Fixed per-batch overhead as a permille of the initial window (< 1000).
+    /// Wider windows amortize it, which is what lets window width and
+    /// sample rate co-adapt.
+    pub overhead_permille: u32,
+    /// Close the loop with [`AdaptiveBatchSizer`]: retune the window from
+    /// the *virtual* (service-model) batch time after every batch.
+    ///
+    /// [`AdaptiveBatchSizer`]: crate::adaptive::AdaptiveBatchSizer
+    pub adapt_window: bool,
+}
+
+impl Default for OverloadOptions {
+    fn default() -> Self {
+        OverloadOptions {
+            seed: 0xD157_57EA,
+            strata: 8,
+            capacity_per_batch: 10_000,
+            min_rate_ppm: 10_000,
+            overhead_permille: 100,
+            adapt_window: true,
+        }
+    }
+}
+
+/// Overload-mode accounting for a completed run, from the sampler control
+/// block and the backpressure policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadStats {
+    /// Records offered to the sampler (post-initialization).
+    pub seen: u64,
+    /// Records kept and batched.
+    pub kept: u64,
+    /// Records shed.
+    pub shed: u64,
+    /// Worst-case 95% Horvitz–Thompson error bound of the kept sample.
+    pub error_bound: f64,
+    /// Keep-rate in force when the stream ended, ppm.
+    pub final_rate_ppm: u32,
+    /// Modeled backlog at stream end, records.
+    pub final_backlog: u64,
+    /// Peak virtual latency over the run, seconds.
+    pub max_virtual_latency_secs: f64,
+    /// Batch window in force when the stream ended, seconds.
+    pub final_batch_secs: f64,
 }
 
 /// Either executor behind one per-batch interface, so the job's drive loop
@@ -116,6 +192,9 @@ pub struct RunResult<M> {
     pub model: M,
     /// Aggregated throughput/straggler metrics over all batches.
     pub meter: ThroughputMeter,
+    /// Overload accounting — `Some` exactly when
+    /// [`PipelineOptions::overload`] was set.
+    pub overload: Option<OverloadStats>,
 }
 
 /// Builder-style wiring of a full DistStream job.
@@ -233,6 +312,9 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
         S: RecordSource + Send,
         F: FnMut(BatchReport<'_, A::Model>),
     {
+        if let Some(overload) = self.pipeline.overload {
+            return self.run_overload(source, overload, on_batch);
+        }
         let mut init = Vec::with_capacity(self.init_records.max(1));
         while init.len() < self.init_records.max(1) {
             match source.next_record() {
@@ -257,7 +339,168 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
             let batcher = MiniBatcher::new(&mut source, self.config.batch_secs());
             drive_batches(&mut exec, &mut model, batcher, &mut meter, &mut on_batch)?;
         }
-        Ok(RunResult { model, meter })
+        Ok(RunResult {
+            model,
+            meter,
+            overload: None,
+        })
+    }
+
+    /// The overload drive loop: sampler between the source and the batcher,
+    /// backpressure policy closing the control loop at every batch barrier.
+    ///
+    /// Like [`DistStreamJob::run_adaptive`], prefetch is ignored — the next
+    /// batch's keep-rates (and, with `adapt_window`, its window width) are
+    /// only known after the current batch finishes, which a prefetch worker
+    /// staging ahead of the feedback loop cannot honor. The executor choice
+    /// (`overlap`) and the other options apply as in [`DistStreamJob::run`].
+    ///
+    /// Initialization records are drained before the sampler attaches:
+    /// model initialization is never shed.
+    fn run_overload<S, F>(
+        &self,
+        mut source: S,
+        opts: OverloadOptions,
+        mut on_batch: F,
+    ) -> Result<RunResult<A::Model>>
+    where
+        S: RecordSource,
+        F: FnMut(BatchReport<'_, A::Model>),
+    {
+        let mut init = Vec::with_capacity(self.init_records.max(1));
+        while init.len() < self.init_records.max(1) {
+            match source.next_record() {
+                Some(r) => init.push(r),
+                None => break,
+            }
+        }
+        if init.is_empty() {
+            return Err(DistStreamError::EmptyStream);
+        }
+        let mut model = self.algo.init(&init)?;
+
+        let control = SamplerControl::new(opts.strata.max(1) as usize);
+        let mut sampler = StratifiedSampler::new(&mut source, opts.seed, control.clone());
+        let window0 = self.config.batch_secs();
+        let mut policy = LoadShedPolicy::new(
+            opts.capacity_per_batch.max(1) as u64,
+            window0,
+            opts.overhead_permille.min(999),
+            opts.min_rate_ppm,
+        );
+        let mut sizer = opts
+            .adapt_window
+            .then(|| crate::adaptive::AdaptiveBatchSizer::new(&self.config, window0));
+
+        // Cached handles, registered once (the reorder buffer's pattern).
+        let rate_gauge = telemetry::gauge(telemetry::names::METRIC_SAMPLER_RATE_PPM);
+        let bound_gauge = telemetry::gauge(telemetry::names::METRIC_SAMPLER_ERROR_BOUND);
+        let backlog_gauge = telemetry::gauge(telemetry::names::METRIC_BACKPRESSURE_BACKLOG_RECORDS);
+        let latency_gauge =
+            telemetry::gauge(telemetry::names::METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS);
+
+        let mut exec = self.make_exec();
+        let mut meter = ThroughputMeter::new();
+        let mut batcher = MiniBatcher::new(&mut sampler, window0);
+        let mut prev_counts = vec![(0u64, 0u64); opts.strata.max(1) as usize];
+        let mut max_virtual_latency = 0.0_f64;
+        let mut window = window0;
+        while let Some(batch) = batcher.next() {
+            let batch_index = batch.index;
+            let window_end = batch.window_end;
+            let outcome = exec.process_batch(&mut model, batch)?;
+            meter.observe(&outcome.metrics);
+            if let Some(latency) = &outcome.latency {
+                meter.observe_latency(latency);
+            }
+
+            // Control step, on deterministic counts only: per-stratum
+            // arrivals over this window drive the next window's rates.
+            let counts = control.stratum_counts();
+            let recent: Vec<u64> = counts
+                .iter()
+                .zip(&prev_counts)
+                .map(|(c, p)| c.0 - p.0)
+                .collect();
+            let arrived: u64 = recent.iter().sum();
+            let kept: u64 = counts
+                .iter()
+                .zip(&prev_counts)
+                .map(|(c, p)| c.1 - p.1)
+                .sum();
+            prev_counts = counts;
+            let reorder_depth = control.reorder_backlog();
+            let next_rate = policy.observe_batch(arrived, kept, reorder_depth);
+            control.rebalance(next_rate, &recent, opts.min_rate_ppm);
+            let bound = control.error_bound();
+            let virtual_latency = policy.virtual_latency_secs();
+            max_virtual_latency = max_virtual_latency.max(virtual_latency);
+
+            if telemetry::enabled() {
+                rate_gauge.set(next_rate as f64);
+                bound_gauge.set(bound);
+                backlog_gauge.set(policy.backlog_records() as f64);
+                latency_gauge.set(virtual_latency);
+                telemetry::emit_point(
+                    telemetry::names::POINT_OVERLOAD_SUMMARY,
+                    Some(batch_index as u64),
+                    &[
+                        ("seen", arrived as f64),
+                        ("kept", kept as f64),
+                        ("rate_ppm", next_rate as f64),
+                        ("error_bound", bound),
+                        ("backlog", policy.backlog_records() as f64),
+                        ("virtual_latency_secs", virtual_latency),
+                    ],
+                );
+            }
+
+            if let Some(sizer) = sizer.as_mut() {
+                // Co-adaptation on the *virtual* batch time — the service
+                // model's cost for what was kept — never measured wall
+                // time, which would break bit-identical replay.
+                let virtual_secs = policy.virtual_batch_secs(outcome.metrics.records as u64);
+                let next_window = sizer.observe(outcome.metrics.records, virtual_secs);
+                batcher.set_batch_secs(next_window);
+                policy.set_window(next_window);
+                window = next_window;
+            }
+
+            on_batch(BatchReport {
+                batch_index,
+                window_end,
+                model: &model,
+                outcome: &outcome,
+            });
+            // Same per-batch journal drain as `run` (see `drive_batches`).
+            if telemetry::enabled() {
+                telemetry::barrier_drain();
+            }
+        }
+        if let Some((flush_secs, latency)) = exec.flush_secs(&mut model)? {
+            meter.observe_flush(flush_secs);
+            if let Some(latency) = &latency {
+                meter.observe_latency(latency);
+            }
+            if telemetry::enabled() {
+                telemetry::barrier_drain();
+            }
+        }
+        let stats = OverloadStats {
+            seen: control.seen_total(),
+            kept: control.kept_total(),
+            shed: control.shed_total(),
+            error_bound: control.error_bound(),
+            final_rate_ppm: policy.rate_ppm(),
+            final_backlog: policy.backlog_records(),
+            max_virtual_latency_secs: max_virtual_latency,
+            final_batch_secs: window,
+        };
+        Ok(RunResult {
+            model,
+            meter,
+            overload: Some(stats),
+        })
     }
 
     /// Convenience: runs the job ignoring per-batch reports.
@@ -337,7 +580,11 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 telemetry::barrier_drain();
             }
         }
-        Ok(RunResult { model, meter })
+        Ok(RunResult {
+            model,
+            meter,
+            overload: None,
+        })
     }
 }
 
@@ -527,6 +774,7 @@ mod tests {
                 chunking: true,
                 overlap: false,
                 strategy: StrategyKind::RoundRobin,
+                overload: None,
             },
         );
         assert_eq!(tuned.model, plain.model);
@@ -556,5 +804,90 @@ mod tests {
         assert!(overlapped.meter.batches() >= 2);
         assert!(!overlapped.model.is_empty());
         assert!(overlapped.meter.secs() > 0.0);
+        assert!(overlapped.overload.is_none(), "overload off by default");
+    }
+
+    fn overload_opts(seed: u64, capacity: u32) -> OverloadOptions {
+        OverloadOptions {
+            seed,
+            strata: 4,
+            capacity_per_batch: capacity,
+            min_rate_ppm: 10_000,
+            overhead_permille: 100,
+            adapt_window: true,
+        }
+    }
+
+    /// The overload loop sheds under sustained overload, accounts for every
+    /// record, and is bit-identical across parallelism degrees and reruns.
+    #[test]
+    fn overload_mode_sheds_deterministically_and_reconciles() {
+        let run = |p: usize| {
+            let algo = NaiveClustering::new(1.5);
+            let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+            DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+                .init_records(8)
+                .pipeline(PipelineOptions::sync().with_overload(overload_opts(11, 5)))
+                .run_to_end(VecSource::new(recs(600)))
+                .unwrap()
+        };
+        let base = run(1);
+        let stats = base.overload.expect("overload stats present");
+        assert_eq!(stats.seen, 592, "every post-init record passes the sampler");
+        assert_eq!(stats.kept + stats.shed, stats.seen);
+        assert!(stats.shed > 0, "a 5-records/batch capacity must shed");
+        assert!(stats.kept > 0, "the min-rate floor keeps the stream alive");
+        assert_eq!(
+            base.meter.records(),
+            stats.kept as usize,
+            "exactly the kept records reach the executor"
+        );
+        assert!(stats.error_bound > 0.0, "shedding implies a nonzero bound");
+        for p in [4, 1] {
+            let again = run(p);
+            assert_eq!(again.model, base.model, "p={p} model bit-identical");
+            assert_eq!(again.overload.unwrap(), stats, "p={p} stats identical");
+        }
+    }
+
+    /// Overload mode drives the overlapped executor too.
+    #[test]
+    fn overload_mode_works_overlapped() {
+        let algo = NaiveClustering::new(1.5);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let result = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .init_records(8)
+            .pipeline(PipelineOptions::all().with_overload(overload_opts(3, 5)))
+            .run_to_end(VecSource::new(recs(600)))
+            .unwrap();
+        let stats = result.overload.unwrap();
+        assert_eq!(stats.kept + stats.shed, stats.seen);
+        assert_eq!(result.meter.records(), stats.kept as usize);
+        assert!(stats.kept > 0 && stats.shed > 0);
+    }
+
+    /// Underload never sheds: with capacity above the arrival rate the
+    /// approximate path degenerates to the exact one, record for record.
+    #[test]
+    fn overload_mode_with_headroom_keeps_everything() {
+        let algo = NaiveClustering::new(1.5);
+        let ctx = StreamingContext::new(2, ExecutionMode::Simulated).unwrap();
+        let exact = run_with(2, PipelineOptions::sync());
+        // Window adaptation off: with fixed windows and zero shedding the
+        // batch divisions — and hence the model — match the exact run.
+        let opts = OverloadOptions {
+            adapt_window: false,
+            ..overload_opts(5, 100_000)
+        };
+        let sampled = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default())
+            .init_records(8)
+            .pipeline(PipelineOptions::sync().with_overload(opts))
+            .run_to_end(VecSource::new(recs(300)))
+            .unwrap();
+        let stats = sampled.overload.unwrap();
+        assert_eq!(stats.shed, 0, "no overload, no shedding");
+        assert_eq!(stats.error_bound, 0.0);
+        assert_eq!(sampled.meter.records(), exact.meter.records());
+        assert_eq!(sampled.model, exact.model, "keep-all path matches exact");
     }
 }

@@ -159,8 +159,9 @@ impl FaultState {
 
 /// splitmix64 — a tiny, stateless mixer; deterministic by construction and
 /// deliberately not an `rand` RNG (the wallclock-entropy lint bans RNG
-/// construction outside the driver for good reason).
-fn splitmix64(x: u64) -> u64 {
+/// construction outside the driver for good reason). Shared with the
+/// stratified sampler, whose keep/shed decisions hash through it.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+mod backpressure;
 mod batcher;
 mod broadcast;
 mod codec;
@@ -60,9 +61,11 @@ mod partition;
 mod pool;
 mod prefetch;
 mod reorder;
+mod sampler;
 mod sizeof;
 mod source;
 
+pub use backpressure::LoadShedPolicy;
 pub use batcher::{MiniBatch, MiniBatcher};
 pub use broadcast::Broadcast;
 pub use codec::{decode, encode, encode_into};
@@ -82,5 +85,6 @@ pub use pool::{
 };
 pub use prefetch::{prefetch_batches, PrefetchedBatches, PREFETCH_DEPTH};
 pub use reorder::ReorderBuffer;
+pub use sampler::{error_bound, SamplerControl, StratifiedSampler, RATE_ONE_PPM};
 pub use sizeof::serialized_size;
 pub use source::{RateStampedSource, RecordSource, RepeatSource, VecSource};

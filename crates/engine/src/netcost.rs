@@ -142,8 +142,16 @@ impl SimCostModel {
     }
 
     /// Converts measured serial task times into effective per-task times
-    /// (straggler inflation + per-task overhead) and the step's makespan
+    /// (per-task overhead, then straggler inflation) and the step's makespan
     /// over `slots` executor slots.
+    ///
+    /// Overhead is added *before* inflation: OS/JVM noise slows a task's
+    /// whole slot occupancy — scheduling and serialization included — so a
+    /// straggler's slowdown factor survives relative to the step mean even
+    /// when the measured compute is tiny next to the fixed overhead. (The
+    /// old order scaled only the measured component, which on fast hosts
+    /// vanished under the 4 ms overhead and made straggler attribution a
+    /// function of host speed.)
     ///
     /// Tasks are assigned greedily in submission order to the least-loaded
     /// slot — the dynamic scheduling a Spark executor pool performs. The
@@ -156,11 +164,11 @@ impl SimCostModel {
     ) -> (Vec<f64>, f64) {
         assert!(slots > 0, "slot count must be at least 1");
         let mut effective = measured_task_secs.to_vec();
-        if let Some(model) = &self.straggler {
-            model.inflate(&mut effective, slots, rng);
-        }
         for t in &mut effective {
             *t += self.per_task_overhead_secs * self.workload_scale;
+        }
+        if let Some(model) = &self.straggler {
+            model.inflate(&mut effective, slots, rng);
         }
         let mut slot_load = vec![0.0_f64; slots];
         for &t in &effective {
@@ -372,6 +380,21 @@ mod tests {
         let (eff, makespan) = model.step_wall_secs(&[1.0, 1.0], 2, &mut rng);
         assert_eq!(eff, vec![1.5, 1.5]);
         assert_eq!(makespan, 1.5);
+    }
+
+    #[test]
+    fn straggler_detection_survives_fast_hosts() {
+        // Fast-host limit: measured compute is negligible next to the fixed
+        // per-task overhead. Inflation must still spread the effective times
+        // enough for relative straggler detection (> 1.2 × step mean), or
+        // attribution becomes a function of host speed.
+        let model = ClusterTopology::straggler_heavy(32).cost_model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let measured = vec![1e-6_f64; 64];
+        let (eff, _) = model.step_wall_secs(&measured, 8, &mut rng);
+        let mean = eff.iter().sum::<f64>() / eff.len() as f64;
+        let detected = eff.iter().filter(|&&t| t > 1.2 * mean).count();
+        assert!(detected > 0, "no straggler detectable: mean={mean}");
     }
 
     #[test]

@@ -174,6 +174,14 @@ impl<S: RecordSource> ReorderBuffer<S> {
                     }
                     self.watermark = self.watermark.max(r.timestamp);
                     self.heap.push(Reverse((r.timestamp, r.id, HeapRecord(r))));
+                    if telemetry::enabled() {
+                        // Depth on *push* too: between releases a stalled
+                        // buffer grows here, and that growth is exactly the
+                        // overload signal backpressure watches. Setting it
+                        // only at release (the pre-fix behavior) hid the
+                        // backlog until the next release.
+                        self.telemetry.depth.set(self.heap.len() as f64);
+                    }
                 }
                 None => self.inner_exhausted = true,
             }
@@ -241,6 +249,12 @@ impl<S: RecordSource> RecordSource for ReorderBuffer<S> {
             None if self.inner_exhausted => Some(self.heap.len()),
             None => None,
         }
+    }
+
+    /// The reorder backlog: records buffered awaiting the watermark, plus
+    /// whatever the inner source is itself holding back.
+    fn backlog_hint(&self) -> usize {
+        self.heap.len() + self.inner.backlog_hint()
     }
 }
 

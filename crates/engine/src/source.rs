@@ -32,6 +32,17 @@ pub trait RecordSource {
     fn len_hint(&self) -> Option<usize> {
         None
     }
+
+    /// Records currently held back inside the source awaiting release —
+    /// the reorder backlog for a [`ReorderBuffer`], zero for sources that
+    /// never buffer. The backpressure policy reads this directly (telemetry
+    /// gauges are observation-only and must never feed back into the
+    /// computation).
+    ///
+    /// [`ReorderBuffer`]: crate::ReorderBuffer
+    fn backlog_hint(&self) -> usize {
+        0
+    }
 }
 
 impl<S: RecordSource + ?Sized> RecordSource for &mut S {
@@ -41,6 +52,10 @@ impl<S: RecordSource + ?Sized> RecordSource for &mut S {
 
     fn len_hint(&self) -> Option<usize> {
         (**self).len_hint()
+    }
+
+    fn backlog_hint(&self) -> usize {
+        (**self).backlog_hint()
     }
 }
 

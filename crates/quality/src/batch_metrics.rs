@@ -85,10 +85,52 @@ pub fn ssq(records: &[Record], assignment: &[Option<usize>], centroids: &[Point]
         .sum()
 }
 
+/// A quality score together with how many records actually contributed to
+/// it. Scores over an empty assignment degenerate to a *vacuous* 1.0 — a
+/// batch where every record was shed or missed reports "perfect" quality
+/// unless the caller checks coverage. Overload reporting uses
+/// [`CoverageScore::is_vacuous`] to separate measured batches from vacuous
+/// ones instead of averaging the fake 1.0s in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageScore {
+    /// The metric value in `[0, 1]` (1.0 when vacuous).
+    pub score: f64,
+    /// Records that contributed to the score (clustered records for purity,
+    /// labeled records for F-measure).
+    pub clustered: usize,
+    /// Records that were offered to the metric.
+    pub total: usize,
+}
+
+impl CoverageScore {
+    /// True when no record contributed — the score is the degenerate 1.0
+    /// and says nothing about clustering quality.
+    pub fn is_vacuous(&self) -> bool {
+        self.clustered == 0
+    }
+
+    /// Fraction of offered records that contributed, 0.0 when none were
+    /// offered.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.clustered as f64 / self.total as f64
+        }
+    }
+}
+
 /// Cluster purity: the fraction of clustered records whose class is their
 /// cluster's majority class. In `[0, 1]`, higher is better; 1.0 when every
-/// cluster is single-class. Returns 1.0 when nothing is clustered.
+/// cluster is single-class. Returns 1.0 when nothing is clustered — use
+/// [`purity_with_coverage`] to tell that vacuous case apart.
 pub fn purity(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    purity_with_coverage(records, assignment).score
+}
+
+/// [`purity`] plus clustered-record coverage, so callers can detect the
+/// vacuous all-unclustered case instead of treating it as perfect quality.
+pub fn purity_with_coverage(records: &[Record], assignment: &[Option<usize>]) -> CoverageScore {
     let mut per_cluster: BTreeMap<usize, BTreeMap<Option<ClassId>, usize>> = BTreeMap::new();
     let mut total = 0usize;
     for (r, a) in records.iter().zip(assignment.iter()) {
@@ -102,26 +144,45 @@ pub fn purity(records: &[Record], assignment: &[Option<usize>]) -> f64 {
         }
     }
     if total == 0 {
-        return 1.0;
+        return CoverageScore {
+            score: 1.0,
+            clustered: 0,
+            total: records.len(),
+        };
     }
     let majority_sum: usize = per_cluster
         .values()
         .map(|classes| classes.values().copied().max().unwrap_or(0))
         .sum();
-    majority_sum as f64 / total as f64
+    CoverageScore {
+        score: majority_sum as f64 / total as f64,
+        clustered: total,
+        total: records.len(),
+    }
 }
 
 /// Macro-averaged F-measure: for every ground-truth class, the best F1
-/// score over all clusters, averaged across classes. In `[0, 1]`.
+/// score over all clusters, averaged across classes. In `[0, 1]`. Returns
+/// 1.0 when no record is labeled — use [`f_measure_with_coverage`] to tell
+/// that vacuous case apart.
 pub fn f_measure(records: &[Record], assignment: &[Option<usize>]) -> f64 {
+    f_measure_with_coverage(records, assignment).score
+}
+
+/// [`f_measure`] plus clustered-record coverage: `clustered` counts labeled
+/// records that were assigned to some cluster, so an all-shed batch (no
+/// assignments at all) is reported as vacuous rather than perfect.
+pub fn f_measure_with_coverage(records: &[Record], assignment: &[Option<usize>]) -> CoverageScore {
     let mut class_total: BTreeMap<ClassId, usize> = BTreeMap::new();
     let mut cluster_total: BTreeMap<usize, usize> = BTreeMap::new();
     let mut joint: BTreeMap<(ClassId, usize), usize> = BTreeMap::new();
+    let mut clustered = 0usize;
     for (r, a) in records.iter().zip(assignment.iter()) {
         if let Some(label) = r.label {
             *class_total.entry(label).or_insert(0) += 1;
             if let Some(c) = a {
                 *joint.entry((label, *c)).or_insert(0) += 1;
+                clustered += 1;
             }
         }
         if let Some(c) = a {
@@ -129,7 +190,11 @@ pub fn f_measure(records: &[Record], assignment: &[Option<usize>]) -> f64 {
         }
     }
     if class_total.is_empty() {
-        return 1.0;
+        return CoverageScore {
+            score: 1.0,
+            clustered: 0,
+            total: records.len(),
+        };
     }
     let mut sum = 0.0;
     for (&class, &n_class) in &class_total {
@@ -145,7 +210,11 @@ pub fn f_measure(records: &[Record], assignment: &[Option<usize>]) -> f64 {
         }
         sum += best;
     }
-    sum / class_total.len() as f64
+    CoverageScore {
+        score: sum / class_total.len() as f64,
+        clustered,
+        total: records.len(),
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +291,52 @@ mod tests {
         assignment[0] = None;
         let f = f_measure(&records, &assignment);
         assert!(f < 1.0);
+    }
+
+    #[test]
+    fn all_shed_batch_is_reported_vacuous_not_perfect() {
+        // Regression: with every record shed (no assignments), the plain
+        // scores still degenerate to their historical values, but the
+        // coverage-aware variants expose that nothing was measured — the
+        // overload report must not average these 1.0s into quality curves.
+        let (records, _) = setup();
+        let none = vec![None; records.len()];
+        let p = purity_with_coverage(&records, &none);
+        assert_eq!(p.score, 1.0);
+        assert_eq!(p.clustered, 0);
+        assert_eq!(p.total, 4);
+        assert!(p.is_vacuous());
+        assert_eq!(p.coverage(), 0.0);
+
+        let unlabeled: Vec<Record> = (0..3)
+            .map(|i| {
+                Record::new(
+                    i,
+                    Point::from(vec![i as f64]),
+                    Timestamp::from_secs(i as f64),
+                )
+            })
+            .collect();
+        let f = f_measure_with_coverage(&unlabeled, &[Some(0), Some(0), None]);
+        assert_eq!(f.score, 1.0);
+        assert!(f.is_vacuous());
+
+        // A genuinely measured batch is not vacuous and keeps its score.
+        let (records, assignment) = setup();
+        let p = purity_with_coverage(&records, &assignment);
+        assert!(!p.is_vacuous());
+        assert_eq!(p.score, 1.0);
+        assert_eq!(p.clustered, 4);
+        assert_eq!(p.coverage(), 1.0);
+        let f = f_measure_with_coverage(&records, &assignment);
+        assert!(!f.is_vacuous());
+        assert_eq!(f.clustered, 4);
+
+        // Partial coverage is reported as such.
+        let partial = vec![Some(0), None, Some(1), None];
+        let p = purity_with_coverage(&records, &partial);
+        assert_eq!(p.clustered, 2);
+        assert_eq!(p.coverage(), 0.5);
+        assert!(!p.is_vacuous());
     }
 }

@@ -32,6 +32,9 @@ mod batch_metrics;
 mod cmm;
 mod external;
 
-pub use batch_metrics::{f_measure, nearest_assignment, nearest_assignment_bounded, purity, ssq};
+pub use batch_metrics::{
+    f_measure, f_measure_with_coverage, nearest_assignment, nearest_assignment_bounded, purity,
+    purity_with_coverage, ssq, CoverageScore,
+};
 pub use cmm::{cmm, CmmBreakdown, CmmParams};
 pub use external::{adjusted_rand_index, pairwise_f1};

@@ -212,9 +212,13 @@ impl Histogram {
 /// The target rank `q·count` is located in the first bucket whose
 /// cumulative count reaches it, then interpolated between the bucket's
 /// edges (the first finite bucket interpolates up from 0, matching this
-/// workspace's all-positive bounds). A rank landing in the `+Inf` bucket
-/// clamps to the largest finite bound — the histogram cannot resolve
-/// beyond it. Returns 0.0 for an empty histogram.
+/// workspace's all-positive bounds). A rank already met by the buckets
+/// *below* the located one — `q = 0`, or a rank landing exactly on a
+/// bucket boundary under an empty bucket — resolves to the bucket's lower
+/// edge, since no observation inside the bucket is needed to reach it. A
+/// rank landing in the `+Inf` bucket clamps to the largest finite bound —
+/// the histogram cannot resolve beyond it. Returns 0.0 for an empty
+/// histogram.
 pub fn interpolate_quantile(cumulative: &[(f64, u64)], q: f64) -> f64 {
     let total = match cumulative.last() {
         Some(&(_, total)) if total > 0 => total as f64,
@@ -225,15 +229,20 @@ pub fn interpolate_quantile(cumulative: &[(f64, u64)], q: f64) -> f64 {
     let mut below = 0u64;
     for &(bound, running) in cumulative {
         if (running as f64) >= rank {
+            if rank <= below as f64 {
+                // The rank is on this bucket's lower boundary: everything
+                // below already covers it, so the estimate is the lower
+                // edge — not the upper bound, which the pre-fix code
+                // returned for q = 0 landing in an empty leading bucket.
+                return lower_edge;
+            }
             if bound.is_infinite() {
                 // Cannot interpolate to infinity; saturate at the last
                 // finite edge.
                 return lower_edge;
             }
+            // `running >= rank > below`, so this bucket is non-empty.
             let in_bucket = (running - below) as f64;
-            if in_bucket == 0.0 {
-                return bound;
-            }
             return lower_edge + (bound - lower_edge) * (rank - below as f64) / in_bucket;
         }
         lower_edge = if bound.is_finite() { bound } else { lower_edge };
@@ -658,6 +667,27 @@ mod tests {
             interpolate_quantile(&[(1.0, 0), (f64::INFINITY, 0)], 0.5),
             0.0
         );
+    }
+
+    #[test]
+    fn rank_on_boundary_resolves_to_the_lower_edge() {
+        // Regression: all observations beyond the first bucket. q = 0 has
+        // rank 0, which the empty leading (0,1] bucket "reaches" with a
+        // cumulative count of 0 — the pre-fix code divided by the bucket's
+        // zero width share and returned the bucket's *upper* bound (1.0),
+        // overstating p0 by the full bucket width.
+        let leading_empty = vec![(1.0, 0), (2.0, 5), (f64::INFINITY, 5)];
+        assert_eq!(interpolate_quantile(&leading_empty, 0.0), 0.0);
+        // Rank landing exactly on an interior bucket boundary that is also
+        // the lower edge of an empty bucket: interpolation resolves inside
+        // the populated (1,2] bucket to exactly 2.0 and never consults the
+        // empty (2,4] bucket.
+        let interior_empty = vec![(1.0, 1), (2.0, 4), (4.0, 4), (8.0, 8), (f64::INFINITY, 8)];
+        assert_eq!(interpolate_quantile(&interior_empty, 0.5), 2.0);
+        // q = 0 with a non-empty leading bucket is unchanged: still the
+        // histogram's lower edge.
+        let populated = vec![(1.0, 2), (f64::INFINITY, 2)];
+        assert_eq!(interpolate_quantile(&populated, 0.0), 0.0);
     }
 
     #[test]

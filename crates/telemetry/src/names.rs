@@ -67,12 +67,16 @@ pub const POINT_RECORD_LATENCY: &str = "record_latency";
 /// One parallel task's effective duration (fields `step`, `index`, `secs`),
 /// the raw material for what-if scaling replay in `trace-analyze`.
 pub const POINT_TASK_DURATION: &str = "task_duration";
+/// Per-batch overload-control summary (seen/kept/shed counts, keep-rate,
+/// error bound, backlog, virtual latency) emitted when sampling is active.
+pub const POINT_OVERLOAD_SUMMARY: &str = "overload_summary";
 
 /// Every point-event name.
 pub const ALL_POINTS: &[&str] = &[
     POINT_BATCH_SUMMARY,
     POINT_RECORD_LATENCY,
     POINT_TASK_DURATION,
+    POINT_OVERLOAD_SUMMARY,
 ];
 
 // --- Metric base names (registry counters/gauges/histograms) ---
@@ -141,6 +145,21 @@ pub const METRIC_REBALANCE_MOVED_KEYS_TOTAL: &str = "diststream_rebalance_moved_
 pub const METRIC_REBALANCE_REPLAYED_BYTES_TOTAL: &str = "diststream_rebalance_replayed_bytes_total";
 /// Counter: elastic rebalances rolled back after a mid-resize failure.
 pub const METRIC_REBALANCE_ROLLBACKS_TOTAL: &str = "diststream_rebalance_rollbacks_total";
+/// Counter: records offered to the stratified sampler.
+pub const METRIC_SAMPLER_SEEN_TOTAL: &str = "diststream_sampler_seen_total";
+/// Counter: records kept by the stratified sampler.
+pub const METRIC_SAMPLER_KEPT_TOTAL: &str = "diststream_sampler_kept_total";
+/// Counter: records shed by the stratified sampler.
+pub const METRIC_SAMPLER_SHED_TOTAL: &str = "diststream_sampler_shed_total";
+/// Gauge: current global sampler keep-rate, parts-per-million.
+pub const METRIC_SAMPLER_RATE_PPM: &str = "diststream_sampler_rate_ppm";
+/// Gauge: worst-case 95% Horvitz-Thompson error bound of the kept sample.
+pub const METRIC_SAMPLER_ERROR_BOUND: &str = "diststream_sampler_error_bound";
+/// Gauge: backpressure-modeled backlog, records queued beyond capacity.
+pub const METRIC_BACKPRESSURE_BACKLOG_RECORDS: &str = "diststream_backpressure_backlog_records";
+/// Gauge: virtual latency of the next record under the service model.
+pub const METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS: &str =
+    "diststream_backpressure_virtual_latency_secs";
 
 /// Every metric base name.
 pub const ALL_METRICS: &[&str] = &[
@@ -175,6 +194,13 @@ pub const ALL_METRICS: &[&str] = &[
     METRIC_REBALANCE_MOVED_KEYS_TOTAL,
     METRIC_REBALANCE_REPLAYED_BYTES_TOTAL,
     METRIC_REBALANCE_ROLLBACKS_TOTAL,
+    METRIC_SAMPLER_SEEN_TOTAL,
+    METRIC_SAMPLER_KEPT_TOTAL,
+    METRIC_SAMPLER_SHED_TOTAL,
+    METRIC_SAMPLER_RATE_PPM,
+    METRIC_SAMPLER_ERROR_BOUND,
+    METRIC_BACKPRESSURE_BACKLOG_RECORDS,
+    METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS,
 ];
 
 /// Prometheus `# HELP` text per metric base name. The doc comments above are
@@ -290,6 +316,34 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
     (
         METRIC_REBALANCE_ROLLBACKS_TOTAL,
         "Elastic rebalances rolled back after a mid-resize failure",
+    ),
+    (
+        METRIC_SAMPLER_SEEN_TOTAL,
+        "Records offered to the stratified sampler",
+    ),
+    (
+        METRIC_SAMPLER_KEPT_TOTAL,
+        "Records kept by the stratified sampler",
+    ),
+    (
+        METRIC_SAMPLER_SHED_TOTAL,
+        "Records shed by the stratified sampler",
+    ),
+    (
+        METRIC_SAMPLER_RATE_PPM,
+        "Current global sampler keep-rate in parts-per-million",
+    ),
+    (
+        METRIC_SAMPLER_ERROR_BOUND,
+        "Worst-case 95% Horvitz-Thompson error bound of the kept sample",
+    ),
+    (
+        METRIC_BACKPRESSURE_BACKLOG_RECORDS,
+        "Backpressure-modeled backlog in records queued beyond capacity",
+    ),
+    (
+        METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS,
+        "Virtual latency of the next record under the service model",
     ),
 ];
 

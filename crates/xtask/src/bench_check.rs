@@ -64,16 +64,83 @@ pub const OVERLAP_WIN_ALGO: &str = "clustream";
 /// parser rather than depending on the bench crate it is gating).
 /// v3 adds `overhead_secs` and the event-time latency percentile columns.
 /// v4 adds the per-entry `strategy` column and the `shuffle_skew` section.
-const SUPPORTED_SCHEMA: f64 = 4.0;
+/// v5 adds the `overload` section (shed fraction, error bound, achieved vs
+/// target latency, quality delta, p=1/p=4 model digests).
+const SUPPORTED_SCHEMA: f64 = 5.0;
 
-/// The previous schema version, still accepted read-only: a v3 file has no
-/// `strategy` column and no `shuffle_skew` section, so the strategy gates
+/// Previous schema versions, still accepted read-only. A v4 file predates
+/// the `overload` section; a v3 file additionally lacks the `strategy`
+/// column and the `shuffle_skew` section. Gates whose columns are missing
 /// are *explicitly skipped with a printed note* — never silently defaulted.
-const LEGACY_SCHEMA: f64 = 3.0;
+const LEGACY_SCHEMA_V4: f64 = 4.0;
+
+/// See [`LEGACY_SCHEMA_V4`].
+const LEGACY_SCHEMA_V3: f64 = 3.0;
 
 /// Required round-robin/key-range charged-shuffle-byte ratio (mirrors
 /// `diststream_bench::SHUFFLE_SKEW_FACTOR`).
 pub const SHUFFLE_SKEW_FACTOR: f64 = 1.2;
+
+/// The overload section of a schema-5 baseline: everything in it is
+/// virtual-time deterministic, so its gates are absolute (within-file),
+/// never calibration-normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadGate {
+    /// Latency bar the approximate path must stay under.
+    pub target_latency_secs: f64,
+    /// Peak modeled latency of the exact (shed-nothing) run.
+    pub exact_latency_secs: f64,
+    /// Peak modeled latency of the sampled run.
+    pub approx_latency_secs: f64,
+    /// Fraction of arrivals the sampler shed.
+    pub shed_fraction: f64,
+    /// Horvitz–Thompson error bound of the final sample.
+    pub error_bound: f64,
+    /// Purity lost to sampling; must be covered by the bound.
+    pub purity_delta: f64,
+    /// Hex model digest of the sampled run at p = 1.
+    pub model_digest_p1: String,
+    /// Hex model digest at p = 4 — must equal the p = 1 digest.
+    pub model_digest_p4: String,
+}
+
+/// Every way an overload section can fail its gates. Empty means pass. The
+/// measurements are deterministic, so a failure on a committed file is a
+/// stale bless and a failure on a fresh file is a real regression — there
+/// is nothing to retry.
+pub fn overload_failures(gate: &OverloadGate) -> Vec<String> {
+    let mut failures = Vec::new();
+    if gate.approx_latency_secs > gate.target_latency_secs {
+        failures.push(format!(
+            "overload: approximate path ran at {:.3}s modeled latency, above the {:.3}s target",
+            gate.approx_latency_secs, gate.target_latency_secs
+        ));
+    }
+    if gate.exact_latency_secs <= gate.target_latency_secs {
+        failures.push(format!(
+            "overload: exact path held {:.3}s latency under the {:.3}s target — the scenario \
+             is not overloaded, so the approximate win is vacuous",
+            gate.exact_latency_secs, gate.target_latency_secs
+        ));
+    }
+    if gate.shed_fraction <= 0.0 {
+        failures.push("overload: nothing was shed — the sampler never engaged".to_string());
+    }
+    if gate.purity_delta > gate.error_bound {
+        failures.push(format!(
+            "overload: measured purity delta {:.4} exceeds the reported error bound {:.4}",
+            gate.purity_delta, gate.error_bound
+        ));
+    }
+    if gate.model_digest_p1 != gate.model_digest_p4 {
+        failures.push(format!(
+            "overload: p=1 model digest {} != p=4 digest {} — the sampled run lost its \
+             bit-identical replay guarantee",
+            gate.model_digest_p1, gate.model_digest_p4
+        ));
+    }
+    failures
+}
 
 /// A throughput cell key: `(algorithm, pipeline, parallelism)`.
 pub type CellKey = (String, String, u64);
@@ -96,6 +163,8 @@ pub struct Baseline {
     /// `(roundrobin_bytes, keyrange_bytes)` from the `shuffle_skew`
     /// section, `None` on a legacy (v3) file.
     pub shuffle_skew: Option<(f64, f64)>,
+    /// The `overload` section, `None` on a legacy (v3/v4) file.
+    pub overload: Option<OverloadGate>,
     /// Machine-speed score recorded alongside the measurements.
     pub calibration: f64,
     /// `(algo, pipeline, parallelism) -> records_per_sec`.
@@ -113,16 +182,25 @@ impl Baseline {
         (keyrange > 0.0).then(|| roundrobin / keyrange)
     }
 
-    /// The printed skip-note for a legacy file: strategy-dependent gates
-    /// cannot run without the v4 columns, and the skip must be visible.
+    /// The printed skip-note for a legacy file: gates whose columns are
+    /// missing cannot run, and the skip must be visible — never silent.
     pub fn legacy_note(&self) -> Option<String> {
-        (self.schema == LEGACY_SCHEMA).then(|| {
-            format!(
-                "schema {LEGACY_SCHEMA} baseline predates the `strategy` column and the \
-                 `shuffle_skew` section — skipping the key-range shuffle gate \
-                 (re-bless to schema {SUPPORTED_SCHEMA} to enable it)"
-            )
-        })
+        if self.schema == LEGACY_SCHEMA_V3 {
+            Some(format!(
+                "schema {LEGACY_SCHEMA_V3} baseline predates the `strategy` column, the \
+                 `shuffle_skew` section, and the `overload` section — skipping the key-range \
+                 shuffle gate and the overload gates (re-bless to schema {SUPPORTED_SCHEMA} \
+                 to enable them)"
+            ))
+        } else if self.schema == LEGACY_SCHEMA_V4 {
+            Some(format!(
+                "schema {LEGACY_SCHEMA_V4} baseline predates the `overload` section — \
+                 skipping the overload gates (re-bless to schema {SUPPORTED_SCHEMA} to \
+                 enable them)"
+            ))
+        } else {
+            None
+        }
     }
 }
 
@@ -141,10 +219,11 @@ pub struct Comparison {
 pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     let doc = json::parse(contents)?;
     let schema = match doc.get("schema").and_then(Json::as_num) {
-        Some(v) if v == SUPPORTED_SCHEMA || v == LEGACY_SCHEMA => v,
+        Some(v) if v == SUPPORTED_SCHEMA || v == LEGACY_SCHEMA_V4 || v == LEGACY_SCHEMA_V3 => v,
         Some(v) => {
             return Err(format!(
-                "unsupported schema {v} (expected {SUPPORTED_SCHEMA}, or legacy {LEGACY_SCHEMA})"
+                "unsupported schema {v} (expected {SUPPORTED_SCHEMA}, or legacy \
+                 {LEGACY_SCHEMA_V4}/{LEGACY_SCHEMA_V3})"
             ))
         }
         None => return Err("missing numeric `schema`".to_string()),
@@ -162,12 +241,12 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     if calibration.is_nan() || calibration <= 0.0 {
         return Err(format!("calibration_score {calibration} must be positive"));
     }
-    // v4 files must carry the shuffle_skew section and a strategy column on
+    // v4+ files must carry the shuffle_skew section and a strategy column on
     // every entry; v3 files carry neither (the gate is skipped with a note).
-    let shuffle_skew = if schema == SUPPORTED_SCHEMA {
+    let shuffle_skew = if schema >= LEGACY_SCHEMA_V4 {
         let section = doc
             .get("shuffle_skew")
-            .ok_or("schema 4 requires a `shuffle_skew` section")?;
+            .ok_or("schema 4+ requires a `shuffle_skew` section")?;
         let field = |name: &str| {
             section
                 .get(name)
@@ -186,6 +265,38 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     } else {
         None
     };
+    // v5 files must carry the overload section (a v4/v3 file skips its
+    // gates with a note).
+    let overload = if schema == SUPPORTED_SCHEMA {
+        let section = doc
+            .get("overload")
+            .ok_or("schema 5 requires an `overload` section")?;
+        let num = |name: &str| {
+            section
+                .get(name)
+                .and_then(Json::as_num)
+                .ok_or(format!("overload: missing numeric `{name}`"))
+        };
+        let digest = |name: &str| {
+            section
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("overload: missing string `{name}`"))
+        };
+        Some(OverloadGate {
+            target_latency_secs: num("target_latency_secs")?,
+            exact_latency_secs: num("exact_latency_secs")?,
+            approx_latency_secs: num("approx_latency_secs")?,
+            shed_fraction: num("shed_fraction")?,
+            error_bound: num("error_bound")?,
+            purity_delta: num("purity_delta")?,
+            model_digest_p1: digest("model_digest_p1")?,
+            model_digest_p4: digest("model_digest_p4")?,
+        })
+    } else {
+        None
+    };
     let entries = doc
         .get("entries")
         .and_then(Json::as_array)
@@ -194,9 +305,9 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     let mut phases = BTreeMap::new();
     let mut strategy: Option<String> = None;
     for (i, entry) in entries.iter().enumerate() {
-        if schema == SUPPORTED_SCHEMA {
+        if schema >= LEGACY_SCHEMA_V4 {
             let label = entry.get("strategy").and_then(Json::as_str).ok_or(format!(
-                "entry {i}: missing string `strategy` (required by schema 4)"
+                "entry {i}: missing string `strategy` (required by schema 4+)"
             ))?;
             match &strategy {
                 None => strategy = Some(label.to_string()),
@@ -251,6 +362,7 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
         schema,
         strategy,
         shuffle_skew,
+        overload,
         calibration,
         cells,
         phases,
@@ -448,16 +560,19 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
             committed.mode
         ));
     }
-    // Strategy gates need the v4 columns. On a legacy file the skip is
-    // printed, never silent; on a v4 file the blessed skew must meet the
-    // bar — byte accounting is deterministic, so failing here is a hard
-    // error (stale bless), not a flaky measurement.
-    match committed.legacy_note() {
-        Some(note) => println!(
+    // Gates whose columns a legacy file lacks are skipped with a printed
+    // note, never silently. Where the columns exist, the blessed values
+    // must meet the bar — skew bytes and the overload section are both
+    // deterministic, so failing here is a hard error (stale bless), not a
+    // flaky measurement.
+    if let Some(note) = committed.legacy_note() {
+        println!(
             "xtask bench-check: note: {}: {note}",
             committed_file.display()
-        ),
-        None => match committed.shuffle_skew_ratio() {
+        );
+    }
+    if committed.shuffle_skew.is_some() {
+        match committed.shuffle_skew_ratio() {
             Some(ratio) if ratio < SHUFFLE_SKEW_FACTOR => {
                 return Err(format!(
                     "{}: committed roundrobin/keyrange shuffle-byte ratio is {ratio:.2}x, \
@@ -469,11 +584,22 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
             Some(_) => {}
             None => {
                 return Err(format!(
-                    "{}: schema 4 `shuffle_skew` section has a zero keyrange byte count",
+                    "{}: `shuffle_skew` section has a zero keyrange byte count",
                     committed_file.display()
                 ))
             }
-        },
+        }
+    }
+    if let Some(gate) = &committed.overload {
+        let failures = overload_failures(gate);
+        if !failures.is_empty() {
+            return Err(format!(
+                "{}: committed overload section fails its gates — re-bless from a run that \
+                 meets the bar:\n  {}",
+                committed_file.display(),
+                failures.join("\n  ")
+            ));
+        }
     }
     // A blessed baseline must itself demonstrate the overlap win; failing
     // here is a hard error, not a flaky measurement.
@@ -501,6 +627,7 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
     let mut best_phases: BTreeMap<CellKey, PhaseSecs> = BTreeMap::new();
     let mut comparison = Comparison::default();
     let mut fresh_skew = None;
+    let mut fresh_overload: Option<OverloadGate> = None;
     for attempt in 1..=MAX_ATTEMPTS {
         let fresh = measure_fresh(root, quick, &fresh_file)?;
         if fresh.mode != expected_mode {
@@ -524,20 +651,31 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
         fresh_skew = fresh.shuffle_skew_ratio();
         comparison = compare(&committed, &best, &best_phases);
         // Fresh shuffle skew: deterministic, but checked per attempt so a
-        // regression shows up alongside the throughput failures.
-        match (committed.legacy_note(), fresh.shuffle_skew_ratio()) {
-            (Some(_), _) => {}
-            (None, Some(ratio)) if ratio < SHUFFLE_SKEW_FACTOR => {
+        // regression shows up alongside the throughput failures. Skipped
+        // (with the note above) when the committed file predates the gate.
+        match (committed.shuffle_skew.is_some(), fresh.shuffle_skew_ratio()) {
+            (false, _) => {}
+            (true, Some(ratio)) if ratio < SHUFFLE_SKEW_FACTOR => {
                 comparison.failures.push(format!(
                     "shuffle skew: fresh roundrobin/keyrange ratio is only {ratio:.2}x \
                  (gate requires {SHUFFLE_SKEW_FACTOR}x)"
                 ))
             }
-            (None, Some(_)) => {}
-            (None, None) => comparison
+            (true, Some(_)) => {}
+            (true, None) => comparison
                 .failures
                 .push("shuffle skew: section missing from the fresh measurement".to_string()),
         }
+        // Fresh overload gates: deterministic within-file checks, skipped
+        // only when the committed file predates the section.
+        match (&committed.overload, &fresh.overload) {
+            (None, _) => {}
+            (Some(_), Some(gate)) => comparison.failures.extend(overload_failures(gate)),
+            (Some(_), None) => comparison
+                .failures
+                .push("overload: section missing from the fresh measurement".to_string()),
+        }
+        fresh_overload = fresh.overload.clone();
         if comparison.failures.is_empty() {
             break;
         }
@@ -571,6 +709,20 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
         println!(
             "  shuffle skew: roundrobin/keyrange charged bytes = {ratio:.2}x \
              (required {SHUFFLE_SKEW_FACTOR}x)"
+        );
+    }
+    if let Some(gate) = &fresh_overload {
+        println!(
+            "  overload: shed {:.1}% — latency approx {:.2}s vs exact {:.2}s (target {:.2}s), \
+             purity delta {:.4} within bound {:.4}, digest p1 {} p4 {}",
+            100.0 * gate.shed_fraction,
+            gate.approx_latency_secs,
+            gate.exact_latency_secs,
+            gate.target_latency_secs,
+            gate.purity_delta,
+            gate.error_bound,
+            gate.model_digest_p1,
+            gate.model_digest_p4,
         );
     }
     for warning in &comparison.scaling_warnings {
@@ -649,12 +801,26 @@ pub fn parse_args(args: &[String]) -> Result<(bool, Option<PathBuf>), String> {
 mod tests {
     use super::*;
 
+    fn passing_gate() -> OverloadGate {
+        OverloadGate {
+            target_latency_secs: 1.0,
+            exact_latency_secs: 7.5,
+            approx_latency_secs: 0.45,
+            shed_fraction: 0.62,
+            error_bound: 0.021,
+            purity_delta: 0.01,
+            model_digest_p1: "00000000deadbeef".to_string(),
+            model_digest_p4: "00000000deadbeef".to_string(),
+        }
+    }
+
     fn baseline(mode: &str, calibration: f64, cells: &[(&str, &str, u64, f64)]) -> Baseline {
         Baseline {
             mode: mode.to_string(),
             schema: SUPPORTED_SCHEMA,
             strategy: Some("roundrobin".to_string()),
             shuffle_skew: Some((1_300_000.0, 1_000_000.0)),
+            overload: Some(passing_gate()),
             calibration,
             cells: cells
                 .iter()
@@ -684,7 +850,7 @@ mod tests {
     #[test]
     fn parses_real_baseline_json() {
         let contents = r#"{
-  "schema": 4,
+  "schema": 5,
   "mode": "default",
   "dataset": "KDD-99",
   "records": 12000,
@@ -692,6 +858,7 @@ mod tests {
   "batch_secs": 1,
   "calibration_score": 1500000000.5,
   "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4000000, "keyrange_bytes": 3000000},
+  "overload": {"batch_secs": 0.25, "capacity_per_batch": 70, "target_latency_secs": 1, "exact_latency_secs": 7.5, "approx_latency_secs": 0.45, "shed_fraction": 0.62, "error_bound": 0.021, "exact_purity": 0.97, "approx_purity": 0.96, "purity_delta": 0.01, "ssq_delta": 0.05, "measured_batches": 18, "vacuous_batches": 2, "model_digest_p1": "00000000deadbeef", "model_digest_p4": "00000000deadbeef"},
   "entries": [
     {"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4}
   ]
@@ -705,6 +872,10 @@ mod tests {
         let ratio = parsed.shuffle_skew_ratio().expect("skew ratio");
         assert!((ratio - 4.0 / 3.0).abs() < 1e-12);
         assert!(parsed.legacy_note().is_none());
+        let gate = parsed.overload.as_ref().expect("overload gate");
+        assert_eq!(gate.model_digest_p1, "00000000deadbeef");
+        assert_eq!(gate.purity_delta, 0.01);
+        assert!(overload_failures(gate).is_empty(), "{gate:?}");
         let key = ("clustream".to_string(), "sync".to_string(), 1);
         assert_eq!(parsed.cells.get(&key), Some(&106_935.4));
         assert_eq!(parsed.phases.get(&key), Some(&[0.168, 0.007, 0.16, 0.005]));
@@ -722,9 +893,81 @@ mod tests {
         assert_eq!(parsed.strategy, None);
         assert_eq!(parsed.shuffle_skew, None);
         assert_eq!(parsed.shuffle_skew_ratio(), None);
+        assert_eq!(parsed.overload, None);
         let note = parsed.legacy_note().expect("legacy note");
         assert!(note.contains("skipping"), "{note}");
         assert!(note.contains("shuffle_skew"), "{note}");
+        assert!(note.contains("overload"), "{note}");
+    }
+
+    #[test]
+    fn legacy_v4_keeps_skew_but_skips_overload_with_note() {
+        // A v4 file carries the strategy column and the skew section (their
+        // gates still run) but predates the overload section.
+        let contents = r#"{"schema": 4, "mode": "default", "calibration_score": 1,
+            "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 3},
+            "entries": [{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}]}"#;
+        let parsed = parse_baseline(contents).expect("v4 baseline parses");
+        assert_eq!(parsed.strategy.as_deref(), Some("roundrobin"));
+        assert!(parsed.shuffle_skew_ratio().is_some());
+        assert_eq!(parsed.overload, None);
+        let note = parsed.legacy_note().expect("legacy note");
+        assert!(note.contains("overload"), "{note}");
+        assert!(
+            !note.contains("shuffle"),
+            "v4 keeps the shuffle gate: {note}"
+        );
+    }
+
+    #[test]
+    fn schema_5_requires_overload_section_with_hex_digests() {
+        let skew =
+            r#""shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 3}"#;
+        let no_overload = format!(
+            r#"{{"schema": 5, "mode": "default", "calibration_score": 1, {skew},
+            "entries": [{{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}}]}}"#
+        );
+        assert!(parse_baseline(&no_overload)
+            .unwrap_err()
+            .contains("overload"));
+        // Digests must be strings — a numeric digest would lose precision
+        // in the f64-only parser, so it is rejected as missing.
+        let numeric_digest = format!(
+            r#"{{"schema": 5, "mode": "default", "calibration_score": 1, {skew},
+            "overload": {{"target_latency_secs": 1, "exact_latency_secs": 7,
+                          "approx_latency_secs": 0.4, "shed_fraction": 0.5,
+                          "error_bound": 0.02, "purity_delta": 0.01,
+                          "model_digest_p1": 123, "model_digest_p4": 123}},
+            "entries": [{{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}}]}}"#
+        );
+        assert!(parse_baseline(&numeric_digest)
+            .unwrap_err()
+            .contains("model_digest_p1"));
+    }
+
+    #[test]
+    fn overload_gates_catch_each_failure_mode() {
+        assert!(overload_failures(&passing_gate()).is_empty());
+        let fail = |mutate: fn(&mut OverloadGate), needle: &str| {
+            let mut gate = passing_gate();
+            mutate(&mut gate);
+            let failures = overload_failures(&gate);
+            assert!(
+                failures.iter().any(|f| f.contains(needle)),
+                "expected a failure mentioning `{needle}`, got {failures:?}"
+            );
+        };
+        fail(|g| g.approx_latency_secs = 2.0, "above the");
+        fail(|g| g.exact_latency_secs = 0.5, "not overloaded");
+        fail(|g| g.shed_fraction = 0.0, "never engaged");
+        fail(|g| g.purity_delta = 0.5, "exceeds the reported error bound");
+        fail(
+            |g| g.model_digest_p4 = "0badc0de0badc0de".to_string(),
+            "replay",
+        );
     }
 
     #[test]
