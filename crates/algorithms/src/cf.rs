@@ -10,7 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 use diststream_core::{Sketch, WeightedPoint};
-use diststream_types::{Point, Record, Timestamp};
+use diststream_types::{
+    lane_squared_distance, lane_squared_distance_bounded, lane_squared_norm, Point, Record,
+    Timestamp,
+};
 
 /// An additive, decayable clustering-feature vector.
 ///
@@ -134,9 +137,9 @@ impl CfVector {
     pub fn radius_with(&self, point: &Point) -> f64 {
         let w = self.weight + 1.0;
         let mut var_sum = 0.0;
-        for i in 0..point.dims() {
-            let s2 = self.cf2x[i] + point[i] * point[i];
-            let s1 = self.cf1x[i] + point[i];
+        for ((&s2x, &s1x), &x) in self.cf2x.iter().zip(self.cf1x.iter()).zip(point.iter()) {
+            let s2 = s2x + x * x;
+            let s1 = s1x + x;
             let mean = s1 / w;
             var_sum += (s2 / w - mean * mean).max(0.0);
         }
@@ -224,11 +227,15 @@ const SCREEN_DEFLATE: f64 = 1.0 - 1e-9;
 /// Euclidean norms cached, so a nearest-neighbour query runs over dense rows
 /// with (a) a triangle-inequality screen against the running best and (b)
 /// early exit of the per-row summation once the monotone partial sum can no
-/// longer win. Both cuts are *value-preserving*: the winning candidate's
-/// distance is always the full in-order summation, so the returned index and
-/// distance are bit-identical to the naive per-cluster loop the kernel
-/// replaces (property-tested in this module and relied on by the
-/// `debug_invariants` p=1-vs-p=4 replay gate).
+/// longer win. Row distances use the workspace's canonical lane-ordered
+/// reduction ([`diststream_types::lane_squared_distance`]): a fixed 4-wide
+/// accumulator loop LLVM autovectorizes, with the same lane assignment and
+/// combine order as [`Point::squared_distance`] itself. Both cuts are
+/// therefore *value-preserving*: the winning candidate's distance is always
+/// the full canonical reduction, so the returned index and distance are
+/// bit-identical to the naive per-cluster loop the kernel replaces
+/// (property-tested in this module and relied on by the `debug_invariants`
+/// p=1-vs-p=4 replay gate).
 ///
 /// # Examples
 ///
@@ -324,12 +331,11 @@ impl CentroidKernel {
             self.dims,
             "kernel rows must share one dimensionality"
         );
-        // Cached norm for the triangle-inequality screen. Accumulated in
-        // row order; only used as a conservative bound, never compared for
-        // equality, so its own rounding does not affect results.
-        let row = &self.centers[start..];
-        let norm = row.iter().map(|&v| v * v).sum::<f64>().sqrt();
-        self.norms.push(norm);
+        // Cached norm for the triangle-inequality screen. Only used as a
+        // conservative bound, never compared for equality, so its own
+        // rounding does not affect results.
+        let row = self.centers.split_at(start).1;
+        self.norms.push(lane_squared_norm(row).sqrt());
         self.ids.push(id);
     }
 
@@ -366,23 +372,25 @@ impl CentroidKernel {
         mut keep: impl FnMut(usize) -> bool,
     ) -> Option<(usize, f64)> {
         let query = query.as_slice();
-        let qnorm = slice_norm(query);
+        let qnorm = lane_squared_norm(query).sqrt();
         let mut best: Option<(usize, f64, f64)> = None; // (idx, dist, dist²)
-        for idx in 0..self.ids.len() {
+        for (idx, &rnorm) in self.norms.iter().enumerate() {
             if !keep(idx) {
                 continue;
             }
             match best {
                 None => {
-                    let d2 = self.row_squared_distance(idx, query);
+                    let d2 = lane_squared_distance(self.center(idx), query);
                     best = Some((idx, d2.sqrt(), d2));
                 }
                 Some((_, best_d, best_d2)) => {
-                    let gap = self.norms[idx] - qnorm;
+                    let gap = rnorm - qnorm;
                     if gap.abs() * SCREEN_DEFLATE >= best_d {
                         continue;
                     }
-                    if let Some(d2) = self.row_squared_distance_bounded(idx, query, best_d2) {
+                    if let Some(d2) =
+                        lane_squared_distance_bounded(self.center(idx), query, best_d2)
+                    {
                         let d = d2.sqrt();
                         // sqrt is monotone, so d ≤ best_d here; the strict
                         // comparison keeps the earliest row on sqrt-level
@@ -412,23 +420,25 @@ impl CentroidKernel {
         mut keep: impl FnMut(usize) -> bool,
     ) -> Option<(usize, f64)> {
         let query = query.as_slice();
-        let qnorm = slice_norm(query);
+        let qnorm = lane_squared_norm(query).sqrt();
         let mut best: Option<(usize, f64)> = None;
-        for idx in 0..self.ids.len() {
+        for (idx, &rnorm) in self.norms.iter().enumerate() {
             if !keep(idx) {
                 continue;
             }
             match best {
                 None => {
-                    let d2 = self.row_squared_distance(idx, query);
+                    let d2 = lane_squared_distance(self.center(idx), query);
                     best = Some((idx, d2));
                 }
                 Some((_, best_sq)) => {
-                    let gap = self.norms[idx] - qnorm;
+                    let gap = rnorm - qnorm;
                     if gap * gap * SCREEN_DEFLATE >= best_sq {
                         continue;
                     }
-                    if let Some(d2) = self.row_squared_distance_bounded(idx, query, best_sq) {
+                    if let Some(d2) =
+                        lane_squared_distance_bounded(self.center(idx), query, best_sq)
+                    {
                         best = Some((idx, d2));
                     }
                 }
@@ -447,20 +457,19 @@ impl CentroidKernel {
     ///
     /// Panics if `idx` is out of range.
     pub fn nearest_other_distance(&self, idx: usize) -> f64 {
-        let query_range = idx * self.dims..(idx + 1) * self.dims;
-        let qnorm = self.norms[idx];
+        let query = self.center(idx);
+        let qnorm = lane_squared_norm(query).sqrt();
         let mut best_d = f64::INFINITY;
         let mut best_d2 = f64::INFINITY;
-        for row in 0..self.ids.len() {
+        for (row, &rnorm) in self.norms.iter().enumerate() {
             if row == idx {
                 continue;
             }
-            let gap = self.norms[row] - qnorm;
+            let gap = rnorm - qnorm;
             if gap.abs() * SCREEN_DEFLATE >= best_d {
                 continue;
             }
-            let query = &self.centers[query_range.clone()];
-            if let Some(d2) = self.row_squared_distance_bounded(row, query, best_d2) {
+            if let Some(d2) = lane_squared_distance_bounded(self.center(row), query, best_d2) {
                 let d = d2.sqrt();
                 if d < best_d {
                     best_d = d;
@@ -470,42 +479,6 @@ impl CentroidKernel {
         }
         best_d
     }
-
-    /// Full in-order squared distance from row `idx` to `query` — the same
-    /// summation order as [`Point::squared_distance`].
-    fn row_squared_distance(&self, idx: usize, query: &[f64]) -> f64 {
-        let row = &self.centers[idx * self.dims..(idx + 1) * self.dims];
-        let mut acc = 0.0;
-        for (&c, &q) in row.iter().zip(query) {
-            let d = c - q;
-            acc += d * d;
-        }
-        acc
-    }
-
-    /// In-order squared distance with early exit: returns `None` as soon as
-    /// the running partial sum reaches `bound`. Partial sums of non-negative
-    /// terms are monotone in IEEE arithmetic, so `None` proves the full sum
-    /// would be ≥ `bound`; `Some(d2)` implies `d2 < bound` and carries the
-    /// bits of the full in-order summation.
-    fn row_squared_distance_bounded(&self, idx: usize, query: &[f64], bound: f64) -> Option<f64> {
-        let row = &self.centers[idx * self.dims..(idx + 1) * self.dims];
-        let mut acc = 0.0;
-        for (&c, &q) in row.iter().zip(query) {
-            let d = c - q;
-            acc += d * d;
-            if acc >= bound {
-                return None;
-            }
-        }
-        Some(acc)
-    }
-}
-
-/// Euclidean norm of a coordinate slice, computed exactly like the cached
-/// row norms (in-order sum of squares, then sqrt).
-fn slice_norm(coords: &[f64]) -> f64 {
-    coords.iter().map(|&v| v * v).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]

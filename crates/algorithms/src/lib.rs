@@ -46,6 +46,7 @@ mod clustree;
 mod denstream;
 mod dstream;
 pub mod offline;
+mod serving;
 mod streamkm;
 
 pub use cf::{CentroidKernel, CfVector};
@@ -54,4 +55,5 @@ pub use clustream::{CluStream, CluStreamModel, CluStreamParams};
 pub use clustree::{ClusTree, ClusTreeModel, ClusTreeParams};
 pub use denstream::{DenStream, DenStreamMc, DenStreamModel, DenStreamParams};
 pub use dstream::{DStream, DStreamModel, DStreamParams, GridSketch};
+pub use serving::{Prediction, ServingPredictor};
 pub use streamkm::{StreamKMeans, StreamKMeansModel, StreamKMeansParams};

@@ -1,0 +1,220 @@
+//! Serving-snapshot consistency: epochs, immutability, checkpoint-equality,
+//! and determinism of the published snapshots across parallelism degrees
+//! and both pipelines, plus a real concurrent-reader run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use diststream_algorithms::{CluStream, CluStreamModel, CluStreamParams, ServingPredictor};
+use diststream_core::{
+    serving_handle, serving_reader, DistStreamJob, PipelineOptions, ServingHandle, ServingSnapshot,
+    StreamClustering,
+};
+use diststream_engine::{decode, encode, ExecutionMode, StreamingContext, VecSource};
+use diststream_types::{ClusteringConfig, Point, Record, Timestamp};
+
+fn algo() -> CluStream {
+    CluStream::new(CluStreamParams {
+        max_micro_clusters: 24,
+        ..Default::default()
+    })
+}
+
+fn stream(n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 6) as f64 * 7.0 + (i % 13) as f64 * 0.05;
+            let y = (i % 4) as f64 * 5.0;
+            Record::new(
+                i,
+                Point::from(vec![x, y]),
+                Timestamp::from_secs(i as f64 * 0.1),
+            )
+        })
+        .collect()
+}
+
+/// The `(epoch, model_bytes)` sequence observed at batch boundaries.
+type ObservedSequence = Vec<(u64, Vec<u8>)>;
+
+/// Runs one serving-enabled job and returns the final model's encoding plus
+/// the `(epoch, model_bytes)` sequence observed at every batch boundary.
+fn run_observed(p: usize, options: PipelineOptions) -> (Vec<u8>, ServingHandle, ObservedSequence) {
+    let algo = algo();
+    let ctx = StreamingContext::new(p, ExecutionMode::Simulated).unwrap();
+    let handle = serving_handle();
+    let mut reader = serving_reader(&handle);
+    let mut observed: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut job = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default());
+    job.init_records(30)
+        .pipeline(options)
+        .serving(handle.clone());
+    let result = job
+        .run(VecSource::new(stream(600)), |report| {
+            if let Some((epoch, snap)) = reader.current() {
+                // The published snapshot is internally consistent with the
+                // post-update model the report hands out: in the sync
+                // pipeline that is this batch's model, in the overlapped
+                // pipeline the previous batch's update was applied to the
+                // same `model` binding the report borrows.
+                assert_eq!(
+                    snap.model_bytes,
+                    encode(report.model),
+                    "published bytes diverge from the driver model at epoch {epoch}"
+                );
+                if let Some((prev, _)) = observed.last() {
+                    assert!(epoch > *prev, "epochs must be strictly increasing");
+                }
+                observed.push((epoch, snap.model_bytes.clone()));
+            }
+        })
+        .unwrap();
+    (encode(&result.model), handle, observed)
+}
+
+/// Sync + overlapped, p ∈ {1, 4, 8}: the final published snapshot is the
+/// checkpoint encoding of the final model, and per-boundary snapshots match
+/// the driver model (asserted inside `run_observed`).
+#[test]
+fn final_snapshot_equals_checkpoint_encoding() {
+    for options in [PipelineOptions::sync(), PipelineOptions::all()] {
+        for p in [1, 4, 8] {
+            let (final_bytes, handle, observed) = run_observed(p, options);
+            let (epoch, last) = handle.latest().expect("at least one publish");
+            assert_eq!(last.epoch, epoch);
+            assert_eq!(
+                last.model_bytes, final_bytes,
+                "final snapshot must equal the checkpoint encoding (p={p}, overlap={})",
+                options.overlap
+            );
+            assert!(!observed.is_empty(), "boundary reader saw publishes");
+        }
+    }
+}
+
+/// The published `(epoch, bytes)` sequence is bit-identical across
+/// parallelism degrees within each pipeline, and the synchronous epochs are
+/// exactly the batch indices 0..n with no gaps.
+#[test]
+fn published_sequence_is_parallelism_invariant() {
+    for options in [PipelineOptions::sync(), PipelineOptions::all()] {
+        let (final1, _, base) = run_observed(1, options);
+        for p in [4, 8] {
+            let (finalp, _, seq) = run_observed(p, options);
+            assert_eq!(finalp, final1, "final model differs at p={p}");
+            assert_eq!(seq, base, "published sequence differs at p={p}");
+        }
+        if !options.overlap {
+            for (i, (epoch, _)) in base.iter().enumerate() {
+                assert_eq!(*epoch, i as u64, "sync epochs are the batch indices");
+            }
+        }
+    }
+}
+
+/// A reader pinned to epoch N keeps an untouched snapshot while the stream
+/// advances past N: later publishes replace the slot, never mutate it.
+#[test]
+fn pinned_epoch_is_immutable_while_stream_advances() {
+    let algo = algo();
+    let ctx = StreamingContext::new(4, ExecutionMode::Simulated).unwrap();
+    let handle = serving_handle();
+    let mut reader = serving_reader(&handle);
+    let mut pinned: Option<(u64, Arc<ServingSnapshot>, Vec<u8>)> = None;
+    let mut job = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default());
+    job.init_records(30).serving(handle.clone());
+    job.run(VecSource::new(stream(600)), |_| {
+        if pinned.is_none() {
+            if let Some((epoch, snap)) = reader.current() {
+                pinned = Some((epoch, Arc::clone(snap), snap.model_bytes.clone()));
+            }
+        }
+    })
+    .unwrap();
+    let (epoch, snap, bytes_at_pin) = pinned.expect("pinned a snapshot");
+    let (last_epoch, _) = handle.latest().unwrap();
+    assert!(
+        last_epoch > epoch,
+        "the stream advanced past the pinned epoch"
+    );
+    assert_eq!(snap.epoch, epoch);
+    assert_eq!(
+        snap.model_bytes, bytes_at_pin,
+        "pinned snapshot mutated after later publishes"
+    );
+    // The pinned bytes still decode to a model whose export matches the
+    // pinned centroids — no partial state from a later epoch leaked in.
+    let model: CluStreamModel = decode(&snap.model_bytes).unwrap();
+    assert_eq!(algo.snapshot(&model), snap.centroids);
+}
+
+/// Real threads: two predictor readers answer queries non-stop while the
+/// driver streams (Threads mode). Every answer must come from an
+/// internally consistent snapshot and epochs seen by one reader never go
+/// backwards.
+#[test]
+fn concurrent_readers_predict_while_streaming() {
+    let algo = algo();
+    let ctx = StreamingContext::new(2, ExecutionMode::Threads).unwrap();
+    let handle = serving_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_answered = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let mut predictor = ServingPredictor::new(&handle);
+            let mut raw = serving_reader(&handle);
+            let stop = Arc::clone(&stop);
+            let total_answered = Arc::clone(&total_answered);
+            let check = algo.clone();
+            thread::spawn(move || {
+                let mut answered = 0u64;
+                let mut last_epoch = 0u64;
+                let query = Point::from(vec![7.0 + r as f64, 5.0]);
+                while !stop.load(Ordering::SeqCst) {
+                    if let Some(p) = predictor.predict(&query) {
+                        assert!(p.epoch >= last_epoch, "reader {r}: epoch went backwards");
+                        assert!(p.distance.is_finite());
+                        last_epoch = p.epoch;
+                        answered += 1;
+                        total_answered.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // Periodically cross-check full snapshot integrity.
+                    if answered % 64 == 0 {
+                        if let Some((_, snap)) = raw.current() {
+                            let model: CluStreamModel = decode(&snap.model_bytes).unwrap();
+                            assert_eq!(
+                                check.snapshot(&model),
+                                snap.centroids,
+                                "reader {r}: snapshot bytes and centroids disagree"
+                            );
+                        }
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    let mut job = DistStreamJob::new(&algo, &ctx, ClusteringConfig::default());
+    job.init_records(30).serving(handle.clone());
+    let result = job.run_to_end(VecSource::new(stream(2_000))).unwrap();
+    // A fast release-mode run can finish before the readers get scheduled;
+    // the latest snapshot stays readable after the stream ends, so waiting
+    // here for a few answers terminates deterministically.
+    while total_answered.load(Ordering::SeqCst) < 8 {
+        thread::yield_now();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0;
+    for h in readers {
+        total += h.join().expect("reader panicked");
+    }
+    assert!(total > 0, "readers answered at least one query");
+    assert_eq!(
+        handle.latest().unwrap().1.model_bytes,
+        encode(&result.model),
+        "final snapshot equals the final model under concurrency"
+    );
+}

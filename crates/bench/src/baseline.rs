@@ -20,6 +20,7 @@ use diststream_types::{ClusteringConfig, Result};
 use crate::bundle::{Bundle, DatasetKind};
 use crate::overload::{measure_overload, OverloadScenario};
 use crate::report::{fmt_f64, print_table, Table};
+use crate::serving::{measure_serving, ServingBench};
 
 /// Repo-relative path of the committed baseline file (default workload).
 pub const BASELINE_PATH: &str = "BENCH_BASELINE.json";
@@ -42,7 +43,12 @@ pub const BASELINE_QUICK_PATH: &str = "BENCH_BASELINE_QUICK.json";
 /// achieved vs target latency, quality deltas, and the p=1/p=4 model
 /// digests of the seeded approximate run — which `xtask bench-check` gates
 /// (see [`crate::measure_overload`]).
-pub const BASELINE_SCHEMA: u32 = 5;
+/// v6: the matrix extends to p ∈ {1, 4, 8, 16} (scaling-loss attribution at
+/// higher degrees) and the report adds a `serving` section — concurrent
+/// predict readers racing the stream against the lock-free snapshot slot —
+/// whose `predict_qps_while_streaming` column `xtask bench-check` gates (see
+/// [`crate::measure_serving`]).
+pub const BASELINE_SCHEMA: u32 = 6;
 
 /// Required round-robin/key-range charged-shuffle-byte ratio on the
 /// baseline workload (the ISSUE's key-skew acceptance bar).
@@ -62,7 +68,7 @@ pub const PIPELINE_SYNC: &str = "sync";
 pub const PIPELINE_OVERLAPPED: &str = "overlapped";
 
 /// Parallelism degrees measured for every algorithm.
-pub const PARALLELISMS: [usize; 2] = [1, 4];
+pub const PARALLELISMS: [usize; 4] = [1, 4, 8, 16];
 
 /// Mini-batch width used by every baseline run.
 pub const BATCH_SECS: f64 = 1.0;
@@ -181,6 +187,9 @@ pub struct BaselineReport {
     /// The measured overload scenario (schema v5): exact sync ingestion
     /// falls behind, the seeded approximate path holds the latency target.
     pub overload: OverloadScenario,
+    /// The measured serving workload (schema v6): concurrent predict
+    /// readers racing the stream against the lock-free snapshot slot.
+    pub serving: ServingBench,
     /// One cell per `(algorithm, parallelism)`.
     pub entries: Vec<BaselineEntry>,
 }
@@ -394,6 +403,7 @@ pub fn run_baseline_pipelines(
         calibration_score: calibration_score(),
         shuffle_skew: measure_shuffle_skew(&bundle, spec)?,
         overload: measure_overload(&bundle)?,
+        serving: measure_serving(&bundle, spec)?,
         entries,
     })
 }
@@ -455,6 +465,19 @@ pub fn baseline_to_json(report: &BaselineReport) -> String {
         o.vacuous_batches,
         o.model_digest_p1,
         o.model_digest_p4,
+    ));
+    let s = &report.serving;
+    out.push_str(&format!(
+        "  \"serving\": {{\"parallelism\": {}, \"reader_threads\": {}, \
+         \"streaming_secs\": {}, \"predicts_total\": {}, \"predict_qps_while_streaming\": {}, \
+         \"epochs_published\": {}, \"final_epoch\": {}}},\n",
+        s.parallelism,
+        s.reader_threads,
+        json_f64(s.streaming_secs),
+        s.predicts_total,
+        json_f64(s.predict_qps),
+        s.epochs_published,
+        s.final_epoch,
     ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in report.entries.iter().enumerate() {
@@ -562,6 +585,18 @@ pub fn print_baseline(report: &BaselineReport) {
         o.vacuous_batches,
         o.model_digest_p1,
     );
+    let s = &report.serving;
+    println!(
+        "serving (p={}, {} readers): {} predicts in {:.2}s streaming — {:.0} predict/s, \
+         {} epochs published (final {})",
+        s.parallelism,
+        s.reader_threads,
+        s.predicts_total,
+        s.streaming_secs,
+        s.predict_qps,
+        s.epochs_published,
+        s.final_epoch,
+    );
 }
 
 #[cfg(test)]
@@ -603,6 +638,18 @@ mod tests {
         }
     }
 
+    fn sample_serving() -> ServingBench {
+        ServingBench {
+            parallelism: 4,
+            reader_threads: 2,
+            streaming_secs: 0.8,
+            predicts_total: 120_000,
+            predict_qps: 150_000.0,
+            epochs_published: 12,
+            final_epoch: 11,
+        }
+    }
+
     #[test]
     fn json_serialization_contains_all_cells() {
         let report = BaselineReport {
@@ -619,6 +666,7 @@ mod tests {
                 keyrange_bytes: 3000,
             },
             overload: sample_overload(),
+            serving: sample_serving(),
             entries: vec![BaselineEntry {
                 algo: "clustream".into(),
                 pipeline: PIPELINE_OVERLAPPED.into(),
@@ -638,7 +686,10 @@ mod tests {
             }],
         };
         let json = baseline_to_json(&report);
-        assert!(json.contains("\"schema\": 5"));
+        assert!(json.contains("\"schema\": 6"));
+        assert!(json.contains("\"predict_qps_while_streaming\": 150000"));
+        assert!(json.contains("\"reader_threads\": 2"));
+        assert!(json.contains("\"epochs_published\": 12"));
         assert!(json.contains("\"shed_fraction\": 0.62"));
         assert!(json.contains("\"error_bound\": 0.021"));
         assert!(json.contains("\"approx_latency_secs\": 0.45"));
@@ -679,6 +730,11 @@ mod tests {
         assert!(o.exact_latency_secs > o.target_latency_secs);
         assert!(o.purity_delta <= o.error_bound);
         assert_eq!(o.model_digest_p1, o.model_digest_p4);
+        // The serving section ships with every report: readers answered
+        // queries and snapshots were published for every batch.
+        assert!(report.serving.predicts_total > 0);
+        assert!(report.serving.predict_qps > 0.0);
+        assert!(report.serving.epochs_published > 0);
         // The skew section is measured on every run and meets the gate even
         // on this tiny workload: the reduction is structural (placement
         // co-location), not a property of stream length.

@@ -1,5 +1,6 @@
 //! Performance-baseline runner: measures records/sec and per-phase times for
-//! all four algorithms at p ∈ {1, 4} and writes `BENCH_BASELINE.json`.
+//! all four algorithms at p ∈ {1, 4, 8, 16}, plus the concurrent-predict
+//! serving workload, and writes `BENCH_BASELINE.json`.
 //!
 //! ```text
 //! bench_baseline [--quick] [--out FILE] [--records N] [--rounds N] [--seed S]

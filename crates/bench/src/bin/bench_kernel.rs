@@ -1,0 +1,122 @@
+//! Microbenchmark for the vectorized [`CentroidKernel`] distance scans:
+//! ns/point (per centroid row scanned) for the `nearest`,
+//! `nearest_filtered`, and `nearest_squared` variants at the evaluation
+//! dimensionalities d ∈ {2, 34, 54} (synthetic grid, KDD-99 numeric,
+//! covertype).
+//!
+//! Informational only — the numbers land in the CI step summary but gate
+//! nothing; the regression gate for kernel work is `xtask bench-check`
+//! (end-to-end assignment throughput) plus the `model_digest` bit-identity
+//! table.
+//!
+//! ```text
+//! cargo run --release -p diststream-bench --bin bench_kernel [-- --markdown]
+//! ```
+
+use std::time::Instant;
+
+use diststream_algorithms::CentroidKernel;
+use diststream_types::Point;
+
+/// Dimensionalities matching the evaluation datasets.
+const DIMS: [usize; 3] = [2, 34, 54];
+
+/// Centroid rows per kernel — the KDD-99 CluStream default model size.
+const ROWS: usize = 100;
+
+/// Distinct query points cycled through each timing loop.
+const QUERIES: usize = 64;
+
+/// Timed scans per measurement (after an equal warmup).
+const ITERS: usize = 20_000;
+
+/// Deterministic coordinate stream (splitmix64 bits mapped into [0, 10)).
+struct Gen(u64);
+
+impl Gen {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+    }
+
+    fn point(&mut self, dims: usize) -> Point {
+        Point::from((0..dims).map(|_| self.next_f64()).collect::<Vec<_>>())
+    }
+}
+
+/// A named scan variant of the kernel.
+type Variant = (
+    &'static str,
+    fn(&CentroidKernel, &Point) -> Option<(usize, f64)>,
+);
+
+/// One timed variant: returns (ns per query scan, ns per centroid row),
+/// with the accumulated best distance as an optimization sink.
+fn time_variant(
+    kernel: &CentroidKernel,
+    queries: &[Point],
+    mut scan: impl FnMut(&CentroidKernel, &Point) -> Option<(usize, f64)>,
+) -> (f64, f64, f64) {
+    let mut sink = 0.0;
+    for i in 0..ITERS {
+        if let Some((_, d)) = scan(kernel, &queries[i % queries.len()]) {
+            sink += d;
+        }
+    }
+    let start = Instant::now();
+    for i in 0..ITERS {
+        if let Some((_, d)) = scan(kernel, &queries[i % queries.len()]) {
+            sink += d;
+        }
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let per_query = elapsed / ITERS as f64;
+    (per_query, per_query / ROWS as f64, sink)
+}
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let mut rows: Vec<(usize, &str, f64, f64)> = Vec::new();
+    let mut sink = 0.0;
+    for &dims in &DIMS {
+        let mut gen = Gen(0x5eed ^ dims as u64);
+        let mut kernel = CentroidKernel::with_capacity(ROWS, dims);
+        for id in 0..ROWS {
+            kernel.push_point(id as u64, &gen.point(dims));
+        }
+        let queries: Vec<Point> = (0..QUERIES).map(|_| gen.point(dims)).collect();
+        let variants: [Variant; 3] = [
+            ("nearest", |k, q| k.nearest(q)),
+            // Filter half the rows: the shape assignment uses for
+            // role-restricted scans (e.g. DenStream potential-first).
+            ("filtered", |k, q| k.nearest_filtered(q, |i| i % 2 == 0)),
+            ("squared", |k, q| k.nearest_squared(q)),
+        ];
+        for (name, scan) in variants {
+            let (per_query, per_row, s) = time_variant(&kernel, &queries, scan);
+            sink += s;
+            rows.push((dims, name, per_query, per_row));
+        }
+    }
+    if markdown {
+        println!("### Kernel microbench ({ROWS} centroids, informational)");
+        println!();
+        println!("| d | variant | ns/query | ns/point |");
+        println!("|---|---------|----------|----------|");
+        for (dims, name, per_query, per_row) in &rows {
+            println!("| {dims} | {name} | {per_query:.0} | {per_row:.2} |");
+        }
+    } else {
+        println!("# kernel microbench — {ROWS} centroids, {ITERS} scans per cell");
+        for (dims, name, per_query, per_row) in &rows {
+            println!("d={dims}\t{name}\t{per_query:.0} ns/query\t{per_row:.2} ns/point");
+        }
+    }
+    // Keep the accumulated distances observable so the scans cannot be
+    // optimized away; NaN would indicate a broken kernel.
+    assert!(sink.is_finite());
+}

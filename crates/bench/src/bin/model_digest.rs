@@ -1,0 +1,81 @@
+//! Prints the FNV-1a digest of the encoded final model for every
+//! `(algorithm, pipeline, parallelism)` cell of the baseline workload.
+//!
+//! The digest table is the replay/bit-identity gate for kernel work: any
+//! change to the distance kernel must leave every digest unchanged across
+//! p ∈ {1, 4, 8, 16} and both pipelines, which this binary makes a
+//! one-command check:
+//!
+//! ```text
+//! cargo run --release -p diststream-bench --bin model_digest [-- --quick]
+//! ```
+
+use diststream_bench::{BaselineSpec, Bundle, DatasetKind, BATCH_SECS};
+
+/// The acceptance matrix for kernel bit-identity: wider than the bench
+/// matrix on purpose, so the gate holds even where throughput is not
+/// measured.
+const DIGEST_PARALLELISMS: [usize; 4] = [1, 4, 8, 16];
+use diststream_core::{DistStreamJob, PipelineOptions, StreamClustering};
+use diststream_engine::{
+    encode, fnv1a_hash, ExecutionMode, RepeatSource, SimCostModel, StreamingContext,
+};
+use diststream_types::{ClusteringConfig, Result};
+
+fn digest_one<A: StreamClustering>(
+    algo: &A,
+    bundle: &Bundle,
+    p: usize,
+    rounds: usize,
+    options: PipelineOptions,
+) -> Result<u64> {
+    let ctx = StreamingContext::with_cost_model(p, ExecutionMode::Simulated, SimCostModel::zero())?;
+    let config = ClusteringConfig::builder().batch_secs(BATCH_SECS).build()?;
+    let mut job = DistStreamJob::new(algo, &ctx, config);
+    job.init_records(bundle.init_records()).pipeline(options);
+    let result = job.run_to_end(RepeatSource::new(bundle.stress_records(), rounds))?;
+    Ok(fnv1a_hash(&encode(&result.model)))
+}
+
+fn main() -> Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = BaselineSpec::new(quick);
+    let bundle = Bundle::new(DatasetKind::Kdd99, spec.records, spec.seed);
+    let pipelines = [
+        ("sync", PipelineOptions::sync()),
+        ("overlapped", PipelineOptions::all()),
+    ];
+    println!(
+        "# model digests — {} mode, {} records x {} rounds, seed {}",
+        spec.mode(),
+        spec.records,
+        spec.rounds,
+        spec.seed
+    );
+    for &p in &DIGEST_PARALLELISMS {
+        for &(label, options) in &pipelines {
+            let cells: [(&str, u64); 4] = [
+                (
+                    "clustream",
+                    digest_one(&bundle.clustream(), &bundle, p, spec.rounds, options)?,
+                ),
+                (
+                    "denstream",
+                    digest_one(&bundle.denstream(), &bundle, p, spec.rounds, options)?,
+                ),
+                (
+                    "dstream",
+                    digest_one(&bundle.dstream(), &bundle, p, spec.rounds, options)?,
+                ),
+                (
+                    "clustree",
+                    digest_one(&bundle.clustree(), &bundle, p, spec.rounds, options)?,
+                ),
+            ];
+            for (algo, digest) in cells {
+                println!("{algo}\t{label}\tp={p}\t{digest:016x}");
+            }
+        }
+    }
+    Ok(())
+}

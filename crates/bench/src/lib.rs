@@ -19,6 +19,7 @@ mod cli;
 mod overload;
 mod report;
 mod runner;
+mod serving;
 mod trace;
 
 pub use baseline::{
@@ -38,4 +39,5 @@ pub use runner::{
     run_quality, run_sequential_quality, run_sequential_throughput, run_throughput,
     throughput_context, ExecutorKind, QualityOutcome, ThroughputOutcome,
 };
+pub use serving::{measure_serving, ServingBench, READER_THREADS, SERVING_PARALLELISM};
 pub use trace::TelemetrySession;

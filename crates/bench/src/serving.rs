@@ -1,0 +1,163 @@
+//! The serving workload: concurrent nearest-cluster predict readers while
+//! the stream executes — the measured side of the lock-free
+//! [`ServingSnapshot`](diststream_core::ServingSnapshot) read path.
+//!
+//! The driver runs the baseline CluStream workload with a serving slot
+//! attached; [`READER_THREADS`] real OS threads hammer
+//! [`ServingPredictor::predict`] against the slot for the whole run. The
+//! headline number, `predict_qps`, is answered predicts per wall second of
+//! streaming — with the epoch-cached read path a predict between publishes
+//! is one atomic load plus one vectorized kernel scan, so the readers never
+//! block the driver and the qps gate catches any synchronization sneaking
+//! back into the predict path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use diststream_algorithms::ServingPredictor;
+use diststream_core::{serving_handle, DistStreamJob, PipelineOptions};
+use diststream_engine::{ExecutionMode, RepeatSource, SimCostModel, StreamingContext};
+use diststream_telemetry as telemetry;
+use diststream_types::{Point, Result};
+
+use crate::baseline::{BaselineSpec, BATCH_SECS};
+use crate::bundle::Bundle;
+use diststream_types::ClusteringConfig;
+
+/// Driver parallelism of the serving measurement run.
+pub const SERVING_PARALLELISM: usize = 4;
+
+/// Concurrent predict readers racing the stream.
+pub const READER_THREADS: usize = 2;
+
+/// The measured serving section committed with the baseline (schema v6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBench {
+    /// Driver parallelism of the streaming run.
+    pub parallelism: usize,
+    /// Concurrent reader threads.
+    pub reader_threads: usize,
+    /// Wall seconds of the streaming run the readers raced.
+    pub streaming_secs: f64,
+    /// Predicts answered across all readers during the run.
+    pub predicts_total: u64,
+    /// Answered predicts per wall second of streaming — the gated column.
+    pub predict_qps: f64,
+    /// Snapshots published (one per applied global update).
+    pub epochs_published: u64,
+    /// Epoch of the last published snapshot.
+    pub final_epoch: u64,
+}
+
+/// Runs the serving workload: the baseline CluStream stream (synchronous
+/// pipeline, [`SERVING_PARALLELISM`]) with [`READER_THREADS`] predictor
+/// threads querying the serving slot until the stream ends.
+///
+/// # Errors
+///
+/// Propagates engine failures and empty-stream errors.
+pub fn measure_serving(bundle: &Bundle, spec: &BaselineSpec) -> Result<ServingBench> {
+    let algo = bundle.clustream();
+    let ctx = StreamingContext::with_cost_model(
+        SERVING_PARALLELISM,
+        ExecutionMode::Simulated,
+        SimCostModel::zero(),
+    )?;
+    let config = ClusteringConfig::builder().batch_secs(BATCH_SECS).build()?;
+    let handle = serving_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Query mix: one probe per dataset centroid region, cycled. Built from
+    // the stress stream so the queries have the model's dimensionality.
+    let queries: Vec<Point> = bundle
+        .stress_records()
+        .iter()
+        .step_by(97)
+        .take(64)
+        .map(|r| r.point.clone())
+        .collect();
+
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|r| {
+            let mut predictor = ServingPredictor::new(&handle);
+            let stop = Arc::clone(&stop);
+            let queries = queries.clone();
+            // Readers model external serving clients, deliberately outside
+            // the TaskPool protocol. lint:allow(thread-spawn)
+            thread::spawn(move || {
+                let mut answered = 0u64;
+                let mut i = r; // offset the start so readers desynchronize
+                while !stop.load(Ordering::SeqCst) {
+                    if predictor.predict(&queries[i % queries.len()]).is_some() {
+                        answered += 1;
+                    }
+                    i += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    let mut job = DistStreamJob::new(&algo, &ctx, config);
+    job.init_records(bundle.init_records())
+        .pipeline(PipelineOptions::sync())
+        .serving(handle.clone());
+    let start = Instant::now();
+    job.run_to_end(RepeatSource::new(bundle.stress_records(), spec.rounds))?;
+    let streaming_secs = start.elapsed().as_secs_f64().max(1e-9);
+    stop.store(true, Ordering::SeqCst);
+
+    let mut predicts_total = 0u64;
+    for h in readers {
+        predicts_total += h
+            .join()
+            .map_err(|_| diststream_types::DistStreamError::Engine("reader panicked".into()))?;
+    }
+    if telemetry::enabled() {
+        telemetry::counter(telemetry::names::METRIC_SERVING_PREDICTS_TOTAL).add(predicts_total);
+    }
+    let final_epoch = handle.latest().map_or(0, |(epoch, _)| epoch);
+    Ok(ServingBench {
+        parallelism: SERVING_PARALLELISM,
+        reader_threads: READER_THREADS,
+        streaming_secs,
+        predicts_total,
+        predict_qps: predicts_total as f64 / streaming_secs,
+        epochs_published: handle.version(),
+        final_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::DatasetKind;
+
+    #[test]
+    fn serving_workload_answers_queries_while_streaming() {
+        let spec = BaselineSpec {
+            quick: true,
+            records: 2_000,
+            rounds: 1,
+            seed: 9,
+        };
+        let bundle = Bundle::new(DatasetKind::Kdd99, spec.records, spec.seed);
+        let bench = measure_serving(&bundle, &spec).unwrap();
+        assert_eq!(bench.parallelism, SERVING_PARALLELISM);
+        assert_eq!(bench.reader_threads, READER_THREADS);
+        assert!(bench.streaming_secs > 0.0);
+        assert!(
+            bench.predicts_total > 0,
+            "readers must answer queries during the run"
+        );
+        assert!(bench.predict_qps > 0.0);
+        assert!(bench.epochs_published > 0, "snapshots were published");
+        assert_eq!(
+            bench.final_epoch + 1,
+            bench.epochs_published,
+            "sync pipeline publishes every batch index once, 0..=last"
+        );
+    }
+}

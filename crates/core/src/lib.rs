@@ -57,6 +57,7 @@ mod pipelined;
 mod recovery;
 pub mod reference;
 mod sequential;
+mod serving;
 mod store;
 
 pub use adaptive::AdaptiveBatchSizer;
@@ -84,4 +85,5 @@ pub use pipeline::{
 pub use pipelined::{PipelineCarry, PipelinedExecutor};
 pub use recovery::{BatchDisposition, Checkpoint, CheckpointingDriver};
 pub use sequential::{SequentialExecutor, SequentialSummary};
+pub use serving::{serving_handle, serving_reader, ServingHandle, ServingSnapshot};
 pub use store::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};

@@ -12,6 +12,7 @@ use crate::assignment::assign_records_distributed;
 use crate::distribution::{strategy_for, StrategyKind};
 use crate::global::global_update;
 use crate::local::{local_update_distributed, LocalScratch};
+use crate::serving::{publish_snapshot, ServingHandle};
 
 /// Per-batch statistics reported by [`DistStreamExecutor::process_batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +78,7 @@ pub struct DistStreamExecutor<'a, A: StreamClustering> {
     chunking: bool,
     strategy: StrategyKind,
     base_seed: u64,
+    serving: Option<ServingHandle>,
     // Per-batch scratch reused across process_batch calls (the reason
     // process_batch takes &mut self).
     scratch: LocalScratch,
@@ -95,8 +97,17 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
             chunking: false,
             strategy: StrategyKind::RoundRobin,
             base_seed: 0x0B5E55ED,
+            serving: None,
             scratch: LocalScratch::default(),
         }
+    }
+
+    /// Attaches a serving slot: after every global update the executor
+    /// publishes an epoch-tagged [`ServingSnapshot`](crate::ServingSnapshot)
+    /// of the new model for concurrent readers.
+    pub fn serving(&mut self, handle: ServingHandle) -> &mut Self {
+        self.serving = Some(handle);
+        self
     }
 
     /// Selects the [`DistributionStrategy`](crate::DistributionStrategy)
@@ -231,6 +242,12 @@ impl<'a, A: StreamClustering> DistStreamExecutor<'a, A> {
                 batch_seed,
             )?
         };
+
+        // Serving boundary: the batch's global update just installed
+        // Q_{t+1}, so publish it as this batch's serving epoch.
+        if let Some(handle) = &self.serving {
+            publish_snapshot(handle, self.algo, model, batch.index);
+        }
 
         let overhead_secs = self.ctx.batch_overhead_secs()
             + self.ctx.broadcast_secs(model_bytes)

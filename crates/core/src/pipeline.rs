@@ -12,6 +12,7 @@ use crate::api::{StreamClustering, UpdateOrdering};
 use crate::distribution::StrategyKind;
 use crate::parallel::{BatchOutcome, DistStreamExecutor};
 use crate::pipelined::PipelinedExecutor;
+use crate::serving::ServingHandle;
 
 /// Toggles for the overlapped batch pipeline — the three ingest-to-update
 /// optimizations plus the asynchronous update protocol, all off by default
@@ -232,6 +233,7 @@ pub struct DistStreamJob<'a, A: StreamClustering> {
     ordering: UpdateOrdering,
     premerge: bool,
     pipeline: PipelineOptions,
+    serving: Option<ServingHandle>,
 }
 
 impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
@@ -246,6 +248,7 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
             ordering: UpdateOrdering::OrderAware,
             premerge: true,
             pipeline: PipelineOptions::sync(),
+            serving: None,
         }
     }
 
@@ -274,6 +277,16 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
         self
     }
 
+    /// Attaches a serving slot: the executor publishes an epoch-tagged
+    /// [`ServingSnapshot`](crate::ServingSnapshot) of the model after every
+    /// applied global update, for concurrent predict readers. Lives outside
+    /// [`PipelineOptions`] (which stays `Copy`) because the handle is
+    /// shared state, not a flag.
+    pub fn serving(&mut self, handle: ServingHandle) -> &mut Self {
+        self.serving = Some(handle);
+        self
+    }
+
     fn make_exec(&self) -> AnyExec<'a, A> {
         if self.pipeline.overlap {
             let mut exec = PipelinedExecutor::new(self.algo, self.ctx);
@@ -282,6 +295,9 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 .combine(self.pipeline.combine)
                 .chunking(self.pipeline.chunking)
                 .strategy(self.pipeline.strategy);
+            if let Some(handle) = &self.serving {
+                exec.serving(handle.clone());
+            }
             AnyExec::Overlap(Box::new(exec))
         } else {
             let mut exec = DistStreamExecutor::new(self.algo, self.ctx);
@@ -290,6 +306,9 @@ impl<'a, A: StreamClustering> DistStreamJob<'a, A> {
                 .combine(self.pipeline.combine)
                 .chunking(self.pipeline.chunking)
                 .strategy(self.pipeline.strategy);
+            if let Some(handle) = &self.serving {
+                exec.serving(handle.clone());
+            }
             AnyExec::Sync(exec)
         }
     }

@@ -27,6 +27,7 @@ use crate::distribution::{strategy_for, StrategyKind};
 use crate::global::{global_update, GlobalOutcome};
 use crate::local::{local_update_distributed, LocalOutcome, LocalScratch};
 use crate::parallel::BatchOutcome;
+use crate::serving::{publish_snapshot, ServingHandle};
 
 #[derive(Clone)]
 struct PendingGlobal<S> {
@@ -126,6 +127,7 @@ pub struct PipelinedExecutor<'a, A: StreamClustering> {
     chunking: bool,
     strategy: StrategyKind,
     base_seed: u64,
+    serving: Option<ServingHandle>,
     pending: Option<PendingGlobal<A::Sketch>>,
     // Latency digest of the records integrated by the last flush(), parked
     // here so flush()'s signature can stay GlobalOutcome-shaped.
@@ -146,6 +148,7 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             chunking: false,
             strategy: StrategyKind::RoundRobin,
             base_seed: 0x0B5E55ED,
+            serving: None,
             pending: None,
             flushed_latency: None,
             scratch: LocalScratch::default(),
@@ -186,6 +189,16 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
             "attach would drop an already-pending global update",
         );
         self.pending = carry.pending;
+    }
+
+    /// Attaches a serving slot: each *applied* global update publishes an
+    /// epoch-tagged [`ServingSnapshot`](crate::ServingSnapshot) under the
+    /// applied batch's index, so the async one-batch lag is visible in the
+    /// epoch numbering, and the epoch-`N` snapshot bytes equal the
+    /// synchronous pipeline's.
+    pub fn serving(&mut self, handle: ServingHandle) -> &mut Self {
+        self.serving = Some(handle);
+        self
     }
 
     /// Selects order-aware or unordered execution.
@@ -281,6 +294,11 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                 // for throughput, made visible as event-time latency.
                 let latency = pending.probe.resolve(window_end);
                 latency.emit_telemetry();
+                // Serving boundary: the applied update installed batch
+                // B−1's model, so that is the epoch being published.
+                if let Some(handle) = &self.serving {
+                    publish_snapshot(handle, self.algo, model, pending.batch_index);
+                }
                 (Some(outcome), Some(latency))
             }
             None => (None, None),
@@ -388,6 +406,11 @@ impl<'a, A: StreamClustering> PipelinedExecutor<'a, A> {
                 let latency = pending.probe.resolve(pending.window_end);
                 latency.emit_telemetry();
                 self.flushed_latency = Some(latency);
+                // Final serving boundary: flush installs the last batch's
+                // model, completing the epoch sequence 0..=last.
+                if let Some(handle) = &self.serving {
+                    publish_snapshot(handle, self.algo, model, pending.batch_index);
+                }
                 Ok(Some(outcome))
             }
             None => Ok(None),

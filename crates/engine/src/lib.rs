@@ -62,6 +62,7 @@ mod pool;
 mod prefetch;
 mod reorder;
 mod sampler;
+mod serving;
 mod sizeof;
 mod source;
 
@@ -86,5 +87,6 @@ pub use pool::{
 pub use prefetch::{prefetch_batches, PrefetchedBatches, PREFETCH_DEPTH};
 pub use reorder::ReorderBuffer;
 pub use sampler::{error_bound, SamplerControl, StratifiedSampler, RATE_ONE_PPM};
+pub use serving::{SnapshotReader, SnapshotSlot};
 pub use sizeof::serialized_size;
 pub use source::{RateStampedSource, RecordSource, RepeatSource, VecSource};

@@ -97,6 +97,71 @@ fn task_pool_outputs_complete_and_identical_across_schedules() {
     });
 }
 
+/// A loom-instrumented replica of the `SnapshotSlot` publish/read protocol:
+/// a version counter bumped under the same mutex that guards the
+/// `(epoch, value)` pair, with readers that refresh only on version change
+/// and re-read the version under the lock.
+///
+/// Invariants checked on every explored schedule:
+/// - a reader never observes a pair whose content mismatches its epoch
+///   (no torn version/value pairing);
+/// - epochs observed by a single reader are nondecreasing;
+/// - after the writer joins, a fresh read sees the final epoch.
+#[test]
+fn snapshot_slot_readers_never_observe_torn_pairs() {
+    const EPOCHS: u64 = 3;
+
+    loom::model(|| {
+        let version = Arc::new(AtomicUsize::new(0));
+        let slot: Arc<Mutex<Option<(u64, u64)>>> = Arc::new(Mutex::new(None));
+
+        let writer = {
+            let version = Arc::clone(&version);
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                for epoch in 1..=EPOCHS {
+                    let mut guard = slot.lock().unwrap();
+                    *guard = Some((epoch, epoch * 10));
+                    version.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let version = Arc::clone(&version);
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let mut seen = 0usize;
+                    let mut cached: Option<(u64, u64)> = None;
+                    for _ in 0..EPOCHS {
+                        if version.load(Ordering::SeqCst) != seen {
+                            let guard = slot.lock().unwrap();
+                            seen = version.load(Ordering::SeqCst);
+                            let fresh = *guard;
+                            if let Some((epoch, value)) = fresh {
+                                assert_eq!(value, epoch * 10, "torn epoch/value pair");
+                                if let Some((prev, _)) = cached {
+                                    assert!(epoch >= prev, "epoch went backwards");
+                                }
+                            }
+                            cached = fresh;
+                        }
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(version.load(Ordering::SeqCst), EPOCHS as usize);
+        assert_eq!(*slot.lock().unwrap(), Some((EPOCHS, EPOCHS * 10)));
+    });
+}
+
 /// Broadcast publish/read: once constructed, every concurrent reader —
 /// through clones and handles alike — observes the same payload and the
 /// same recorded payload size.

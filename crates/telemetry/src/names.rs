@@ -42,6 +42,8 @@ pub const SPAN_CHECKPOINT_RESTORE: &str = "checkpoint_restore";
 pub const SPAN_SESSION_TEST: &str = "session_test";
 /// Elastic rebalance at a batch boundary (plan + replay + verify).
 pub const SPAN_REBALANCE: &str = "rebalance";
+/// Serving-snapshot publish at a batch boundary (encode + swap).
+pub const SPAN_SNAPSHOT_PUBLISH: &str = "snapshot_publish";
 
 /// Every span name, for conformance checks and journal validators.
 pub const ALL_SPANS: &[&str] = &[
@@ -56,6 +58,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_CHECKPOINT_RESTORE,
     SPAN_SESSION_TEST,
     SPAN_REBALANCE,
+    SPAN_SNAPSHOT_PUBLISH,
 ];
 
 // --- Point-event names (single journal events with numeric fields) ---
@@ -160,6 +163,12 @@ pub const METRIC_BACKPRESSURE_BACKLOG_RECORDS: &str = "diststream_backpressure_b
 /// Gauge: virtual latency of the next record under the service model.
 pub const METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS: &str =
     "diststream_backpressure_virtual_latency_secs";
+/// Counter: serving snapshots published at batch boundaries.
+pub const METRIC_SERVING_PUBLISHES_TOTAL: &str = "diststream_serving_publishes_total";
+/// Counter: nearest-cluster predicts answered from serving snapshots.
+pub const METRIC_SERVING_PREDICTS_TOTAL: &str = "diststream_serving_predicts_total";
+/// Gauge: epoch (batch index) of the latest published serving snapshot.
+pub const METRIC_SERVING_EPOCH: &str = "diststream_serving_epoch";
 
 /// Every metric base name.
 pub const ALL_METRICS: &[&str] = &[
@@ -201,6 +210,9 @@ pub const ALL_METRICS: &[&str] = &[
     METRIC_SAMPLER_ERROR_BOUND,
     METRIC_BACKPRESSURE_BACKLOG_RECORDS,
     METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS,
+    METRIC_SERVING_PUBLISHES_TOTAL,
+    METRIC_SERVING_PREDICTS_TOTAL,
+    METRIC_SERVING_EPOCH,
 ];
 
 /// Prometheus `# HELP` text per metric base name. The doc comments above are
@@ -344,6 +356,18 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
     (
         METRIC_BACKPRESSURE_VIRTUAL_LATENCY_SECS,
         "Virtual latency of the next record under the service model",
+    ),
+    (
+        METRIC_SERVING_PUBLISHES_TOTAL,
+        "Serving snapshots published at batch boundaries",
+    ),
+    (
+        METRIC_SERVING_PREDICTS_TOTAL,
+        "Nearest-cluster predicts answered from serving snapshots",
+    ),
+    (
+        METRIC_SERVING_EPOCH,
+        "Epoch of the latest published serving snapshot",
     ),
 ];
 

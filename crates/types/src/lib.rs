@@ -39,7 +39,9 @@ mod stream;
 
 pub use config::ClusteringConfig;
 pub use error::DistStreamError;
-pub use point::Point;
+pub use point::{
+    lane_squared_distance, lane_squared_distance_bounded, lane_squared_norm, Point, REDUCE_LANES,
+};
 pub use record::{ClassId, Record, RecordId, Timestamp};
 pub use stream::{LabeledPoint, StreamSummary};
 

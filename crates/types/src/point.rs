@@ -5,6 +5,109 @@ use std::ops::{Add, AddAssign, Index, Mul, Sub};
 
 use serde::{Deserialize, Serialize};
 
+/// Number of independent accumulator lanes in the canonical reduction used
+/// by every Euclidean-distance and norm computation in the workspace.
+///
+/// Element `i` of a reduction always lands in lane `i % REDUCE_LANES`, and
+/// the lanes are always combined as `(l0 + l1) + (l2 + l3)`. Fixing one
+/// lane order everywhere is what lets the SoA distance kernel
+/// (`CentroidKernel` in `diststream-algorithms`) run a 4-wide loop that
+/// LLVM autovectorizes while staying bit-identical to the "naive"
+/// [`Point::distance`] scans it replaces: both sides are the *same*
+/// floating-point expression, not merely algebraically equal ones.
+pub const REDUCE_LANES: usize = 4;
+
+/// Combines the four reduction lanes in the one canonical order.
+#[inline]
+fn lane_combine(acc: [f64; REDUCE_LANES]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Canonical lane-ordered squared Euclidean distance between two coordinate
+/// slices. Excess elements of the longer slice are ignored (callers assert
+/// dimension agreement where it is a contract).
+///
+/// The chunked loop body is a fixed-width 4-lane subtract-square-accumulate
+/// that LLVM reliably autovectorizes under `#![forbid(unsafe_code)]`; the
+/// remainder fills lanes `0..len % 4` so the result is a pure function of
+/// the element values, never of how the loop was tiled.
+#[inline]
+pub fn lane_squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let mut ca = a.chunks_exact(REDUCE_LANES);
+    let mut cb = b.chunks_exact(REDUCE_LANES);
+    for (xs, ys) in ca.by_ref().zip(cb.by_ref()) {
+        for ((lane, &x), &y) in acc.iter_mut().zip(xs).zip(ys) {
+            let d = x - y;
+            *lane += d * d;
+        }
+    }
+    for ((lane, &x), &y) in acc.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+        let d = x - y;
+        *lane += d * d;
+    }
+    lane_combine(acc)
+}
+
+/// [`lane_squared_distance`] with early exit: returns `None` as soon as the
+/// combined partial sum reaches `bound`, checked every eighth chunk and at
+/// the end.
+///
+/// Lane partials only grow, and IEEE addition of non-negative terms is
+/// monotone, so the combined partial is a lower bound on the final
+/// reduction: `None` proves the full sum would be ≥ `bound`, while
+/// `Some(d2)` implies `d2 < bound` and carries the bits of the full
+/// canonical reduction.
+#[inline]
+pub fn lane_squared_distance_bounded(a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let mut ca = a.chunks_exact(REDUCE_LANES);
+    let mut cb = b.chunks_exact(REDUCE_LANES);
+    let mut chunk = 0usize;
+    for (xs, ys) in ca.by_ref().zip(cb.by_ref()) {
+        for ((lane, &x), &y) in acc.iter_mut().zip(xs).zip(ys) {
+            let d = x - y;
+            *lane += d * d;
+        }
+        // Checking every chunk would force a horizontal combine into each
+        // vectorized iteration; every 8th chunk keeps the loop branchless
+        // at the dimensionalities the datasets use (d ≤ 64) while still
+        // cutting off runaway rows in high dimensions.
+        chunk += 1;
+        if chunk % 8 == 0 && lane_combine(acc) >= bound {
+            return None;
+        }
+    }
+    for ((lane, &x), &y) in acc.iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+        let d = x - y;
+        *lane += d * d;
+    }
+    let total = lane_combine(acc);
+    if total >= bound {
+        None
+    } else {
+        Some(total)
+    }
+}
+
+/// Canonical lane-ordered sum of squares of a coordinate slice (the squared
+/// Euclidean norm — callers take the square root where they need the norm
+/// itself).
+#[inline]
+pub fn lane_squared_norm(coords: &[f64]) -> f64 {
+    let mut acc = [0.0f64; REDUCE_LANES];
+    let mut chunks = coords.chunks_exact(REDUCE_LANES);
+    for xs in chunks.by_ref() {
+        for (lane, &x) in acc.iter_mut().zip(xs) {
+            *lane += x * x;
+        }
+    }
+    for (lane, &x) in acc.iter_mut().zip(chunks.remainder()) {
+        *lane += x * x;
+    }
+    lane_combine(acc)
+}
+
 /// A dense `d`-dimensional feature vector.
 ///
 /// `Point` is the unit of spatial data everywhere in DistStream: stream
@@ -135,7 +238,9 @@ impl Point {
         self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
-    /// Squared Euclidean distance to `other`.
+    /// Squared Euclidean distance to `other`, computed with the canonical
+    /// lane-ordered reduction ([`lane_squared_distance`]) every distance in
+    /// the workspace uses.
     ///
     /// The online phase compares distances against radius bounds, so the
     /// squared form avoids a `sqrt` in the hot loop.
@@ -145,14 +250,7 @@ impl Point {
     /// Panics if the dimensions differ.
     pub fn squared_distance(&self, other: &Point) -> f64 {
         assert_eq!(self.dims(), other.dims(), "point dimension mismatch");
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        lane_squared_distance(&self.0, &other.0)
     }
 
     /// Euclidean distance to `other`.
@@ -164,9 +262,10 @@ impl Point {
         self.squared_distance(other).sqrt()
     }
 
-    /// Euclidean norm of the point.
+    /// Euclidean norm of the point (canonical lane-ordered sum of squares,
+    /// then square root).
     pub fn norm(&self) -> f64 {
-        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+        lane_squared_norm(&self.0).sqrt()
     }
 
     /// Sum of all coordinates.
@@ -362,6 +461,49 @@ mod tests {
         assert!(Point::from(vec![1.0, 2.0]).is_finite());
         assert!(!Point::from(vec![1.0, f64::NAN]).is_finite());
         assert!(!Point::from(vec![f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn lane_helpers_handle_every_remainder_width() {
+        // Dimensions 0..=9 cover empty, sub-chunk, exact-chunk, and
+        // chunk-plus-remainder shapes.
+        for dims in 0..10 {
+            let a: Vec<f64> = (0..dims).map(|i| i as f64 * 1.25 - 3.0).collect();
+            let b: Vec<f64> = (0..dims).map(|i| (i as f64).sin() * 10.0).collect();
+            let pa = Point::from(a.clone());
+            let pb = Point::from(b.clone());
+            let d2 = lane_squared_distance(&a, &b);
+            assert_eq!(pa.squared_distance(&pb).to_bits(), d2.to_bits());
+            assert_eq!(pa.norm().to_bits(), lane_squared_norm(&a).sqrt().to_bits());
+            // The bounded variant returns the identical bits below the
+            // bound and None at or above it.
+            assert_eq!(
+                lane_squared_distance_bounded(&a, &b, f64::INFINITY),
+                Some(d2)
+            );
+            assert_eq!(lane_squared_distance_bounded(&a, &b, d2), None);
+            if d2 > 0.0 {
+                assert_eq!(lane_squared_distance_bounded(&a, &b, d2 * 0.5), None);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_reduction_is_the_documented_order() {
+        // Six elements: lanes get (x0²+x4², x1²+x5², x2², x3²), combined
+        // as (l0 + l1) + (l2 + l3).
+        let xs = [1.0e-3, 2.0, 3.0e7, 4.0, 5.0e-5, 6.0];
+        let l0 = xs[0] * xs[0] + xs[4] * xs[4];
+        let l1 = xs[1] * xs[1] + xs[5] * xs[5];
+        let l2 = xs[2] * xs[2];
+        let l3 = xs[3] * xs[3];
+        let expected = (l0 + l1) + (l2 + l3);
+        assert_eq!(lane_squared_norm(&xs).to_bits(), expected.to_bits());
+        let zeros = [0.0; 6];
+        assert_eq!(
+            lane_squared_distance(&xs, &zeros).to_bits(),
+            expected.to_bits()
+        );
     }
 
     fn small_point(dims: usize) -> impl Strategy<Value = Point> {

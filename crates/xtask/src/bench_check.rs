@@ -43,8 +43,12 @@ use crate::json::{self, Json};
 /// Maximum tolerated relative throughput drop (0.15 = 15%).
 pub const REGRESSION_TOLERANCE: f64 = 0.15;
 
-/// Reported (non-fatal) loss factor for the p4/p1 scaling ratio.
+/// Reported (non-fatal) loss factor for the p/p1 scaling ratios.
 pub const SCALING_LOSS_FACTOR: f64 = 2.0;
+
+/// Parallelism degrees whose speedup over p = 1 the scaling-loss report
+/// covers (every degree of the schema-6 matrix above the singleton).
+pub const SCALING_DEGREES: [u64; 3] = [4, 8, 16];
 
 /// Fresh-measurement attempts before declaring a regression real.
 pub const MAX_ATTEMPTS: usize = 3;
@@ -66,12 +70,19 @@ pub const OVERLAP_WIN_ALGO: &str = "clustream";
 /// v4 adds the per-entry `strategy` column and the `shuffle_skew` section.
 /// v5 adds the `overload` section (shed fraction, error bound, achieved vs
 /// target latency, quality delta, p=1/p=4 model digests).
-const SUPPORTED_SCHEMA: f64 = 5.0;
+/// v6 extends the throughput matrix to p ∈ {1, 4, 8, 16} and adds the
+/// `serving` section whose `predict_qps` column this checker gates.
+const SUPPORTED_SCHEMA: f64 = 6.0;
 
-/// Previous schema versions, still accepted read-only. A v4 file predates
-/// the `overload` section; a v3 file additionally lacks the `strategy`
-/// column and the `shuffle_skew` section. Gates whose columns are missing
-/// are *explicitly skipped with a printed note* — never silently defaulted.
+/// Previous schema versions, still accepted read-only. A v5 file predates
+/// the `serving` section and the p ∈ {8, 16} matrix columns; a v4 file
+/// additionally lacks the `overload` section; a v3 file additionally lacks
+/// the `strategy` column and the `shuffle_skew` section. Gates whose
+/// columns are missing are *explicitly skipped with a printed note* —
+/// never silently defaulted.
+const LEGACY_SCHEMA_V5: f64 = 5.0;
+
+/// See [`LEGACY_SCHEMA_V5`].
 const LEGACY_SCHEMA_V4: f64 = 4.0;
 
 /// See [`LEGACY_SCHEMA_V4`].
@@ -142,6 +153,40 @@ pub fn overload_failures(gate: &OverloadGate) -> Vec<String> {
     failures
 }
 
+/// The serving section of a schema-6 baseline: the concurrent-predict
+/// workload measured alongside the throughput matrix. `predict_qps` is a
+/// wall-clock rate, so its gate is calibration-normalized like the
+/// throughput cells; the remaining columns are context for the printout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingGate {
+    /// Driver parallelism of the streaming run the readers raced.
+    pub parallelism: f64,
+    /// Concurrent predictor threads.
+    pub reader_threads: f64,
+    /// Answered predicts per wall second of streaming — the gated column.
+    pub predict_qps: f64,
+    /// Snapshots published during the run (one per applied global update).
+    pub epochs_published: f64,
+}
+
+/// The predict-throughput failure for the serving gate, if any.
+/// `best_qps` is the calibration-normalized best across attempts; `None`
+/// means the fresh measurement never carried a serving section.
+pub fn serving_failure(committed: Option<&ServingGate>, best_qps: Option<f64>) -> Option<String> {
+    let committed = committed?;
+    match best_qps {
+        Some(qps) if qps < committed.predict_qps * (1.0 - REGRESSION_TOLERANCE) => Some(format!(
+            "serving: {qps:.0} predict/s is {:.1}% below the committed {:.0} predict/s \
+             (tolerance {:.0}%)",
+            (1.0 - qps / committed.predict_qps) * 100.0,
+            committed.predict_qps,
+            REGRESSION_TOLERANCE * 100.0
+        )),
+        Some(_) => None,
+        None => Some("serving: section missing from the fresh measurement".to_string()),
+    }
+}
+
 /// A throughput cell key: `(algorithm, pipeline, parallelism)`.
 pub type CellKey = (String, String, u64);
 
@@ -165,6 +210,8 @@ pub struct Baseline {
     pub shuffle_skew: Option<(f64, f64)>,
     /// The `overload` section, `None` on a legacy (v3/v4) file.
     pub overload: Option<OverloadGate>,
+    /// The `serving` section, `None` on a legacy (v3/v4/v5) file.
+    pub serving: Option<ServingGate>,
     /// Machine-speed score recorded alongside the measurements.
     pub calibration: f64,
     /// `(algo, pipeline, parallelism) -> records_per_sec`.
@@ -188,15 +235,21 @@ impl Baseline {
         if self.schema == LEGACY_SCHEMA_V3 {
             Some(format!(
                 "schema {LEGACY_SCHEMA_V3} baseline predates the `strategy` column, the \
-                 `shuffle_skew` section, and the `overload` section — skipping the key-range \
-                 shuffle gate and the overload gates (re-bless to schema {SUPPORTED_SCHEMA} \
-                 to enable them)"
+                 `shuffle_skew` section, the `overload` section, and the `serving` section — \
+                 skipping the key-range shuffle gate, the overload gates, and the serving \
+                 gate (re-bless to schema {SUPPORTED_SCHEMA} to enable them)"
             ))
         } else if self.schema == LEGACY_SCHEMA_V4 {
             Some(format!(
-                "schema {LEGACY_SCHEMA_V4} baseline predates the `overload` section — \
-                 skipping the overload gates (re-bless to schema {SUPPORTED_SCHEMA} to \
-                 enable them)"
+                "schema {LEGACY_SCHEMA_V4} baseline predates the `overload` and `serving` \
+                 sections — skipping the overload gates and the serving gate (re-bless to \
+                 schema {SUPPORTED_SCHEMA} to enable them)"
+            ))
+        } else if self.schema == LEGACY_SCHEMA_V5 {
+            Some(format!(
+                "schema {LEGACY_SCHEMA_V5} baseline predates the `serving` section and the \
+                 p ∈ {{8, 16}} matrix columns — skipping the serving gate (re-bless to \
+                 schema {SUPPORTED_SCHEMA} to enable it)"
             ))
         } else {
             None
@@ -219,11 +272,18 @@ pub struct Comparison {
 pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     let doc = json::parse(contents)?;
     let schema = match doc.get("schema").and_then(Json::as_num) {
-        Some(v) if v == SUPPORTED_SCHEMA || v == LEGACY_SCHEMA_V4 || v == LEGACY_SCHEMA_V3 => v,
+        Some(v)
+            if v == SUPPORTED_SCHEMA
+                || v == LEGACY_SCHEMA_V5
+                || v == LEGACY_SCHEMA_V4
+                || v == LEGACY_SCHEMA_V3 =>
+        {
+            v
+        }
         Some(v) => {
             return Err(format!(
                 "unsupported schema {v} (expected {SUPPORTED_SCHEMA}, or legacy \
-                 {LEGACY_SCHEMA_V4}/{LEGACY_SCHEMA_V3})"
+                 {LEGACY_SCHEMA_V5}/{LEGACY_SCHEMA_V4}/{LEGACY_SCHEMA_V3})"
             ))
         }
         None => return Err("missing numeric `schema`".to_string()),
@@ -265,12 +325,12 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
     } else {
         None
     };
-    // v5 files must carry the overload section (a v4/v3 file skips its
+    // v5+ files must carry the overload section (a v4/v3 file skips its
     // gates with a note).
-    let overload = if schema == SUPPORTED_SCHEMA {
+    let overload = if schema >= LEGACY_SCHEMA_V5 {
         let section = doc
             .get("overload")
-            .ok_or("schema 5 requires an `overload` section")?;
+            .ok_or("schema 5+ requires an `overload` section")?;
         let num = |name: &str| {
             section
                 .get(name)
@@ -294,6 +354,40 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
             model_digest_p1: digest("model_digest_p1")?,
             model_digest_p4: digest("model_digest_p4")?,
         })
+    } else {
+        None
+    };
+    // v6 files must carry the serving section (a v5-or-older file skips
+    // its gate with a note).
+    let serving = if schema == SUPPORTED_SCHEMA {
+        let section = doc
+            .get("serving")
+            .ok_or("schema 6 requires a `serving` section")?;
+        let num = |name: &str| {
+            section
+                .get(name)
+                .and_then(Json::as_num)
+                .ok_or(format!("serving: missing numeric `{name}`"))
+        };
+        let gate = ServingGate {
+            parallelism: num("parallelism")?,
+            reader_threads: num("reader_threads")?,
+            predict_qps: num("predict_qps_while_streaming")?,
+            epochs_published: num("epochs_published")?,
+        };
+        if gate.predict_qps.is_nan() || gate.predict_qps <= 0.0 {
+            return Err(format!(
+                "serving: predict_qps {} must be positive",
+                gate.predict_qps
+            ));
+        }
+        if gate.epochs_published <= 0.0 {
+            return Err(
+                "serving: epochs_published is zero — the run never published a snapshot"
+                    .to_string(),
+            );
+        }
+        Some(gate)
     } else {
         None
     };
@@ -363,6 +457,7 @@ pub fn parse_baseline(contents: &str) -> Result<Baseline, String> {
         strategy,
         shuffle_skew,
         overload,
+        serving,
         calibration,
         cells,
         phases,
@@ -467,8 +562,9 @@ pub fn compare(
         )),
         None => {}
     }
-    // p4/p1 scaling loss, per (algorithm, pipeline) present at both degrees
-    // in both sets. The calibration factor cancels in the ratio.
+    // p/p1 scaling loss for every degree of [`SCALING_DEGREES`], per
+    // (algorithm, pipeline) present at both degrees in both sets. The
+    // calibration factor cancels in the ratio.
     let lanes: Vec<(&String, &String)> = committed
         .cells
         .keys()
@@ -476,22 +572,27 @@ pub fn compare(
         .collect();
     for (algo, pipeline) in lanes {
         let key = |p: u64| (algo.clone(), pipeline.clone(), p);
-        let committed_scaling = match (committed.cells.get(&key(4)), committed.cells.get(&key(1))) {
-            (Some(&r4), Some(&r1)) => r4 / r1,
-            _ => continue,
-        };
-        let fresh_scaling = match (best.get(&key(4)), best.get(&key(1))) {
-            (Some(&r4), Some(&r1)) => r4 / r1,
-            _ => continue,
-        };
-        let tag = format!("{algo} {pipeline}");
-        if fresh_scaling * SCALING_LOSS_FACTOR < committed_scaling
-            && !cmp.scaling_warnings.iter().any(|w| w.starts_with(&tag))
-        {
-            cmp.scaling_warnings.push(format!(
-                "{tag}: p4/p1 scaling fell from {committed_scaling:.2}x to \
-                 {fresh_scaling:.2}x (more than {SCALING_LOSS_FACTOR}x loss)"
-            ));
+        for degree in SCALING_DEGREES {
+            let committed_scaling = match (
+                committed.cells.get(&key(degree)),
+                committed.cells.get(&key(1)),
+            ) {
+                (Some(&rp), Some(&r1)) => rp / r1,
+                _ => continue,
+            };
+            let fresh_scaling = match (best.get(&key(degree)), best.get(&key(1))) {
+                (Some(&rp), Some(&r1)) => rp / r1,
+                _ => continue,
+            };
+            let tag = format!("{algo} {pipeline} p{degree}/p1");
+            if fresh_scaling * SCALING_LOSS_FACTOR < committed_scaling
+                && !cmp.scaling_warnings.iter().any(|w| w.starts_with(&tag))
+            {
+                cmp.scaling_warnings.push(format!(
+                    "{tag}: scaling fell from {committed_scaling:.2}x to \
+                     {fresh_scaling:.2}x (more than {SCALING_LOSS_FACTOR}x loss)"
+                ));
+            }
         }
     }
     cmp
@@ -628,6 +729,7 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
     let mut comparison = Comparison::default();
     let mut fresh_skew = None;
     let mut fresh_overload: Option<OverloadGate> = None;
+    let mut best_serving_qps: Option<f64> = None;
     for attempt in 1..=MAX_ATTEMPTS {
         let fresh = measure_fresh(root, quick, &fresh_file)?;
         if fresh.mode != expected_mode {
@@ -648,8 +750,19 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
             }
         }
         fold_best(&committed, &fresh, &mut best, &mut best_phases);
+        // predict_qps is wall-clock like the throughput cells, so the same
+        // calibration normalization and best-of-attempts retry policy apply.
+        if let Some(gate) = &fresh.serving {
+            let normalized = gate.predict_qps * (committed.calibration / fresh.calibration);
+            if best_serving_qps.is_none_or(|current| normalized > current) {
+                best_serving_qps = Some(normalized);
+            }
+        }
         fresh_skew = fresh.shuffle_skew_ratio();
         comparison = compare(&committed, &best, &best_phases);
+        if let Some(failure) = serving_failure(committed.serving.as_ref(), best_serving_qps) {
+            comparison.failures.push(failure);
+        }
         // Fresh shuffle skew: deterministic, but checked per attempt so a
         // regression shows up alongside the throughput failures. Skipped
         // (with the note above) when the committed file predates the gate.
@@ -723,6 +836,13 @@ pub fn run_gate(root: &Path, quick: bool) -> Result<bool, String> {
             gate.error_bound,
             gate.model_digest_p1,
             gate.model_digest_p4,
+        );
+    }
+    if let (Some(gate), Some(qps)) = (&committed.serving, best_serving_qps) {
+        println!(
+            "  serving: {qps:.0} predict/s (normalized) vs committed {:.0} predict/s \
+             (p={}, {} readers, {} epochs blessed)",
+            gate.predict_qps, gate.parallelism, gate.reader_threads, gate.epochs_published
         );
     }
     for warning in &comparison.scaling_warnings {
@@ -814,6 +934,15 @@ mod tests {
         }
     }
 
+    fn passing_serving() -> ServingGate {
+        ServingGate {
+            parallelism: 4.0,
+            reader_threads: 2.0,
+            predict_qps: 150_000.0,
+            epochs_published: 12.0,
+        }
+    }
+
     fn baseline(mode: &str, calibration: f64, cells: &[(&str, &str, u64, f64)]) -> Baseline {
         Baseline {
             mode: mode.to_string(),
@@ -821,6 +950,7 @@ mod tests {
             strategy: Some("roundrobin".to_string()),
             shuffle_skew: Some((1_300_000.0, 1_000_000.0)),
             overload: Some(passing_gate()),
+            serving: Some(passing_serving()),
             calibration,
             cells: cells
                 .iter()
@@ -850,7 +980,7 @@ mod tests {
     #[test]
     fn parses_real_baseline_json() {
         let contents = r#"{
-  "schema": 5,
+  "schema": 6,
   "mode": "default",
   "dataset": "KDD-99",
   "records": 12000,
@@ -859,8 +989,10 @@ mod tests {
   "calibration_score": 1500000000.5,
   "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4000000, "keyrange_bytes": 3000000},
   "overload": {"batch_secs": 0.25, "capacity_per_batch": 70, "target_latency_secs": 1, "exact_latency_secs": 7.5, "approx_latency_secs": 0.45, "shed_fraction": 0.62, "error_bound": 0.021, "exact_purity": 0.97, "approx_purity": 0.96, "purity_delta": 0.01, "ssq_delta": 0.05, "measured_batches": 18, "vacuous_batches": 2, "model_digest_p1": "00000000deadbeef", "model_digest_p4": "00000000deadbeef"},
+  "serving": {"parallelism": 4, "reader_threads": 2, "streaming_secs": 1.25, "predicts_total": 187500, "predict_qps_while_streaming": 150000, "epochs_published": 12, "final_epoch": 11},
   "entries": [
-    {"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4}
+    {"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin", "parallelism": 1, "records": 35760, "records_per_sec": 106935.4, "assignment_secs": 0.168, "local_secs": 0.007, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.34, "latency_p50_secs": 0.6, "latency_p95_secs": 1.1, "latency_p99_secs": 1.4},
+    {"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin", "parallelism": 16, "records": 35760, "records_per_sec": 406935.4, "assignment_secs": 0.042, "local_secs": 0.002, "local_cpu_secs": 0.007, "global_secs": 0.16, "overhead_secs": 0.005, "total_secs": 0.21, "latency_p50_secs": 0.4, "latency_p95_secs": 0.8, "latency_p99_secs": 1.0}
   ]
 }
 "#;
@@ -876,9 +1008,15 @@ mod tests {
         assert_eq!(gate.model_digest_p1, "00000000deadbeef");
         assert_eq!(gate.purity_delta, 0.01);
         assert!(overload_failures(gate).is_empty(), "{gate:?}");
+        let serving = parsed.serving.as_ref().expect("serving gate");
+        assert_eq!(serving.predict_qps, 150_000.0);
+        assert_eq!(serving.reader_threads, 2.0);
+        assert_eq!(serving.epochs_published, 12.0);
         let key = ("clustream".to_string(), "sync".to_string(), 1);
         assert_eq!(parsed.cells.get(&key), Some(&106_935.4));
         assert_eq!(parsed.phases.get(&key), Some(&[0.168, 0.007, 0.16, 0.005]));
+        let key16 = ("clustream".to_string(), "sync".to_string(), 16);
+        assert_eq!(parsed.cells.get(&key16), Some(&406_935.4));
     }
 
     #[test]
@@ -917,6 +1055,111 @@ mod tests {
         assert!(
             !note.contains("shuffle"),
             "v4 keeps the shuffle gate: {note}"
+        );
+    }
+
+    #[test]
+    fn legacy_v5_keeps_overload_but_skips_serving_with_note() {
+        // A v5 file carries the skew and overload sections (their gates
+        // still run) but predates the serving section and the p ∈ {8, 16}
+        // matrix columns.
+        let contents = r#"{"schema": 5, "mode": "default", "calibration_score": 1,
+            "shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 3},
+            "overload": {"target_latency_secs": 1, "exact_latency_secs": 7,
+                         "approx_latency_secs": 0.4, "shed_fraction": 0.5,
+                         "error_bound": 0.02, "purity_delta": 0.01,
+                         "model_digest_p1": "00000000deadbeef",
+                         "model_digest_p4": "00000000deadbeef"},
+            "entries": [{"algo": "clustream", "pipeline": "sync", "strategy": "roundrobin",
+                         "parallelism": 1, "records_per_sec": 10.0}]}"#;
+        let parsed = parse_baseline(contents).expect("v5 baseline parses");
+        assert!(parsed.overload.is_some());
+        assert_eq!(parsed.serving, None);
+        let note = parsed.legacy_note().expect("legacy note");
+        assert!(note.contains("serving"), "{note}");
+        assert!(
+            !note.contains("skipping the overload"),
+            "v5 keeps the overload gates: {note}"
+        );
+    }
+
+    #[test]
+    fn schema_6_requires_serving_section_with_positive_qps() {
+        let skew =
+            r#""shuffle_skew": {"parallelism": 4, "roundrobin_bytes": 4, "keyrange_bytes": 3}"#;
+        let overload = r#""overload": {"target_latency_secs": 1, "exact_latency_secs": 7,
+            "approx_latency_secs": 0.4, "shed_fraction": 0.5, "error_bound": 0.02,
+            "purity_delta": 0.01, "model_digest_p1": "00000000deadbeef",
+            "model_digest_p4": "00000000deadbeef"}"#;
+        let entries = r#""entries": [{"algo": "clustream", "pipeline": "sync",
+            "strategy": "roundrobin", "parallelism": 1, "records_per_sec": 10.0}]"#;
+        let no_serving = format!(
+            r#"{{"schema": 6, "mode": "default", "calibration_score": 1, {skew},
+            {overload}, {entries}}}"#
+        );
+        assert!(parse_baseline(&no_serving).unwrap_err().contains("serving"));
+        let zero_qps = format!(
+            r#"{{"schema": 6, "mode": "default", "calibration_score": 1, {skew},
+            {overload},
+            "serving": {{"parallelism": 4, "reader_threads": 2, "predict_qps_while_streaming": 0,
+                        "epochs_published": 12}}, {entries}}}"#
+        );
+        assert!(parse_baseline(&zero_qps)
+            .unwrap_err()
+            .contains("predict_qps"));
+        let no_epochs = format!(
+            r#"{{"schema": 6, "mode": "default", "calibration_score": 1, {skew},
+            {overload},
+            "serving": {{"parallelism": 4, "reader_threads": 2, "predict_qps_while_streaming": 1000,
+                        "epochs_published": 0}}, {entries}}}"#
+        );
+        assert!(parse_baseline(&no_epochs)
+            .unwrap_err()
+            .contains("never published"));
+    }
+
+    #[test]
+    fn serving_gate_fails_only_beyond_tolerance() {
+        let gate = passing_serving();
+        // 10% down: within the 15% tolerance.
+        assert_eq!(serving_failure(Some(&gate), Some(135_000.0)), None);
+        // 20% down: regression.
+        let failure = serving_failure(Some(&gate), Some(120_000.0)).expect("regression");
+        assert!(failure.contains("predict/s"), "{failure}");
+        // Missing fresh section while the committed file carries one.
+        let failure = serving_failure(Some(&gate), None).expect("missing section");
+        assert!(failure.contains("missing"), "{failure}");
+        // Legacy committed file: no gate at all.
+        assert_eq!(serving_failure(None, None), None);
+        assert_eq!(serving_failure(None, Some(1.0)), None);
+    }
+
+    #[test]
+    fn scaling_loss_covers_p8_and_p16_degrees() {
+        let committed = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 1, 100_000.0),
+                ("clustream", "sync", 16, 1_200_000.0),
+            ],
+        );
+        // p1 improves 12x, p16 flat: scaling 12.0x -> 1.0x, rates fine.
+        let fresh = baseline(
+            "quick",
+            1e9,
+            &[
+                ("clustream", "sync", 1, 1_200_000.0),
+                ("clustream", "sync", 16, 1_200_000.0),
+            ],
+        );
+        let cmp = compare_of(&committed, &fresh);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+        assert_eq!(cmp.scaling_warnings.len(), 1, "{:?}", cmp.scaling_warnings);
+        assert!(
+            cmp.scaling_warnings[0].contains("p16/p1"),
+            "{:?}",
+            cmp.scaling_warnings
         );
     }
 
